@@ -1,0 +1,114 @@
+// Ablations of the SVAQD design choices called out in DESIGN.md:
+//  1. estimator update policy (null-only vs marginal vs positive-clip),
+//  2. action background-sampling period,
+//  3. scan-statistic reference horizon L.
+//
+// These quantify why the defaults are what they are; the paper leaves the
+// corresponding knobs implicit.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "svq/core/online_engine.h"
+#include "svq/eval/experiments.h"
+
+namespace {
+
+using svq::benchutil::ValueOrDie;
+
+double RunF1(const svq::eval::QueryScenario& scenario,
+             const svq::core::OnlineConfig& config) {
+  return ValueOrDie(
+             svq::eval::RunOnlineScenario(
+                 scenario, svq::models::MaskRcnnI3dSuite(), config,
+                 svq::core::OnlineEngine::Mode::kSvaqd),
+             "run")
+      .sequence_match.f1();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = svq::benchutil::ScaleFromEnv(1.0);
+  svq::benchutil::PrintTitle("SVAQD design ablations");
+  svq::benchutil::PrintNote("scale=" + std::to_string(scale) +
+                            "; q:{blowing_leaves; car}");
+
+  svq::eval::QueryScenario scenario = ValueOrDie(
+      svq::eval::YouTubeScenario(2, /*seed=*/1207, scale), "workload");
+  scenario.query.objects = {"car"};
+
+  std::printf("\n(1) estimator update policy\n");
+  {
+    svq::core::OnlineConfig config;
+    config.update_policy = svq::core::UpdatePolicy::kNegativeUnits;
+    std::printf("  %-18s F1=%.3f   (default: null-rate estimate)\n",
+                "negative-units", RunF1(scenario, config));
+    config.update_policy = svq::core::UpdatePolicy::kEveryClip;
+    std::printf("  %-18s F1=%.3f   (marginal estimate)\n", "every-clip",
+                RunF1(scenario, config));
+    config.update_policy = svq::core::UpdatePolicy::kPositiveClip;
+    std::printf("  %-18s F1=%.3f   (Alg. 3 literal)\n", "positive-clip",
+                RunF1(scenario, config));
+  }
+
+  std::printf("\n(2) action background-sampling period\n");
+  for (const int64_t period : {0, 4, 8, 32}) {
+    svq::core::OnlineConfig config;
+    config.action_null_sampling_period = period;
+    std::printf("  period=%-11lld F1=%.3f\n",
+                static_cast<long long>(period), RunF1(scenario, config));
+  }
+
+  std::printf("\n(3) scan-statistic reference horizon L\n");
+  for (const double l : {20.0, 100.0, 200.0, 1000.0}) {
+    svq::core::OnlineConfig config;
+    config.reference_windows = l;
+    std::printf("  L=%-16.0f F1=%.3f\n", l, RunF1(scenario, config));
+  }
+
+  std::printf("\n(4) sequence gap filling (0 = paper Eq. 4 strict merge)\n");
+  for (const int64_t gap : {0, 1, 2, 4}) {
+    svq::core::OnlineConfig config;
+    config.merge_gap_clips = gap;
+    std::printf("  merge_gap=%-8lld F1=%.3f\n", static_cast<long long>(gap),
+                RunF1(scenario, config));
+  }
+
+  std::printf(
+      "\n(5) Markov-dependent action null (paper footnote 7, exact FMCE)\n");
+  for (const bool markov : {false, true}) {
+    svq::core::OnlineConfig config;
+    config.markov_action_null = markov;
+    std::printf("  markov=%-11s F1=%.3f\n", markov ? "on" : "off",
+                RunF1(scenario, config));
+  }
+
+  std::printf(
+      "\n(6) predicate ordering (paper footnote 5 future work)\n");
+  {
+    struct Row {
+      const char* name;
+      svq::core::OnlineConfig::PredicateOrder order;
+    };
+    const Row rows[] = {
+        {"objects-first", svq::core::OnlineConfig::PredicateOrder::
+                              kObjectsFirst},
+        {"actions-first", svq::core::OnlineConfig::PredicateOrder::
+                              kActionsFirst},
+        {"adaptive", svq::core::OnlineConfig::PredicateOrder::kAdaptive},
+    };
+    for (const Row& row : rows) {
+      svq::core::OnlineConfig config;
+      config.predicate_order = row.order;
+      const auto outcome = ValueOrDie(
+          svq::eval::RunOnlineScenario(
+              scenario, svq::models::MaskRcnnI3dSuite(), config,
+              svq::core::OnlineEngine::Mode::kSvaqd),
+          "run");
+      std::printf("  %-15s F1=%.3f  model inference=%.1f min\n", row.name,
+                  outcome.sequence_match.f1(), outcome.model_ms / 60000.0);
+    }
+  }
+  return 0;
+}

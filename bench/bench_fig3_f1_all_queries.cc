@@ -1,0 +1,46 @@
+// Figure 3: F1 scores of SVAQ (fixed p0 = 1e-4, the peak of Figure 2) and
+// SVAQD for all twelve YouTube queries of Table 1.
+//
+// Expected shape (paper): SVAQD >= SVAQ on every query.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "svq/core/online_engine.h"
+#include "svq/eval/experiments.h"
+
+int main() {
+  using svq::benchutil::ValueOrDie;
+  const double scale = svq::benchutil::ScaleFromEnv(1.0);
+  svq::benchutil::PrintTitle(
+      "Figure 3: F1 of SVAQ (p0=1e-4) vs SVAQD on q1..q12");
+  svq::benchutil::PrintNote("scale=" + std::to_string(scale));
+
+  svq::core::OnlineConfig config;
+  config.initial_object_p = 1e-4;
+  config.initial_action_p = 1e-4;
+
+  std::printf("%-5s %-22s %-8s %-8s\n", "q", "action", "SVAQ", "SVAQD");
+  int svaqd_wins = 0;
+  for (int i = 1; i <= 12; ++i) {
+    const svq::eval::QueryScenario scenario =
+        ValueOrDie(svq::eval::YouTubeScenario(i, /*seed=*/1207, scale),
+                   "workload");
+    const auto svaq = ValueOrDie(
+        svq::eval::RunOnlineScenario(scenario, svq::models::MaskRcnnI3dSuite(),
+                                     config,
+                                     svq::core::OnlineEngine::Mode::kSvaq),
+        "SVAQ");
+    const auto svaqd = ValueOrDie(
+        svq::eval::RunOnlineScenario(scenario, svq::models::MaskRcnnI3dSuite(),
+                                     config,
+                                     svq::core::OnlineEngine::Mode::kSvaqd),
+        "SVAQD");
+    if (svaqd.sequence_match.f1() >= svaq.sequence_match.f1()) ++svaqd_wins;
+    std::printf("%-5s %-22s %-8.3f %-8.3f\n", scenario.name.c_str(),
+                scenario.query.action.c_str(), svaq.sequence_match.f1(),
+                svaqd.sequence_match.f1());
+  }
+  std::printf("SVAQD >= SVAQ on %d of 12 queries\n", svaqd_wins);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4: F1 of SVAQ and SVAQD under different detection model suites for
+// q:{a=blowing_leaves; o1=car}.
+//
+// Expected shape (paper): MaskRCNN+I3D > YOLOv3+I3D; Ideal models -> 1.0
+// (the residual error of the algorithms is the models' error).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "svq/core/online_engine.h"
+#include "svq/eval/experiments.h"
+
+int main() {
+  using svq::benchutil::ValueOrDie;
+  const double scale = svq::benchutil::ScaleFromEnv(1.0);
+  svq::benchutil::PrintTitle(
+      "Table 4: F1 under different detection models, "
+      "q:{a=blowing_leaves; o1=car}");
+  svq::benchutil::PrintNote("scale=" + std::to_string(scale));
+
+  svq::eval::QueryScenario scenario = ValueOrDie(
+      svq::eval::YouTubeScenario(2, /*seed=*/1207, scale), "workload");
+  scenario.query.objects = {"car"};
+
+  struct Row {
+    const char* name;
+    svq::models::ModelSuite suite;
+  };
+  const Row rows[] = {
+      {"MaskRCNN+I3D", svq::models::MaskRcnnI3dSuite()},
+      {"YOLOv3+I3D", svq::models::YoloV3I3dSuite()},
+      {"Ideal Models", svq::models::IdealSuite()},
+  };
+
+  std::printf("%-16s %-7s %-7s\n", "Models", "SVAQ", "SVAQD");
+  for (const Row& row : rows) {
+    const auto svaq = ValueOrDie(
+        svq::eval::RunOnlineScenario(scenario, row.suite,
+                                     svq::core::OnlineConfig(),
+                                     svq::core::OnlineEngine::Mode::kSvaq),
+        "SVAQ");
+    const auto svaqd = ValueOrDie(
+        svq::eval::RunOnlineScenario(scenario, row.suite,
+                                     svq::core::OnlineConfig(),
+                                     svq::core::OnlineEngine::Mode::kSvaqd),
+        "SVAQD");
+    std::printf("%-16s %-7.2f %-7.2f\n", row.name, svaq.sequence_match.f1(),
+                svaqd.sequence_match.f1());
+  }
+  svq::benchutil::PrintNote(
+      "expected: MaskRCNN >= YOLOv3; Ideal ~ 1.0 for both algorithms");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef SVQ_BENCH_BENCH_UTIL_H_
+#define SVQ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction binaries. Each bench
+// regenerates one table or figure of the paper's §5 evaluation and prints
+// the same rows/series the paper reports. Absolute numbers differ (the
+// substrate is a simulator, see DESIGN.md), but the shape — who wins, by
+// roughly what factor, where crossovers fall — is the reproduction target
+// recorded in EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "svq/common/result.h"
+#include "svq/common/status.h"
+
+namespace svq::benchutil {
+
+/// Workload scale factor: fraction of the paper's video lengths. Override
+/// with SVQ_BENCH_SCALE for quicker/slower runs.
+inline double ScaleFromEnv(double default_scale) {
+  const char* env = std::getenv("SVQ_BENCH_SCALE");
+  if (env == nullptr) return default_scale;
+  const double value = std::atof(env);
+  return value > 0.0 ? value : default_scale;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("    %s\n", note.c_str());
+}
+
+/// Aborts the bench with a readable message when a setup step fails.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace svq::benchutil
+
+#endif  // SVQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+#ifndef SVQ_BENCH_OFFLINE_UTIL_H_
+#define SVQ_BENCH_OFFLINE_UTIL_H_
+
+// Shared setup for the offline (RVAQ) benches: ingest a scenario's video
+// once, then run the four §5.1 algorithms and print paper-style
+// "runtime; #random accesses" rows.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "svq/core/baselines.h"
+#include "svq/core/ingest.h"
+#include "svq/core/rvaq.h"
+#include "svq/eval/workloads.h"
+#include "svq/models/synthetic_models.h"
+
+namespace svq::benchutil {
+
+struct OfflineSetup {
+  std::shared_ptr<const video::SyntheticVideo> video;
+  core::IngestedVideo ingested;
+  core::Query query;
+  core::AdditiveScoring scoring;
+  storage::DiskCostModel cost_model;
+};
+
+/// Ingests the (single-video) scenario with the workload-accuracy model
+/// suite; aborts on failure.
+inline OfflineSetup IngestScenario(const eval::QueryScenario& scenario) {
+  if (scenario.videos.size() != 1) {
+    std::fprintf(stderr, "offline benches need single-video scenarios\n");
+    std::exit(1);
+  }
+  OfflineSetup setup;
+  setup.video = scenario.videos[0];
+  setup.query = scenario.query;
+  models::ModelSuite suite = models::MaskRcnnI3dSuite();
+  suite.object_profile = eval::ApplyWorkloadAccuracy(suite.object_profile);
+  models::ModelSet models = models::MakeModelSet(setup.video, suite, {}, {});
+  setup.ingested = ValueOrDie(
+      core::IngestVideo(setup.video, 0, models.tracker.get(),
+                        models.recognizer.get(), core::IngestOptions()),
+      "ingestion");
+  return setup;
+}
+
+/// Runs one offline algorithm and returns its result; aborts on failure.
+inline core::TopKResult RunAlgorithm(const OfflineSetup& setup,
+                                     const std::string& name, int k) {
+  if (name == "FA") {
+    return ValueOrDie(core::RunFagin(setup.ingested, setup.query, k,
+                                     setup.scoring, setup.cost_model),
+                      "FA");
+  }
+  if (name == "RVAQ-noSkip") {
+    return ValueOrDie(core::RunRvaqNoSkip(setup.ingested, setup.query, k,
+                                          setup.scoring, setup.cost_model),
+                      "RVAQ-noSkip");
+  }
+  if (name == "Pq-Traverse") {
+    return ValueOrDie(core::RunPqTraverse(setup.ingested, setup.query, k,
+                                          setup.scoring, setup.cost_model),
+                      "Pq-Traverse");
+  }
+  core::OfflineOptions options;
+  options.cost_model = setup.cost_model;
+  return ValueOrDie(
+      core::RunRvaq(setup.ingested, setup.query, k, setup.scoring, options),
+      "RVAQ");
+}
+
+/// "runtime (s); #random accesses (x1000)" cell in the paper's format.
+inline std::string Cell(const core::TopKResult& result) {
+  char buf[64];
+  const double seconds =
+      (result.stats.virtual_ms + result.stats.algorithm_ms) / 1000.0;
+  if (result.stats.storage.random_accesses == 0) {
+    std::snprintf(buf, sizeof(buf), "%6.1f; -", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%6.1f; %5.2f", seconds,
+                  static_cast<double>(result.stats.storage.random_accesses) /
+                      1000.0);
+  }
+  return buf;
+}
+
+}  // namespace svq::benchutil
+
+#endif  // SVQ_BENCH_OFFLINE_UTIL_H_

@@ -1,0 +1,112 @@
+// Interactive query shell: type statements of the SVQ-ACT dialect against a
+// demo video repository. Shows the full declarative path — lexer, parser,
+// binder, executor — end to end.
+//
+// Run:  ./build/examples/query_shell            (interactive)
+//       echo "<statement>" | ./build/examples/query_shell
+//
+// Example statements:
+//   SELECT MERGE(clipID) FROM (PROCESS street PRODUCE clipID, obj USING
+//     ObjectDetector, act USING ActionRecognizer)
+//     WHERE act='jumping' AND obj.include('car')
+//   SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS street PRODUCE
+//     clipID, obj USING ObjectTracker, act USING ActionRecognizer)
+//     WHERE act='jumping' AND obj.include('car', 'human')
+//     ORDER BY RANK(act, obj) LIMIT 3
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "svq/core/engine.h"
+#include "svq/query/executor.h"
+#include "svq/query/explain.h"
+
+namespace {
+
+int Fail(const svq::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+svq::Result<std::shared_ptr<const svq::video::SyntheticVideo>> DemoVideo() {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "street";
+  spec.num_frames = 10 * 60 * 30;  // 10 minutes
+  spec.seed = 2024;
+  spec.actions.push_back({"jumping", 400.0, 4500.0});
+  spec.actions.push_back({"kneeling", 300.0, 9000.0});
+  for (const char* label : {"car", "human", "dog"}) {
+    svq::video::SyntheticObjectSpec obj;
+    obj.label = label;
+    obj.mean_on_frames = 300.0;
+    obj.mean_off_frames = 2500.0;
+    obj.correlate_with_action = "jumping";
+    obj.correlation = std::string(label) == "human" ? 0.95 : 0.7;
+    obj.coverage = 0.9;
+    spec.objects.push_back(obj);
+  }
+  return svq::video::SyntheticVideo::Generate(spec);
+}
+
+void PrintOutcome(const svq::query::StatementResult& result) {
+  if (result.online.has_value()) {
+    std::printf("streaming result: %zu sequence(s)\n",
+                result.online->sequences.size());
+    for (const auto& seq : result.online->sequences.intervals()) {
+      std::printf("  clips [%lld, %lld]\n",
+                  static_cast<long long>(seq.begin),
+                  static_cast<long long>(seq.end - 1));
+    }
+    return;
+  }
+  std::printf("ranked result: %zu sequence(s)\n",
+              result.topk->sequences.size());
+  for (const auto& seq : result.topk->sequences) {
+    std::printf("  clips [%lld, %lld]  score=%.2f\n",
+                static_cast<long long>(seq.clips.begin),
+                static_cast<long long>(seq.clips.end - 1), seq.upper_bound);
+  }
+  std::printf("  (%lld random accesses, %.0f ms virtual disk time)\n",
+              static_cast<long long>(result.topk->stats.storage
+                                         .random_accesses),
+              result.topk->stats.virtual_ms);
+}
+
+}  // namespace
+
+int main() {
+  auto video = DemoVideo();
+  if (!video.ok()) return Fail(video.status());
+  svq::core::VideoQueryEngine engine;
+  if (auto id = engine.AddVideo(*video); !id.ok()) return Fail(id.status());
+  if (auto st = engine.Ingest("street"); !st.ok()) return Fail(st);
+
+  std::printf("svq-act shell — video 'street' registered and ingested.\n");
+  std::printf("actions: jumping, kneeling; objects: car, human, dog.\n");
+  std::printf("Enter a statement (single line), or an empty line to quit.\n");
+
+  std::printf("Prefix a statement with EXPLAIN to see its plan.\n");
+
+  std::string line;
+  while (std::printf("svq> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    if (svq::query::StripExplain(line).has_value()) {
+      auto plan = svq::query::ExplainStatement(&engine, line);
+      if (!plan.ok()) {
+        std::printf("  %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan->c_str());
+      }
+      continue;
+    }
+    auto result = svq::query::ExecuteStatement(&engine, line);
+    if (!result.ok()) {
+      std::printf("  %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintOutcome(*result);
+  }
+  return 0;
+}

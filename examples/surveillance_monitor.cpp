@@ -1,0 +1,124 @@
+// Surveillance monitoring: the §3.3 motivating scenario. A long-running
+// street camera sees rush-hour traffic come and go, so the background rate
+// of `car` detections drifts by an order of magnitude over the day. SVAQD
+// adapts its background estimates as the stream evolves and reports alerts
+// (completed result sequences) live, clip by clip; SVAQ with a fixed
+// background probability mis-fires once the traffic pattern shifts.
+//
+// Run: ./build/examples/surveillance_monitor
+
+#include <cstdio>
+#include <memory>
+
+#include "svq/core/online_engine.h"
+#include "svq/eval/metrics.h"
+#include "svq/eval/workloads.h"
+#include "svq/models/synthetic_models.h"
+#include "svq/video/video_stream.h"
+
+namespace {
+
+int Fail(const svq::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// A "day" of surveillance footage: quiet night, busy morning, quiet noon.
+/// Cars appear rarely at night and near-constantly at rush hour, while the
+/// queried action (a person kneeling at the intersection, say a street
+/// performer) happens a handful of times across the day.
+svq::Result<std::shared_ptr<const svq::video::SyntheticVideo>> MakeDay() {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "crossroad_cam";
+  spec.num_frames = 3 * 60 * 60 * 30;  // 3 hours at 30 fps
+  spec.seed = 41;
+  spec.actions.push_back({"kneeling", 500.0, 20000.0});
+  // Off-peak car background.
+  svq::video::SyntheticObjectSpec car;
+  car.label = "car";
+  car.mean_on_frames = 200.0;
+  car.mean_off_frames = 5000.0;
+  car.correlate_with_action = "kneeling";
+  car.correlation = 0.9;
+  car.coverage = 1.0;
+  spec.objects.push_back(car);
+  // Rush hour: the middle hour is saturated with cars (a second, much
+  // denser appearance process for the same label).
+  svq::video::SyntheticObjectSpec rush = car;
+  rush.correlate_with_action.clear();
+  rush.correlation = 0.0;
+  rush.mean_on_frames = 2500.0;
+  rush.mean_off_frames = 800.0;
+  spec.objects.push_back(rush);
+  return svq::video::SyntheticVideo::Generate(spec);
+}
+
+}  // namespace
+
+int main() {
+  auto day = MakeDay();
+  if (!day.ok()) return Fail(day.status());
+
+  svq::core::Query query;
+  query.action = "kneeling";
+  query.objects = {"car"};
+
+  svq::models::ModelSet models = svq::models::MakeModelSet(
+      *day, svq::models::MaskRcnnI3dSuite(), query.objects, {query.action});
+
+  auto engine = svq::core::OnlineEngine::Create(
+      svq::core::OnlineEngine::Mode::kSvaqd, query, svq::core::OnlineConfig(),
+      (*day)->layout(), models.detector.get(), models.recognizer.get());
+  if (!engine.ok()) return Fail(engine.status());
+
+  std::printf("monitoring %s (%lld frames) for %s ...\n",
+              (*day)->name().c_str(),
+              static_cast<long long>((*day)->num_frames()),
+              query.ToString().c_str());
+
+  // Live loop: push clips as they "arrive", report completed sequences
+  // immediately, and show the adaptive background estimates drifting.
+  svq::video::SyntheticVideoStream stream(*day, 0);
+  const double fpc = (*day)->layout().FramesPerClip();
+  int64_t clip_count = 0;
+  while (auto clip = stream.NextClip()) {
+    if (auto st = (*engine)->ProcessClip(*clip); !st.ok()) return Fail(st);
+    ++clip_count;
+    for (const auto& seq : (*engine)->TakeCompleted()) {
+      const double t0 = seq.begin * fpc / 30.0;
+      const double t1 = seq.end * fpc / 30.0;
+      std::printf("  ALERT %02d:%02d:%02d - %02d:%02d:%02d  (clips %lld..%lld)\n",
+                  static_cast<int>(t0) / 3600, static_cast<int>(t0) / 60 % 60,
+                  static_cast<int>(t0) % 60, static_cast<int>(t1) / 3600,
+                  static_cast<int>(t1) / 60 % 60, static_cast<int>(t1) % 60,
+                  static_cast<long long>(seq.begin),
+                  static_cast<long long>(seq.end - 1));
+    }
+    if (clip_count % 1350 == 0) {  // every half hour of footage
+      const auto stats = (*engine)->Snapshot();
+      std::printf("  [t=%4.0f min] car background p=%.4f (k_crit=%d), "
+                  "action p=%.4f (k_crit=%d)\n",
+                  clip_count * fpc / 30.0 / 60.0, stats.object_p[0],
+                  stats.object_kcrits[0], stats.action_p, stats.action_kcrit);
+    }
+  }
+
+  // How did the adaptive engine do against the annotation?
+  const auto result_stats = (*engine)->Snapshot();
+  const svq::video::IntervalSet truth =
+      svq::eval::TruthFrames(**day, query)
+          .CoarsenAny((*day)->layout().FramesPerClip());
+  const svq::eval::MatchStats match =
+      svq::eval::SequenceMatch((*engine)->sequences(), truth, 0.5);
+  std::printf("\nday summary: %lld clips, %lld positive, F1=%.2f "
+              "(tp=%lld fp=%lld fn=%lld)\n",
+              static_cast<long long>(result_stats.clips_processed),
+              static_cast<long long>(result_stats.clips_positive), match.f1(),
+              static_cast<long long>(match.tp),
+              static_cast<long long>(match.fp),
+              static_cast<long long>(match.fn));
+  std::printf("simulated model inference: %.1f min; algorithm overhead: "
+              "%.0f ms\n",
+              result_stats.model_ms / 60000.0, result_stats.algorithm_ms);
+  return 0;
+}

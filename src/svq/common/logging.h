@@ -1,0 +1,74 @@
+#ifndef SVQ_COMMON_LOGGING_H_
+#define SVQ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace svq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for emitted log lines; defaults to kWarning so
+/// library users are not spammed. Benches/examples raise verbosity.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. Used via the SVQ_LOG macro only.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SVQ_LOG(level)                                                \
+  if (::svq::LogLevel::k##level < ::svq::GetLogLevel()) {             \
+  } else                                                              \
+    ::svq::internal::LogMessage(::svq::LogLevel::k##level, __FILE__,  \
+                                __LINE__)
+
+/// Invariant check that aborts with a message; active in all build types.
+/// Reserved for programming errors, not for recoverable conditions (those
+/// return Status).
+#define SVQ_CHECK(cond)                                                      \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::svq::internal::FatalMessage(#cond, __FILE__, __LINE__)
+
+namespace internal {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* cond, const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace svq
+
+#endif  // SVQ_COMMON_LOGGING_H_

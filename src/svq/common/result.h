@@ -1,0 +1,79 @@
+#ifndef SVQ_COMMON_RESULT_H_
+#define SVQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "svq/common/status.h"
+
+namespace svq {
+
+/// A value-or-error holder in the style of `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either a `T` (success) or a non-OK `Status`
+/// (failure). Accessing the value of a failed result aborts in debug builds;
+/// callers must check `ok()` first or use the SVQ_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: `return Status::...;`.
+  /// The status must not be OK (an OK status carries no value).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; `Status::OK()` when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// `SVQ_ASSIGN_OR_RETURN(auto x, MaybeX());` — assigns on success,
+/// propagates the error status otherwise.
+#define SVQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SVQ_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define SVQ_ASSIGN_OR_RETURN_CONCAT(x, y) SVQ_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define SVQ_ASSIGN_OR_RETURN(lhs, rexpr)                                      \
+  SVQ_ASSIGN_OR_RETURN_IMPL(                                                  \
+      SVQ_ASSIGN_OR_RETURN_CONCAT(_svq_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace svq
+
+#endif  // SVQ_COMMON_RESULT_H_

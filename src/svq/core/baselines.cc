@@ -1,0 +1,213 @@
+#include "svq/core/baselines.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace svq::core {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SeqAccumulator {
+  video::Interval clips;
+  int64_t remaining = 0;
+  double sum = 0.0;
+};
+
+/// Gathers the query's score tables in (objects..., extra actions...,
+/// primary action) order, matching RunRvaq's layout.
+Status CollectTables(const IngestedVideo& ingested, const Query& query,
+                     std::vector<const storage::ScoreTable*>* tables) {
+  for (const std::string& object : query.objects) {
+    const storage::ScoreTable* table = ingested.ObjectTable(object);
+    if (table == nullptr) {
+      return Status::NotFound("no score table for object: " + object);
+    }
+    tables->push_back(table);
+  }
+  for (const std::string& extra : query.extra_actions) {
+    const storage::ScoreTable* table = ingested.ActionTable(extra);
+    if (table == nullptr) {
+      return Status::NotFound("no score table for action: " + extra);
+    }
+    tables->push_back(table);
+  }
+  const storage::ScoreTable* action_table = ingested.ActionTable(query.action);
+  if (action_table == nullptr) {
+    return Status::NotFound("no score table for action: " + query.action);
+  }
+  tables->push_back(action_table);
+  return Status::OK();
+}
+
+std::vector<SeqAccumulator> InitAccumulators(
+    const video::IntervalSet& candidates, const SequenceScoring& scoring) {
+  std::vector<SeqAccumulator> seqs;
+  for (const video::Interval& interval : candidates.intervals()) {
+    seqs.push_back({interval, interval.length(), scoring.AggregateIdentity()});
+  }
+  return seqs;
+}
+
+int64_t FindAccumulator(const std::vector<SeqAccumulator>& seqs,
+                        video::ClipIndex clip) {
+  auto it = std::upper_bound(seqs.begin(), seqs.end(), clip,
+                             [](video::ClipIndex c, const SeqAccumulator& s) {
+                               return c < s.clips.begin;
+                             });
+  if (it == seqs.begin()) return -1;
+  --it;
+  return it->clips.Contains(clip) ? it - seqs.begin() : -1;
+}
+
+TopKResult FinishExact(std::vector<SeqAccumulator> seqs, int k,
+                       OfflineRunStats stats,
+                       const storage::DiskCostModel& cost_model) {
+  std::sort(seqs.begin(), seqs.end(),
+            [](const SeqAccumulator& a, const SeqAccumulator& b) {
+              if (a.sum != b.sum) return a.sum > b.sum;
+              return a.clips.begin < b.clips.begin;
+            });
+  TopKResult result;
+  const size_t n = std::min<size_t>(static_cast<size_t>(k), seqs.size());
+  for (size_t i = 0; i < n; ++i) {
+    result.sequences.push_back(
+        {seqs[i].clips, seqs[i].sum, seqs[i].sum});
+  }
+  stats.virtual_ms = stats.storage.VirtualMs(cost_model);
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace
+
+Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
+                            int k, const SequenceScoring& scoring,
+                            const storage::DiskCostModel& cost_model) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const double t0 = NowMs();
+  OfflineRunStats stats;
+
+  SVQ_ASSIGN_OR_RETURN(const video::IntervalSet candidates,
+                       CandidateSequences(ingested, query));
+  if (candidates.empty()) {
+    TopKResult empty;
+    empty.stats.algorithm_ms = NowMs() - t0;
+    return empty;
+  }
+  std::vector<const storage::ScoreTable*> tables;
+  SVQ_RETURN_NOT_OK(CollectTables(ingested, query, &tables));
+  std::vector<storage::TableReader> readers;
+  for (const storage::ScoreTable* table : tables) {
+    readers.emplace_back(table, &stats.storage);
+  }
+
+  std::vector<SeqAccumulator> seqs = InitAccumulators(candidates, scoring);
+  int64_t incomplete = 0;
+  for (const SeqAccumulator& seq : seqs) incomplete += seq.remaining;
+
+  // Classic FA access pattern: every clip surfaced by ANY sorted cursor is
+  // immediately resolved with random accesses on the remaining tables —
+  // including clips that then turn out to lie outside P_q. FA terminates
+  // only once every candidate clip has been *seen in all tables* (Fagin's
+  // certainty condition), which forces the cursors down to each candidate's
+  // deepest rank; both are the sources of FA's overhead (paper §5.1).
+  std::unordered_map<video::ClipIndex, bool> resolved;
+  std::unordered_map<video::ClipIndex, int> seen_in;
+  const int num_tables = static_cast<int>(readers.size());
+  int64_t candidates_unseen = incomplete;
+  int64_t rank = 0;
+  bool progress = true;
+  while (candidates_unseen > 0 && progress) {
+    progress = false;
+    for (size_t t = 0; t < readers.size(); ++t) {
+      if (rank >= readers[t].NumRows()) continue;
+      progress = true;
+      auto row = readers[t].SortedAccess(rank);
+      if (!row.ok()) return row.status();
+      const video::ClipIndex clip = row->clip;
+      if (++seen_in[clip] == num_tables &&
+          FindAccumulator(seqs, clip) >= 0) {
+        --candidates_unseen;
+      }
+      if (!resolved.emplace(clip, true).second) continue;
+      std::vector<double> object_scores(readers.size() - 1, 0.0);
+      for (size_t i = 0; i + 1 < readers.size(); ++i) {
+        object_scores[i] = readers[i].RandomAccessOrZero(clip);
+      }
+      const double action_score = readers.back().RandomAccessOrZero(clip);
+      const int64_t idx = FindAccumulator(seqs, clip);
+      if (idx < 0) continue;  // checked against P_q ranges and discarded
+      SeqAccumulator& seq = seqs[static_cast<size_t>(idx)];
+      seq.sum = scoring.Aggregate(
+          seq.sum, scoring.ClipScore(object_scores, action_score));
+      --seq.remaining;
+      --incomplete;
+    }
+    ++rank;
+  }
+  if (incomplete > 0) {
+    return Status::Internal(
+        "FA exhausted all tables before completing every sequence");
+  }
+  stats.algorithm_ms = NowMs() - t0;
+  return FinishExact(std::move(seqs), k, stats, cost_model);
+}
+
+Result<TopKResult> RunRvaqNoSkip(const IngestedVideo& ingested,
+                                 const Query& query, int k,
+                                 const SequenceScoring& scoring,
+                                 const storage::DiskCostModel& cost_model) {
+  OfflineOptions options;
+  options.enable_skip = false;
+  options.cost_model = cost_model;
+  return RunRvaq(ingested, query, k, scoring, options);
+}
+
+Result<TopKResult> RunPqTraverse(const IngestedVideo& ingested,
+                                 const Query& query, int k,
+                                 const SequenceScoring& scoring,
+                                 const storage::DiskCostModel& cost_model) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const double t0 = NowMs();
+  OfflineRunStats stats;
+
+  SVQ_ASSIGN_OR_RETURN(const video::IntervalSet candidates,
+                       CandidateSequences(ingested, query));
+  if (candidates.empty()) {
+    TopKResult empty;
+    empty.stats.algorithm_ms = NowMs() - t0;
+    return empty;
+  }
+  std::vector<const storage::ScoreTable*> tables;
+  SVQ_RETURN_NOT_OK(CollectTables(ingested, query, &tables));
+  std::vector<storage::TableReader> readers;
+  for (const storage::ScoreTable* table : tables) {
+    readers.emplace_back(table, &stats.storage);
+  }
+
+  std::vector<SeqAccumulator> seqs = InitAccumulators(candidates, scoring);
+  for (SeqAccumulator& seq : seqs) {
+    for (video::ClipIndex clip = seq.clips.begin; clip < seq.clips.end;
+         ++clip) {
+      std::vector<double> object_scores(readers.size() - 1, 0.0);
+      for (size_t i = 0; i + 1 < readers.size(); ++i) {
+        object_scores[i] = readers[i].SequentialReadOrZero(clip);
+      }
+      const double action_score = readers.back().SequentialReadOrZero(clip);
+      seq.sum = scoring.Aggregate(
+          seq.sum, scoring.ClipScore(object_scores, action_score));
+      --seq.remaining;
+    }
+  }
+  stats.algorithm_ms = NowMs() - t0;
+  return FinishExact(std::move(seqs), k, stats, cost_model);
+}
+
+}  // namespace svq::core

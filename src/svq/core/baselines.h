@@ -1,0 +1,38 @@
+#ifndef SVQ_CORE_BASELINES_H_
+#define SVQ_CORE_BASELINES_H_
+
+#include "svq/common/result.h"
+#include "svq/core/rvaq.h"
+
+namespace svq::core {
+
+/// Fagin's Algorithm adapted to sequence results (paper §5.1 "FA"): sorted
+/// access in parallel over all queried tables; a clip is *produced* once it
+/// has been seen in every table, at which point its full score is resolved
+/// with random accesses. Produced clips outside `P_q` are discarded (their
+/// accesses are wasted — the source of FA's overhead); the algorithm stops
+/// when the score of every sequence in `P_q` is fully computed.
+Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
+                            int k, const SequenceScoring& scoring,
+                            const storage::DiskCostModel& cost_model);
+
+/// The paper's RVAQ-noSkip baseline: RVAQ with the dynamic skip mechanism
+/// of §4.3 disabled — conclusively excluded sequences keep being refined at
+/// full cost, so the run degenerates to resolving every candidate clip.
+/// (The initial `C(X) \ C(P_q)` exclusion is part of setup and stays.)
+Result<TopKResult> RunRvaqNoSkip(const IngestedVideo& ingested,
+                                 const Query& query, int k,
+                                 const SequenceScoring& scoring,
+                                 const storage::DiskCostModel& cost_model);
+
+/// The paper's Pq-Traverse baseline: reads every clip of every sequence in
+/// `P_q` sequentially, computes all exact sequence scores, and returns the
+/// K best. Cost is constant in K.
+Result<TopKResult> RunPqTraverse(const IngestedVideo& ingested,
+                                 const Query& query, int k,
+                                 const SequenceScoring& scoring,
+                                 const storage::DiskCostModel& cost_model);
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_BASELINES_H_

@@ -1,0 +1,182 @@
+#include "svq/core/clip_indicator.h"
+
+#include <string>
+
+#include "svq/core/spatial.h"
+
+namespace svq::core {
+
+std::string FramePredicate::Name() const {
+  switch (kind) {
+    case Kind::kObject:
+      return labels.empty() ? "?" : labels.front();
+    case Kind::kAnyOf: {
+      std::string name = "any(";
+      for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) name += "|";
+        name += labels[i];
+      }
+      return name + ")";
+    }
+    case Kind::kRelationship:
+      return relationship.ToString();
+  }
+  return "?";
+}
+
+std::vector<FramePredicate> FramePredicatesOf(const Query& query) {
+  std::vector<FramePredicate> predicates;
+  for (const std::string& object : query.objects) {
+    FramePredicate p;
+    p.kind = FramePredicate::Kind::kObject;
+    p.labels = {object};
+    predicates.push_back(std::move(p));
+  }
+  for (const auto& group : query.object_disjunctions) {
+    FramePredicate p;
+    p.kind = FramePredicate::Kind::kAnyOf;
+    p.labels = group;
+    predicates.push_back(std::move(p));
+  }
+  for (const Relationship& rel : query.relationships) {
+    FramePredicate p;
+    p.kind = FramePredicate::Kind::kRelationship;
+    p.relationship = rel;
+    predicates.push_back(std::move(p));
+  }
+  return predicates;
+}
+
+namespace {
+
+/// Frame-level indicator of one predicate against one frame's detections.
+bool PredicateHit(const FramePredicate& predicate,
+                  const std::vector<models::ObjectDetection>& detections,
+                  double threshold) {
+  switch (predicate.kind) {
+    case FramePredicate::Kind::kObject:
+    case FramePredicate::Kind::kAnyOf:
+      for (const models::ObjectDetection& det : detections) {
+        if (det.score < threshold) continue;
+        for (const std::string& label : predicate.labels) {
+          if (det.label == label) return true;
+        }
+      }
+      return false;
+    case FramePredicate::Kind::kRelationship:
+      return RelationshipHolds(predicate.relationship, detections, threshold);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ClipEvaluation> EvaluateClip(const video::ClipRef& clip,
+                                    const Query& query,
+                                    const OnlineConfig& config,
+                                    const std::vector<int>& frame_kcrits,
+                                    const std::vector<int>& action_kcrits,
+                                    models::ObjectDetector* detector,
+                                    models::ActionRecognizer* recognizer,
+                                    const EvalOptions& options) {
+  const std::vector<FramePredicate> predicates = FramePredicatesOf(query);
+  const std::vector<std::string> actions = query.AllActions();
+  if (frame_kcrits.size() != predicates.size()) {
+    return Status::InvalidArgument(
+        "frame_kcrits size mismatch: " + std::to_string(frame_kcrits.size()) +
+        " vs " + std::to_string(predicates.size()) + " predicates");
+  }
+  if (action_kcrits.size() != actions.size()) {
+    return Status::InvalidArgument(
+        "action_kcrits size mismatch: " +
+        std::to_string(action_kcrits.size()) + " vs " +
+        std::to_string(actions.size()) + " actions");
+  }
+  if (detector == nullptr || recognizer == nullptr) {
+    return Status::InvalidArgument("detector and recognizer must be set");
+  }
+
+  ClipEvaluation eval;
+
+  // One detector pass over the clip's frames covers every frame predicate
+  // (a real detector emits all classes in a single inference); all
+  // predicates are decided together, so a frame-stage failure saves the
+  // recognizer pass (Alg. 2 lines 6-8) — or vice versa under actions-first
+  // ordering (footnote 5).
+  auto run_frame_stage = [&]() -> Result<bool> {
+    std::vector<std::vector<bool>> frame_hits(predicates.size());
+    for (auto& events : frame_hits) {
+      events.reserve(static_cast<size_t>(clip.frames.length()));
+    }
+    if (!predicates.empty()) {
+      for (video::FrameIndex frame = clip.frames.begin;
+           frame < clip.frames.end; ++frame) {
+        SVQ_ASSIGN_OR_RETURN(const std::vector<models::ObjectDetection> dets,
+                             detector->Detect(frame));
+        for (size_t i = 0; i < predicates.size(); ++i) {
+          frame_hits[i].push_back(
+              PredicateHit(predicates[i], dets, config.object_threshold));
+        }
+      }
+    }
+    bool pass = true;
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      int count = 0;
+      for (const bool hit : frame_hits[i]) count += hit ? 1 : 0;
+      eval.frame_counts.push_back(count);
+      eval.frame_events.push_back(std::move(frame_hits[i]));
+      ++eval.evaluated_frame_predicates;
+      if (count < frame_kcrits[i]) pass = false;
+    }
+    return pass;
+  };
+
+  // Action predicates (Alg. 2 lines 9-12), all from one recognizer pass;
+  // their conjunction implements footnote 3.
+  auto run_action_stage = [&]() -> Result<bool> {
+    eval.actions_evaluated = true;
+    eval.action_counts.assign(actions.size(), 0);
+    eval.action_events.assign(actions.size(), {});
+    for (const video::ShotRef& shot : clip.shots) {
+      SVQ_ASSIGN_OR_RETURN(const std::vector<models::ActionScore> scores,
+                           recognizer->Recognize(shot));
+      for (size_t a = 0; a < actions.size(); ++a) {
+        bool hit = false;
+        for (const models::ActionScore& s : scores) {
+          if (s.label == actions[a] && s.score >= config.action_threshold) {
+            hit = true;
+            break;
+          }
+        }
+        eval.action_events[a].push_back(hit);
+        if (hit) ++eval.action_counts[a];
+      }
+    }
+    bool pass = true;
+    for (size_t a = 0; a < actions.size(); ++a) {
+      if (eval.action_counts[a] < action_kcrits[a]) pass = false;
+    }
+    return pass;
+  };
+
+  bool first_pass = false;
+  if (options.actions_first) {
+    SVQ_ASSIGN_OR_RETURN(first_pass, run_action_stage());
+  } else {
+    SVQ_ASSIGN_OR_RETURN(first_pass, run_frame_stage());
+  }
+  if (!first_pass && !options.disable_short_circuit) {
+    eval.positive = false;
+    return eval;
+  }
+  bool second_pass = false;
+  if (options.actions_first) {
+    SVQ_ASSIGN_OR_RETURN(second_pass, run_frame_stage());
+  } else {
+    SVQ_ASSIGN_OR_RETURN(second_pass, run_action_stage());
+  }
+  eval.positive = first_pass && second_pass;
+  return eval;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,86 @@
+#ifndef SVQ_CORE_CLIP_INDICATOR_H_
+#define SVQ_CORE_CLIP_INDICATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/query.h"
+#include "svq/models/action_recognizer.h"
+#include "svq/models/object_detector.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::core {
+
+/// One frame-granularity query predicate, normalized from the query's
+/// conjunctive objects, any-of disjunction groups (footnote 4), and spatial
+/// relationships (footnote 2). All are evaluated from the same per-frame
+/// detector output and produce a per-frame event stream for the scan
+/// statistics.
+struct FramePredicate {
+  enum class Kind { kObject, kAnyOf, kRelationship };
+  Kind kind = Kind::kObject;
+  /// The conjunctive label (kObject) or the disjunction members (kAnyOf).
+  std::vector<std::string> labels;
+  /// The spatial constraint (kRelationship).
+  Relationship relationship;
+
+  std::string Name() const;
+};
+
+/// The query's frame predicates in evaluation order: objects, disjunction
+/// groups, relationships.
+std::vector<FramePredicate> FramePredicatesOf(const Query& query);
+
+/// Outcome of evaluating one clip against a query (paper Algorithm 2,
+/// generalized to the footnote extensions).
+///
+/// Frame predicates are decided in order with short-circuiting: once a
+/// predicate's count falls short of its critical value, the action
+/// recognizer pass is skipped for this clip (Alg. 2 lines 6-8). The
+/// per-occurrence-unit event streams of everything that was evaluated are
+/// returned so SVAQD can feed its background-probability estimators.
+struct ClipEvaluation {
+  /// `1_q^{(c)}`: the clip satisfies every query predicate (Eq. 3).
+  bool positive = false;
+  /// Number of frame predicates decided before a short-circuit.
+  int evaluated_frame_predicates = 0;
+  /// Whether the action recognizer ran on this clip.
+  bool actions_evaluated = false;
+  /// Positive-prediction counts per decided frame predicate.
+  std::vector<int> frame_counts;
+  /// Per-frame indicators for each decided frame predicate.
+  std::vector<std::vector<bool>> frame_events;
+  /// Positive-prediction counts per action (primary first; valid when
+  /// actions_evaluated).
+  std::vector<int> action_counts;
+  /// Per-shot indicators per action.
+  std::vector<std::vector<bool>> action_events;
+};
+
+/// Stage-ordering controls for one clip evaluation (paper footnote 5).
+struct EvalOptions {
+  /// Run the recognizer stage before the detector stage; a failing action
+  /// then short-circuits the (usually costlier) detector pass.
+  bool actions_first = false;
+  /// Evaluate both stages regardless of outcomes (used on SVAQD's periodic
+  /// background-sampling ticks so every estimator sees unbiased data).
+  bool disable_short_circuit = false;
+};
+
+/// Evaluates Algorithm 2 on `clip`. `frame_kcrits` must have one entry per
+/// frame predicate of the query (see FramePredicatesOf); `action_kcrits`
+/// one per action (primary first).
+/// Errors: propagated model failures; InvalidArgument on size mismatch.
+Result<ClipEvaluation> EvaluateClip(const video::ClipRef& clip,
+                                    const Query& query,
+                                    const OnlineConfig& config,
+                                    const std::vector<int>& frame_kcrits,
+                                    const std::vector<int>& action_kcrits,
+                                    models::ObjectDetector* detector,
+                                    models::ActionRecognizer* recognizer,
+                                    const EvalOptions& options = {});
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_CLIP_INDICATOR_H_

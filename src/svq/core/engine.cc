@@ -1,0 +1,185 @@
+#include "svq/core/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <thread>
+
+namespace svq::core {
+
+namespace {
+
+/// Per-video ingest options: with the disk backend, every video gets its
+/// own subdirectory so table files never collide across videos.
+Result<IngestOptions> PerVideoOptions(const IngestOptions& base,
+                                      const std::string& video_name) {
+  if (base.backend != IngestOptions::TableBackend::kDisk) return base;
+  IngestOptions options = base;
+  options.directory = base.directory + "/" + video_name;
+  std::error_code ec;
+  std::filesystem::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::IOError("create directory failed: " + options.directory +
+                           ": " + ec.message());
+  }
+  return options;
+}
+
+}  // namespace
+
+VideoQueryEngine::VideoQueryEngine(models::ModelSuite suite,
+                                   OnlineConfig online_config,
+                                   IngestOptions ingest_options)
+    : suite_(std::move(suite)),
+      online_config_(online_config),
+      ingest_options_(std::move(ingest_options)) {}
+
+Result<video::VideoId> VideoQueryEngine::AddVideo(
+    std::shared_ptr<const video::SyntheticVideo> video) {
+  if (video == nullptr) {
+    return Status::InvalidArgument("video must be set");
+  }
+  auto [it, inserted] = videos_.try_emplace(video->name());
+  if (!inserted) {
+    return Status::AlreadyExists("video '" + video->name() +
+                                 "' already registered");
+  }
+  it->second.video = std::move(video);
+  it->second.id = next_id_++;
+  return it->second.id;
+}
+
+Result<VideoQueryEngine::Entry*> VideoQueryEngine::FindEntry(
+    const std::string& video_name) {
+  auto it = videos_.find(video_name);
+  if (it == videos_.end()) {
+    return Status::NotFound("video '" + video_name + "' is not registered");
+  }
+  return &it->second;
+}
+
+Status VideoQueryEngine::Ingest(const std::string& video_name) {
+  auto entry_result = FindEntry(video_name);
+  if (!entry_result.ok()) return entry_result.status();
+  Entry* entry = *entry_result;
+  if (entry->ingested.has_value()) {
+    return Status::AlreadyExists("video '" + video_name +
+                                 "' is already ingested");
+  }
+  // Ingestion is query independent: models process their full vocabulary.
+  auto options = PerVideoOptions(ingest_options_, video_name);
+  if (!options.ok()) return options.status();
+  models::ModelSet models =
+      models::MakeModelSet(entry->video, suite_, /*query_object_labels=*/{},
+                           /*query_action_labels=*/{});
+  auto ingested = IngestVideo(entry->video, entry->id, models.tracker.get(),
+                              models.recognizer.get(), *options);
+  if (!ingested.ok()) return ingested.status();
+  entry->ingested = std::move(ingested).value();
+  return Status::OK();
+}
+
+Status VideoQueryEngine::IngestAll(int parallelism) {
+  std::vector<Entry*> pending;
+  for (auto& [name, entry] : videos_) {
+    if (!entry.ingested.has_value()) pending.push_back(&entry);
+  }
+  if (pending.empty()) return Status::OK();
+  if (parallelism <= 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Videos are independent: per-video model instances, per-video outputs.
+  // Ingest in bounded waves; each task fills its own slot.
+  Status first_error;
+  for (size_t wave = 0; wave < pending.size();
+       wave += static_cast<size_t>(parallelism)) {
+    const size_t end = std::min(pending.size(),
+                                wave + static_cast<size_t>(parallelism));
+    std::vector<std::future<Result<IngestedVideo>>> futures;
+    for (size_t i = wave; i < end; ++i) {
+      Entry* entry = pending[i];
+      futures.push_back(std::async(std::launch::async, [this, entry]() {
+        auto options = PerVideoOptions(ingest_options_, entry->video->name());
+        if (!options.ok()) {
+          return Result<IngestedVideo>(options.status());
+        }
+        models::ModelSet models = models::MakeModelSet(
+            entry->video, suite_, /*query_object_labels=*/{},
+            /*query_action_labels=*/{});
+        return IngestVideo(entry->video, entry->id, models.tracker.get(),
+                           models.recognizer.get(), *options);
+      }));
+    }
+    for (size_t i = wave; i < end; ++i) {
+      Result<IngestedVideo> result = futures[i - wave].get();
+      if (!result.ok()) {
+        if (first_error.ok()) first_error = result.status();
+        continue;
+      }
+      pending[i]->ingested = std::move(result).value();
+    }
+  }
+  return first_error;
+}
+
+const IngestedVideo* VideoQueryEngine::Ingested(
+    const std::string& video_name) const {
+  auto it = videos_.find(video_name);
+  if (it == videos_.end() || !it->second.ingested.has_value()) return nullptr;
+  return &*it->second.ingested;
+}
+
+Result<OnlineResult> VideoQueryEngine::ExecuteOnline(
+    const Query& query, const std::string& video_name,
+    OnlineEngine::Mode mode) {
+  SVQ_ASSIGN_OR_RETURN(Entry * entry, FindEntry(video_name));
+  models::ModelSet models = models::MakeModelSet(
+      entry->video, suite_, query.AllObjectLabels(), query.AllActions());
+  SVQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<OnlineEngine> engine,
+      OnlineEngine::Create(mode, query, online_config_,
+                           entry->video->layout(), models.detector.get(),
+                           models.recognizer.get()));
+  video::SyntheticVideoStream stream(entry->video, entry->id);
+  return engine->Run(stream);
+}
+
+Result<TopKResult> VideoQueryEngine::ExecuteTopK(
+    const Query& query, const std::string& video_name, int k,
+    OfflineAlgorithm algorithm, const OfflineOptions& options) {
+  SVQ_ASSIGN_OR_RETURN(Entry * entry, FindEntry(video_name));
+  if (!entry->ingested.has_value()) {
+    return Status::FailedPrecondition("video '" + video_name +
+                                      "' has not been ingested");
+  }
+  const AdditiveScoring scoring;
+  switch (algorithm) {
+    case OfflineAlgorithm::kRvaq:
+      return RunRvaq(*entry->ingested, query, k, scoring, options);
+    case OfflineAlgorithm::kRvaqNoSkip:
+      return RunRvaqNoSkip(*entry->ingested, query, k, scoring,
+                           options.cost_model);
+    case OfflineAlgorithm::kFagin:
+      return RunFagin(*entry->ingested, query, k, scoring,
+                      options.cost_model);
+    case OfflineAlgorithm::kPqTraverse:
+      return RunPqTraverse(*entry->ingested, query, k, scoring,
+                           options.cost_model);
+  }
+  return Status::InvalidArgument("unknown offline algorithm");
+}
+
+Result<RepositoryResult> VideoQueryEngine::ExecuteTopKAll(
+    const Query& query, int k, const OfflineOptions& options) {
+  std::vector<const IngestedVideo*> ingested;
+  for (const auto& [name, entry] : videos_) {
+    if (entry.ingested.has_value()) ingested.push_back(&*entry.ingested);
+  }
+  if (ingested.empty()) {
+    return Status::FailedPrecondition("no ingested videos in the repository");
+  }
+  const AdditiveScoring scoring;
+  return RunRepositoryTopK(ingested, query, k, scoring, options);
+}
+
+}  // namespace svq::core

@@ -1,0 +1,101 @@
+#ifndef SVQ_CORE_ENGINE_H_
+#define SVQ_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "svq/common/result.h"
+#include "svq/core/baselines.h"
+#include "svq/core/ingest.h"
+#include "svq/core/online_engine.h"
+#include "svq/core/query.h"
+#include "svq/core/repository.h"
+#include "svq/core/rvaq.h"
+#include "svq/models/synthetic_models.h"
+
+namespace svq::core {
+
+/// Which algorithm answers an offline top-K query.
+enum class OfflineAlgorithm { kRvaq, kRvaqNoSkip, kFagin, kPqTraverse };
+
+/// The user-facing facade: a video repository plus query execution.
+///
+/// Register videos with AddVideo; run streaming queries with ExecuteOnline
+/// (SVAQ/SVAQD, no pre-processing); ingest videos once with Ingest and run
+/// ranked top-K queries with ExecuteTopK (RVAQ and baselines). Model
+/// instances are created per execution with the engine's ModelSuite, so the
+/// vocabulary always covers the query's labels and inference accounting is
+/// per-run.
+class VideoQueryEngine {
+ public:
+  explicit VideoQueryEngine(models::ModelSuite suite = models::ModelSuite(),
+                            OnlineConfig online_config = OnlineConfig(),
+                            IngestOptions ingest_options = IngestOptions());
+
+  /// Registers a video under its `name()`. Errors: AlreadyExists.
+  Result<video::VideoId> AddVideo(
+      std::shared_ptr<const video::SyntheticVideo> video);
+
+  /// Runs the one-time ingestion phase for `video_name` (paper §4.2).
+  /// Errors: NotFound; AlreadyExists when already ingested.
+  Status Ingest(const std::string& video_name);
+
+  /// Ingests every registered-but-not-ingested video, processing up to
+  /// `parallelism` videos concurrently (0 = hardware concurrency). Videos
+  /// are independent, so results are identical to serial ingestion. On
+  /// error, successfully ingested videos are kept and the first error is
+  /// returned.
+  Status IngestAll(int parallelism = 0);
+
+  /// Ingested metadata; nullptr when not ingested.
+  const IngestedVideo* Ingested(const std::string& video_name) const;
+
+  /// Whether a video is registered under this name.
+  bool HasVideo(const std::string& video_name) const {
+    return videos_.contains(video_name);
+  }
+
+  /// Streaming execution of `query` over the named video (paper §3).
+  Result<OnlineResult> ExecuteOnline(
+      const Query& query, const std::string& video_name,
+      OnlineEngine::Mode mode = OnlineEngine::Mode::kSvaqd);
+
+  /// Ranked top-K execution over the named (ingested) video (paper §4).
+  Result<TopKResult> ExecuteTopK(
+      const Query& query, const std::string& video_name, int k,
+      OfflineAlgorithm algorithm = OfflineAlgorithm::kRvaq,
+      const OfflineOptions& options = OfflineOptions());
+
+  /// Ranked top-K over every ingested video in the repository (paper §4.2
+  /// multi-video setting). Errors: FailedPrecondition when nothing has been
+  /// ingested yet.
+  Result<RepositoryResult> ExecuteTopKAll(
+      const Query& query, int k,
+      const OfflineOptions& options = OfflineOptions());
+
+  const models::ModelSuite& suite() const { return suite_; }
+  models::ModelSuite* mutable_suite() { return &suite_; }
+  const OnlineConfig& online_config() const { return online_config_; }
+  OnlineConfig* mutable_online_config() { return &online_config_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const video::SyntheticVideo> video;
+    video::VideoId id = video::kInvalidVideoId;
+    std::optional<IngestedVideo> ingested;
+  };
+
+  Result<Entry*> FindEntry(const std::string& video_name);
+
+  models::ModelSuite suite_;
+  OnlineConfig online_config_;
+  IngestOptions ingest_options_;
+  std::map<std::string, Entry> videos_;
+  video::VideoId next_id_ = 0;
+};
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_ENGINE_H_

@@ -1,0 +1,399 @@
+#include "svq/core/ingest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "svq/core/kcrit_cache.h"
+#include "svq/stats/kernel_estimator.h"
+#include "svq/storage/sequence_store.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::core {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x5356514D;  // "SVQM"
+
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+template <typename T>
+void Put(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool GetField(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+void PutString(std::ofstream& out, const std::string& s) {
+  Put(out, static_cast<uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetString(std::ifstream& in, std::string* s) {
+  uint64_t size = 0;
+  if (!GetField(in, &size) || size > (1u << 20)) return false;
+  s->assign(size, '\0');
+  in.read(s->data(), static_cast<std::streamsize>(size));
+  return static_cast<bool>(in);
+}
+
+/// Persists everything OpenIngestedVideo needs to rebuild the IngestedVideo
+/// without the source video or the models.
+Status WriteManifest(const std::string& directory, const IngestedVideo& v,
+                     const std::vector<std::string>& object_labels,
+                     const std::vector<std::string>& action_labels) {
+  std::ofstream out(directory + "/manifest.svqm",
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("open manifest for write failed");
+  Put(out, kManifestMagic);
+  PutString(out, v.name);
+  Put(out, v.id);
+  Put(out, static_cast<int32_t>(v.layout.frames_per_shot));
+  Put(out, static_cast<int32_t>(v.layout.shots_per_clip));
+  Put(out, v.layout.fps);
+  Put(out, v.num_frames);
+  Put(out, v.num_clips);
+  Put(out, static_cast<uint64_t>(object_labels.size()));
+  for (const std::string& label : object_labels) PutString(out, label);
+  Put(out, static_cast<uint64_t>(action_labels.size()));
+  for (const std::string& label : action_labels) PutString(out, label);
+  if (!out) return Status::IOError("manifest write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<storage::ScoreTable>> BuildTable(
+    const std::vector<double>& clip_scores,
+    const video::IntervalSet& positive_clips, const IngestOptions& options,
+    const std::string& file_stem) {
+  // A row exists for every clip with a detection, plus every clip inside
+  // the label's positive sequences even when its own score is zero (gap
+  // filling can bridge detection-free clips): the offline algorithms rely
+  // on candidate clips having rows in every queried table.
+  std::vector<storage::ClipScoreRow> rows;
+  for (size_t clip = 0; clip < clip_scores.size(); ++clip) {
+    if (clip_scores[clip] > 0.0 ||
+        positive_clips.Contains(static_cast<int64_t>(clip))) {
+      rows.push_back({static_cast<video::ClipIndex>(clip),
+                      clip_scores[clip]});
+    }
+  }
+  if (options.backend == IngestOptions::TableBackend::kDisk) {
+    const std::string path = options.directory + "/" + file_stem + ".svqt";
+    SVQ_RETURN_NOT_OK(storage::DiskScoreTable::Write(path, std::move(rows)));
+    SVQ_ASSIGN_OR_RETURN(std::unique_ptr<storage::DiskScoreTable> table,
+                         storage::DiskScoreTable::Open(path));
+    return std::unique_ptr<storage::ScoreTable>(std::move(table));
+  }
+  SVQ_ASSIGN_OR_RETURN(std::unique_ptr<storage::MemoryScoreTable> table,
+                       storage::MemoryScoreTable::Create(std::move(rows)));
+  return std::unique_ptr<storage::ScoreTable>(std::move(table));
+}
+
+}  // namespace
+
+Result<video::IntervalSet> ComputePositiveClips(
+    const std::vector<uint8_t>& unit_events, int units_per_clip, double alpha,
+    double reference_windows, double bandwidth, double initial_p,
+    int64_t merge_gap_clips) {
+  if (units_per_clip < 1) {
+    return Status::InvalidArgument("units_per_clip must be >= 1");
+  }
+  if (merge_gap_clips < 0) {
+    return Status::InvalidArgument("merge_gap_clips must be >= 0");
+  }
+  stats::KernelRateEstimator::Options est_options;
+  est_options.bandwidth = bandwidth;
+  est_options.initial_p = initial_p;
+  est_options.warmup_ous = static_cast<int64_t>(bandwidth);
+  SVQ_ASSIGN_OR_RETURN(stats::KernelRateEstimator estimator,
+                       stats::KernelRateEstimator::Create(est_options));
+  CriticalValueCache kcrit(units_per_clip, reference_windows, alpha);
+
+  video::IntervalSet positives;
+  int64_t last_positive = -1;
+  const int64_t num_units = static_cast<int64_t>(unit_events.size());
+  const int64_t num_clips =
+      (num_units + units_per_clip - 1) / units_per_clip;
+  for (int64_t clip = 0; clip < num_clips; ++clip) {
+    const int64_t begin = clip * units_per_clip;
+    const int64_t end = std::min(num_units, begin + units_per_clip);
+    int count = 0;
+    for (int64_t u = begin; u < end; ++u) count += unit_events[u] ? 1 : 0;
+    // Decide with the critical value in force *before* this clip's data
+    // enters the estimate (streaming semantics), then update — feeding the
+    // null estimate only from negative clips (see UpdatePolicy docs).
+    const int k = kcrit.Get(estimator.rate());
+    if (count >= k) {
+      // Bridge short gaps, as the online engine does.
+      if (last_positive >= 0 && clip - last_positive - 1 <= merge_gap_clips) {
+        positives.Add({last_positive, clip + 1});
+      } else {
+        positives.Add({clip, clip + 1});
+      }
+      last_positive = clip;
+    }
+    // Signal-looking clips (count at the critical value, capped at half the
+    // clip so a saturated k cannot deadlock the estimate, floored at 2 so a
+    // minimal quota cannot starve it) are excluded from the null estimate;
+    // see UpdatePolicy::kNegativeUnits.
+    const int exclusion = std::max<int>(
+        2, std::min<int64_t>(k, std::max<int64_t>(2, (end - begin + 1) / 2)));
+    if (count < exclusion) {
+      for (int64_t u = begin; u < end; ++u) {
+        estimator.Step(unit_events[u] != 0);
+      }
+    }
+  }
+  return positives;
+}
+
+Status IngestOptions::Validate() const {
+  if (object_threshold < 0 || object_threshold > 1 || action_threshold < 0 ||
+      action_threshold > 1) {
+    return Status::InvalidArgument("thresholds must be in [0, 1]");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (reference_windows < 2.0) {
+    return Status::InvalidArgument("reference_windows must be >= 2");
+  }
+  if (!(object_bandwidth > 0.0) || !(action_bandwidth > 0.0)) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  if (backend == TableBackend::kDisk && directory.empty()) {
+    return Status::InvalidArgument("disk backend requires a directory");
+  }
+  return Status::OK();
+}
+
+const storage::ScoreTable* IngestedVideo::ObjectTable(
+    const std::string& label) const {
+  auto it = object_tables.find(label);
+  return it == object_tables.end() ? nullptr : it->second.get();
+}
+
+const storage::ScoreTable* IngestedVideo::ActionTable(
+    const std::string& label) const {
+  auto it = action_tables.find(label);
+  return it == action_tables.end() ? nullptr : it->second.get();
+}
+
+const video::IntervalSet* IngestedVideo::ObjectSequences(
+    const std::string& label) const {
+  auto it = object_sequences.find(label);
+  return it == object_sequences.end() ? nullptr : &it->second;
+}
+
+const video::IntervalSet* IngestedVideo::ActionSequences(
+    const std::string& label) const {
+  auto it = action_sequences.find(label);
+  return it == action_sequences.end() ? nullptr : &it->second;
+}
+
+Result<IngestedVideo> IngestVideo(
+    const std::shared_ptr<const video::SyntheticVideo>& video,
+    video::VideoId id, models::ObjectTracker* tracker,
+    models::ActionRecognizer* recognizer, const IngestOptions& options) {
+  if (video == nullptr) {
+    return Status::InvalidArgument("video must be set");
+  }
+  if (tracker == nullptr || recognizer == nullptr) {
+    return Status::InvalidArgument("tracker and recognizer must be set");
+  }
+  SVQ_RETURN_NOT_OK(options.Validate());
+
+  IngestedVideo out;
+  out.id = id;
+  out.name = video->name();
+  out.layout = video->layout();
+  out.num_frames = video->num_frames();
+  out.num_clips = video->NumClips();
+
+  const models::InferenceStats tracker_base = tracker->stats();
+  const models::InferenceStats recognizer_base = recognizer->stats();
+
+  // Accumulators: per-label clip score (h, additive over tracks and units)
+  // and per-label per-unit prediction indicators.
+  std::map<std::string, std::vector<double>> object_scores;
+  std::map<std::string, std::vector<double>> action_scores;
+  std::map<std::string, std::vector<uint8_t>> object_events;
+  std::map<std::string, std::vector<uint8_t>> action_events;
+  const int64_t num_shots = video->NumShots();
+
+  video::SyntheticVideoStream stream(video, id);
+  while (auto clip = stream.NextClip()) {
+    const size_t clip_index = static_cast<size_t>(clip->clip);
+    for (video::FrameIndex frame = clip->frames.begin;
+         frame < clip->frames.end; ++frame) {
+      SVQ_ASSIGN_OR_RETURN(const std::vector<models::ObjectDetection> dets,
+                           tracker->Track(frame));
+      for (const models::ObjectDetection& det : dets) {
+        auto [score_it, inserted] =
+            object_scores.try_emplace(det.label);
+        if (inserted) {
+          score_it->second.assign(static_cast<size_t>(out.num_clips), 0.0);
+          object_events[det.label].assign(
+              static_cast<size_t>(out.num_frames), 0);
+        }
+        score_it->second[clip_index] += det.score;
+        if (det.score >= options.object_threshold) {
+          object_events[det.label][static_cast<size_t>(frame)] = 1;
+        }
+      }
+    }
+    for (const video::ShotRef& shot : clip->shots) {
+      SVQ_ASSIGN_OR_RETURN(const std::vector<models::ActionScore> scores,
+                           recognizer->Recognize(shot));
+      for (const models::ActionScore& s : scores) {
+        auto [score_it, inserted] = action_scores.try_emplace(s.label);
+        if (inserted) {
+          score_it->second.assign(static_cast<size_t>(out.num_clips), 0.0);
+          action_events[s.label].assign(static_cast<size_t>(num_shots), 0);
+        }
+        score_it->second[clip_index] += s.score;
+        if (s.score >= options.action_threshold) {
+          action_events[s.label][static_cast<size_t>(shot.shot)] = 1;
+        }
+      }
+    }
+  }
+
+  // Individual sequences (P_o, P_a) via the SVAQD machinery.
+  for (const auto& [label, events] : object_events) {
+    SVQ_ASSIGN_OR_RETURN(
+        video::IntervalSet positives,
+        ComputePositiveClips(events, out.layout.FramesPerClip(),
+                             options.alpha, options.reference_windows,
+                             options.object_bandwidth,
+                             options.initial_object_p,
+                             options.merge_gap_clips));
+    out.object_sequences.emplace(label, std::move(positives));
+  }
+  for (const auto& [label, events] : action_events) {
+    SVQ_ASSIGN_OR_RETURN(
+        video::IntervalSet positives,
+        ComputePositiveClips(events, out.layout.shots_per_clip,
+                             options.alpha, options.reference_windows,
+                             options.action_bandwidth,
+                             options.initial_action_p,
+                             options.merge_gap_clips));
+    out.action_sequences.emplace(label, std::move(positives));
+  }
+
+  // Clip score tables.
+  for (const auto& [label, scores] : object_scores) {
+    SVQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::ScoreTable> table,
+        BuildTable(scores, out.object_sequences[label], options,
+                   "obj_" + SanitizeLabel(label)));
+    out.object_tables.emplace(label, std::move(table));
+  }
+  for (const auto& [label, scores] : action_scores) {
+    SVQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::ScoreTable> table,
+        BuildTable(scores, out.action_sequences[label], options,
+                   "act_" + SanitizeLabel(label)));
+    out.action_tables.emplace(label, std::move(table));
+  }
+
+  // Persist the individual sequences and the manifest alongside the disk
+  // tables so the directory can be reopened without re-ingesting.
+  if (options.backend == IngestOptions::TableBackend::kDisk) {
+    SVQ_RETURN_NOT_OK(storage::SequenceStore::Save(
+        options.directory + "/object_sequences.svqs", out.object_sequences));
+    SVQ_RETURN_NOT_OK(storage::SequenceStore::Save(
+        options.directory + "/action_sequences.svqs", out.action_sequences));
+    std::vector<std::string> object_labels;
+    for (const auto& [label, _] : out.object_tables) {
+      object_labels.push_back(label);
+    }
+    std::vector<std::string> action_labels;
+    for (const auto& [label, _] : out.action_tables) {
+      action_labels.push_back(label);
+    }
+    SVQ_RETURN_NOT_OK(
+        WriteManifest(options.directory, out, object_labels, action_labels));
+  }
+
+  out.ingest_inference.units =
+      (tracker->stats().units - tracker_base.units) +
+      (recognizer->stats().units - recognizer_base.units);
+  out.ingest_inference.simulated_ms =
+      (tracker->stats().simulated_ms - tracker_base.simulated_ms) +
+      (recognizer->stats().simulated_ms - recognizer_base.simulated_ms);
+  return out;
+}
+
+Result<IngestedVideo> OpenIngestedVideo(const std::string& directory) {
+  std::ifstream in(directory + "/manifest.svqm", std::ios::binary);
+  if (!in) return Status::IOError("open manifest failed: " + directory);
+  uint32_t magic = 0;
+  if (!GetField(in, &magic) || magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic in " + directory);
+  }
+  IngestedVideo out;
+  int32_t frames_per_shot = 0;
+  int32_t shots_per_clip = 0;
+  std::string name;
+  if (!GetString(in, &name) || !GetField(in, &out.id) ||
+      !GetField(in, &frames_per_shot) || !GetField(in, &shots_per_clip) ||
+      !GetField(in, &out.layout.fps) || !GetField(in, &out.num_frames) ||
+      !GetField(in, &out.num_clips)) {
+    return Status::Corruption("truncated manifest in " + directory);
+  }
+  out.name = std::move(name);
+  out.layout.frames_per_shot = frames_per_shot;
+  out.layout.shots_per_clip = shots_per_clip;
+  SVQ_RETURN_NOT_OK(out.layout.Validate());
+
+  auto read_labels = [&](std::vector<std::string>* labels) {
+    uint64_t count = 0;
+    if (!GetField(in, &count) || count > (1u << 20)) return false;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string label;
+      if (!GetString(in, &label)) return false;
+      labels->push_back(std::move(label));
+    }
+    return true;
+  };
+  std::vector<std::string> object_labels;
+  std::vector<std::string> action_labels;
+  if (!read_labels(&object_labels) || !read_labels(&action_labels)) {
+    return Status::Corruption("truncated label lists in " + directory);
+  }
+
+  for (const std::string& label : object_labels) {
+    SVQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::DiskScoreTable> table,
+        storage::DiskScoreTable::Open(directory + "/obj_" +
+                                      SanitizeLabel(label) + ".svqt"));
+    out.object_tables.emplace(label, std::move(table));
+  }
+  for (const std::string& label : action_labels) {
+    SVQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::DiskScoreTable> table,
+        storage::DiskScoreTable::Open(directory + "/act_" +
+                                      SanitizeLabel(label) + ".svqt"));
+    out.action_tables.emplace(label, std::move(table));
+  }
+  SVQ_ASSIGN_OR_RETURN(
+      out.object_sequences,
+      storage::SequenceStore::Load(directory + "/object_sequences.svqs"));
+  SVQ_ASSIGN_OR_RETURN(
+      out.action_sequences,
+      storage::SequenceStore::Load(directory + "/action_sequences.svqs"));
+  return out;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,103 @@
+#ifndef SVQ_CORE_INGEST_H_
+#define SVQ_CORE_INGEST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/query.h"
+#include "svq/models/action_recognizer.h"
+#include "svq/models/inference_stats.h"
+#include "svq/models/object_tracker.h"
+#include "svq/storage/score_table.h"
+#include "svq/video/interval_set.h"
+#include "svq/video/synthetic_video.h"
+
+namespace svq::core {
+
+/// Computes the positive clips of one label from its full per-occurrence-
+/// unit prediction-indicator stream, using the SVAQD machinery (kernel
+/// background estimate + scan-statistic critical value per clip). This is
+/// the §4.2 "Individual Sequences" step, run per object/action type at
+/// ingestion time. The returned set lives in the clip domain.
+Result<video::IntervalSet> ComputePositiveClips(
+    const std::vector<uint8_t>& unit_events, int units_per_clip, double alpha,
+    double reference_windows, double bandwidth, double initial_p,
+    int64_t merge_gap_clips = 1);
+
+/// Ingestion-phase configuration.
+struct IngestOptions {
+  /// Score thresholds for the prediction indicators.
+  double object_threshold = 0.5;
+  double action_threshold = 0.5;
+  /// Scan-statistic parameters for positive-clip determination.
+  double alpha = 0.05;
+  double reference_windows = 200.0;
+  double object_bandwidth = 4096.0;
+  double action_bandwidth = 512.0;
+  double initial_object_p = 1e-4;
+  double initial_action_p = 1e-3;
+  /// Gap filling for the individual sequences (see
+  /// OnlineConfig::merge_gap_clips).
+  int64_t merge_gap_clips = 1;
+
+  enum class TableBackend {
+    kMemory,  ///< clip score tables held in RAM
+    kDisk,    ///< clip score tables written to and served from files
+  };
+  TableBackend backend = TableBackend::kMemory;
+  /// Directory for table/sequence files; required for kDisk.
+  std::string directory;
+
+  Status Validate() const;
+};
+
+/// Everything the ingestion phase materializes for one video (paper §4.2):
+/// per-type clip score tables (sorted by score) and per-type individual
+/// sequences, for every type in the deployed models' vocabularies.
+struct IngestedVideo {
+  video::VideoId id = video::kInvalidVideoId;
+  std::string name;
+  video::VideoLayout layout;
+  int64_t num_frames = 0;
+  int64_t num_clips = 0;
+
+  std::map<std::string, std::unique_ptr<storage::ScoreTable>> object_tables;
+  std::map<std::string, std::unique_ptr<storage::ScoreTable>> action_tables;
+  /// `P_{o_i}` per object type, clip domain.
+  std::map<std::string, video::IntervalSet> object_sequences;
+  /// `P_{a_j}` per action type, clip domain.
+  std::map<std::string, video::IntervalSet> action_sequences;
+
+  /// Model inference spent during ingestion (one-time cost).
+  models::InferenceStats ingest_inference;
+
+  /// Table lookup helpers; nullptr when the type was never detected.
+  const storage::ScoreTable* ObjectTable(const std::string& label) const;
+  const storage::ScoreTable* ActionTable(const std::string& label) const;
+  const video::IntervalSet* ObjectSequences(const std::string& label) const;
+  const video::IntervalSet* ActionSequences(const std::string& label) const;
+};
+
+/// Runs the ingestion phase over one video with the given tracker and
+/// action recognizer. Query independent: processes every type in the model
+/// vocabularies. With the kDisk backend, score tables, sequence files and a
+/// manifest are written under `options.directory` and served from disk
+/// afterwards.
+Result<IngestedVideo> IngestVideo(
+    const std::shared_ptr<const video::SyntheticVideo>& video,
+    video::VideoId id, models::ObjectTracker* tracker,
+    models::ActionRecognizer* recognizer, const IngestOptions& options);
+
+/// Reopens a directory previously written by a kDisk ingestion: loads the
+/// manifest, opens every score table, and loads the individual sequences —
+/// no model inference. This is how a repository restarts without paying the
+/// (hours-long) ingestion again. Errors: IOError, Corruption.
+Result<IngestedVideo> OpenIngestedVideo(const std::string& directory);
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_INGEST_H_

@@ -1,0 +1,116 @@
+#ifndef SVQ_CORE_KCRIT_CACHE_H_
+#define SVQ_CORE_KCRIT_CACHE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "svq/stats/scan_statistics.h"
+
+namespace svq::core {
+
+/// Memoized critical-value computation. SVAQD recomputes `k_crit` whenever
+/// a background-probability estimate moves; quantizing `p` on a fine log
+/// grid makes the recomputation O(1) amortized without observably changing
+/// the resulting critical values.
+class CriticalValueCache {
+ public:
+  /// `min_k` floors the returned quota. The default of 2 encodes that a
+  /// single positive prediction is never significant evidence on its own:
+  /// when the estimated background probability dips toward zero (no events
+  /// observed recently), the raw critical value collapses to 1 and every
+  /// stray model false positive would certify its clip.
+  CriticalValueCache(int window, double num_windows, double alpha,
+                     int min_k = 2)
+      : window_(window), num_windows_(num_windows), alpha_(alpha),
+        min_k_(min_k) {}
+
+  /// Floored `k_crit` for background probability `p`.
+  int Get(double p) {
+    const int64_t key = Quantize(p);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    auto result = stats::CriticalValue({p, window_, num_windows_}, alpha_);
+    // Inputs are validated by the callers; a failure here is a programming
+    // error, so fall back to the most conservative quota.
+    int k = result.ok() ? *result : window_ + 1;
+    k = std::max(k, std::min(min_k_, window_));
+    cache_.emplace(key, k);
+    return k;
+  }
+
+  int window() const { return window_; }
+
+ private:
+  static int64_t Quantize(double p) {
+    if (p <= 0.0) return INT64_MIN;
+    if (p >= 1.0) return INT64_MAX;
+    // ~0.23% relative grid: fine enough that quantization never shifts the
+    // critical value by more than the approximation error itself.
+    return static_cast<int64_t>(std::llround(std::log(p) * 1000.0));
+  }
+
+  int window_;
+  double num_windows_;
+  double alpha_;
+  int min_k_;
+  std::unordered_map<int64_t, int> cache_;
+};
+
+/// Critical values for Markov-dependent Bernoulli trials (paper footnote 7)
+/// via the exact FMCE embedding: positively dependent (bursty) false
+/// positives concentrate events, so the same stationary rate demands a
+/// larger quota than the i.i.d. analysis yields. Exact computation is
+/// exponential in the window, so this cache requires `window <= 20` — in
+/// practice the action window (shots per clip) which is where bursty noise
+/// bites.
+class MarkovCriticalValueCache {
+ public:
+  MarkovCriticalValueCache(int window, double num_windows, double alpha,
+                           int min_k = 2)
+      : window_(window), num_windows_(num_windows), alpha_(alpha),
+        min_k_(min_k) {}
+
+  /// Floored `k_crit` for stationary rate `p` and persistence
+  /// `p11 = P(event | previous event)`. Falls back to the i.i.d. chain when
+  /// `p11 <= p` (no positive dependence).
+  int Get(double p, double p11) {
+    p = std::clamp(p, 0.0, 1.0);
+    p11 = std::clamp(p11, 0.0, 1.0);
+    if (p11 < p) p11 = p;
+    const int64_t key = (Quantize(p) << 20) ^ Quantize(p11);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    stats::MarkovChainParams chain;
+    chain.p11 = p11;
+    chain.p01 = p >= 1.0 ? 1.0 : std::clamp(p * (1.0 - p11) / (1.0 - p),
+                                            0.0, 1.0);
+    chain.start_p = p;
+    const int64_t n = static_cast<int64_t>(num_windows_ * window_);
+    auto result = stats::MarkovCriticalValue(window_, n, chain, alpha_);
+    int k = result.ok() ? *result : window_ + 1;
+    k = std::max(k, std::min(min_k_, window_));
+    cache_.emplace(key, k);
+    return k;
+  }
+
+  int window() const { return window_; }
+
+ private:
+  static int64_t Quantize(double p) {
+    // Coarser grid than the iid cache: each miss runs the exact embedding.
+    if (p <= 1e-12) return -1;
+    return static_cast<int64_t>(std::llround(std::log(p) * 50.0)) & 0xFFFFF;
+  }
+
+  int window_;
+  double num_windows_;
+  double alpha_;
+  int min_k_;
+  std::unordered_map<int64_t, int> cache_;
+};
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_KCRIT_CACHE_H_

@@ -1,0 +1,141 @@
+#ifndef SVQ_CORE_ONLINE_ENGINE_H_
+#define SVQ_CORE_ONLINE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/clip_indicator.h"
+#include "svq/core/kcrit_cache.h"
+#include "svq/core/query.h"
+#include "svq/stats/kernel_estimator.h"
+#include "svq/video/interval_set.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::core {
+
+/// Aggregate statistics of one online run.
+struct OnlineStats {
+  int64_t clips_processed = 0;
+  int64_t clips_positive = 0;
+  /// Clips on which the first stage failed and short-circuited the other
+  /// stage's model pass.
+  int64_t clips_short_circuited = 0;
+  /// Clips evaluated recognizer-first (footnote 5 predicate ordering).
+  int64_t clips_actions_first = 0;
+  /// Simulated model-inference time accrued during the run (ms).
+  double model_ms = 0.0;
+  /// Wall-clock time of everything else (the algorithm itself), in ms.
+  double algorithm_ms = 0.0;
+  /// Critical values in force after the last processed clip, one per frame
+  /// predicate (objects, then disjunction groups, then relationships).
+  std::vector<int> object_kcrits;
+  /// Critical value of the primary action.
+  int action_kcrit = 0;
+  /// Background probabilities after the last processed clip, one per frame
+  /// predicate.
+  std::vector<double> object_p;
+  /// Background probability of the primary action.
+  double action_p = 0.0;
+};
+
+/// Result of an online run: the merged result sequences (clip domain,
+/// half-open — the paper's `P_q` of Eq. 4) plus run statistics.
+struct OnlineResult {
+  video::IntervalSet sequences;
+  OnlineStats stats;
+};
+
+/// Streaming query engine over a video stream: SVAQ (paper Alg. 1, fixed
+/// background probabilities) and SVAQD (paper Alg. 3, kernel-estimated
+/// probabilities with dynamically refreshed critical values).
+///
+/// Usage: construct, then either `Run()` a whole stream, or push clips one
+/// at a time with `ProcessClip()` and read `sequences()` / `TakeCompleted()`
+/// incrementally.
+class OnlineEngine {
+ public:
+  enum class Mode {
+    kSvaq,   ///< static background probabilities (Alg. 1)
+    kSvaqd,  ///< dynamic background probabilities (Alg. 3)
+  };
+
+  /// Validates the query and configuration. Models are borrowed and must
+  /// outlive the engine.
+  static Result<std::unique_ptr<OnlineEngine>> Create(
+      Mode mode, Query query, OnlineConfig config,
+      const video::VideoLayout& layout, models::ObjectDetector* detector,
+      models::ActionRecognizer* recognizer);
+
+  /// Consumes one clip; updates sequences, estimators and critical values.
+  Status ProcessClip(const video::ClipRef& clip);
+
+  /// Drives the whole stream through ProcessClip.
+  Result<OnlineResult> Run(video::VideoStream& stream);
+
+  /// Result sequences over everything processed so far.
+  const video::IntervalSet& sequences() const { return sequences_; }
+
+  /// Sequences that are conclusively closed (a later negative clip ended
+  /// them) and not yet taken; supports live monitoring use cases.
+  std::vector<video::Interval> TakeCompleted();
+
+  /// Statistics snapshot (model time is recomputed from the model stats).
+  OnlineStats Snapshot() const;
+
+  Mode mode() const { return mode_; }
+  const Query& query() const { return query_; }
+  const OnlineConfig& config() const { return config_; }
+
+ private:
+  OnlineEngine(Mode mode, Query query, OnlineConfig config,
+               const video::VideoLayout& layout,
+               models::ObjectDetector* detector,
+               models::ActionRecognizer* recognizer);
+
+  void RefreshCriticalValues();
+  void FeedEstimators(const ClipEvaluation& eval);
+  /// Feeds the action null-rate estimate from an unconditionally sampled
+  /// clip, running the recognizer if query evaluation skipped it (see
+  /// OnlineConfig::action_null_sampling_period).
+  Status SampleActionBackground(const video::ClipRef& clip,
+                                const ClipEvaluation& eval);
+  /// Feeds one action's rate and persistence estimators from a shot-event
+  /// stream.
+  void FeedActionStream(size_t action_index, const std::vector<bool>& events);
+
+  Mode mode_;
+  Query query_;
+  OnlineConfig config_;
+  video::VideoLayout layout_;
+  models::ObjectDetector* detector_;
+  models::ActionRecognizer* recognizer_;
+
+  std::vector<FramePredicate> frame_predicates_;
+  std::vector<std::string> actions_;
+  CriticalValueCache frame_cache_;
+  CriticalValueCache action_cache_;
+  MarkovCriticalValueCache markov_action_cache_;
+  std::vector<stats::KernelRateEstimator> frame_estimators_;
+  std::vector<stats::KernelRateEstimator> action_estimators_;
+  /// Persistence estimators: P(event | previous shot had an event), one per
+  /// action (footnote 7 Markov null).
+  std::vector<stats::KernelRateEstimator> action_pair_estimators_;
+  std::vector<int> frame_kcrits_;
+  std::vector<int> action_kcrits_;
+
+  video::IntervalSet sequences_;
+  int64_t open_run_begin_ = -1;  // first clip of the current positive run
+  int64_t last_positive_clip_ = -1;
+  /// Decayed pass-rate estimates per stage, for adaptive predicate
+  /// ordering (footnote 5).
+  double frame_stage_pass_rate_ = 0.5;
+  double action_stage_pass_rate_ = 0.5;
+  std::vector<video::Interval> completed_;
+  OnlineStats stats_;
+  double baseline_model_ms_ = 0.0;
+};
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_ONLINE_ENGINE_H_

@@ -1,0 +1,141 @@
+#include "svq/core/query.h"
+
+#include <set>
+
+namespace svq::core {
+
+const char* RelOpName(RelOp op) {
+  switch (op) {
+    case RelOp::kLeftOf:
+      return "left_of";
+    case RelOp::kRightOf:
+      return "right_of";
+    case RelOp::kAbove:
+      return "above";
+    case RelOp::kBelow:
+      return "below";
+    case RelOp::kOverlaps:
+      return "overlaps";
+  }
+  return "?";
+}
+
+std::string Relationship::ToString() const {
+  return std::string(RelOpName(op)) + "(" + subject + ", " + object + ")";
+}
+
+Status Query::Validate() const {
+  if (action.empty()) {
+    return Status::InvalidArgument("query must specify an action");
+  }
+  std::set<std::string> seen;
+  for (const std::string& object : objects) {
+    if (object.empty()) {
+      return Status::InvalidArgument("empty object label in query");
+    }
+    if (!seen.insert(object).second) {
+      return Status::InvalidArgument("duplicate object label: " + object);
+    }
+  }
+  std::set<std::string> seen_actions{action};
+  for (const std::string& extra : extra_actions) {
+    if (extra.empty()) {
+      return Status::InvalidArgument("empty action label in query");
+    }
+    if (!seen_actions.insert(extra).second) {
+      return Status::InvalidArgument("duplicate action label: " + extra);
+    }
+  }
+  for (const auto& group : object_disjunctions) {
+    if (group.empty()) {
+      return Status::InvalidArgument("empty object disjunction group");
+    }
+    std::set<std::string> members;
+    for (const std::string& label : group) {
+      if (label.empty()) {
+        return Status::InvalidArgument("empty label in disjunction group");
+      }
+      if (!members.insert(label).second) {
+        return Status::InvalidArgument("duplicate label in disjunction: " +
+                                       label);
+      }
+    }
+  }
+  for (const Relationship& rel : relationships) {
+    if (rel.subject.empty() || rel.object.empty()) {
+      return Status::InvalidArgument("relationship needs two object labels");
+    }
+    if (rel.subject == rel.object) {
+      return Status::InvalidArgument(
+          "relationship between a label and itself: " + rel.subject);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Query::AllActions() const {
+  std::vector<std::string> all{action};
+  all.insert(all.end(), extra_actions.begin(), extra_actions.end());
+  return all;
+}
+
+std::vector<std::string> Query::AllObjectLabels() const {
+  std::set<std::string> labels(objects.begin(), objects.end());
+  for (const auto& group : object_disjunctions) {
+    labels.insert(group.begin(), group.end());
+  }
+  for (const Relationship& rel : relationships) {
+    labels.insert(rel.subject);
+    labels.insert(rel.object);
+  }
+  return {labels.begin(), labels.end()};
+}
+
+std::string Query::ToString() const {
+  std::string out = "{a=" + action;
+  for (const std::string& extra : extra_actions) out += "&" + extra;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    out += "; o" + std::to_string(i + 1) + "=" + objects[i];
+  }
+  for (const auto& group : object_disjunctions) {
+    out += "; any(";
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) out += "|";
+      out += group[i];
+    }
+    out += ")";
+  }
+  for (const Relationship& rel : relationships) {
+    out += "; " + rel.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Status OnlineConfig::Validate() const {
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(object_threshold) || !in01(action_threshold)) {
+    return Status::InvalidArgument("thresholds must be in [0, 1]");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (reference_windows < 2.0) {
+    return Status::InvalidArgument("reference_windows must be >= 2");
+  }
+  if (!in01(initial_object_p) || !in01(initial_action_p)) {
+    return Status::InvalidArgument("initial probabilities must be in [0, 1]");
+  }
+  if (!(object_bandwidth > 0.0) || !(action_bandwidth > 0.0)) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  if (action_null_sampling_period < 0) {
+    return Status::InvalidArgument("sampling period must be >= 0");
+  }
+  if (merge_gap_clips < 0) {
+    return Status::InvalidArgument("merge_gap_clips must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace svq::core

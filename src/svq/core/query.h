@@ -1,0 +1,145 @@
+#ifndef SVQ_CORE_QUERY_H_
+#define SVQ_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "svq/common/status.h"
+
+namespace svq::core {
+
+/// Spatial relationship operators between object detections on a frame
+/// (paper footnote 2 extension). Evaluated on bounding-box geometry in
+/// normalized frame coordinates.
+enum class RelOp {
+  kLeftOf,   ///< subject's box lies entirely left of the object's box
+  kRightOf,  ///< subject's box lies entirely right of the object's box
+  kAbove,    ///< subject's box lies entirely above the object's box
+  kBelow,    ///< subject's box lies entirely below the object's box
+  kOverlaps, ///< the boxes intersect
+};
+
+const char* RelOpName(RelOp op);
+
+/// One relationship predicate: `op(subject, object)`, e.g.
+/// left_of(human, car) — "a human is left of a car on the frame".
+struct Relationship {
+  RelOp op = RelOp::kLeftOf;
+  std::string subject;
+  std::string object;
+
+  std::string ToString() const;
+  friend bool operator==(const Relationship&, const Relationship&) = default;
+};
+
+/// A conjunctive action-and-objects query (paper §2):
+/// `q : {o_1, ..., o_I in O; a in A}` — the result sequences must contain
+/// the action `a` and every listed object type — plus the paper's footnote
+/// extensions, all conjunctive with the base query:
+///  - `extra_actions` (footnote 3): additional actions that must co-occur;
+///  - `object_disjunctions` (footnote 4): any-of label groups, e.g.
+///    {car, bus} meaning "a car or a bus is present";
+///  - `relationships` (footnote 2): spatial constraints between objects.
+struct Query {
+  std::vector<std::string> objects;
+  std::string action;
+  std::vector<std::string> extra_actions;
+  std::vector<std::vector<std::string>> object_disjunctions;
+  std::vector<Relationship> relationships;
+
+  /// Non-empty action, non-empty distinct object labels, non-empty
+  /// disjunction groups, well-formed relationships.
+  Status Validate() const;
+
+  /// All action labels (primary first).
+  std::vector<std::string> AllActions() const;
+
+  /// Every object label the detector must recognize (conjunctive labels,
+  /// disjunction members, relationship endpoints).
+  std::vector<std::string> AllObjectLabels() const;
+
+  std::string ToString() const;
+};
+
+/// How SVAQD feeds its background-probability estimators (§3.3). The
+/// statistic of Eq. 5 needs the *null* rate — §3.2: "the distribution of
+/// predictions made by each individual model ... when the query predicates
+/// are not satisfied" — so the default excludes the occurrence units of
+/// clips where the predicate itself fired; otherwise long true sequences
+/// inflate the estimate until the critical value saturates and recall
+/// collapses (ablated in bench_micro_components and the engine tests).
+enum class UpdatePolicy {
+  /// Feed a predicate's estimator only from clips on which that predicate's
+  /// indicator was 0 (default: estimates the null distribution).
+  kNegativeUnits,
+  /// Feed every evaluated occurrence unit (estimates the marginal rate).
+  kEveryClip,
+  /// Refresh only after clips that satisfied the whole query — the literal
+  /// reading of Alg. 3 lines 7-9.
+  kPositiveClip,
+};
+
+/// Tunables of the online engines (SVAQ / SVAQD).
+struct OnlineConfig {
+  /// Detection-score threshold `T_obj` (§2).
+  double object_threshold = 0.5;
+  /// Action-score threshold `T_act` (§2).
+  double action_threshold = 0.5;
+  /// Significance level `alpha` of the scan-statistic test (Eq. 5).
+  double alpha = 0.05;
+  /// Reference horizon `L` (number of windows) for the scan statistic; see
+  /// DESIGN.md "Key design decisions".
+  double reference_windows = 200.0;
+  /// Initial background probability per object predicate (`p_obj_0`;
+  /// SVAQ keeps it fixed for the whole stream).
+  double initial_object_p = 1e-4;
+  /// Initial background probability for the action predicate (`p_act_0`;
+  /// shots are rarer than frames, so the default is higher).
+  double initial_action_p = 1e-3;
+  /// SVAQD kernel bandwidth for object estimators, in frames.
+  double object_bandwidth = 4096.0;
+  /// SVAQD kernel bandwidth for the action estimator, in shots. Shorter
+  /// than the object bandwidth in wall-clock terms: the action estimator
+  /// only sees the periodically sampled clips (see
+  /// action_null_sampling_period), so its data stream is sparser.
+  double action_bandwidth = 128.0;
+  UpdatePolicy update_policy = UpdatePolicy::kNegativeUnits;
+  /// SVAQD background sampling: under kNegativeUnits the action null-rate
+  /// estimate is fed from every Nth clip of the stream, unconditionally —
+  /// clips that reach the action stage during query evaluation are
+  /// conditioned on the object predicates and over-represent the action
+  /// (objects correlate with it), so they would bias the null estimate
+  /// upward. When the sampled clip was short-circuited, the recognizer runs
+  /// on it anyway and the inference is charged to the run. 0 disables
+  /// sampling (the estimator then keeps its prior). Smaller periods adapt
+  /// faster at more inference cost; see bench_ablation_svaqd.
+  int64_t action_null_sampling_period = 4;
+  /// Result-sequence assembly: bridge gaps of up to this many negative
+  /// clips between positive clips (temporal gap filling, a standard
+  /// smoothing in temporal detection). Bursty model dropouts can knock a
+  /// single clip below its quota mid-sequence and fragment one true
+  /// sequence into several, which costs both precision and recall under
+  /// IoU matching. 0 reproduces the paper's strict Eq. 4 merge exactly;
+  /// ablated in bench_ablation_svaqd.
+  int64_t merge_gap_clips = 1;
+  /// Footnote 7 extension: derive the action critical values from a
+  /// first-order Markov model of the prediction stream (exact FMCE
+  /// embedding) instead of i.i.d. trials. Bursty false positives then
+  /// demand a larger quota. Requires shots_per_clip <= 20; engages once
+  /// enough transition data has accumulated. Ablated in
+  /// bench_ablation_svaqd.
+  bool markov_action_null = false;
+  /// Footnote 5 future work: which model stage a clip evaluates first. The
+  /// stage that fails short-circuits the other stage's inference, so the
+  /// more selective stage should go first. kAdaptive tracks per-stage pass
+  /// rates and measured per-unit inference costs and picks the cheaper
+  /// expected order clip by clip. Ablated in bench_ablation_svaqd.
+  enum class PredicateOrder { kObjectsFirst, kActionsFirst, kAdaptive };
+  PredicateOrder predicate_order = PredicateOrder::kObjectsFirst;
+
+  Status Validate() const;
+};
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_QUERY_H_

@@ -1,0 +1,42 @@
+#include "svq/core/repository.h"
+
+#include <algorithm>
+
+namespace svq::core {
+
+Result<RepositoryResult> RunRepositoryTopK(
+    const std::vector<const IngestedVideo*>& videos, const Query& query,
+    int k, const SequenceScoring& scoring, const OfflineOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  RepositoryResult result;
+  for (const IngestedVideo* video : videos) {
+    if (video == nullptr) {
+      return Status::InvalidArgument("null video in repository list");
+    }
+    SVQ_ASSIGN_OR_RETURN(TopKResult per_video,
+                         RunRvaq(*video, query, k, scoring, options));
+    for (const RankedSequence& seq : per_video.sequences) {
+      result.sequences.push_back({video->id, video->name, seq});
+    }
+    result.stats.storage += per_video.stats.storage;
+    result.stats.virtual_ms += per_video.stats.virtual_ms;
+    result.stats.algorithm_ms += per_video.stats.algorithm_ms;
+    result.stats.iterator_calls += per_video.stats.iterator_calls;
+  }
+  // Merge: certified per-video results rank globally by their (exact or
+  // lower-bound) scores; ties break by video then position for stability.
+  std::sort(result.sequences.begin(), result.sequences.end(),
+            [](const RepositoryEntry& a, const RepositoryEntry& b) {
+              if (a.sequence.lower_bound != b.sequence.lower_bound) {
+                return a.sequence.lower_bound > b.sequence.lower_bound;
+              }
+              if (a.video_id != b.video_id) return a.video_id < b.video_id;
+              return a.sequence.clips.begin < b.sequence.clips.begin;
+            });
+  if (result.sequences.size() > static_cast<size_t>(k)) {
+    result.sequences.resize(static_cast<size_t>(k));
+  }
+  return result;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,37 @@
+#ifndef SVQ_CORE_REPOSITORY_H_
+#define SVQ_CORE_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/rvaq.h"
+
+namespace svq::core {
+
+/// A ranked sequence attributed to its source video — the paper's §4.2
+/// multi-video setting, where every clip identifier is qualified by a video
+/// identifier.
+struct RepositoryEntry {
+  video::VideoId video_id = video::kInvalidVideoId;
+  std::string video_name;
+  RankedSequence sequence;
+};
+
+struct RepositoryResult {
+  /// At most K sequences across all videos, highest score first.
+  std::vector<RepositoryEntry> sequences;
+  /// Storage accounting summed over the per-video runs.
+  OfflineRunStats stats;
+};
+
+/// Global top-K over a repository of ingested videos: RVAQ runs per video
+/// (each with budget K — the global top-K is contained in the union of the
+/// per-video top-Ks) and the certified results merge by score.
+Result<RepositoryResult> RunRepositoryTopK(
+    const std::vector<const IngestedVideo*>& videos, const Query& query,
+    int k, const SequenceScoring& scoring, const OfflineOptions& options);
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_REPOSITORY_H_

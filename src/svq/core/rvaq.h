@@ -1,0 +1,71 @@
+#ifndef SVQ_CORE_RVAQ_H_
+#define SVQ_CORE_RVAQ_H_
+
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/ingest.h"
+#include "svq/core/query.h"
+#include "svq/core/scoring.h"
+#include "svq/storage/access_stats.h"
+#include "svq/video/interval_set.h"
+
+namespace svq::core {
+
+/// One ranked result sequence (clip domain, half-open).
+struct RankedSequence {
+  video::Interval clips;
+  /// Certified bounds at termination; equal when the score is exact.
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+
+  double length() const { return static_cast<double>(clips.length()); }
+};
+
+/// Per-run accounting for the offline algorithms.
+struct OfflineRunStats {
+  storage::StorageMetrics storage;
+  /// Virtual disk time under the run's cost model (ms).
+  double virtual_ms = 0.0;
+  /// Wall-clock time of the algorithm logic (ms).
+  double algorithm_ms = 0.0;
+  /// TBClip invocations (RVAQ variants only).
+  int64_t iterator_calls = 0;
+};
+
+struct TopKResult {
+  /// At most K sequences, highest score first.
+  std::vector<RankedSequence> sequences;
+  OfflineRunStats stats;
+};
+
+/// Options for RVAQ and its variants.
+struct OfflineOptions {
+  /// The C_skip mechanism of §4.3; disabling it yields the paper's
+  /// RVAQ-noSkip baseline.
+  bool enable_skip = true;
+  /// Resolve exact scores for the final top-K (the paper's measured
+  /// configuration: "the query requires accessing all the clips of top-K
+  /// sequences to obtain their exact scores"). When false, RVAQ stops as
+  /// soon as the top-K *set* is certified and reports bounds.
+  bool compute_exact_scores = true;
+  /// Cost model used to convert access counts to virtual runtime.
+  storage::DiskCostModel cost_model;
+};
+
+/// Computes the candidate result sequences `P_q` of query `q` by interval
+/// sweep over the materialized individual sequences (paper Eq. 12). Empty
+/// when a queried type has no positive clips.
+Result<video::IntervalSet> CandidateSequences(const IngestedVideo& ingested,
+                                              const Query& query);
+
+/// Algorithm RVAQ (paper Alg. 4): certified top-K result sequences via
+/// progressive upper/lower bound refinement over the TBClip iterator with
+/// conclusive-skip pruning. `k` must be >= 1.
+Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
+                           int k, const SequenceScoring& scoring,
+                           const OfflineOptions& options);
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_RVAQ_H_

@@ -1,0 +1,26 @@
+#include "svq/core/scoring.h"
+
+namespace svq::core {
+
+double SequenceScoring::SequenceScore(
+    const std::vector<double>& clip_scores) const {
+  double total = AggregateIdentity();
+  for (const double s : clip_scores) total = Aggregate(total, Replicate(s, 1));
+  return total;
+}
+
+double AdditiveScoring::ClipScore(const std::vector<double>& object_scores,
+                                  double action_score) const {
+  double object_sum = 0.0;
+  for (const double s : object_scores) object_sum += s;
+  return action_score * object_sum;
+}
+
+double MaxScoring::ClipScore(const std::vector<double>& object_scores,
+                             double action_score) const {
+  double object_sum = 0.0;
+  for (const double s : object_scores) object_sum += s;
+  return action_score * object_sum;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,80 @@
+#ifndef SVQ_CORE_SCORING_H_
+#define SVQ_CORE_SCORING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace svq::core {
+
+/// Abstract scoring-function bundle of paper §4.1: the clip combiner `g`,
+/// the sequence aggregator `f`, and the `⊙` operator that splices scores of
+/// disjoint sub-sequences (Eq. 11).
+///
+/// RVAQ's bound maintenance only needs the properties the paper demands —
+/// monotonicity of `g` and `f`, sub-sequence dominance, and decomposability
+/// via `⊙` — all of which this interface encodes; any conforming
+/// implementation plugs in.
+class SequenceScoring {
+ public:
+  virtual ~SequenceScoring() = default;
+
+  /// `g`: overall clip score from the per-predicate clip scores (Eq. 9).
+  /// `object_scores` are ordered as in the query. Must be monotone
+  /// non-decreasing in every argument.
+  virtual double ClipScore(const std::vector<double>& object_scores,
+                           double action_score) const = 0;
+
+  /// Identity element of `⊙` (the score of an empty sub-sequence).
+  virtual double AggregateIdentity() const = 0;
+
+  /// `⊙`: combines the scores of two disjoint sub-sequences (Eq. 11).
+  virtual double Aggregate(double a, double b) const = 0;
+
+  /// `f(s, s, ..., s)` with `count` copies — the building block of the
+  /// upper/lower bound estimates (Eq. 13/14). Must satisfy
+  /// Replicate(s, 0) == AggregateIdentity().
+  virtual double Replicate(double clip_score, int64_t count) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Convenience: `f` over explicit clip scores (Eq. 10), derived from
+  /// `⊙` + Replicate(., 1).
+  double SequenceScore(const std::vector<double>& clip_scores) const;
+};
+
+/// The paper's §5 experimental instance:
+///   g : S_q(c) = S_a(c) * sum_i S_{o_i}(c)
+///   f : S_q(z) = sum_{c in z} S_q(c)         (⊙ is +, identity 0)
+class AdditiveScoring final : public SequenceScoring {
+ public:
+  double ClipScore(const std::vector<double>& object_scores,
+                   double action_score) const override;
+  double AggregateIdentity() const override { return 0.0; }
+  double Aggregate(double a, double b) const override { return a + b; }
+  double Replicate(double clip_score, int64_t count) const override {
+    return clip_score * static_cast<double>(count);
+  }
+  std::string name() const override { return "additive"; }
+};
+
+/// A max-based alternative: f = max over clips (⊙ is max, identity 0);
+/// demonstrates scoring-function pluggability and is useful when the user
+/// wants "the sequence with the single strongest moment".
+class MaxScoring final : public SequenceScoring {
+ public:
+  double ClipScore(const std::vector<double>& object_scores,
+                   double action_score) const override;
+  double AggregateIdentity() const override { return 0.0; }
+  double Aggregate(double a, double b) const override {
+    return a > b ? a : b;
+  }
+  double Replicate(double clip_score, int64_t count) const override {
+    return count > 0 ? clip_score : 0.0;
+  }
+  std::string name() const override { return "max"; }
+};
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_SCORING_H_

@@ -1,0 +1,43 @@
+#include "svq/core/spatial.h"
+
+namespace svq::core {
+
+bool BoxesSatisfy(RelOp op, const models::BoundingBox& subject,
+                  const models::BoundingBox& object) {
+  switch (op) {
+    case RelOp::kLeftOf:
+      return subject.x + subject.width <= object.x;
+    case RelOp::kRightOf:
+      return object.x + object.width <= subject.x;
+    case RelOp::kAbove:
+      // y grows downward in image coordinates.
+      return subject.y + subject.height <= object.y;
+    case RelOp::kBelow:
+      return object.y + object.height <= subject.y;
+    case RelOp::kOverlaps:
+      return subject.x < object.x + object.width &&
+             object.x < subject.x + subject.width &&
+             subject.y < object.y + object.height &&
+             object.y < subject.y + subject.height;
+  }
+  return false;
+}
+
+bool RelationshipHolds(const Relationship& rel,
+                       const std::vector<models::ObjectDetection>& detections,
+                       double score_threshold) {
+  for (const models::ObjectDetection& subject : detections) {
+    if (subject.label != rel.subject || subject.score < score_threshold) {
+      continue;
+    }
+    for (const models::ObjectDetection& object : detections) {
+      if (object.label != rel.object || object.score < score_threshold) {
+        continue;
+      }
+      if (BoxesSatisfy(rel.op, subject.box, object.box)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,28 @@
+#ifndef SVQ_CORE_SPATIAL_H_
+#define SVQ_CORE_SPATIAL_H_
+
+#include <vector>
+
+#include "svq/core/query.h"
+#include "svq/models/detection.h"
+
+namespace svq::core {
+
+/// Whether the subject box stands in relation `op` to the object box.
+/// Directional operators require strict separation of the box extents;
+/// kOverlaps requires a non-empty intersection.
+bool BoxesSatisfy(RelOp op, const models::BoundingBox& subject,
+                  const models::BoundingBox& object);
+
+/// Frame-level relationship indicator (paper footnote 2): true when some
+/// detection of `rel.subject` and some detection of `rel.object`, both
+/// scoring at least `score_threshold`, satisfy the spatial operator. This
+/// is the binary per-frame output that the scan-statistic machinery then
+/// treats exactly like an object-presence event stream.
+bool RelationshipHolds(const Relationship& rel,
+                       const std::vector<models::ObjectDetection>& detections,
+                       double score_threshold);
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_SPATIAL_H_

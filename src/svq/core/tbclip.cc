@@ -1,0 +1,260 @@
+#include "svq/core/tbclip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svq::core {
+
+namespace {
+/// Slack for floating-point comparisons between cached scores and
+/// cursor-derived thresholds.
+double Eps(double reference) {
+  return 1e-9 * std::max(1.0, std::fabs(reference));
+}
+}  // namespace
+
+TbClipIterator::TbClipIterator(
+    std::vector<const storage::ScoreTable*> object_tables,
+    const storage::ScoreTable* action_table, const SequenceScoring* scoring,
+    const video::IntervalSet* candidates, bool skip_enabled,
+    storage::StorageMetrics* metrics, Emission emission)
+    : scoring_(scoring), candidates_(candidates),
+      skip_enabled_(skip_enabled), emission_(emission) {
+  for (const storage::ScoreTable* table : object_tables) {
+    readers_.emplace_back(table, metrics);
+  }
+  readers_.emplace_back(action_table, metrics);
+  const size_t n = readers_.size();
+  top_rank_.assign(n, 0);
+  btm_rank_.assign(n, 0);
+  // Before any sorted access nothing is known about unseen clips from
+  // above; scores are in [0, 1] per occurrence unit but clip aggregates are
+  // unbounded, so start the upper cursors at infinity. Scores are
+  // non-negative, so zero is a valid lower cursor before any access.
+  top_cursor_score_.assign(n, std::numeric_limits<double>::infinity());
+  btm_cursor_score_.assign(n, 0.0);
+  remaining_candidates_ = candidates_->TotalLength();
+}
+
+void TbClipIterator::AddSkipRange(video::Interval clips) {
+  if (!skip_enabled_) return;
+  skipped_.Add(clips);
+}
+
+bool TbClipIterator::IsSkipped(video::ClipIndex clip) const {
+  return skip_enabled_ && skipped_.Contains(clip);
+}
+
+bool TbClipIterator::IsCandidate(video::ClipIndex clip) const {
+  return candidates_->Contains(clip);
+}
+
+void TbClipIterator::ScoreClip(video::ClipIndex clip) {
+  if (score_cache_.contains(clip)) return;
+  // Random accesses on every query table (Alg. 5 steps 2 and 4).
+  std::vector<double> object_scores(readers_.size() - 1, 0.0);
+  for (size_t i = 0; i + 1 < readers_.size(); ++i) {
+    object_scores[i] = readers_[i].RandomAccessOrZero(clip);
+  }
+  const double action_score = readers_.back().RandomAccessOrZero(clip);
+  const double score = scoring_->ClipScore(object_scores, action_score);
+  score_cache_.emplace(clip, score);
+  if (IsCandidate(clip)) {
+    top_heap_.push({clip, score});
+    btm_heap_.push({clip, score});
+  }
+}
+
+Status TbClipIterator::AdvanceTop() {
+  bool any_done = false;
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    if (top_rank_[i] >= readers_[i].NumRows()) {
+      any_done = true;
+      continue;
+    }
+    SVQ_ASSIGN_OR_RETURN(const storage::ClipScoreRow row,
+                         readers_[i].SortedAccess(top_rank_[i]));
+    ++top_rank_[i];
+    top_cursor_score_[i] = row.score;
+    if (top_rank_[i] >= readers_[i].NumRows()) any_done = true;
+    if (processed_.contains(row.clip) || score_cache_.contains(row.clip)) {
+      continue;
+    }
+    if (IsSkipped(row.clip) || !IsCandidate(row.clip)) {
+      // Clips outside C(P_q) or conclusively skipped are seen once during
+      // sorted access and never charged random accesses (§4.3).
+      continue;
+    }
+    ScoreClip(row.clip);
+  }
+  // Once any table is fully consumed from the top, every candidate has been
+  // seen and scored (candidates have rows in all query tables), so the heap
+  // maximum is the true maximum.
+  if (any_done) top_exhausted_ = true;
+  return Status::OK();
+}
+
+Status TbClipIterator::AdvanceBottom() {
+  bool any_done = false;
+  for (size_t i = 0; i < readers_.size(); ++i) {
+    if (btm_rank_[i] >= readers_[i].NumRows()) {
+      any_done = true;
+      continue;
+    }
+    SVQ_ASSIGN_OR_RETURN(const storage::ClipScoreRow row,
+                         readers_[i].ReverseAccess(btm_rank_[i]));
+    ++btm_rank_[i];
+    btm_cursor_score_[i] = row.score;
+    if (btm_rank_[i] >= readers_[i].NumRows()) any_done = true;
+    if (processed_.contains(row.clip) || score_cache_.contains(row.clip)) {
+      continue;
+    }
+    if (IsSkipped(row.clip) || !IsCandidate(row.clip)) {
+      continue;
+    }
+    ScoreClip(row.clip);
+  }
+  if (any_done) btm_exhausted_ = true;
+  return Status::OK();
+}
+
+double TbClipIterator::TopThreshold() const {
+  if (top_exhausted_) return -std::numeric_limits<double>::infinity();
+  std::vector<double> object_scores(top_cursor_score_.begin(),
+                                    top_cursor_score_.end() - 1);
+  return scoring_->ClipScore(object_scores, top_cursor_score_.back());
+}
+
+double TbClipIterator::BottomThreshold() const {
+  if (btm_exhausted_) return std::numeric_limits<double>::infinity();
+  std::vector<double> object_scores(btm_cursor_score_.begin(),
+                                    btm_cursor_score_.end() - 1);
+  return scoring_->ClipScore(object_scores, btm_cursor_score_.back());
+}
+
+std::optional<TbClipItem> TbClipIterator::PeekTop() {
+  while (!top_heap_.empty()) {
+    const TbClipItem item = top_heap_.top();
+    if (processed_.contains(item.clip) || IsSkipped(item.clip) ||
+        !IsCandidate(item.clip)) {
+      top_heap_.pop();
+      continue;
+    }
+    return item;
+  }
+  return std::nullopt;
+}
+
+std::optional<TbClipItem> TbClipIterator::PeekBottom() {
+  while (!btm_heap_.empty()) {
+    const TbClipItem item = btm_heap_.top();
+    if (processed_.contains(item.clip) || IsSkipped(item.clip) ||
+        !IsCandidate(item.clip)) {
+      btm_heap_.pop();
+      continue;
+    }
+    return item;
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<TbClipStep>> TbClipIterator::Next() {
+  ++calls_;
+  std::optional<TbClipItem> top_item;
+  std::optional<TbClipItem> btm_item;
+  for (;;) {
+    if (!top_item) {
+      if (auto best = PeekTop()) {
+        const double threshold = TopThreshold();
+        // kBounded emits the best-seen immediately (paper Alg. 5);
+        // kCertified waits until the TA threshold certifies it as the
+        // global maximum of the unprocessed candidates.
+        if (emission_ == Emission::kBounded ||
+            best->score >= threshold - Eps(threshold)) {
+          top_item = best;
+          top_heap_.pop();
+          processed_.insert(best->clip);
+        }
+      }
+    }
+    if (!btm_item) {
+      if (auto worst = PeekBottom()) {
+        const double threshold = BottomThreshold();
+        if (emission_ == Emission::kBounded ||
+            worst->score <= threshold + Eps(threshold)) {
+          btm_item = worst;
+          btm_heap_.pop();
+          processed_.insert(worst->clip);
+        }
+      }
+    }
+    if (top_item && btm_item) break;
+    // Degenerate endings: one side already emitted while the other side's
+    // heap has drained with its cursors exhausted.
+    if (top_item && !btm_item && btm_exhausted_ && !PeekBottom()) {
+      btm_item = top_item;
+      break;
+    }
+    if (btm_item && !top_item && top_exhausted_ && !PeekTop()) {
+      top_item = btm_item;
+      break;
+    }
+    if (!top_item && !btm_item && top_exhausted_ && btm_exhausted_ &&
+        !PeekTop() && !PeekBottom()) {
+      return std::optional<TbClipStep>();
+    }
+    bool advanced = false;
+    if (!top_item && !top_exhausted_) {
+      SVQ_RETURN_NOT_OK(AdvanceTop());
+      advanced = true;
+    }
+    if (!btm_item && !btm_exhausted_) {
+      SVQ_RETURN_NOT_OK(AdvanceBottom());
+      advanced = true;
+    }
+    if (!advanced) {
+      // No cursor can move; the next emission checks run against exhausted
+      // thresholds (-inf / +inf) and must succeed if anything is left.
+      const bool top_settled = top_item || top_exhausted_;
+      const bool btm_settled = btm_item || btm_exhausted_;
+      if (!(top_settled && btm_settled)) {
+        return Status::Internal("TBClip made no progress");
+      }
+      // Both sides settled; an exhausted side with a non-empty heap emits
+      // on the next pass (its threshold is +/-inf), and an exhausted side
+      // with an empty heap hits a degenerate ending above.
+      continue;
+    }
+  }
+
+  TbClipStep step;
+  step.top = *top_item;
+  step.bottom = *btm_item;
+
+  // Certified brackets for the clips still in play (candidates that are
+  // neither processed nor conclusively skipped): an unseen clip is bounded
+  // by the cursor thresholds, a seen-but-unprocessed clip by the heap
+  // extremes. Monotone by construction (running min/max).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double upper = top_exhausted_ ? -kInf : TopThreshold();
+  if (auto best_left = PeekTop()) {
+    upper = std::max(upper, best_left->score);
+  }
+  if (upper == -kInf) upper = 0.0;  // nothing left in play; scores are >= 0
+  running_upper_ = std::min(running_upper_, std::max(0.0, upper));
+
+  double lower = btm_exhausted_ ? kInf : BottomThreshold();
+  if (auto worst_left = PeekBottom()) {
+    lower = std::min(lower, worst_left->score);
+  }
+  if (lower == kInf) lower = 0.0;  // nothing left in play
+  running_lower_ = std::max(running_lower_, std::max(0.0, lower));
+  // A fresh upper can dip below the running lower only when nothing is
+  // left in play; keep the pair consistent.
+  step.upper_bound = std::max(running_upper_, running_lower_);
+  step.lower_bound = running_lower_;
+  return std::make_optional(step);
+}
+
+}  // namespace svq::core

@@ -1,0 +1,172 @@
+#ifndef SVQ_CORE_TBCLIP_H_
+#define SVQ_CORE_TBCLIP_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/scoring.h"
+#include "svq/storage/score_table.h"
+#include "svq/video/interval_set.h"
+
+namespace svq::core {
+
+/// A clip delivered by the iterator with its full query score `S_q^{(c)}`.
+struct TbClipItem {
+  video::ClipIndex clip = -1;
+  double score = 0.0;
+};
+
+/// One step of the iterator: the delivered top/bottom clips plus certified
+/// brackets for every clip not yet processed (used by RVAQ's Eq. 13/14
+/// bound maintenance).
+struct TbClipStep {
+  TbClipItem top;
+  TbClipItem bottom;
+  /// Every unprocessed candidate clip scores at most this.
+  double upper_bound = 0.0;
+  /// Every unprocessed candidate clip scores at least this.
+  double lower_bound = 0.0;
+};
+
+/// The TBClip iterator of paper Algorithm 5: incrementally delivers the
+/// highest- and lowest-scoring *unprocessed* candidate clips by sorted
+/// access in parallel over the query's clip score tables (top and bottom
+/// cursors) plus random accesses to complete scores of newly seen clips.
+///
+/// Differences from the paper's pseudo-code, both in its favor:
+///  - newly seen clips are scored once and cached (the pseudo-code re-reads
+///    scores of all seen clips per invocation, which would inflate random
+///    accesses for no benefit);
+///  - a clip is emitted as `c_top` only when its cached score reaches the
+///    threshold-algorithm bound `g(cursor scores)`, which guarantees it
+///    really is the maximum-score unprocessed candidate (and symmetrically
+///    for `c_btm`). This makes RVAQ's bound maintenance sound; Algorithm 5
+///    as written can emit a locally-best clip early.
+///
+/// Skipping: clips outside the candidate set `C(P_q)` (the initial
+/// `C_skip`, part of setup) and clips in ranges added via AddSkipRange (the
+/// *dynamic* skip mechanism of paper §4.3) are seen at most once during
+/// sorted access and never charged random accesses. `skip_enabled = false`
+/// (the RVAQ-noSkip baseline) disables only the dynamic mechanism —
+/// AddSkipRange becomes a no-op and conclusively excluded sequences keep
+/// being refined at full cost.
+class TbClipIterator {
+ public:
+  /// Emission discipline. Both are sound for RVAQ; they trade sorted
+  /// accesses for emission-order guarantees.
+  enum class Emission {
+    /// Deliver `c_top`/`c_btm` only once the TA threshold certifies them as
+    /// the extreme unprocessed candidates: tops descend, bottoms ascend.
+    /// Costs extra sorted accesses walking the cursors down/up.
+    kCertified,
+    /// The paper's Algorithm 5 discipline: advance each cursor one row per
+    /// invocation and deliver the best/worst *seen* unprocessed clip; the
+    /// certified information lives in the returned upper/lower bounds.
+    kBounded,
+  };
+
+  /// `object_tables[i]` corresponds to query object i; all tables non-null.
+  /// `candidates` is C(P_q) in the clip domain; borrowed, must outlive the
+  /// iterator. Accesses are charged to `metrics`.
+  TbClipIterator(std::vector<const storage::ScoreTable*> object_tables,
+                 const storage::ScoreTable* action_table,
+                 const SequenceScoring* scoring,
+                 const video::IntervalSet* candidates, bool skip_enabled,
+                 storage::StorageMetrics* metrics,
+                 Emission emission = Emission::kCertified);
+
+  /// Marks a clip range as conclusively irrelevant.
+  void AddSkipRange(video::Interval clips);
+
+  /// Exact score of a clip already resolved by the iterator (its random
+  /// accesses are paid), whether or not it has been emitted; nullopt when
+  /// the clip has not been resolved yet. Lets callers tighten their bounds
+  /// for free.
+  std::optional<double> ResolvedScore(video::ClipIndex clip) const {
+    auto it = score_cache_.find(clip);
+    if (it == score_cache_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Whether the clip has been emitted (as a top or bottom) already.
+  bool IsProcessed(video::ClipIndex clip) const {
+    return processed_.contains(clip);
+  }
+
+  /// Next step; top and bottom refer to previously unprocessed clips and
+  /// are marked processed by the call. When only one unprocessed clip
+  /// remains, top == bottom. Returns nullopt when all candidates are
+  /// processed.
+  Result<std::optional<TbClipStep>> Next();
+
+  int64_t calls() const { return calls_; }
+
+ private:
+  struct MaxOrder {
+    bool operator()(const TbClipItem& a, const TbClipItem& b) const {
+      if (a.score != b.score) return a.score < b.score;
+      return a.clip < b.clip;
+    }
+  };
+  struct MinOrder {
+    bool operator()(const TbClipItem& a, const TbClipItem& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.clip > b.clip;
+    }
+  };
+
+  bool IsSkipped(video::ClipIndex clip) const;
+  bool IsCandidate(video::ClipIndex clip) const;
+  /// Performs random accesses on all tables for `clip`, caches the full
+  /// score, and inserts it into both heaps.
+  void ScoreClip(video::ClipIndex clip);
+  /// Advances the top (descending) cursors of all tables one row.
+  Status AdvanceTop();
+  /// Advances the bottom (ascending) cursors of all tables one row.
+  Status AdvanceBottom();
+  /// Upper bound on the score of any clip not yet seen by any cursor.
+  double TopThreshold() const;
+  /// Lower bound on the score of any clip not yet seen by any cursor.
+  double BottomThreshold() const;
+  /// Pops the best unprocessed, unskipped item; nullopt when heap empty.
+  std::optional<TbClipItem> PeekTop();
+  std::optional<TbClipItem> PeekBottom();
+
+  std::vector<storage::TableReader> readers_;  // objects..., action last
+  const SequenceScoring* scoring_;
+  const video::IntervalSet* candidates_;
+  bool skip_enabled_;
+  Emission emission_ = Emission::kCertified;
+  /// Running certified brackets for unprocessed clips (monotone).
+  double running_upper_ = std::numeric_limits<double>::infinity();
+  double running_lower_ = 0.0;
+
+  video::IntervalSet skipped_;
+  std::unordered_set<video::ClipIndex> processed_;
+  std::unordered_map<video::ClipIndex, double> score_cache_;
+
+  std::priority_queue<TbClipItem, std::vector<TbClipItem>, MaxOrder>
+      top_heap_;
+  std::priority_queue<TbClipItem, std::vector<TbClipItem>, MinOrder>
+      btm_heap_;
+
+  std::vector<int64_t> top_rank_;
+  std::vector<int64_t> btm_rank_;
+  std::vector<double> top_cursor_score_;
+  std::vector<double> btm_cursor_score_;
+  bool top_exhausted_ = false;
+  bool btm_exhausted_ = false;
+  int64_t remaining_candidates_ = 0;
+  int64_t calls_ = 0;
+};
+
+}  // namespace svq::core
+
+#endif  // SVQ_CORE_TBCLIP_H_

@@ -1,0 +1,49 @@
+#ifndef SVQ_EVAL_EXPERIMENTS_H_
+#define SVQ_EVAL_EXPERIMENTS_H_
+
+#include "svq/common/result.h"
+#include "svq/core/engine.h"
+#include "svq/eval/metrics.h"
+#include "svq/eval/workloads.h"
+
+namespace svq::eval {
+
+/// Aggregated outcome of running one online scenario (all its videos).
+struct OnlineEvalOutcome {
+  /// Clip-domain sequence matching at IoU η=0.5 (paper's headline F1).
+  MatchStats sequence_match;
+  /// Frame-level matching (paper Figure 5).
+  MatchStats frame_match;
+  int64_t num_result_sequences = 0;
+  /// Total frames inside result sequences (paper Figure 4's stability
+  /// argument).
+  int64_t result_frames = 0;
+  double model_ms = 0.0;
+  double algorithm_ms = 0.0;
+};
+
+/// Runs `scenario` with the given models/config/mode over every video and
+/// aggregates the metrics. Workload per-label accuracies are applied to the
+/// object profile automatically.
+Result<OnlineEvalOutcome> RunOnlineScenario(const QueryScenario& scenario,
+                                            models::ModelSuite suite,
+                                            const core::OnlineConfig& config,
+                                            core::OnlineEngine::Mode mode);
+
+/// Paper Table 5: raw per-occurrence-unit model FPR vs the FPR of the
+/// occurrence units inside the final SVAQD result sequences, for the action
+/// predicate (shot domain) and the first object predicate (frame domain).
+struct FprOutcome {
+  double action_raw = 0.0;
+  double action_svaqd = 0.0;
+  double object_raw = 0.0;
+  double object_svaqd = 0.0;
+};
+
+Result<FprOutcome> MeasureFpr(const QueryScenario& scenario,
+                              models::ModelSuite suite,
+                              const core::OnlineConfig& config);
+
+}  // namespace svq::eval
+
+#endif  // SVQ_EVAL_EXPERIMENTS_H_

@@ -1,0 +1,72 @@
+#include "svq/eval/metrics.h"
+
+#include <algorithm>
+
+namespace svq::eval {
+
+using video::Interval;
+using video::IntervalSet;
+
+MatchStats SequenceMatch(const IntervalSet& predicted,
+                         const IntervalSet& truth, double iou_threshold) {
+  MatchStats stats;
+  std::vector<bool> truth_hit(truth.size(), false);
+  for (const Interval& pred : predicted.intervals()) {
+    bool matched = false;
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (Interval::Iou(pred, truth.intervals()[i]) >= iou_threshold) {
+        matched = true;
+        truth_hit[i] = true;
+      }
+    }
+    if (matched) {
+      ++stats.tp;
+    } else {
+      ++stats.fp;
+    }
+  }
+  for (const bool hit : truth_hit) {
+    if (!hit) ++stats.fn;
+  }
+  return stats;
+}
+
+MatchStats ElementMatch(const IntervalSet& predicted,
+                        const IntervalSet& truth) {
+  MatchStats stats;
+  const int64_t overlap = predicted.OverlapLength(truth);
+  stats.tp = overlap;
+  stats.fp = predicted.TotalLength() - overlap;
+  stats.fn = truth.TotalLength() - overlap;
+  return stats;
+}
+
+double FalsePositiveRate(const IntervalSet& predicted,
+                         const IntervalSet& truth, int64_t domain_end) {
+  const int64_t negatives = domain_end - truth.OverlapLength(
+                                             IntervalSet({{0, domain_end}}));
+  if (negatives <= 0) return 0.0;
+  const IntervalSet domain(std::vector<Interval>{{0, domain_end}});
+  const IntervalSet pred_in_domain = IntervalSet::Intersect(predicted, domain);
+  const int64_t fp =
+      pred_in_domain.TotalLength() - pred_in_domain.OverlapLength(truth);
+  return static_cast<double>(fp) / static_cast<double>(negatives);
+}
+
+IntervalSet ShotTruth(const IntervalSet& frame_truth, int frames_per_shot) {
+  IntervalSet shots;
+  for (const Interval& range : frame_truth.intervals()) {
+    const int64_t first_shot = range.begin / frames_per_shot;
+    const int64_t last_shot = (range.end - 1) / frames_per_shot;
+    for (int64_t s = first_shot; s <= last_shot; ++s) {
+      const Interval shot_frames = {s * frames_per_shot,
+                                    (s + 1) * frames_per_shot};
+      const int64_t overlap = std::min(shot_frames.end, range.end) -
+                              std::max(shot_frames.begin, range.begin);
+      if (2 * overlap >= frames_per_shot) shots.Add({s, s + 1});
+    }
+  }
+  return shots;
+}
+
+}  // namespace svq::eval

@@ -1,0 +1,68 @@
+#ifndef SVQ_EVAL_METRICS_H_
+#define SVQ_EVAL_METRICS_H_
+
+#include <cstdint>
+
+#include "svq/video/interval_set.h"
+
+namespace svq::eval {
+
+/// Counted matches plus the derived precision/recall/F1.
+struct MatchStats {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+
+  double precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  MatchStats& operator+=(const MatchStats& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+/// Sequence-level matching per the paper's §5 "Metrics": a predicted
+/// sequence is a true positive iff its IoU with some ground-truth sequence
+/// reaches `iou_threshold` (default η=0.5); a ground-truth sequence whose
+/// IoU with every prediction stays below the threshold is a false negative.
+/// Both sets must be in the same index domain (clips or frames).
+MatchStats SequenceMatch(const video::IntervalSet& predicted,
+                         const video::IntervalSet& truth,
+                         double iou_threshold = 0.5);
+
+/// Frame-level (element-wise) matching: tp/fp/fn are coverage lengths.
+/// Used for the clip-size robustness study (paper Figure 5).
+MatchStats ElementMatch(const video::IntervalSet& predicted,
+                        const video::IntervalSet& truth);
+
+/// False-positive rate of `predicted` against `truth` over the domain
+/// `[0, domain_end)`: FP / (FP + TN) where negatives are the indices
+/// outside `truth`.
+double FalsePositiveRate(const video::IntervalSet& predicted,
+                         const video::IntervalSet& truth, int64_t domain_end);
+
+/// Shot-domain truth under the half-coverage rule the action recognizer
+/// uses: a shot truly contains the label when at least half its frames are
+/// inside a truth range.
+video::IntervalSet ShotTruth(const video::IntervalSet& frame_truth,
+                             int frames_per_shot);
+
+}  // namespace svq::eval
+
+#endif  // SVQ_EVAL_METRICS_H_

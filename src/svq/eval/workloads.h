@@ -1,0 +1,64 @@
+#ifndef SVQ_EVAL_WORKLOADS_H_
+#define SVQ_EVAL_WORKLOADS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/core/query.h"
+#include "svq/models/model_profile.h"
+#include "svq/video/synthetic_video.h"
+
+namespace svq::eval {
+
+/// One benchmark query plus the videos it runs over.
+struct QueryScenario {
+  std::string name;   // "q1" ... "q12" or a movie title
+  core::Query query;
+  std::vector<std::shared_ptr<const video::SyntheticVideo>> videos;
+};
+
+/// Frame-domain ground-truth result ranges of `query` on `v`: the
+/// intersection of the action's presence with every queried object's
+/// presence (the paper's §5.1 annotation rule: "the intersection of the
+/// temporal intervals of all the query-specified objects and the action").
+video::IntervalSet TruthFrames(const video::SyntheticVideo& v,
+                               const core::Query& query);
+
+/// Per-label detector accuracy used by the workloads: common COCO classes
+/// (person, car) detect far better than rare ones (faucet, sunglasses) —
+/// the driver of the Table 3 effects. Apply to a DetectorProfile via
+/// ApplyWorkloadAccuracy.
+const std::map<std::string, models::LabelAccuracy>& WorkloadLabelAccuracy();
+
+/// Copies `profile` and installs the workload's per-label accuracies
+/// (no-op for ideal profiles).
+models::DetectorProfile ApplyWorkloadAccuracy(models::DetectorProfile profile);
+
+/// The 12-query YouTube/ActivityNet emulation of paper Table 1. `scale`
+/// shrinks the total video minutes (1.0 = the paper's lengths; tests use
+/// ~0.05). Deterministic in `seed`.
+Result<std::vector<QueryScenario>> YouTubeWorkload(uint64_t seed,
+                                                   double scale = 1.0);
+
+/// One scenario of the YouTube workload by index (1-based, q1..q12).
+Result<QueryScenario> YouTubeScenario(int index, uint64_t seed,
+                                      double scale = 1.0);
+
+/// Rebuilds the scenario's videos with a different frame/shot/clip layout
+/// (same seeds, hence identical frame-level ground truth): the clip-size
+/// sensitivity study of paper Figures 4 and 5.
+Result<QueryScenario> WithLayout(const QueryScenario& scenario,
+                                 const video::VideoLayout& layout);
+
+/// The four-movie workload of paper Table 2 (Coffee and Cigarettes,
+/// Iron Man, Star Wars 3, Titanic) with their queries. `scale` shrinks the
+/// movie lengths. Each scenario holds exactly one (long) video.
+Result<std::vector<QueryScenario>> MoviesWorkload(uint64_t seed,
+                                                  double scale = 1.0);
+
+}  // namespace svq::eval
+
+#endif  // SVQ_EVAL_WORKLOADS_H_

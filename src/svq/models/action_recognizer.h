@@ -1,0 +1,36 @@
+#ifndef SVQ_MODELS_ACTION_RECOGNIZER_H_
+#define SVQ_MODELS_ACTION_RECOGNIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/models/detection.h"
+#include "svq/models/inference_stats.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::models {
+
+/// Black-box per-shot action recognition (paper §2 "Action Recognition").
+///
+/// The model consumes a shot (a fixed-length run of frames) and emits zero
+/// or more action scores; callers apply the score threshold `T_act`.
+/// Implementations must be deterministic per shot.
+class ActionRecognizer {
+ public:
+  virtual ~ActionRecognizer() = default;
+
+  virtual Result<std::vector<ActionScore>> Recognize(
+      const video::ShotRef& shot) = 0;
+
+  /// Action vocabulary of the model (`A` in the paper, e.g. Kinetics-600).
+  virtual const std::vector<std::string>& SupportedLabels() const = 0;
+
+  virtual const std::string& name() const = 0;
+
+  virtual const InferenceStats& stats() const = 0;
+};
+
+}  // namespace svq::models
+
+#endif  // SVQ_MODELS_ACTION_RECOGNIZER_H_

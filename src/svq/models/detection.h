@@ -1,0 +1,39 @@
+#ifndef SVQ_MODELS_DETECTION_H_
+#define SVQ_MODELS_DETECTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace svq::models {
+
+/// Axis-aligned box in normalized [0,1] frame coordinates.
+struct BoundingBox {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+};
+
+/// One object detection on one frame: the label, the detector confidence
+/// score in [0, 1] (`S_{o_i}^{(v)}` of paper §2), the box, and — when a
+/// tracker produced it — a stable tracking identifier (`t` in the paper's
+/// `S_{o_i}^t(v)` notation).
+struct ObjectDetection {
+  std::string label;
+  double score = 0.0;
+  BoundingBox box;
+  /// Stable instance id across frames; -1 when the producer is a plain
+  /// detector without tracking.
+  int64_t track_id = -1;
+};
+
+/// One action classification for one shot: label and confidence score
+/// (`S_{a_j}^{(s)}` of paper §2).
+struct ActionScore {
+  std::string label;
+  double score = 0.0;
+};
+
+}  // namespace svq::models
+
+#endif  // SVQ_MODELS_DETECTION_H_

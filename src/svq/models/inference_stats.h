@@ -1,0 +1,34 @@
+#ifndef SVQ_MODELS_INFERENCE_STATS_H_
+#define SVQ_MODELS_INFERENCE_STATS_H_
+
+#include <cstdint>
+
+namespace svq::models {
+
+/// Running account of how much model inference a component has performed.
+///
+/// The synthetic models do not run neural networks; instead every inference
+/// call accrues the profile's simulated latency here. The online engines
+/// report these numbers to reproduce the paper's §5.2 "Runtime Superiority"
+/// breakdown (">98% of query latency is model inference").
+struct InferenceStats {
+  /// Occurrence units processed (frames for detectors/trackers, shots for
+  /// action recognizers).
+  int64_t units = 0;
+  /// Total simulated inference latency in milliseconds.
+  double simulated_ms = 0.0;
+
+  void Add(int64_t n, double cost_ms_per_unit) {
+    units += n;
+    simulated_ms += static_cast<double>(n) * cost_ms_per_unit;
+  }
+  InferenceStats& operator+=(const InferenceStats& other) {
+    units += other.units;
+    simulated_ms += other.simulated_ms;
+    return *this;
+  }
+};
+
+}  // namespace svq::models
+
+#endif  // SVQ_MODELS_INFERENCE_STATS_H_

@@ -1,0 +1,97 @@
+#include "svq/models/model_profile.h"
+
+namespace svq::models {
+
+Status DetectorProfile::Validate() const {
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(tpr) || !in01(fpr)) {
+    return Status::InvalidArgument("tpr/fpr must be in [0, 1]");
+  }
+  for (const auto& [label, acc] : label_accuracy) {
+    if (!in01(acc.tpr) || !in01(acc.fpr)) {
+      return Status::InvalidArgument("label accuracy out of range for " +
+                                     label);
+    }
+  }
+  if (mean_miss_burst < 1.0 || mean_fp_burst < 1.0) {
+    return Status::InvalidArgument("burst means must be >= 1");
+  }
+  if (true_score.alpha <= 0.0 || true_score.beta <= 0.0 ||
+      false_score.alpha <= 0.0 || false_score.beta <= 0.0) {
+    return Status::InvalidArgument("score distribution params must be > 0");
+  }
+  if (cost_ms < 0.0) {
+    return Status::InvalidArgument("cost_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+DetectorProfile MaskRcnnProfile() {
+  DetectorProfile p;
+  p.name = "maskrcnn";
+  p.tpr = 0.93;
+  p.fpr = 0.02;
+  p.mean_miss_burst = 6.0;
+  p.mean_fp_burst = 3.0;
+  p.true_score = {9.0, 2.0};
+  p.false_score = {2.5, 4.0};
+  p.cost_ms = 95.0;
+  return p;
+}
+
+DetectorProfile YoloV3Profile() {
+  DetectorProfile p;
+  p.name = "yolov3";
+  p.tpr = 0.82;
+  p.fpr = 0.06;
+  p.mean_miss_burst = 8.0;
+  p.mean_fp_burst = 4.0;
+  // One-stage detectors score true objects less confidently, so more true
+  // detections land below the T_obj threshold.
+  p.true_score = {5.5, 2.5};
+  p.false_score = {2.5, 3.5};
+  p.cost_ms = 22.0;
+  return p;
+}
+
+DetectorProfile I3dProfile() {
+  DetectorProfile p;
+  p.name = "i3d";
+  p.tpr = 0.90;
+  p.fpr = 0.03;
+  // Occurrence units are shots. Misses during a sustained action are
+  // near-independent per shot (a 2-shot dropout is ~32 frames of sustained
+  // misclassification mid-action, which clip-level recognizers rarely
+  // exhibit); false positives still cluster on confusable scenes.
+  p.mean_miss_burst = 1.2;
+  p.mean_fp_burst = 2.0;
+  p.true_score = {8.0, 2.0};
+  p.false_score = {2.0, 4.0};
+  // Per-shot inference cost (a 16-frame 3D conv stack).
+  p.cost_ms = 110.0;
+  return p;
+}
+
+DetectorProfile IdealObjectProfile() {
+  DetectorProfile p;
+  p.name = "ideal-object";
+  p.tpr = 1.0;
+  p.fpr = 0.0;
+  p.ideal = true;
+  p.cost_ms = 0.0;
+  return p;
+}
+
+DetectorProfile IdealActionProfile() {
+  DetectorProfile p;
+  p.name = "ideal-action";
+  p.tpr = 1.0;
+  p.fpr = 0.0;
+  p.ideal = true;
+  p.cost_ms = 0.0;
+  return p;
+}
+
+TrackerProfile CenterTrackProfile() { return TrackerProfile(); }
+
+}  // namespace svq::models

@@ -1,0 +1,96 @@
+#ifndef SVQ_MODELS_MODEL_PROFILE_H_
+#define SVQ_MODELS_MODEL_PROFILE_H_
+
+#include <map>
+#include <string>
+
+#include "svq/common/status.h"
+
+namespace svq::models {
+
+/// Parameters of a Beta distribution used for confidence scores.
+struct ScoreDistribution {
+  double alpha = 8.0;
+  double beta = 2.0;
+};
+
+/// Per-label accuracy override (see DetectorProfile::label_accuracy).
+struct LabelAccuracy {
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+/// Statistical emulation of a detection model (see DESIGN.md
+/// "Substitutions"). The synthetic models reproduce a real model's
+/// *observable behaviour* — how often it fires inside/outside true presence,
+/// how its errors cluster in time, how its confidence scores distribute,
+/// and how long inference takes — which is all the query algorithms ever
+/// see.
+struct DetectorProfile {
+  std::string name = "synthetic";
+
+  /// Probability that an occurrence unit inside true presence emits a
+  /// detection (before score thresholding).
+  double tpr = 0.95;
+  /// Probability that an occurrence unit outside true presence emits a
+  /// (false) detection.
+  double fpr = 0.02;
+  /// Mean length, in occurrence units, of detection dropouts inside true
+  /// presence. Real detectors miss in temporally correlated bursts
+  /// (occlusion, blur), not i.i.d. per frame.
+  double mean_miss_burst = 6.0;
+  /// Mean length of false-positive bursts outside true presence.
+  double mean_fp_burst = 3.0;
+  /// Confidence score law for detections of truly present types.
+  ScoreDistribution true_score{9.0, 2.0};
+  /// Confidence score law for false detections.
+  ScoreDistribution false_score{2.5, 4.0};
+  /// Simulated inference latency per occurrence unit (frame or shot), in
+  /// milliseconds; drives the virtual-time runtime accounting.
+  double cost_ms = 40.0;
+  /// When true, the model matches ground truth exactly with score 1.0
+  /// (the paper's "Ideal Model" baseline, Table 4).
+  bool ideal = false;
+  /// Per-label accuracy overrides; labels not listed use `tpr`/`fpr`.
+  /// This captures that e.g. COCO detectors find `person` far more reliably
+  /// than `faucet` — the driver of the Table 3 correlation effects.
+  std::map<std::string, LabelAccuracy> label_accuracy;
+
+  double TprFor(const std::string& label) const {
+    auto it = label_accuracy.find(label);
+    return it == label_accuracy.end() ? tpr : it->second.tpr;
+  }
+  double FprFor(const std::string& label) const {
+    auto it = label_accuracy.find(label);
+    return it == label_accuracy.end() ? fpr : it->second.fpr;
+  }
+
+  Status Validate() const;
+};
+
+/// Emulation of Mask R-CNN (two-stage, accurate, slow).
+DetectorProfile MaskRcnnProfile();
+/// Emulation of YOLOv3 (one-stage, faster, noisier).
+DetectorProfile YoloV3Profile();
+/// Emulation of the I3D action recognizer (per-shot occurrence units).
+DetectorProfile I3dProfile();
+/// Ideal (ground-truth) object model — paper Table 4.
+DetectorProfile IdealObjectProfile();
+/// Ideal (ground-truth) action model — paper Table 4.
+DetectorProfile IdealActionProfile();
+
+/// Tracking-noise parameters for the synthetic tracker (CenterTrack
+/// emulation): real trackers fragment long tracks into several identities.
+struct TrackerProfile {
+  std::string name = "centertrack";
+  /// Mean length (frames) of a track segment before an identity switch.
+  double mean_segment_frames = 400.0;
+  /// Simulated per-frame tracking cost (ms).
+  double cost_ms = 18.0;
+};
+
+TrackerProfile CenterTrackProfile();
+
+}  // namespace svq::models
+
+#endif  // SVQ_MODELS_MODEL_PROFILE_H_

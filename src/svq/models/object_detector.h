@@ -1,0 +1,40 @@
+#ifndef SVQ_MODELS_OBJECT_DETECTOR_H_
+#define SVQ_MODELS_OBJECT_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/models/detection.h"
+#include "svq/models/inference_stats.h"
+#include "svq/video/types.h"
+
+namespace svq::models {
+
+/// Black-box per-frame object detection (paper §2 "Object Detection").
+///
+/// An instance is bound to one video (in a deployment this wraps a decoder
+/// plus a network; here it wraps ground truth plus a noise overlay).
+/// Implementations must be deterministic: calling Detect twice on the same
+/// frame returns the same detections, as a real model would.
+class ObjectDetector {
+ public:
+  virtual ~ObjectDetector() = default;
+
+  /// All detections on `frame` whose emission the model produced,
+  /// regardless of score; callers apply the score threshold `T_obj`.
+  virtual Result<std::vector<ObjectDetection>> Detect(
+      video::FrameIndex frame) = 0;
+
+  /// Object vocabulary of the model (`O` in the paper).
+  virtual const std::vector<std::string>& SupportedLabels() const = 0;
+
+  virtual const std::string& name() const = 0;
+
+  /// Cumulative inference accounting for this instance.
+  virtual const InferenceStats& stats() const = 0;
+};
+
+}  // namespace svq::models
+
+#endif  // SVQ_MODELS_OBJECT_DETECTOR_H_

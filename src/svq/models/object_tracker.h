@@ -1,0 +1,35 @@
+#ifndef SVQ_MODELS_OBJECT_TRACKER_H_
+#define SVQ_MODELS_OBJECT_TRACKER_H_
+
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/models/detection.h"
+#include "svq/models/inference_stats.h"
+#include "svq/video/types.h"
+
+namespace svq::models {
+
+/// Black-box object tracking (paper §2): like a detector, but every
+/// detection carries a tracking identifier that is stable while the same
+/// instance stays visible. Used by the offline ingestion phase, whose
+/// scoring function `h` aggregates scores per (type, track, frame).
+class ObjectTracker {
+ public:
+  virtual ~ObjectTracker() = default;
+
+  /// Tracked detections on `frame`; `track_id` is set on every detection.
+  virtual Result<std::vector<ObjectDetection>> Track(
+      video::FrameIndex frame) = 0;
+
+  virtual const std::vector<std::string>& SupportedLabels() const = 0;
+
+  virtual const std::string& name() const = 0;
+
+  virtual const InferenceStats& stats() const = 0;
+};
+
+}  // namespace svq::models
+
+#endif  // SVQ_MODELS_OBJECT_TRACKER_H_

@@ -1,0 +1,452 @@
+#include "svq/models/synthetic_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::models {
+
+using video::Interval;
+using video::IntervalSet;
+
+namespace {
+
+uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic RNG for one (seed, label, unit) triple; gives every
+/// occurrence unit an independent but reproducible score draw.
+Rng UnitRng(uint64_t seed, uint64_t label_hash, int64_t unit) {
+  return Rng(MixHash(MixHash(seed, label_hash),
+                     static_cast<uint64_t>(unit) + 0x51ed2701));
+}
+
+double DrawScore(const ScoreDistribution& dist, Rng& rng) {
+  return rng.NextBeta(dist.alpha, dist.beta);
+}
+
+BoundingBox DrawBox(Rng& rng) {
+  BoundingBox box;
+  box.x = rng.NextDouble(0.0, 0.7);
+  box.y = rng.NextDouble(0.0, 0.7);
+  box.width = rng.NextDouble(0.1, 0.3);
+  box.height = rng.NextDouble(0.1, 0.3);
+  return box;
+}
+
+std::vector<std::string> BuildVocabulary(
+    const std::vector<std::string>& truth_labels,
+    const std::vector<std::string>& extra) {
+  std::vector<std::string> vocab = truth_labels;
+  for (const std::string& label : extra) {
+    if (std::find(vocab.begin(), vocab.end(), label) == vocab.end()) {
+      vocab.push_back(label);
+    }
+  }
+  std::sort(vocab.begin(), vocab.end());
+  return vocab;
+}
+
+}  // namespace
+
+uint64_t HashLabel(const std::string& label) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+BoundingBox InstanceBox(const video::TrackInstance& instance,
+                        video::FrameIndex frame, uint64_t seed) {
+  Rng rng(MixHash(seed ^ 0xb0b0b0ULL,
+                  static_cast<uint64_t>(instance.instance_id)));
+  const double width = rng.NextDouble(0.08, 0.25);
+  const double height = rng.NextDouble(0.10, 0.30);
+  const double base_cx = rng.NextDouble(width / 2, 1.0 - width / 2);
+  const double base_cy = rng.NextDouble(height / 2, 1.0 - height / 2);
+  const double amplitude = rng.NextDouble(0.01, 0.06);
+  const double period = rng.NextDouble(240.0, 900.0);
+  const double phase = rng.NextDouble(0.0, 2.0 * M_PI);
+  const double t = static_cast<double>(frame - instance.frames.begin);
+  const double cx = std::clamp(
+      base_cx + amplitude * std::sin(2.0 * M_PI * t / period + phase),
+      width / 2, 1.0 - width / 2);
+  const double cy = std::clamp(
+      base_cy + 0.5 * amplitude * std::cos(2.0 * M_PI * t / period + phase),
+      height / 2, 1.0 - height / 2);
+  BoundingBox box;
+  box.x = cx - width / 2;
+  box.y = cy - height / 2;
+  box.width = width;
+  box.height = height;
+  return box;
+}
+
+InstanceLookup::InstanceLookup(const video::GroundTruth& ground_truth) {
+  for (const video::TrackInstance& inst : ground_truth.instances()) {
+    by_label_[inst.label].push_back(&inst);
+  }
+  for (auto& [label, instances] : by_label_) {
+    std::sort(instances.begin(), instances.end(),
+              [](const video::TrackInstance* a,
+                 const video::TrackInstance* b) {
+                return a->frames.begin < b->frames.begin;
+              });
+  }
+}
+
+const video::TrackInstance* InstanceLookup::At(const std::string& label,
+                                               video::FrameIndex frame) const {
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return nullptr;
+  const auto& instances = it->second;
+  auto upper = std::upper_bound(
+      instances.begin(), instances.end(), frame,
+      [](video::FrameIndex f, const video::TrackInstance* inst) {
+        return f < inst->frames.begin;
+      });
+  for (auto rit = upper; rit != instances.begin();) {
+    --rit;
+    if ((*rit)->frames.Contains(frame)) return *rit;
+  }
+  return nullptr;
+}
+
+PresenceOverlay PresenceOverlay::Build(const IntervalSet& truth,
+                                       int64_t num_units, double tpr,
+                                       double fpr, double mean_miss_burst,
+                                       double mean_fp_burst, bool ideal,
+                                       Rng rng) {
+  PresenceOverlay overlay;
+  if (ideal || (tpr >= 1.0 && fpr <= 0.0)) {
+    overlay.detected_ = truth;
+    overlay.true_detected_ = truth;
+    return overlay;
+  }
+  // Dropout bursts inside true presence: an alternating process whose
+  // stationary on-fraction equals the miss rate 1 - tpr.
+  IntervalSet misses;
+  const double miss_frac = 1.0 - tpr;
+  if (miss_frac > 0.0 && !truth.empty()) {
+    const double mean_off = miss_frac >= 1.0
+                                ? 1.0
+                                : mean_miss_burst * tpr / miss_frac;
+    misses = IntervalSet(video::GenerateAlternatingProcess(
+        num_units, mean_miss_burst, mean_off, rng));
+  }
+  // False-positive bursts outside true presence, stationary fraction fpr.
+  IntervalSet false_positives;
+  if (fpr > 0.0) {
+    const double mean_off =
+        fpr >= 1.0 ? 1.0 : mean_fp_burst * (1.0 - fpr) / fpr;
+    IntervalSet raw(video::GenerateAlternatingProcess(
+        num_units, mean_fp_burst, mean_off, rng));
+    false_positives =
+        IntervalSet::Intersect(raw, truth.Complement(0, num_units));
+  }
+  overlay.true_detected_ = IntervalSet::Difference(truth, misses);
+  overlay.false_detected_ = false_positives;
+  overlay.detected_ =
+      IntervalSet::Union(overlay.true_detected_, false_positives);
+  return overlay;
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticObjectDetector
+
+SyntheticObjectDetector::SyntheticObjectDetector(
+    std::shared_ptr<const video::SyntheticVideo> video,
+    DetectorProfile profile, std::vector<std::string> extra_vocabulary,
+    uint64_t seed)
+    : video_(std::move(video)),
+      profile_(std::move(profile)),
+      vocabulary_(BuildVocabulary(video_->ground_truth().ObjectLabels(),
+                                  extra_vocabulary)),
+      seed_(seed),
+      lookup_(video_->ground_truth()) {}
+
+const PresenceOverlay& SyntheticObjectDetector::OverlayFor(
+    const std::string& label) {
+  auto it = overlays_.find(label);
+  if (it != overlays_.end()) return it->second;
+  Rng rng(MixHash(seed_, HashLabel(label)));
+  PresenceOverlay overlay = PresenceOverlay::Build(
+      video_->ground_truth().ObjectPresence(label), video_->num_frames(),
+      profile_.TprFor(label), profile_.FprFor(label),
+      profile_.mean_miss_burst, profile_.mean_fp_burst, profile_.ideal,
+      std::move(rng));
+  return overlays_.emplace(label, std::move(overlay)).first->second;
+}
+
+Result<std::vector<ObjectDetection>> SyntheticObjectDetector::Detect(
+    video::FrameIndex frame) {
+  if (frame < 0 || frame >= video_->num_frames()) {
+    return Status::OutOfRange("frame index out of range");
+  }
+  stats_.Add(1, profile_.cost_ms);
+  std::vector<ObjectDetection> detections;
+  for (const std::string& label : vocabulary_) {
+    const PresenceOverlay& overlay = OverlayFor(label);
+    if (!overlay.detected().Contains(frame)) continue;
+    Rng rng = UnitRng(seed_, HashLabel(label), frame);
+    ObjectDetection det;
+    det.label = label;
+    const bool is_true = overlay.true_detected().Contains(frame);
+    det.score = profile_.ideal
+                    ? 1.0
+                    : DrawScore(is_true ? profile_.true_score
+                                        : profile_.false_score,
+                                rng);
+    // True detections carry the instance's stable geometry; false
+    // positives hallucinate a random box.
+    const video::TrackInstance* instance =
+        is_true ? lookup_.At(label, frame) : nullptr;
+    det.box = instance != nullptr ? InstanceBox(*instance, frame, seed_)
+                                  : DrawBox(rng);
+    detections.push_back(std::move(det));
+  }
+  return detections;
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticActionRecognizer
+
+SyntheticActionRecognizer::SyntheticActionRecognizer(
+    std::shared_ptr<const video::SyntheticVideo> video,
+    DetectorProfile profile, std::vector<std::string> extra_vocabulary,
+    uint64_t seed)
+    : video_(std::move(video)),
+      profile_(std::move(profile)),
+      vocabulary_(BuildVocabulary(video_->ground_truth().ActionLabels(),
+                                  extra_vocabulary)),
+      seed_(seed) {}
+
+video::IntervalSet SyntheticActionRecognizer::ShotTruth(
+    const std::string& label) const {
+  const IntervalSet& frames = video_->ground_truth().ActionPresence(label);
+  const video::VideoLayout& layout = video_->layout();
+  const int64_t fps = layout.frames_per_shot;
+  IntervalSet shots;
+  for (const Interval& range : frames.intervals()) {
+    const int64_t first_shot = range.begin / fps;
+    const int64_t last_shot = (range.end - 1) / fps;
+    for (int64_t s = first_shot; s <= last_shot; ++s) {
+      const Interval shot_frames = {s * fps, (s + 1) * fps};
+      const int64_t overlap =
+          std::min(shot_frames.end, range.end) -
+          std::max(shot_frames.begin, range.begin);
+      // Half-coverage rule: the recognizer "truly sees" the action when it
+      // occupies at least half the shot.
+      if (2 * overlap >= fps) shots.Add({s, s + 1});
+    }
+  }
+  return shots;
+}
+
+const PresenceOverlay& SyntheticActionRecognizer::OverlayFor(
+    const std::string& label) {
+  auto it = overlays_.find(label);
+  if (it != overlays_.end()) return it->second;
+  Rng rng(MixHash(seed_ ^ 0xac7101ULL, HashLabel(label)));
+  PresenceOverlay overlay = PresenceOverlay::Build(
+      ShotTruth(label), video_->NumShots(), profile_.TprFor(label),
+      profile_.FprFor(label), profile_.mean_miss_burst,
+      profile_.mean_fp_burst, profile_.ideal, std::move(rng));
+  return overlays_.emplace(label, std::move(overlay)).first->second;
+}
+
+Result<std::vector<ActionScore>> SyntheticActionRecognizer::Recognize(
+    const video::ShotRef& shot) {
+  if (shot.shot < 0 || shot.shot >= video_->NumShots()) {
+    return Status::OutOfRange("shot index out of range");
+  }
+  stats_.Add(1, profile_.cost_ms);
+  std::vector<ActionScore> scores;
+  for (const std::string& label : vocabulary_) {
+    const PresenceOverlay& overlay = OverlayFor(label);
+    if (!overlay.detected().Contains(shot.shot)) continue;
+    Rng rng = UnitRng(seed_ ^ 0xac7101ULL, HashLabel(label), shot.shot);
+    const double score =
+        profile_.ideal
+            ? 1.0
+            : DrawScore(overlay.true_detected().Contains(shot.shot)
+                            ? profile_.true_score
+                            : profile_.false_score,
+                        rng);
+    scores.push_back({label, score});
+  }
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticObjectTracker
+
+SyntheticObjectTracker::SyntheticObjectTracker(
+    std::shared_ptr<const video::SyntheticVideo> video,
+    DetectorProfile detector_profile, TrackerProfile tracker_profile,
+    std::vector<std::string> extra_vocabulary, uint64_t seed)
+    : video_(std::move(video)),
+      detector_profile_(std::move(detector_profile)),
+      tracker_profile_(std::move(tracker_profile)),
+      vocabulary_(BuildVocabulary(video_->ground_truth().ObjectLabels(),
+                                  extra_vocabulary)),
+      seed_(seed),
+      lookup_(video_->ground_truth()) {
+  for (const video::TrackInstance& inst : video_->ground_truth().instances()) {
+    by_label_[inst.label].push_back(&inst);
+  }
+  for (auto& [label, instances] : by_label_) {
+    std::sort(instances.begin(), instances.end(),
+              [](const video::TrackInstance* a, const video::TrackInstance* b) {
+                return a->frames.begin < b->frames.begin;
+              });
+  }
+}
+
+const PresenceOverlay& SyntheticObjectTracker::OverlayFor(
+    const std::string& label) {
+  auto it = overlays_.find(label);
+  if (it != overlays_.end()) return it->second;
+  // Same noise stream as a detector with the same seed would use, so a
+  // paired detector/tracker see consistent emissions.
+  Rng rng(MixHash(seed_, HashLabel(label)));
+  PresenceOverlay overlay = PresenceOverlay::Build(
+      video_->ground_truth().ObjectPresence(label), video_->num_frames(),
+      detector_profile_.TprFor(label), detector_profile_.FprFor(label),
+      detector_profile_.mean_miss_burst, detector_profile_.mean_fp_burst,
+      detector_profile_.ideal, std::move(rng));
+  return overlays_.emplace(label, std::move(overlay)).first->second;
+}
+
+int64_t SyntheticObjectTracker::TrueTrackIdAt(const std::string& label,
+                                              video::FrameIndex frame) {
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return -1;
+  const auto& instances = it->second;
+  // Instances are sorted by begin; walk back from the last instance that
+  // begins at or before `frame`. Appearances of one label rarely overlap,
+  // so the scan is short in practice.
+  auto upper = std::upper_bound(
+      instances.begin(), instances.end(), frame,
+      [](video::FrameIndex f, const video::TrackInstance* inst) {
+        return f < inst->frames.begin;
+      });
+  for (auto rit = upper; rit != instances.begin();) {
+    --rit;
+    const video::TrackInstance* inst = *rit;
+    if (!inst->frames.Contains(frame)) continue;
+    // Identity churn: the instance fragments into geometric-length track
+    // segments, each with its own identifier (deterministic per instance).
+    auto bit = segment_boundaries_.find(inst->instance_id);
+    if (bit == segment_boundaries_.end()) {
+      std::vector<int64_t> boundaries;
+      Rng rng(MixHash(seed_ ^ 0x7eac4e7ULL,
+                      static_cast<uint64_t>(inst->instance_id)));
+      int64_t cursor = inst->frames.begin;
+      while (cursor < inst->frames.end) {
+        cursor += 1 + static_cast<int64_t>(rng.NextGeometric(
+                          1.0 / std::max(1.0,
+                                         tracker_profile_.mean_segment_frames)));
+        boundaries.push_back(std::min(cursor, inst->frames.end));
+      }
+      bit = segment_boundaries_
+                .emplace(inst->instance_id, std::move(boundaries))
+                .first;
+    }
+    const std::vector<int64_t>& bounds = bit->second;
+    const int64_t segment =
+        std::upper_bound(bounds.begin(), bounds.end(), frame) -
+        bounds.begin();
+    return (inst->instance_id << 12) | (segment & 0xFFF);
+  }
+  return -1;
+}
+
+int64_t SyntheticObjectTracker::FalseTrackIdAt(const std::string& label,
+                                               video::FrameIndex frame) {
+  const PresenceOverlay& overlay = OverlayFor(label);
+  const int64_t idx = overlay.false_detected().FindInterval(frame);
+  if (idx < 0) return -1;
+  // False tracks get identifiers in a disjoint high range, one per
+  // false-positive burst.
+  return (int64_t{1} << 40) |
+         (static_cast<int64_t>(HashLabel(label) & 0xFFFFF) << 16) |
+         (idx & 0xFFFF);
+}
+
+Result<std::vector<ObjectDetection>> SyntheticObjectTracker::Track(
+    video::FrameIndex frame) {
+  if (frame < 0 || frame >= video_->num_frames()) {
+    return Status::OutOfRange("frame index out of range");
+  }
+  stats_.Add(1, detector_profile_.cost_ms + tracker_profile_.cost_ms);
+  std::vector<ObjectDetection> detections;
+  for (const std::string& label : vocabulary_) {
+    const PresenceOverlay& overlay = OverlayFor(label);
+    if (!overlay.detected().Contains(frame)) continue;
+    Rng rng = UnitRng(seed_, HashLabel(label), frame);
+    ObjectDetection det;
+    det.label = label;
+    const bool is_true = overlay.true_detected().Contains(frame);
+    det.score = detector_profile_.ideal
+                    ? 1.0
+                    : DrawScore(is_true ? detector_profile_.true_score
+                                        : detector_profile_.false_score,
+                                rng);
+    const video::TrackInstance* instance =
+        is_true ? lookup_.At(label, frame) : nullptr;
+    det.box = instance != nullptr ? InstanceBox(*instance, frame, seed_)
+                                  : DrawBox(rng);
+    det.track_id =
+        is_true ? TrueTrackIdAt(label, frame) : FalseTrackIdAt(label, frame);
+    if (det.track_id < 0) det.track_id = FalseTrackIdAt(label, frame);
+    detections.push_back(std::move(det));
+  }
+  return detections;
+}
+
+// ---------------------------------------------------------------------------
+// Suites and factories
+
+ModelSet MakeModelSet(const std::shared_ptr<const video::SyntheticVideo>& video,
+                      const ModelSuite& suite,
+                      const std::vector<std::string>& query_object_labels,
+                      const std::vector<std::string>& query_action_labels) {
+  ModelSet set;
+  set.detector = std::make_unique<SyntheticObjectDetector>(
+      video, suite.object_profile, query_object_labels, suite.seed);
+  set.recognizer = std::make_unique<SyntheticActionRecognizer>(
+      video, suite.action_profile, query_action_labels, suite.seed);
+  set.tracker = std::make_unique<SyntheticObjectTracker>(
+      video, suite.object_profile, suite.tracker_profile, query_object_labels,
+      suite.seed);
+  return set;
+}
+
+ModelSuite MaskRcnnI3dSuite() {
+  ModelSuite suite;
+  suite.object_profile = MaskRcnnProfile();
+  suite.action_profile = I3dProfile();
+  return suite;
+}
+
+ModelSuite YoloV3I3dSuite() {
+  ModelSuite suite;
+  suite.object_profile = YoloV3Profile();
+  suite.action_profile = I3dProfile();
+  return suite;
+}
+
+ModelSuite IdealSuite() {
+  ModelSuite suite;
+  suite.object_profile = IdealObjectProfile();
+  suite.action_profile = IdealActionProfile();
+  return suite;
+}
+
+}  // namespace svq::models

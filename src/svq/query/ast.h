@@ -1,0 +1,67 @@
+#ifndef SVQ_QUERY_AST_H_
+#define SVQ_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace svq::query {
+
+/// One item of the SELECT list: `MERGE(clipID) AS Sequence`,
+/// `RANK(act, obj)`, or a bare column.
+struct SelectItem {
+  enum class Kind { kMerge, kRank, kColumn };
+  Kind kind = Kind::kColumn;
+  /// MERGE argument or column name.
+  std::string column;
+  /// RANK arguments.
+  std::vector<std::string> rank_args;
+  /// AS alias, if any.
+  std::string alias;
+};
+
+/// One `alias [USING Model]` binding of the PROCESS ... PRODUCE clause.
+struct ProduceItem {
+  std::string alias;
+  std::string model;  // empty when no USING
+};
+
+/// `FROM (PROCESS <video> PRODUCE item, item, ...)`.
+struct ProcessClause {
+  std::string video;
+  std::vector<ProduceItem> items;
+};
+
+/// A WHERE conjunct. Three syntactic forms from the paper:
+///   act = 'jumping'                  -> kEquals
+///   obj.include('car', 'human')      -> kMethodCall (method include/inc)
+///   det = Action('robot_dancing', 'car', 'human') -> kActionCall
+struct Predicate {
+  enum class Kind { kEquals, kMethodCall, kActionCall };
+  Kind kind = Kind::kEquals;
+  /// Left-hand alias (`act`, `obj`, `det`).
+  std::string target;
+  /// Method name for kMethodCall (`include` or `inc`).
+  std::string method;
+  /// String arguments: the action label for kEquals; the object labels for
+  /// kMethodCall; action followed by objects for kActionCall.
+  std::vector<std::string> args;
+};
+
+/// `ORDER BY RANK(args...)`.
+struct OrderByClause {
+  std::vector<std::string> rank_args;
+};
+
+/// A full parsed statement of the dialect.
+struct SelectStatement {
+  std::vector<SelectItem> select;
+  ProcessClause process;
+  std::vector<Predicate> predicates;
+  std::optional<OrderByClause> order_by;
+  std::optional<int64_t> limit;
+};
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_AST_H_

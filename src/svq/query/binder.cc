@@ -1,0 +1,155 @@
+#include "svq/query/binder.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "svq/query/parser.h"
+
+namespace svq::query {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string lower = s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower;
+}
+
+bool IsIncludeMethod(const std::string& method) {
+  const std::string lower = ToLower(method);
+  return lower == "include" || lower == "inc";
+}
+
+bool IsIncludeAnyMethod(const std::string& method) {
+  const std::string lower = ToLower(method);
+  return lower == "include_any" || lower == "inc_any" || lower == "any";
+}
+
+/// Maps a relationship method name to its operator; nullopt when the
+/// method is not a relationship.
+std::optional<core::RelOp> RelOpOf(const std::string& method) {
+  const std::string lower = ToLower(method);
+  if (lower == "left_of") return core::RelOp::kLeftOf;
+  if (lower == "right_of") return core::RelOp::kRightOf;
+  if (lower == "above") return core::RelOp::kAbove;
+  if (lower == "below") return core::RelOp::kBelow;
+  if (lower == "overlaps") return core::RelOp::kOverlaps;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<BoundQuery> Bind(const SelectStatement& statement) {
+  BoundQuery bound;
+  bound.video = statement.process.video;
+  if (bound.video.empty()) {
+    return Status::InvalidArgument("PROCESS clause must name a video");
+  }
+
+  // Declared aliases and their model bindings.
+  std::set<std::string> aliases;
+  for (const ProduceItem& item : statement.process.items) {
+    aliases.insert(item.alias);
+    if (item.model.empty()) continue;
+    // Alias conventions from the paper's statements: `obj` is produced by
+    // an object detector/tracker, `act` by an action recognizer, `det` by a
+    // combined vision model. The USING model name is surfaced so callers
+    // can pick a model suite.
+    if (item.alias == "act") {
+      bound.recognizer_model = item.model;
+    } else if (item.alias == "obj" || item.alias == "det") {
+      bound.detector_model = item.model;
+    }
+  }
+
+  for (const Predicate& pred : statement.predicates) {
+    // Relationship predicates conventionally use the pseudo-alias `rel`,
+    // which needs no PRODUCE entry (they derive from the object stream).
+    const bool is_relationship =
+        pred.kind == Predicate::Kind::kMethodCall &&
+        RelOpOf(pred.method).has_value();
+    if (!is_relationship && !aliases.empty() &&
+        !aliases.contains(pred.target)) {
+      return Status::InvalidArgument("predicate on undeclared alias '" +
+                                     pred.target + "'");
+    }
+    switch (pred.kind) {
+      case Predicate::Kind::kEquals:
+        // The first action predicate is primary; further ones are
+        // conjunctive extra actions (paper footnote 3).
+        if (bound.query.action.empty()) {
+          bound.query.action = pred.args.at(0);
+        } else {
+          bound.query.extra_actions.push_back(pred.args.at(0));
+        }
+        break;
+      case Predicate::Kind::kMethodCall:
+        if (const std::optional<core::RelOp> op = RelOpOf(pred.method)) {
+          if (pred.args.size() != 2) {
+            return Status::InvalidArgument(
+                "relationship '" + pred.method +
+                "' needs exactly two object labels");
+          }
+          bound.query.relationships.push_back(
+              {*op, pred.args[0], pred.args[1]});
+          break;
+        }
+        if (IsIncludeAnyMethod(pred.method)) {
+          bound.query.object_disjunctions.push_back(pred.args);
+          break;
+        }
+        if (!IsIncludeMethod(pred.method)) {
+          return Status::Unimplemented(
+              "object method '" + pred.method +
+              "' (supported: include/inc, include_any, left_of, right_of, "
+              "above, below, overlaps)");
+        }
+        for (const std::string& label : pred.args) {
+          bound.query.objects.push_back(label);
+        }
+        break;
+      case Predicate::Kind::kActionCall:
+        if (pred.args.empty()) {
+          return Status::InvalidArgument("Action(...) needs an action label");
+        }
+        if (bound.query.action.empty()) {
+          bound.query.action = pred.args.front();
+        } else {
+          bound.query.extra_actions.push_back(pred.args.front());
+        }
+        for (size_t i = 1; i < pred.args.size(); ++i) {
+          bound.query.objects.push_back(pred.args[i]);
+        }
+        break;
+    }
+  }
+  if (bound.query.action.empty()) {
+    return Status::InvalidArgument(
+        "query must constrain an action (act='...' or Action(...))");
+  }
+  SVQ_RETURN_NOT_OK(bound.query.Validate());
+
+  const bool has_rank_item = std::any_of(
+      statement.select.begin(), statement.select.end(),
+      [](const SelectItem& i) { return i.kind == SelectItem::Kind::kRank; });
+  bound.ranked = has_rank_item || statement.order_by.has_value();
+  if (statement.limit.has_value()) {
+    if (*statement.limit < 1) {
+      return Status::InvalidArgument("LIMIT must be >= 1");
+    }
+    bound.k = *statement.limit;
+  }
+  if (bound.ranked && bound.k == 0) {
+    return Status::InvalidArgument("ranked queries require LIMIT K");
+  }
+  return bound;
+}
+
+Result<BoundQuery> ParseAndBind(std::string_view statement) {
+  SVQ_ASSIGN_OR_RETURN(const SelectStatement stmt, Parse(statement));
+  return Bind(stmt);
+}
+
+}  // namespace svq::query

@@ -1,0 +1,39 @@
+#ifndef SVQ_QUERY_BINDER_H_
+#define SVQ_QUERY_BINDER_H_
+
+#include <string>
+
+#include "svq/common/result.h"
+#include "svq/core/query.h"
+#include "svq/query/ast.h"
+
+namespace svq::query {
+
+/// A statement resolved against the engine's semantics: the conjunctive
+/// action/object query, the source video name, and the execution shape
+/// (plain streaming vs ranked top-K).
+struct BoundQuery {
+  core::Query query;
+  std::string video;
+  /// True when the statement ranks results (RANK select item or ORDER BY).
+  bool ranked = false;
+  /// LIMIT K; 0 means unlimited (streaming mode).
+  int64_t k = 0;
+  /// Model names from the USING clauses (empty = engine defaults).
+  std::string detector_model;
+  std::string recognizer_model;
+};
+
+/// Resolves a parsed statement. Errors: InvalidArgument for semantic
+/// problems (no action predicate, two action predicates without the
+/// multi-action extension, predicate on an undeclared alias, ranked query
+/// without LIMIT); Unimplemented for dialect features the engine does not
+/// execute yet.
+Result<BoundQuery> Bind(const SelectStatement& statement);
+
+/// Convenience: Parse + Bind.
+Result<BoundQuery> ParseAndBind(std::string_view statement);
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_BINDER_H_

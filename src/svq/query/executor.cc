@@ -1,0 +1,70 @@
+#include "svq/query/executor.h"
+
+#include <algorithm>
+
+namespace svq::query {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Applies USING model names to a copy of the engine's suite.
+models::ModelSuite ResolveSuite(const models::ModelSuite& base,
+                                const BoundQuery& bound) {
+  models::ModelSuite suite = base;
+  const std::string detector = ToLower(bound.detector_model);
+  if (detector == "maskrcnn" || detector == "mask_rcnn") {
+    suite.object_profile = models::MaskRcnnProfile();
+  } else if (detector == "yolov3" || detector == "yolo") {
+    suite.object_profile = models::YoloV3Profile();
+  } else if (detector == "ideal" || detector == "idealmodel") {
+    suite.object_profile = models::IdealObjectProfile();
+  }
+  const std::string recognizer = ToLower(bound.recognizer_model);
+  if (recognizer == "i3d" || recognizer == "actionrecognizer") {
+    suite.action_profile = models::I3dProfile();
+  } else if (recognizer == "ideal" || recognizer == "idealmodel") {
+    suite.action_profile = models::IdealActionProfile();
+  }
+  return suite;
+}
+
+}  // namespace
+
+Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
+                                         std::string_view statement) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be set");
+  }
+  StatementResult result;
+  SVQ_ASSIGN_OR_RETURN(result.bound, ParseAndBind(statement));
+
+  const models::ModelSuite saved = engine->suite();
+  *engine->mutable_suite() = ResolveSuite(saved, result.bound);
+  // Restore the engine's suite regardless of outcome.
+  struct SuiteGuard {
+    core::VideoQueryEngine* engine;
+    models::ModelSuite saved;
+    ~SuiteGuard() { *engine->mutable_suite() = saved; }
+  } guard{engine, saved};
+
+  if (result.bound.ranked) {
+    SVQ_ASSIGN_OR_RETURN(
+        core::TopKResult topk,
+        engine->ExecuteTopK(result.bound.query, result.bound.video,
+                            static_cast<int>(result.bound.k)));
+    result.topk = std::move(topk);
+    return result;
+  }
+  SVQ_ASSIGN_OR_RETURN(
+      core::OnlineResult online,
+      engine->ExecuteOnline(result.bound.query, result.bound.video));
+  result.online = std::move(online);
+  return result;
+}
+
+}  // namespace svq::query

@@ -1,0 +1,31 @@
+#ifndef SVQ_QUERY_EXECUTOR_H_
+#define SVQ_QUERY_EXECUTOR_H_
+
+#include <optional>
+#include <string_view>
+
+#include "svq/common/result.h"
+#include "svq/core/engine.h"
+#include "svq/query/binder.h"
+
+namespace svq::query {
+
+/// Outcome of executing one statement: streaming statements fill `online`,
+/// ranked statements fill `topk`.
+struct StatementResult {
+  BoundQuery bound;
+  std::optional<core::OnlineResult> online;
+  std::optional<core::TopKResult> topk;
+};
+
+/// Parses, binds, and executes one dialect statement against the engine's
+/// video repository. `USING` model names (MaskRCNN, YOLOv3, I3D, Ideal)
+/// select the matching synthetic model profiles for this statement; other
+/// names fall back to the engine's configured suite. Ranked statements
+/// require the video to be ingested.
+Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
+                                         std::string_view statement);
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_EXECUTOR_H_

@@ -1,0 +1,106 @@
+#include "svq/query/explain.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "svq/core/clip_indicator.h"
+#include "svq/query/binder.h"
+
+namespace svq::query {
+
+std::optional<std::string_view> StripExplain(std::string_view statement) {
+  size_t i = 0;
+  while (i < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[i]))) {
+    ++i;
+  }
+  constexpr std::string_view kKeyword = "EXPLAIN";
+  if (statement.size() - i < kKeyword.size()) return std::nullopt;
+  for (size_t j = 0; j < kKeyword.size(); ++j) {
+    if (std::toupper(static_cast<unsigned char>(statement[i + j])) !=
+        kKeyword[j]) {
+      return std::nullopt;
+    }
+  }
+  const size_t rest = i + kKeyword.size();
+  if (rest < statement.size() &&
+      !std::isspace(static_cast<unsigned char>(statement[rest]))) {
+    return std::nullopt;  // e.g. an identifier starting with "explain"
+  }
+  return statement.substr(rest);
+}
+
+Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
+                                     std::string_view statement) {
+  if (const auto inner = StripExplain(statement)) statement = *inner;
+  SVQ_ASSIGN_OR_RETURN(const BoundQuery bound, ParseAndBind(statement));
+
+  std::ostringstream out;
+  out << "Statement: "
+      << (bound.ranked
+              ? "ranked top-" + std::to_string(bound.k) + " query (offline)"
+              : "streaming query (online)")
+      << "\n";
+  out << "  Query: " << bound.query.ToString() << "\n";
+
+  out << "  Source: " << bound.video;
+  if (engine != nullptr) {
+    if (!engine->HasVideo(bound.video)) {
+      out << " (NOT REGISTERED)";
+    } else if (engine->Ingested(bound.video) != nullptr) {
+      out << " (registered, ingested)";
+    } else {
+      out << " (registered, not ingested"
+          << (bound.ranked ? " — ranked execution will fail" : "") << ")";
+    }
+  }
+  out << "\n";
+
+  out << "  Predicates:\n";
+  int step = 0;
+  for (const core::FramePredicate& p :
+       core::FramePredicatesOf(bound.query)) {
+    out << "    " << ++step << ". frame predicate " << p.Name()
+        << "  [per-frame events -> scan-statistic quota per clip]\n";
+  }
+  for (const std::string& action : bound.query.AllActions()) {
+    out << "    " << ++step << ". action " << action
+        << "  [per-shot events -> scan-statistic quota per clip]\n";
+  }
+
+  if (bound.ranked) {
+    out << "  Pipeline: RVAQ (paper Alg. 4)\n";
+    out << "    - P_q <- ";
+    out << "P_a(" << bound.query.action << ")";
+    for (const std::string& extra : bound.query.extra_actions) {
+      out << " (x) P_a(" << extra << ")";
+    }
+    for (const std::string& object : bound.query.objects) {
+      out << " (x) P_o(" << object << ")";
+    }
+    out << "   [interval sweep over materialized sequences]\n";
+    out << "    - TBClip sorted/random access over the per-type clip score "
+           "tables\n";
+    out << "    - progressive upper/lower bounds, conclusive skipping, "
+           "stop at Eq. 15\n";
+  } else {
+    out << "  Pipeline: SVAQD (paper Alg. 3)\n";
+    out << "    - per-clip evaluation with short-circuiting (Alg. 2)\n";
+    out << "    - kernel background estimates -> adaptive critical values "
+           "(Eq. 5/6)\n";
+    out << "    - consecutive positive clips merge into result sequences "
+           "(Eq. 4)\n";
+  }
+
+  out << "  Models: detector="
+      << (bound.detector_model.empty() ? "<engine default>"
+                                       : bound.detector_model)
+      << ", recognizer="
+      << (bound.recognizer_model.empty() ? "<engine default>"
+                                         : bound.recognizer_model)
+      << "\n";
+  return out.str();
+}
+
+}  // namespace svq::query

@@ -1,0 +1,27 @@
+#ifndef SVQ_QUERY_EXPLAIN_H_
+#define SVQ_QUERY_EXPLAIN_H_
+
+#include <string>
+#include <string_view>
+
+#include "svq/common/result.h"
+#include "svq/core/engine.h"
+
+namespace svq::query {
+
+/// Renders a human-readable execution plan for a dialect statement without
+/// executing it: the bound query, the source's registration/ingestion
+/// state, the chosen pipeline (streaming SVAQD vs ranked RVAQ), and the
+/// resolved model profiles. `engine` may be null — the plan then omits
+/// repository state.
+Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
+                                     std::string_view statement);
+
+/// Strips a leading (case-insensitive) EXPLAIN keyword; returns the rest,
+/// or nullopt when the input does not start with EXPLAIN. Lets shells
+/// accept `EXPLAIN SELECT ...`.
+std::optional<std::string_view> StripExplain(std::string_view statement);
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_EXPLAIN_H_

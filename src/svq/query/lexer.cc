@@ -1,0 +1,140 @@
+#include "svq/query/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace svq::query {
+
+namespace {
+
+constexpr std::array<const char*, 14> kKeywords = {
+    "SELECT", "MERGE", "AS",    "FROM",  "PROCESS", "PRODUCE", "USING",
+    "WHERE",  "AND",   "ORDER", "BY",    "LIMIT",   "RANK",    "ACTION",
+};
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kLeftParen:
+      return "'('";
+    case TokenType::kRightParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kEquals:
+      return "'='";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+bool IsKeyword(const std::string& upper) {
+  return std::find_if(kKeywords.begin(), kKeywords.end(),
+                      [&](const char* kw) { return upper == kw; }) !=
+         kKeywords.end();
+}
+
+Result<std::vector<Token>> Lex(std::string_view statement) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = statement.size();
+  while (i < n) {
+    const char c = statement[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (c == '(') {
+      tokens.push_back({TokenType::kLeftParen, "(", start});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({TokenType::kRightParen, ")", start});
+      ++i;
+    } else if (c == ',') {
+      tokens.push_back({TokenType::kComma, ",", start});
+      ++i;
+    } else if (c == '=') {
+      tokens.push_back({TokenType::kEquals, "=", start});
+      ++i;
+    } else if (c == '.') {
+      tokens.push_back({TokenType::kDot, ".", start});
+      ++i;
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (statement[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(statement[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at position " +
+            std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(value), start});
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string value;
+      while (i < n && std::isdigit(static_cast<unsigned char>(statement[i]))) {
+        value.push_back(statement[i]);
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, std::move(value), start});
+    } else if (IsIdentStart(c)) {
+      std::string value;
+      while (i < n && IsIdentChar(statement[i])) {
+        value.push_back(statement[i]);
+        ++i;
+      }
+      const std::string upper = ToUpper(value);
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(value), start});
+      }
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at position " +
+                                     std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace svq::query

@@ -1,0 +1,19 @@
+#ifndef SVQ_QUERY_LEXER_H_
+#define SVQ_QUERY_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/query/token.h"
+
+namespace svq::query {
+
+/// Tokenizes one statement of the SVQ-ACT query dialect. The returned
+/// vector always ends with a kEnd sentinel. Errors: InvalidArgument with
+/// the offending position (unterminated string, unexpected character).
+Result<std::vector<Token>> Lex(std::string_view statement);
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_LEXER_H_

@@ -1,0 +1,26 @@
+#ifndef SVQ_QUERY_PARSER_H_
+#define SVQ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "svq/common/result.h"
+#include "svq/query/ast.h"
+
+namespace svq::query {
+
+/// Parses one statement of the SVQ-ACT dialect (paper §1/§2):
+///
+///   SELECT MERGE(clipID) AS Sequence [, RANK(act, obj)]
+///   FROM (PROCESS inputVideo PRODUCE clipID,
+///         obj USING ObjectDetector, act USING ActionRecognizer)
+///   WHERE act='jumping' AND obj.include('car', 'human')
+///   [ORDER BY RANK(act, obj)] [LIMIT K]
+///
+/// and the §1 vision-model form `WHERE det = Action('robot_dancing',
+/// 'car', 'human')`. Keywords are case-insensitive. Errors:
+/// InvalidArgument with token position and expectation.
+Result<SelectStatement> Parse(std::string_view statement);
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_PARSER_H_

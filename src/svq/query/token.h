@@ -1,0 +1,36 @@
+#ifndef SVQ_QUERY_TOKEN_H_
+#define SVQ_QUERY_TOKEN_H_
+
+#include <string>
+
+namespace svq::query {
+
+/// Token categories of the SVQ-ACT query dialect.
+enum class TokenType {
+  kIdentifier,   ///< bare word: inputVideo, obj, ObjectDetector, ...
+  kKeyword,      ///< SELECT FROM WHERE ... (case-insensitive; text upper)
+  kString,       ///< 'jumping' or "jumping" (text holds the unquoted value)
+  kNumber,       ///< integer literal
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kEquals,
+  kDot,
+  kEnd,          ///< end of input sentinel
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  /// Byte offset into the statement (for error messages).
+  size_t position = 0;
+};
+
+const char* TokenTypeName(TokenType type);
+
+/// True when `upper` is one of the dialect's reserved words.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace svq::query
+
+#endif  // SVQ_QUERY_TOKEN_H_

@@ -1,0 +1,98 @@
+#include "svq/stats/binomial.h"
+
+#include <cmath>
+#include <limits>
+
+namespace svq::stats {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double LogBinomialCoefficient(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double LogBinomialPmf(int64_t k, int64_t n, double p) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  if (p <= 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p >= 1.0) return k == n ? 0.0 : kNegInf;
+  return LogBinomialCoefficient(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double BinomialPmf(int64_t k, int64_t n, double p) {
+  const double lp = LogBinomialPmf(k, n, p);
+  return std::isinf(lp) ? 0.0 : std::exp(lp);
+}
+
+namespace {
+
+/// Sums pmf(j) for j in [lo, hi] by recurrence from an anchor term, which is
+/// numerically stable because successive-term ratios are exact.
+double SumPmfRange(int64_t lo, int64_t hi, int64_t n, double p) {
+  if (lo > hi) return 0.0;
+  if (p <= 0.0) return (lo <= 0 && 0 <= hi) ? 1.0 : 0.0;
+  if (p >= 1.0) return (lo <= n && n <= hi) ? 1.0 : 0.0;
+  // Anchor at the largest pmf within the range (closest to the mode).
+  int64_t mode = static_cast<int64_t>((n + 1) * p);
+  if (mode < lo) mode = lo;
+  if (mode > hi) mode = hi;
+  const double anchor = BinomialPmf(mode, n, p);
+  if (anchor == 0.0) return 0.0;
+  double total = anchor;
+  const double odds = p / (1.0 - p);
+  // Walk down from the anchor.
+  double term = anchor;
+  for (int64_t j = mode; j > lo; --j) {
+    // pmf(j-1) = pmf(j) * j / ((n-j+1) * odds)
+    term *= static_cast<double>(j) /
+            (static_cast<double>(n - j + 1) * odds);
+    total += term;
+    if (term < total * 1e-18) break;
+  }
+  // Walk up from the anchor.
+  term = anchor;
+  for (int64_t j = mode; j < hi; ++j) {
+    // pmf(j+1) = pmf(j) * (n-j) * odds / (j+1)
+    term *= static_cast<double>(n - j) * odds / static_cast<double>(j + 1);
+    total += term;
+    if (term < total * 1e-18) break;
+  }
+  return total;
+}
+
+}  // namespace
+
+double BinomialCdf(int64_t k, int64_t n, double p) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  // Sum the smaller tail for accuracy.
+  const double mean = static_cast<double>(n) * p;
+  if (static_cast<double>(k) < mean) {
+    const double s = SumPmfRange(0, k, n, p);
+    return s > 1.0 ? 1.0 : s;
+  }
+  const double upper = SumPmfRange(k + 1, n, n, p);
+  const double s = 1.0 - upper;
+  return s < 0.0 ? 0.0 : s;
+}
+
+double BinomialSf(int64_t k, int64_t n, double p) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  const double mean = static_cast<double>(n) * p;
+  if (static_cast<double>(k) > mean) {
+    const double s = SumPmfRange(k, n, n, p);
+    return s > 1.0 ? 1.0 : s;
+  }
+  const double lower = SumPmfRange(0, k - 1, n, p);
+  const double s = 1.0 - lower;
+  return s < 0.0 ? 0.0 : s;
+}
+
+}  // namespace svq::stats

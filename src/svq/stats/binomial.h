@@ -1,0 +1,27 @@
+#ifndef SVQ_STATS_BINOMIAL_H_
+#define SVQ_STATS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace svq::stats {
+
+/// Natural log of n-choose-k; returns -inf for invalid (k<0 or k>n).
+double LogBinomialCoefficient(int64_t n, int64_t k);
+
+/// log P(X = k) for X ~ Binomial(n, p). Returns -inf outside support.
+double LogBinomialPmf(int64_t k, int64_t n, double p);
+
+/// P(X = k) for X ~ Binomial(n, p).
+double BinomialPmf(int64_t k, int64_t n, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p). Returns 0 for k < 0 and 1 for k >= n.
+/// Computed by direct stable summation over the smaller tail.
+double BinomialCdf(int64_t k, int64_t n, double p);
+
+/// P(X >= k) = 1 - P(X <= k-1), computed from the upper tail directly so it
+/// stays accurate when the upper tail is tiny.
+double BinomialSf(int64_t k, int64_t n, double p);
+
+}  // namespace svq::stats
+
+#endif  // SVQ_STATS_BINOMIAL_H_

@@ -1,0 +1,64 @@
+#include "svq/stats/kernel_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace svq::stats {
+
+Result<KernelRateEstimator> KernelRateEstimator::Create(
+    const Options& options) {
+  if (!(options.bandwidth > 0.0)) {
+    return Status::InvalidArgument("kernel bandwidth must be > 0, got " +
+                                   std::to_string(options.bandwidth));
+  }
+  if (options.initial_p < 0.0 || options.initial_p > 1.0) {
+    return Status::InvalidArgument("initial_p must be in [0, 1]");
+  }
+  if (options.warmup_ous < 0) {
+    return Status::InvalidArgument("warmup_ous must be >= 0");
+  }
+  return KernelRateEstimator(options);
+}
+
+KernelRateEstimator::KernelRateEstimator(const Options& options)
+    : options_(options) {}
+
+void KernelRateEstimator::Step(bool event) {
+  Advance(1);
+  if (event) Observe();
+}
+
+void KernelRateEstimator::Advance(int64_t delta_ous) {
+  if (delta_ous <= 0) return;
+  // Decays the raw kernel sum; the edge correction is applied in rate() so
+  // the recurrence stays a single multiply.
+  kernel_sum_ *= std::exp(-static_cast<double>(delta_ous) /
+                          options_.bandwidth);
+  t_ += delta_ous;
+}
+
+void KernelRateEstimator::Observe() {
+  // A lag-zero event contributes exp(0) = 1 to the raw kernel sum.
+  kernel_sum_ += 1.0;
+  ++events_;
+}
+
+double KernelRateEstimator::rate() const {
+  if (t_ == 0) return options_.initial_p;
+  const double u = options_.bandwidth;
+  // Edge correction (paper Eq. 6): divide by the truncated kernel mass
+  // accumulated over the t observed occurrence units, normalized so that a
+  // constant Bernoulli(p) stream yields an unbiased estimate of p.
+  const double decay_step = -std::expm1(-1.0 / u);       // 1 - e^{-1/u}
+  const double truncated = -std::expm1(-static_cast<double>(t_) / u);
+  double estimate = kernel_sum_ * decay_step / truncated;
+  if (options_.warmup_ous > 0 && t_ < options_.warmup_ous) {
+    const double w = static_cast<double>(t_) /
+                     static_cast<double>(options_.warmup_ous);
+    estimate = w * estimate + (1.0 - w) * options_.initial_p;
+  }
+  return std::clamp(estimate, 0.0, 1.0);
+}
+
+}  // namespace svq::stats

@@ -1,0 +1,218 @@
+#include "svq/stats/scan_statistics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "svq/stats/binomial.h"
+
+namespace svq::stats {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// F(i; m) = P(Binomial(m, p) <= i) with F(i<0) = 0.
+double F(int64_t i, int64_t m, double p) {
+  if (i < 0) return 0.0;
+  return BinomialCdf(i, m, p);
+}
+
+}  // namespace
+
+double NausQ2(int k, int window, double p) {
+  const int64_t w = window;
+  const double b_k = BinomialPmf(k, w, p);
+  const double q2 = F(k - 1, w, p) * F(k - 1, w, p) -
+                    (k - 1) * b_k * F(k - 2, w, p) +
+                    k * static_cast<double>(w) * p * b_k * F(k - 3, w - 1, p);
+  return Clamp01(q2);
+}
+
+double NausQ3(int k, int window, double p) {
+  const int64_t w = window;
+  const double wd = static_cast<double>(w);
+  const double b_k = BinomialPmf(k, w, p);
+  const double f1 = F(k - 1, w, p);
+
+  const double a1 =
+      2.0 * b_k * f1 *
+      ((k - 1) * F(k - 2, w, p) - wd * p * F(k - 3, w - 1, p));
+  const double a2 =
+      0.5 * b_k * b_k *
+      (static_cast<double>(k - 1) * (k - 2) * F(k - 3, w, p) -
+       2.0 * (k - 2) * wd * p * F(k - 4, w - 1, p) +
+       wd * (wd - 1.0) * p * p * F(k - 5, w - 2, p));
+  double a3 = 0.0;
+  for (int r = 1; r <= k - 1; ++r) {
+    const double fr = F(r - 1, w, p);
+    a3 += BinomialPmf(2 * k - r, 2 * w, p) * fr * fr;
+  }
+  double a4 = 0.0;
+  for (int r = 2; r <= k - 1; ++r) {
+    a4 += BinomialPmf(2 * k - r, 2 * w, p) * F(r - 1, w, p) *
+          ((r - 1) * F(r - 2, w, p) - wd * p * F(r - 3, w - 1, p));
+  }
+
+  const double q3 = f1 * f1 * f1 - a1 + a2 + a3 - a4;
+  return Clamp01(q3);
+}
+
+double ScanTailProbability(int k, const ScanParams& params) {
+  const int w = params.window;
+  if (k <= 0) return 1.0;
+  if (w < 1) return 0.0;
+  if (k > w) return 0.0;
+  if (params.p <= 0.0) return 0.0;
+  if (params.p >= 1.0) return 1.0;
+
+  const double l = std::max(2.0, params.num_windows);
+  const double q2 = NausQ2(k, w, params.p);
+  const double q3 = NausQ3(k, w, params.p);
+  double tail;
+  if (q2 <= 1e-300) {
+    tail = 1.0;
+  } else {
+    // Q3 <= Q2 must hold (more trials, more chance to exceed); the
+    // approximation can violate it marginally, so clamp the ratio.
+    const double ratio = std::min(1.0, q3 / q2);
+    tail = (ratio <= 0.0)
+               ? 1.0
+               : 1.0 - q2 * std::exp((l - 2.0) * std::log(ratio));
+  }
+  // Bracket the approximation with rigorous bounds. The single-window tail
+  // is a lower bound (window 1 alone can reach the quota); the Bonferroni
+  // union bound over all N - w + 1 window positions is an upper bound.
+  // This keeps the result sane in regimes (large p*w, k near w) where the
+  // product approximation degrades.
+  const double single = BinomialSf(k, w, params.p);
+  const double num_positions = l * static_cast<double>(w) - w + 1.0;
+  const double upper = std::min(1.0, num_positions * single);
+  return Clamp01(std::min(upper, std::max(single, tail)));
+}
+
+Result<int> CriticalValue(const ScanParams& params, double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1), got " +
+                                   std::to_string(alpha));
+  }
+  if (params.window < 1) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  if (params.p < 0.0 || params.p > 1.0) {
+    return Status::InvalidArgument("background probability must be in [0, 1]");
+  }
+  if (params.num_windows < 1.0) {
+    return Status::InvalidArgument("num_windows must be >= 1");
+  }
+  // ScanTailProbability is non-increasing in k; return the first k at which
+  // it drops to the significance level.
+  for (int k = 1; k <= params.window; ++k) {
+    if (ScanTailProbability(k, params) <= alpha) return k;
+  }
+  // Even a saturated window is not significant under this background rate.
+  return params.window + 1;
+}
+
+double MarkovChainParams::StationaryP() const {
+  const double denom = 1.0 + p01 - p11;
+  if (denom <= 0.0) return 1.0;
+  return std::min(1.0, std::max(0.0, p01 / denom));
+}
+
+namespace {
+
+/// Shared embedding: evolves the distribution over the contents of the
+/// sliding window (one bit per trial, bit 0 = most recent) with an absorbing
+/// "quota reached" mass. `p_next(last_bit)` gives the success probability of
+/// the next trial.
+template <typename NextProbFn>
+Result<double> ExactScanTailImpl(int k, int window, int64_t n, double first_p,
+                                 NextProbFn p_next) {
+  if (window < 1 || window > 20) {
+    return Status::InvalidArgument(
+        "exact scan embedding requires 1 <= window <= 20");
+  }
+  if (n < window) {
+    return Status::InvalidArgument("n must be >= window");
+  }
+  if (k <= 0) return 1.0;
+  if (k > window) return 0.0;
+
+  const uint32_t mask = (window == 20) ? 0xFFFFFu
+                                       : ((1u << window) - 1u);
+  std::vector<double> dist(static_cast<size_t>(mask) + 1, 0.0);
+  std::vector<double> next(dist.size(), 0.0);
+  double absorbed = 0.0;
+
+  // First trial.
+  if (k == 1) {
+    // A single success is already a quota hit.
+    absorbed = first_p;
+    dist[0] = 1.0 - first_p;
+  } else {
+    dist[1] = first_p;
+    dist[0] = 1.0 - first_p;
+  }
+
+  for (int64_t t = 1; t < n; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (uint32_t s = 0; s <= mask; ++s) {
+      const double mass = dist[s];
+      if (mass == 0.0) continue;
+      const double p1 = p_next((s & 1u) != 0u);
+      const uint32_t shifted = (s << 1) & mask;
+      // Failure branch.
+      next[shifted] += mass * (1.0 - p1);
+      // Success branch.
+      const uint32_t hit = shifted | 1u;
+      if (std::popcount(hit) >= k) {
+        absorbed += mass * p1;
+      } else {
+        next[hit] += mass * p1;
+      }
+    }
+    dist.swap(next);
+  }
+  return Clamp01(absorbed);
+}
+
+}  // namespace
+
+Result<double> ExactScanTailIid(int k, int window, int64_t n, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("p must be in [0, 1]");
+  }
+  return ExactScanTailImpl(k, window, n, p, [p](bool) { return p; });
+}
+
+Result<double> ExactScanTailMarkov(int k, int window, int64_t n,
+                                   const MarkovChainParams& chain) {
+  if (chain.p01 < 0.0 || chain.p01 > 1.0 || chain.p11 < 0.0 ||
+      chain.p11 > 1.0) {
+    return Status::InvalidArgument("transition probabilities must be in [0,1]");
+  }
+  const double start =
+      (chain.start_p >= 0.0 && chain.start_p <= 1.0) ? chain.start_p
+                                                     : chain.StationaryP();
+  return ExactScanTailImpl(
+      k, window, n, start,
+      [&chain](bool last) { return last ? chain.p11 : chain.p01; });
+}
+
+Result<int> MarkovCriticalValue(int window, int64_t n,
+                                const MarkovChainParams& chain, double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  for (int k = 1; k <= window; ++k) {
+    SVQ_ASSIGN_OR_RETURN(const double tail,
+                         ExactScanTailMarkov(k, window, n, chain));
+    if (tail <= alpha) return k;
+  }
+  return window + 1;
+}
+
+}  // namespace svq::stats

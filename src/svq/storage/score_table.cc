@@ -1,0 +1,195 @@
+#include "svq/storage/score_table.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace svq::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53565154;  // "SVQT"
+constexpr uint32_t kVersion = 1;
+
+struct FileHeader {
+  uint32_t magic = kMagic;
+  uint32_t version = kVersion;
+  uint64_t row_count = 0;
+};
+
+struct FileRow {
+  int64_t clip;
+  double score;
+};
+
+static_assert(sizeof(FileHeader) == 16, "header layout must be stable");
+static_assert(sizeof(FileRow) == 16, "row layout must be stable");
+
+void SortRows(std::vector<ClipScoreRow>& rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const ClipScoreRow& a, const ClipScoreRow& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.clip < b.clip;
+            });
+}
+
+Status CheckDuplicates(const std::vector<ClipScoreRow>& sorted_rows) {
+  std::unordered_map<video::ClipIndex, bool> seen;
+  seen.reserve(sorted_rows.size());
+  for (const ClipScoreRow& row : sorted_rows) {
+    if (!seen.emplace(row.clip, true).second) {
+      return Status::InvalidArgument("duplicate clip id in score table: " +
+                                     std::to_string(row.clip));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryScoreTable
+
+Result<std::unique_ptr<MemoryScoreTable>> MemoryScoreTable::Create(
+    std::vector<ClipScoreRow> rows) {
+  SortRows(rows);
+  SVQ_RETURN_NOT_OK(CheckDuplicates(rows));
+  auto table = std::unique_ptr<MemoryScoreTable>(new MemoryScoreTable());
+  table->rank_of_clip_.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table->rank_of_clip_.emplace(rows[i].clip, static_cast<int64_t>(i));
+  }
+  table->rows_ = std::move(rows);
+  return table;
+}
+
+Result<ClipScoreRow> MemoryScoreTable::RowAt(int64_t rank) const {
+  if (rank < 0 || rank >= NumRows()) {
+    return Status::OutOfRange("rank " + std::to_string(rank) +
+                              " outside table of " +
+                              std::to_string(NumRows()) + " rows");
+  }
+  return rows_[static_cast<size_t>(rank)];
+}
+
+Result<double> MemoryScoreTable::ScoreOf(video::ClipIndex clip) const {
+  auto it = rank_of_clip_.find(clip);
+  if (it == rank_of_clip_.end()) {
+    return Status::NotFound("clip " + std::to_string(clip));
+  }
+  return rows_[static_cast<size_t>(it->second)].score;
+}
+
+bool MemoryScoreTable::HasClip(video::ClipIndex clip) const {
+  return rank_of_clip_.contains(clip);
+}
+
+// ---------------------------------------------------------------------------
+// DiskScoreTable
+
+Status DiskScoreTable::Write(const std::string& path,
+                             std::vector<ClipScoreRow> rows) {
+  SortRows(rows);
+  SVQ_RETURN_NOT_OK(CheckDuplicates(rows));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open for write failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  FileHeader header;
+  header.row_count = rows.size();
+  bool ok = ::write(fd, &header, sizeof(header)) ==
+            static_cast<ssize_t>(sizeof(header));
+  for (const ClipScoreRow& row : rows) {
+    if (!ok) break;
+    FileRow file_row{row.clip, row.score};
+    ok = ::write(fd, &file_row, sizeof(file_row)) ==
+         static_cast<ssize_t>(sizeof(file_row));
+  }
+  ::close(fd);
+  if (!ok) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DiskScoreTable>> DiskScoreTable::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto table = std::unique_ptr<DiskScoreTable>(new DiskScoreTable());
+  table->fd_ = fd;
+  FileHeader header;
+  if (::pread(fd, &header, sizeof(header), 0) !=
+      static_cast<ssize_t>(sizeof(header))) {
+    return Status::IOError("short header read: " + path);
+  }
+  if (header.magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  table->num_rows_ = static_cast<int64_t>(header.row_count);
+  // Ingestion-side sequential scan to rebuild the clip -> rank index.
+  table->rank_of_clip_.reserve(header.row_count);
+  double prev_score = 0.0;
+  for (int64_t rank = 0; rank < table->num_rows_; ++rank) {
+    FileRow row;
+    const off_t offset =
+        static_cast<off_t>(sizeof(FileHeader)) +
+        static_cast<off_t>(rank) * static_cast<off_t>(sizeof(FileRow));
+    if (::pread(fd, &row, sizeof(row), offset) !=
+        static_cast<ssize_t>(sizeof(row))) {
+      return Status::Corruption("truncated table: " + path);
+    }
+    if (rank > 0 && row.score > prev_score) {
+      return Status::Corruption("rows out of order in " + path);
+    }
+    prev_score = row.score;
+    if (!table->rank_of_clip_.emplace(row.clip, rank).second) {
+      return Status::Corruption("duplicate clip in " + path);
+    }
+  }
+  return table;
+}
+
+DiskScoreTable::~DiskScoreTable() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<ClipScoreRow> DiskScoreTable::RowAt(int64_t rank) const {
+  if (rank < 0 || rank >= num_rows_) {
+    return Status::OutOfRange("rank " + std::to_string(rank) +
+                              " outside table of " +
+                              std::to_string(num_rows_) + " rows");
+  }
+  FileRow row;
+  const off_t offset =
+      static_cast<off_t>(sizeof(FileHeader)) +
+      static_cast<off_t>(rank) * static_cast<off_t>(sizeof(FileRow));
+  if (::pread(fd_, &row, sizeof(row), offset) !=
+      static_cast<ssize_t>(sizeof(row))) {
+    return Status::IOError("read failed at rank " + std::to_string(rank));
+  }
+  return ClipScoreRow{row.clip, row.score};
+}
+
+Result<double> DiskScoreTable::ScoreOf(video::ClipIndex clip) const {
+  auto it = rank_of_clip_.find(clip);
+  if (it == rank_of_clip_.end()) {
+    return Status::NotFound("clip " + std::to_string(clip));
+  }
+  SVQ_ASSIGN_OR_RETURN(const ClipScoreRow row, RowAt(it->second));
+  return row.score;
+}
+
+bool DiskScoreTable::HasClip(video::ClipIndex clip) const {
+  return rank_of_clip_.contains(clip);
+}
+
+}  // namespace svq::storage

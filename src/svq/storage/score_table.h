@@ -1,0 +1,144 @@
+#ifndef SVQ_STORAGE_SCORE_TABLE_H_
+#define SVQ_STORAGE_SCORE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/storage/access_stats.h"
+#include "svq/video/types.h"
+
+namespace svq::storage {
+
+/// One row of a clip score table (paper §4.2): the clip identifier and the
+/// aggregated score of one object/action type on that clip.
+struct ClipScoreRow {
+  video::ClipIndex clip = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ClipScoreRow&, const ClipScoreRow&) = default;
+};
+
+/// Read-only clip score table ordered by score (descending). Materialized
+/// during the ingestion phase, one per object/action type per video.
+///
+/// Access paths mirror what the top-k algorithms need: sorted access from
+/// the top, reverse access from the bottom, and random access by clip id.
+/// Implementations do not count accesses — use TableReader for per-query
+/// instrumentation.
+class ScoreTable {
+ public:
+  virtual ~ScoreTable() = default;
+
+  virtual int64_t NumRows() const = 0;
+
+  /// Row at `rank` in descending score order (rank 0 = highest score).
+  /// Errors: OutOfRange.
+  virtual Result<ClipScoreRow> RowAt(int64_t rank) const = 0;
+
+  /// Score of `clip`. Errors: NotFound when the clip has no row (no
+  /// detection of this type on that clip).
+  virtual Result<double> ScoreOf(video::ClipIndex clip) const = 0;
+
+  virtual bool HasClip(video::ClipIndex clip) const = 0;
+};
+
+/// Heap-resident score table.
+class MemoryScoreTable final : public ScoreTable {
+ public:
+  /// `rows` in any order; they are sorted by descending score. Errors:
+  /// InvalidArgument on duplicate clip ids.
+  static Result<std::unique_ptr<MemoryScoreTable>> Create(
+      std::vector<ClipScoreRow> rows);
+
+  int64_t NumRows() const override {
+    return static_cast<int64_t>(rows_.size());
+  }
+  Result<ClipScoreRow> RowAt(int64_t rank) const override;
+  Result<double> ScoreOf(video::ClipIndex clip) const override;
+  bool HasClip(video::ClipIndex clip) const override;
+
+ private:
+  MemoryScoreTable() = default;
+
+  std::vector<ClipScoreRow> rows_;
+  std::unordered_map<video::ClipIndex, int64_t> rank_of_clip_;
+};
+
+/// File-backed score table: a fixed-width binary file of rows sorted by
+/// descending score; every RowAt/ScoreOf performs a real positioned read.
+/// The clip -> rank index is rebuilt with one sequential scan at open time
+/// (ingestion-side cost, not charged to queries).
+class DiskScoreTable final : public ScoreTable {
+ public:
+  /// Writes `rows` (any order) to `path` in table format.
+  static Status Write(const std::string& path, std::vector<ClipScoreRow> rows);
+
+  /// Opens a table previously written with Write. Errors: IOError,
+  /// Corruption.
+  static Result<std::unique_ptr<DiskScoreTable>> Open(const std::string& path);
+
+  ~DiskScoreTable() override;
+
+  int64_t NumRows() const override { return num_rows_; }
+  Result<ClipScoreRow> RowAt(int64_t rank) const override;
+  Result<double> ScoreOf(video::ClipIndex clip) const override;
+  bool HasClip(video::ClipIndex clip) const override;
+
+ private:
+  DiskScoreTable() = default;
+
+  int fd_ = -1;
+  int64_t num_rows_ = 0;
+  std::unordered_map<video::ClipIndex, int64_t> rank_of_clip_;
+};
+
+/// Instrumented per-query view over a ScoreTable: every access path bumps
+/// the query's shared StorageMetrics.
+class TableReader {
+ public:
+  TableReader(const ScoreTable* table, StorageMetrics* metrics)
+      : table_(table), metrics_(metrics) {}
+
+  int64_t NumRows() const { return table_->NumRows(); }
+
+  /// Sorted access (top of the table downward).
+  Result<ClipScoreRow> SortedAccess(int64_t rank) {
+    ++metrics_->sorted_accesses;
+    return table_->RowAt(rank);
+  }
+
+  /// Reverse sorted access: `rank_from_bottom` 0 = lowest score.
+  Result<ClipScoreRow> ReverseAccess(int64_t rank_from_bottom) {
+    ++metrics_->sorted_accesses;
+    return table_->RowAt(table_->NumRows() - 1 - rank_from_bottom);
+  }
+
+  /// Random access by clip; missing clips are charged and reported as a
+  /// score of 0 (no detection of the type on the clip).
+  double RandomAccessOrZero(video::ClipIndex clip) {
+    ++metrics_->random_accesses;
+    auto result = table_->ScoreOf(clip);
+    return result.ok() ? *result : 0.0;
+  }
+
+  /// Sequential clip-record read (used by full traverses).
+  double SequentialReadOrZero(video::ClipIndex clip) {
+    ++metrics_->sequential_reads;
+    auto result = table_->ScoreOf(clip);
+    return result.ok() ? *result : 0.0;
+  }
+
+  const ScoreTable* table() const { return table_; }
+
+ private:
+  const ScoreTable* table_;
+  StorageMetrics* metrics_;
+};
+
+}  // namespace svq::storage
+
+#endif  // SVQ_STORAGE_SCORE_TABLE_H_

@@ -1,0 +1,85 @@
+#include "svq/storage/sequence_store.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace svq::storage {
+
+namespace {
+constexpr uint32_t kMagic = 0x53565153;  // "SVQS"
+
+template <typename T>
+void Put(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool Get(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+Status SequenceStore::Save(
+    const std::string& path,
+    const std::map<std::string, video::IntervalSet>& sequences) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("open for write failed: " + path);
+  Put(out, kMagic);
+  Put(out, static_cast<uint64_t>(sequences.size()));
+  for (const auto& [label, set] : sequences) {
+    Put(out, static_cast<uint64_t>(label.size()));
+    out.write(label.data(), static_cast<std::streamsize>(label.size()));
+    Put(out, static_cast<uint64_t>(set.size()));
+    for (const video::Interval& interval : set.intervals()) {
+      Put(out, interval.begin);
+      Put(out, interval.end);
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::map<std::string, video::IntervalSet>> SequenceStore::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("open failed: " + path);
+  uint32_t magic = 0;
+  if (!Get(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint64_t label_count = 0;
+  if (!Get(in, &label_count)) return Status::Corruption("truncated " + path);
+  std::map<std::string, video::IntervalSet> sequences;
+  for (uint64_t i = 0; i < label_count; ++i) {
+    uint64_t name_len = 0;
+    if (!Get(in, &name_len) || name_len > (1u << 20)) {
+      return Status::Corruption("bad label length in " + path);
+    }
+    std::string label(name_len, '\0');
+    in.read(label.data(), static_cast<std::streamsize>(name_len));
+    if (!in) return Status::Corruption("truncated label in " + path);
+    uint64_t interval_count = 0;
+    if (!Get(in, &interval_count)) {
+      return Status::Corruption("truncated " + path);
+    }
+    std::vector<video::Interval> intervals;
+    intervals.reserve(interval_count);
+    for (uint64_t j = 0; j < interval_count; ++j) {
+      video::Interval interval;
+      if (!Get(in, &interval.begin) || !Get(in, &interval.end)) {
+        return Status::Corruption("truncated interval in " + path);
+      }
+      if (interval.end < interval.begin) {
+        return Status::Corruption("inverted interval in " + path);
+      }
+      intervals.push_back(interval);
+    }
+    sequences.emplace(std::move(label),
+                      video::IntervalSet(std::move(intervals)));
+  }
+  return sequences;
+}
+
+}  // namespace svq::storage

@@ -1,0 +1,29 @@
+#ifndef SVQ_STORAGE_SEQUENCE_STORE_H_
+#define SVQ_STORAGE_SEQUENCE_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "svq/common/result.h"
+#include "svq/video/interval_set.h"
+
+namespace svq::storage {
+
+/// Persistence of the per-type individual sequences of paper §4.2: for each
+/// object type the positive-clip runs `P_{o_i}` and for each action type
+/// `P_{a_j}`, materialized at ingestion time and loaded at query time.
+/// Sequences are stored in the clip domain as half-open intervals.
+class SequenceStore {
+ public:
+  /// Writes `sequences` (label -> clip-interval set) to `path`.
+  static Status Save(const std::string& path,
+                     const std::map<std::string, video::IntervalSet>& sequences);
+
+  /// Reads a file written by Save. Errors: IOError, Corruption.
+  static Result<std::map<std::string, video::IntervalSet>> Load(
+      const std::string& path);
+};
+
+}  // namespace svq::storage
+
+#endif  // SVQ_STORAGE_SEQUENCE_STORE_H_

@@ -1,0 +1,125 @@
+#include "svq/video/annotation.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace svq::video {
+
+namespace {
+
+Status LineError(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("annotation line " +
+                                 std::to_string(line_number) + ": " +
+                                 message);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const SyntheticVideo>> ParseAnnotations(
+    const std::string& text, const VideoLayout& layout) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+
+  std::string name;
+  int64_t num_frames = -1;
+  VideoLayout effective_layout = layout;
+  GroundTruth gt;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and surrounding whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank line
+
+    if (kind == "video") {
+      if (num_frames >= 0) {
+        return LineError(line_number, "duplicate video record");
+      }
+      double fps = 0.0;
+      if (!(fields >> name >> num_frames)) {
+        return LineError(line_number, "expected: video <name> <num_frames>");
+      }
+      if (num_frames <= 0) {
+        return LineError(line_number, "num_frames must be > 0");
+      }
+      if (fields >> fps) {
+        if (fps <= 0.0) return LineError(line_number, "fps must be > 0");
+        effective_layout.fps = fps;
+      }
+      continue;
+    }
+    if (kind == "object" || kind == "action") {
+      if (num_frames < 0) {
+        return LineError(line_number,
+                         "the video record must come before annotations");
+      }
+      std::string label;
+      int64_t begin = 0;
+      int64_t end = 0;
+      if (!(fields >> label >> begin >> end)) {
+        return LineError(line_number,
+                         "expected: " + kind + " <label> <begin> <end>");
+      }
+      if (begin < 0 || end > num_frames || begin >= end) {
+        return LineError(line_number, "interval [" + std::to_string(begin) +
+                                          ", " + std::to_string(end) +
+                                          ") outside [0, " +
+                                          std::to_string(num_frames) + ")");
+      }
+      if (kind == "object") {
+        gt.AddObjectInstance(label, {begin, end});
+      } else {
+        gt.AddActionInterval(label, {begin, end});
+      }
+      continue;
+    }
+    return LineError(line_number, "unknown record kind '" + kind + "'");
+  }
+  if (num_frames < 0) {
+    return Status::InvalidArgument("annotation has no video record");
+  }
+  return SyntheticVideo::FromGroundTruth(name, num_frames, effective_layout,
+                                         std::move(gt));
+}
+
+Result<std::shared_ptr<const SyntheticVideo>> LoadAnnotations(
+    const std::string& path, const VideoLayout& layout) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("open failed: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseAnnotations(text.str(), layout);
+}
+
+std::string FormatAnnotations(const SyntheticVideo& video) {
+  std::ostringstream out;
+  out << "# svqact annotations\n";
+  out << "video " << video.name() << " " << video.num_frames() << " "
+      << video.layout().fps << "\n";
+  for (const TrackInstance& inst : video.ground_truth().instances()) {
+    out << "object " << inst.label << " " << inst.frames.begin << " "
+        << inst.frames.end << "\n";
+  }
+  for (const std::string& label : video.ground_truth().ActionLabels()) {
+    for (const Interval& range :
+         video.ground_truth().ActionPresence(label).intervals()) {
+      out << "action " << label << " " << range.begin << " " << range.end
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status SaveAnnotations(const SyntheticVideo& video, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("open for write failed: " + path);
+  out << FormatAnnotations(video);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace svq::video

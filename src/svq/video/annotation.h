@@ -1,0 +1,47 @@
+#ifndef SVQ_VIDEO_ANNOTATION_H_
+#define SVQ_VIDEO_ANNOTATION_H_
+
+#include <memory>
+#include <string>
+
+#include "svq/common/result.h"
+#include "svq/video/synthetic_video.h"
+
+namespace svq::video {
+
+/// Plain-text annotation format for labeled videos — the workflow of the
+/// paper's §5.1, where authors "label the temporal boundaries of the
+/// appearances" of each queried type. One record per line:
+///
+///   # comments and blank lines are ignored
+///   video <name> <num_frames> [fps]
+///   object <label> <begin_frame> <end_frame>      # half-open [begin, end)
+///   action <label> <begin_frame> <end_frame>
+///
+/// The `video` record must come first; every interval must lie inside
+/// `[0, num_frames)`. Labels may not contain whitespace (use underscores,
+/// e.g. robot_dancing).
+///
+/// Annotated videos flow through the same pipeline as generated ones:
+/// attach synthetic (or ideal) model emulations and query away.
+
+/// Parses annotation text. Errors: InvalidArgument with the offending line
+/// number.
+Result<std::shared_ptr<const SyntheticVideo>> ParseAnnotations(
+    const std::string& text, const VideoLayout& layout = VideoLayout());
+
+/// Reads and parses an annotation file. Errors: IOError, InvalidArgument.
+Result<std::shared_ptr<const SyntheticVideo>> LoadAnnotations(
+    const std::string& path, const VideoLayout& layout = VideoLayout());
+
+/// Serializes a video's ground truth in the annotation format (the inverse
+/// of ParseAnnotations; instance structure is preserved as one `object`
+/// record per instance).
+std::string FormatAnnotations(const SyntheticVideo& video);
+
+/// Writes FormatAnnotations output to `path`. Errors: IOError.
+Status SaveAnnotations(const SyntheticVideo& video, const std::string& path);
+
+}  // namespace svq::video
+
+#endif  // SVQ_VIDEO_ANNOTATION_H_

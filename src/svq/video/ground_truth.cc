@@ -1,0 +1,60 @@
+#include "svq/video/ground_truth.h"
+
+namespace svq::video {
+
+namespace {
+const IntervalSet& EmptySet() {
+  static const IntervalSet* kEmpty = new IntervalSet();
+  return *kEmpty;
+}
+}  // namespace
+
+int64_t GroundTruth::AddObjectInstance(const std::string& label,
+                                       Interval frames) {
+  const int64_t id = next_instance_id_++;
+  instances_.push_back({id, label, frames});
+  objects_[label].Add(frames);
+  return id;
+}
+
+void GroundTruth::AddActionInterval(const std::string& label,
+                                    Interval frames) {
+  actions_[label].Add(frames);
+}
+
+const IntervalSet& GroundTruth::ObjectPresence(const std::string& label) const {
+  auto it = objects_.find(label);
+  return it == objects_.end() ? EmptySet() : it->second;
+}
+
+const IntervalSet& GroundTruth::ActionPresence(const std::string& label) const {
+  auto it = actions_.find(label);
+  return it == actions_.end() ? EmptySet() : it->second;
+}
+
+std::vector<std::string> GroundTruth::ObjectLabels() const {
+  std::vector<std::string> labels;
+  labels.reserve(objects_.size());
+  for (const auto& [label, _] : objects_) labels.push_back(label);
+  return labels;
+}
+
+std::vector<std::string> GroundTruth::ActionLabels() const {
+  std::vector<std::string> labels;
+  labels.reserve(actions_.size());
+  for (const auto& [label, _] : actions_) labels.push_back(label);
+  return labels;
+}
+
+std::vector<const TrackInstance*> GroundTruth::InstancesAt(
+    const std::string& label, FrameIndex frame) const {
+  std::vector<const TrackInstance*> out;
+  for (const TrackInstance& inst : instances_) {
+    if (inst.label == label && inst.frames.Contains(frame)) {
+      out.push_back(&inst);
+    }
+  }
+  return out;
+}
+
+}  // namespace svq::video

@@ -1,0 +1,65 @@
+#ifndef SVQ_VIDEO_GROUND_TRUTH_H_
+#define SVQ_VIDEO_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svq/video/interval_set.h"
+#include "svq/video/types.h"
+
+namespace svq::video {
+
+/// One contiguous appearance of one object instance — the unit an object
+/// tracker assigns a stable tracking identifier to.
+struct TrackInstance {
+  int64_t instance_id = 0;
+  std::string label;
+  /// Frame range of the appearance (half-open).
+  Interval frames;
+};
+
+/// Frame-level annotation of a video: which object types and action types
+/// are present on which frame ranges, plus the instance decomposition of
+/// object presence used by the tracker.
+///
+/// This mirrors the paper's manual annotation of ActivityNet videos (§5.1
+/// "for each queried object type, we label the temporal boundaries of the
+/// appearances of this object"). Synthetic videos generate it; evaluation
+/// metrics compare query results against it; ideal models read it directly.
+class GroundTruth {
+ public:
+  /// Records one instance appearance of `label`; presence ranges and the
+  /// instance list stay consistent. Returns the assigned instance id.
+  int64_t AddObjectInstance(const std::string& label, Interval frames);
+
+  /// Records an action presence range.
+  void AddActionInterval(const std::string& label, Interval frames);
+
+  /// Frame ranges on which any instance of `label` is present; an empty set
+  /// for unknown labels.
+  const IntervalSet& ObjectPresence(const std::string& label) const;
+
+  /// Frame ranges on which action `label` takes place; empty for unknown.
+  const IntervalSet& ActionPresence(const std::string& label) const;
+
+  std::vector<std::string> ObjectLabels() const;
+  std::vector<std::string> ActionLabels() const;
+
+  const std::vector<TrackInstance>& instances() const { return instances_; }
+
+  /// Instances of `label` overlapping the given frame.
+  std::vector<const TrackInstance*> InstancesAt(const std::string& label,
+                                                FrameIndex frame) const;
+
+ private:
+  std::map<std::string, IntervalSet> objects_;
+  std::map<std::string, IntervalSet> actions_;
+  std::vector<TrackInstance> instances_;
+  int64_t next_instance_id_ = 0;
+};
+
+}  // namespace svq::video
+
+#endif  // SVQ_VIDEO_GROUND_TRUTH_H_

@@ -1,0 +1,182 @@
+#include "svq/video/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace svq::video {
+
+double Interval::Iou(const Interval& a, const Interval& b) {
+  const int64_t inter_begin = std::max(a.begin, b.begin);
+  const int64_t inter_end = std::min(a.end, b.end);
+  const int64_t inter = inter_end > inter_begin ? inter_end - inter_begin : 0;
+  const int64_t uni = a.length() + b.length() - inter;
+  if (uni <= 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << "[" << interval.begin << ", " << interval.end << ")";
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  std::erase_if(intervals_, [](const Interval& i) { return i.empty(); });
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (out > 0 && intervals_[i].begin <= intervals_[out - 1].end) {
+      intervals_[out - 1].end =
+          std::max(intervals_[out - 1].end, intervals_[i].end);
+    } else {
+      intervals_[out++] = intervals_[i];
+    }
+  }
+  intervals_.resize(out);
+}
+
+void IntervalSet::Add(Interval interval) {
+  if (interval.empty()) return;
+  // Fast path: append or extend at the back (streaming insertion order).
+  if (intervals_.empty() || interval.begin > intervals_.back().end) {
+    intervals_.push_back(interval);
+    return;
+  }
+  if (interval.begin >= intervals_.back().begin) {
+    intervals_.back().begin =
+        std::min(intervals_.back().begin, interval.begin);
+    intervals_.back().end = std::max(intervals_.back().end, interval.end);
+    return;
+  }
+  intervals_.push_back(interval);
+  Normalize();
+}
+
+int64_t IntervalSet::TotalLength() const {
+  int64_t total = 0;
+  for (const Interval& i : intervals_) total += i.length();
+  return total;
+}
+
+int64_t IntervalSet::FindInterval(int64_t x) const {
+  // First interval with begin > x, then check its predecessor.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](int64_t v, const Interval& i) { return v < i.begin; });
+  if (it == intervals_.begin()) return -1;
+  --it;
+  if (it->Contains(x)) return it - intervals_.begin();
+  return -1;
+}
+
+bool IntervalSet::Contains(int64_t x) const { return FindInterval(x) >= 0; }
+
+IntervalSet IntervalSet::Union(const IntervalSet& a, const IntervalSet& b) {
+  std::vector<Interval> merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), a.intervals_.begin(), a.intervals_.end());
+  merged.insert(merged.end(), b.intervals_.begin(), b.intervals_.end());
+  return IntervalSet(std::move(merged));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& a,
+                                   const IntervalSet& b) {
+  IntervalSet out;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const Interval& x = a.intervals_[ia];
+    const Interval& y = b.intervals_[ib];
+    const int64_t begin = std::max(x.begin, y.begin);
+    const int64_t end = std::min(x.end, y.end);
+    if (begin < end) out.Add({begin, end});
+    if (x.end < y.end) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& a,
+                                    const IntervalSet& b) {
+  IntervalSet out;
+  size_t ib = 0;
+  for (const Interval& x : a.intervals_) {
+    int64_t cursor = x.begin;
+    while (ib < b.size() && b.intervals_[ib].end <= cursor) ++ib;
+    size_t j = ib;
+    while (j < b.size() && b.intervals_[j].begin < x.end) {
+      const Interval& y = b.intervals_[j];
+      if (y.begin > cursor) out.Add({cursor, std::min(y.begin, x.end)});
+      cursor = std::max(cursor, y.end);
+      if (cursor >= x.end) break;
+      ++j;
+    }
+    if (cursor < x.end) out.Add({cursor, x.end});
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Complement(int64_t domain_begin,
+                                    int64_t domain_end) const {
+  IntervalSet domain(std::vector<Interval>{{domain_begin, domain_end}});
+  return Difference(domain, *this);
+}
+
+int64_t IntervalSet::OverlapLength(const IntervalSet& other) const {
+  return Intersect(*this, other).TotalLength();
+}
+
+IntervalSet IntervalSet::CoarsenAny(int64_t unit) const {
+  assert(unit >= 1);
+  IntervalSet out;
+  for (const Interval& i : intervals_) {
+    const int64_t begin = i.begin / unit;
+    const int64_t end = (i.end + unit - 1) / unit;
+    out.Add({begin, end});
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::CoarsenAll(int64_t unit) const {
+  assert(unit >= 1);
+  IntervalSet out;
+  for (const Interval& i : intervals_) {
+    // First unit fully inside, one past the last unit fully inside.
+    const int64_t begin = (i.begin + unit - 1) / unit;
+    const int64_t end = i.end / unit;
+    if (begin < end) out.Add({begin, end});
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Refine(int64_t unit) const {
+  assert(unit >= 1);
+  IntervalSet out;
+  for (const Interval& i : intervals_) {
+    out.Add({i.begin * unit, i.end * unit});
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  os << "{";
+  bool first = true;
+  for (const Interval& i : set.intervals()) {
+    if (!first) os << ", ";
+    os << i;
+    first = false;
+  }
+  return os << "}";
+}
+
+}  // namespace svq::video

@@ -1,0 +1,105 @@
+#ifndef SVQ_VIDEO_INTERVAL_SET_H_
+#define SVQ_VIDEO_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace svq::video {
+
+/// A half-open index interval `[begin, end)` over frames, shots, or clips.
+///
+/// All interval math in the library uses half-open intervals; the paper's
+/// inclusive `(c_l, c_r)` sequence notation maps to `[c_l, c_r + 1)`.
+struct Interval {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  int64_t length() const { return end > begin ? end - begin : 0; }
+  bool empty() const { return end <= begin; }
+  bool Contains(int64_t x) const { return x >= begin && x < end; }
+  bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  /// Intersection-over-union of two intervals; 0 when both are empty.
+  static double Iou(const Interval& a, const Interval& b);
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+/// An ordered set of disjoint, non-touching half-open intervals.
+///
+/// This is the workhorse for ground-truth presence ranges, per-type positive
+/// sequences `P_o` / `P_a`, and query result sequences. Normalization merges
+/// adjacent intervals, which implements the paper's MERGE of consecutive
+/// positive clips for free.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /// Builds a normalized set from arbitrary (possibly overlapping,
+  /// unordered) intervals.
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  /// Inserts one interval, keeping the set normalized. Amortized O(log n)
+  /// when insertions are near the end (the common streaming pattern).
+  void Add(Interval interval);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+  /// Sum of interval lengths.
+  int64_t TotalLength() const;
+
+  /// Whether `x` is covered; O(log n).
+  bool Contains(int64_t x) const;
+
+  /// Index of the interval covering `x`, or -1.
+  int64_t FindInterval(int64_t x) const;
+
+  /// Set union by linear sweep.
+  static IntervalSet Union(const IntervalSet& a, const IntervalSet& b);
+
+  /// Set intersection by linear sweep. This is the paper's `⊗` operator on
+  /// individual sequences (§4.2): clips present in both operands, re-merged
+  /// into maximal runs.
+  static IntervalSet Intersect(const IntervalSet& a, const IntervalSet& b);
+
+  /// Elements of `a` not in `b`.
+  static IntervalSet Difference(const IntervalSet& a, const IntervalSet& b);
+
+  /// Complement within the domain `[domain_begin, domain_end)`.
+  IntervalSet Complement(int64_t domain_begin, int64_t domain_end) const;
+
+  /// Length of the overlap with `other`.
+  int64_t OverlapLength(const IntervalSet& other) const;
+
+  /// Frame-domain -> coarser-domain projection: an output unit is covered
+  /// when ANY of its `unit` input indices is covered (e.g. a clip "touches"
+  /// a ground-truth range). `unit` must be >= 1.
+  IntervalSet CoarsenAny(int64_t unit) const;
+
+  /// Frame-domain -> coarser-domain projection: an output unit is covered
+  /// only when ALL of its `unit` input indices are covered.
+  IntervalSet CoarsenAll(int64_t unit) const;
+
+  /// Coarse-domain -> fine-domain expansion: unit u maps to
+  /// `[u*unit, (u+1)*unit)`.
+  IntervalSet Refine(int64_t unit) const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  void Normalize();
+
+  std::vector<Interval> intervals_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set);
+
+}  // namespace svq::video
+
+#endif  // SVQ_VIDEO_INTERVAL_SET_H_

@@ -1,0 +1,142 @@
+#include "svq/video/synthetic_video.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::video {
+
+namespace {
+
+/// Geometric run length with the given mean (>= 1 frame).
+int64_t DrawRunLength(double mean, Rng& rng) {
+  if (mean <= 1.0) return 1;
+  // Geometric on {1, 2, ...} with mean `mean` has success prob 1/mean.
+  return 1 + static_cast<int64_t>(rng.NextGeometric(1.0 / mean));
+}
+
+}  // namespace
+
+std::vector<Interval> GenerateAlternatingProcess(int64_t num_frames,
+                                                 double mean_on,
+                                                 double mean_off, Rng& rng) {
+  std::vector<Interval> on;
+  if (num_frames <= 0 || mean_on <= 0.0) return on;
+  // Random phase: start inside an off-run of residual length.
+  int64_t cursor = static_cast<int64_t>(rng.NextDouble() * mean_off);
+  while (cursor < num_frames) {
+    const int64_t run = DrawRunLength(mean_on, rng);
+    const int64_t end = std::min(num_frames, cursor + run);
+    if (end > cursor) on.push_back({cursor, end});
+    cursor = end + DrawRunLength(mean_off, rng);
+  }
+  return on;
+}
+
+Result<std::shared_ptr<const SyntheticVideo>> SyntheticVideo::Generate(
+    const SyntheticVideoSpec& spec) {
+  if (spec.num_frames <= 0) {
+    return Status::InvalidArgument("num_frames must be > 0");
+  }
+  SVQ_RETURN_NOT_OK(spec.layout.Validate());
+  for (const SyntheticObjectSpec& obj : spec.objects) {
+    if (obj.correlation < 0.0 || obj.correlation > 1.0) {
+      return Status::InvalidArgument("correlation must be in [0, 1] for " +
+                                     obj.label);
+    }
+    if (obj.coverage < 0.0 || obj.coverage > 1.0) {
+      return Status::InvalidArgument("coverage must be in [0, 1] for " +
+                                     obj.label);
+    }
+  }
+
+  GroundTruth gt;
+  Rng root(spec.seed);
+
+  // Actions first: objects may correlate with them.
+  std::map<std::string, std::vector<Interval>> action_intervals;
+  uint64_t stream = 1;
+  for (const SyntheticActionSpec& action : spec.actions) {
+    Rng rng = root.Fork(stream++);
+    std::vector<Interval> on = GenerateAlternatingProcess(
+        spec.num_frames, action.mean_on_frames, action.mean_off_frames, rng);
+    for (const Interval& i : on) gt.AddActionInterval(action.label, i);
+    action_intervals[action.label].insert(action_intervals[action.label].end(),
+                                          on.begin(), on.end());
+  }
+
+  for (const SyntheticObjectSpec& obj : spec.objects) {
+    Rng rng = root.Fork(stream++);
+    // Background appearances independent of any action.
+    for (const Interval& i : GenerateAlternatingProcess(
+             spec.num_frames, obj.mean_on_frames, obj.mean_off_frames, rng)) {
+      gt.AddObjectInstance(obj.label, i);
+    }
+    // Correlated appearances tied to action occurrences.
+    if (!obj.correlate_with_action.empty() && obj.correlation > 0.0) {
+      auto it = action_intervals.find(obj.correlate_with_action);
+      if (it == action_intervals.end()) {
+        return Status::InvalidArgument(
+            "object '" + obj.label + "' correlates with unknown action '" +
+            obj.correlate_with_action + "'");
+      }
+      for (const Interval& act : it->second) {
+        if (!rng.NextBernoulli(obj.correlation)) continue;
+        const int64_t len = std::max<int64_t>(
+            1, static_cast<int64_t>(std::llround(
+                   obj.coverage * static_cast<double>(act.length()))));
+        const int64_t slack = act.length() - len;
+        int64_t begin =
+            act.begin +
+            (slack > 0 ? static_cast<int64_t>(rng.NextUint64(
+                             static_cast<uint64_t>(slack + 1)))
+                       : 0);
+        int64_t end = begin + len;
+        if (obj.jitter_frames > 0.0) {
+          begin += static_cast<int64_t>(
+              rng.NextGaussian(0.0, obj.jitter_frames));
+          end += static_cast<int64_t>(rng.NextGaussian(0.0, obj.jitter_frames));
+        }
+        begin = std::clamp<int64_t>(begin, 0, spec.num_frames - 1);
+        end = std::clamp<int64_t>(end, begin + 1, spec.num_frames);
+        gt.AddObjectInstance(obj.label, {begin, end});
+      }
+    }
+  }
+
+  return std::shared_ptr<const SyntheticVideo>(
+      new SyntheticVideo(spec, std::move(gt)));
+}
+
+Result<std::shared_ptr<const SyntheticVideo>> SyntheticVideo::FromGroundTruth(
+    const std::string& name, int64_t num_frames, const VideoLayout& layout,
+    GroundTruth ground_truth, uint64_t seed) {
+  if (num_frames <= 0) {
+    return Status::InvalidArgument("num_frames must be > 0");
+  }
+  SVQ_RETURN_NOT_OK(layout.Validate());
+  for (const TrackInstance& inst : ground_truth.instances()) {
+    if (inst.frames.begin < 0 || inst.frames.end > num_frames ||
+        inst.frames.empty()) {
+      return Status::InvalidArgument(
+          "annotation for '" + inst.label + "' outside [0, num_frames)");
+    }
+  }
+  for (const std::string& label : ground_truth.ActionLabels()) {
+    for (const Interval& range :
+         ground_truth.ActionPresence(label).intervals()) {
+      if (range.begin < 0 || range.end > num_frames) {
+        return Status::InvalidArgument(
+            "annotation for '" + label + "' outside [0, num_frames)");
+      }
+    }
+  }
+  SyntheticVideoSpec spec;
+  spec.name = name;
+  spec.num_frames = num_frames;
+  spec.layout = layout;
+  spec.seed = seed;
+  return std::shared_ptr<const SyntheticVideo>(
+      new SyntheticVideo(std::move(spec), std::move(ground_truth)));
+}
+
+}  // namespace svq::video

@@ -1,0 +1,112 @@
+#ifndef SVQ_VIDEO_SYNTHETIC_VIDEO_H_
+#define SVQ_VIDEO_SYNTHETIC_VIDEO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/common/rng.h"
+#include "svq/video/ground_truth.h"
+#include "svq/video/types.h"
+
+namespace svq::video {
+
+/// Alternating renewal process spec for an action type: the action switches
+/// between "off" runs and "on" runs with geometrically distributed lengths.
+struct SyntheticActionSpec {
+  std::string label;
+  /// Mean length (frames) of an action occurrence.
+  double mean_on_frames = 300.0;
+  /// Mean gap (frames) between occurrences.
+  double mean_off_frames = 1500.0;
+};
+
+/// Presence process for an object type; combines a background alternating
+/// renewal process with intervals correlated to a named action (this is how
+/// the workloads reproduce the predicate-correlation structure studied in
+/// the paper's Table 3, e.g. `person` almost always co-occurring with
+/// `blowing leaves`).
+struct SyntheticObjectSpec {
+  std::string label;
+  /// Mean length (frames) of a background appearance. Zero disables the
+  /// background process.
+  double mean_on_frames = 0.0;
+  /// Mean gap (frames) between background appearances.
+  double mean_off_frames = 3000.0;
+  /// When non-empty: for each occurrence of this action, with probability
+  /// `correlation` the object appears alongside it.
+  std::string correlate_with_action;
+  /// Probability that the object accompanies a given action occurrence.
+  double correlation = 0.0;
+  /// Fraction of the action occurrence covered by the correlated appearance
+  /// (a random sub-interval of that relative length).
+  double coverage = 1.0;
+  /// The correlated appearance is stretched/shifted by up to this many
+  /// frames on each side.
+  double jitter_frames = 0.0;
+};
+
+/// Full recipe for one synthetic video.
+struct SyntheticVideoSpec {
+  std::string name = "synthetic";
+  int64_t num_frames = 0;
+  VideoLayout layout;
+  uint64_t seed = 1;
+  std::vector<SyntheticActionSpec> actions;
+  std::vector<SyntheticObjectSpec> objects;
+};
+
+/// A generated video: geometry plus frame-level ground truth. The library's
+/// synthetic detectors consume the ground truth (plus noise overlays) in
+/// place of decoded pixel data — see DESIGN.md "Substitutions".
+class SyntheticVideo {
+ public:
+  /// Generates the ground truth from the spec; deterministic in `spec.seed`.
+  /// Errors: InvalidArgument for non-positive length, invalid layout,
+  /// correlation/coverage outside [0, 1], or a correlation target action
+  /// that is not in `spec.actions`.
+  static Result<std::shared_ptr<const SyntheticVideo>> Generate(
+      const SyntheticVideoSpec& spec);
+
+  /// Wraps externally supplied ground truth (e.g. hand-labeled annotations,
+  /// see svq/video/annotation.h) so real labeled footage flows through the
+  /// same model-emulation and query pipeline. Intervals must lie inside
+  /// `[0, num_frames)`.
+  static Result<std::shared_ptr<const SyntheticVideo>> FromGroundTruth(
+      const std::string& name, int64_t num_frames, const VideoLayout& layout,
+      GroundTruth ground_truth, uint64_t seed = 1);
+
+  const std::string& name() const { return spec_.name; }
+  int64_t num_frames() const { return spec_.num_frames; }
+  const VideoLayout& layout() const { return spec_.layout; }
+  uint64_t seed() const { return spec_.seed; }
+  const GroundTruth& ground_truth() const { return ground_truth_; }
+  const SyntheticVideoSpec& spec() const { return spec_; }
+
+  int64_t NumShots() const {
+    return spec_.layout.NumShots(spec_.num_frames);
+  }
+  int64_t NumClips() const {
+    return spec_.layout.NumClips(spec_.num_frames);
+  }
+
+ private:
+  SyntheticVideo(SyntheticVideoSpec spec, GroundTruth ground_truth)
+      : spec_(std::move(spec)), ground_truth_(std::move(ground_truth)) {}
+
+  SyntheticVideoSpec spec_;
+  GroundTruth ground_truth_;
+};
+
+/// Draws the on-intervals of an alternating renewal process with
+/// geometrically distributed run lengths over `[0, num_frames)`. Exposed for
+/// reuse by the detector noise overlays.
+std::vector<Interval> GenerateAlternatingProcess(int64_t num_frames,
+                                                 double mean_on,
+                                                 double mean_off, Rng& rng);
+
+}  // namespace svq::video
+
+#endif  // SVQ_VIDEO_SYNTHETIC_VIDEO_H_

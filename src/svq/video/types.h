@@ -1,0 +1,87 @@
+#ifndef SVQ_VIDEO_TYPES_H_
+#define SVQ_VIDEO_TYPES_H_
+
+#include <cstdint>
+
+#include "svq/common/status.h"
+
+namespace svq::video {
+
+/// Index of a frame within a video (0-based).
+using FrameIndex = int64_t;
+/// Index of a shot within a video (0-based). A shot is a fixed-length run of
+/// frames — the input unit of action recognition (paper §2).
+using ShotIndex = int64_t;
+/// Index of a clip within a video (0-based). A clip is a fixed-length run of
+/// shots — the unit at which query predicates are decided (paper §2).
+using ClipIndex = int64_t;
+/// Identifier of a video within a repository.
+using VideoId = int64_t;
+
+inline constexpr VideoId kInvalidVideoId = -1;
+
+/// Geometry of the frame/shot/clip hierarchy of paper §2 (Figure 1): a video
+/// is a sequence of frames; consecutive frames group into shots; consecutive
+/// shots group into clips. Shot length is dictated by the action recognition
+/// model (typically 10-30 frames); clip length is a tunable of the system
+/// evaluated in Figures 4 and 5.
+struct VideoLayout {
+  /// Frames per shot; the action recognizer consumes one shot at a time.
+  int frames_per_shot = 16;
+  /// Shots per clip; the clip is the query-decision granularity.
+  int shots_per_clip = 5;
+  /// Frame rate used only to convert wall-clock durations to frame counts.
+  double fps = 30.0;
+
+  int FramesPerClip() const { return frames_per_shot * shots_per_clip; }
+
+  ShotIndex ShotOfFrame(FrameIndex frame) const {
+    return frame / frames_per_shot;
+  }
+  ClipIndex ClipOfFrame(FrameIndex frame) const {
+    return frame / FramesPerClip();
+  }
+  ClipIndex ClipOfShot(ShotIndex shot) const { return shot / shots_per_clip; }
+
+  FrameIndex FirstFrameOfShot(ShotIndex shot) const {
+    return shot * frames_per_shot;
+  }
+  FrameIndex FirstFrameOfClip(ClipIndex clip) const {
+    return clip * static_cast<int64_t>(FramesPerClip());
+  }
+  ShotIndex FirstShotOfClip(ClipIndex clip) const {
+    return clip * static_cast<int64_t>(shots_per_clip);
+  }
+
+  /// Number of (possibly partial) shots covering `num_frames` frames.
+  int64_t NumShots(int64_t num_frames) const {
+    return (num_frames + frames_per_shot - 1) / frames_per_shot;
+  }
+  /// Number of (possibly partial) clips covering `num_frames` frames.
+  int64_t NumClips(int64_t num_frames) const {
+    const int64_t fpc = FramesPerClip();
+    return (num_frames + fpc - 1) / fpc;
+  }
+
+  /// Frame count for a wall-clock duration at this layout's frame rate.
+  int64_t FramesForSeconds(double seconds) const {
+    return static_cast<int64_t>(seconds * fps);
+  }
+
+  Status Validate() const {
+    if (frames_per_shot < 1) {
+      return Status::InvalidArgument("frames_per_shot must be >= 1");
+    }
+    if (shots_per_clip < 1) {
+      return Status::InvalidArgument("shots_per_clip must be >= 1");
+    }
+    if (!(fps > 0.0)) {
+      return Status::InvalidArgument("fps must be > 0");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace svq::video
+
+#endif  // SVQ_VIDEO_TYPES_H_

@@ -1,0 +1,38 @@
+#include "svq/video/video_stream.h"
+
+#include <algorithm>
+
+namespace svq::video {
+
+ClipRef MakeClipRef(const VideoLayout& layout, VideoId video, ClipIndex clip,
+                    int64_t num_frames) {
+  ClipRef ref;
+  ref.video = video;
+  ref.clip = clip;
+  const int64_t first = layout.FirstFrameOfClip(clip);
+  const int64_t last = std::min<int64_t>(
+      num_frames, first + layout.FramesPerClip());
+  ref.frames = {first, last};
+  const ShotIndex first_shot = layout.FirstShotOfClip(clip);
+  for (int s = 0; s < layout.shots_per_clip; ++s) {
+    const ShotIndex shot = first_shot + s;
+    const int64_t shot_begin = layout.FirstFrameOfShot(shot);
+    if (shot_begin >= last) break;
+    const int64_t shot_end =
+        std::min<int64_t>(last, shot_begin + layout.frames_per_shot);
+    ref.shots.push_back({video, shot, {shot_begin, shot_end}});
+  }
+  return ref;
+}
+
+SyntheticVideoStream::SyntheticVideoStream(
+    std::shared_ptr<const SyntheticVideo> video, VideoId id)
+    : video_(std::move(video)), id_(id) {}
+
+std::optional<ClipRef> SyntheticVideoStream::NextClip() {
+  if (next_clip_ >= video_->NumClips()) return std::nullopt;
+  return MakeClipRef(video_->layout(), id_, next_clip_++,
+                     video_->num_frames());
+}
+
+}  // namespace svq::video

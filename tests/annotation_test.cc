@@ -1,0 +1,127 @@
+#include "svq/video/annotation.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "svq/core/engine.h"
+
+namespace svq::video {
+namespace {
+
+constexpr const char* kSample = R"(# a hand-labeled clip
+video beach_day 9000 30
+
+object human 100 2000
+object human 4000 6000   # a second appearance
+object surfboard 500 1800
+action kissing 800 1500
+action kissing 4500 5000
+)";
+
+TEST(AnnotationTest, ParsesSample) {
+  auto video = ParseAnnotations(kSample);
+  ASSERT_TRUE(video.ok()) << video.status();
+  EXPECT_EQ((*video)->name(), "beach_day");
+  EXPECT_EQ((*video)->num_frames(), 9000);
+  EXPECT_DOUBLE_EQ((*video)->layout().fps, 30.0);
+  const GroundTruth& gt = (*video)->ground_truth();
+  EXPECT_EQ(gt.ObjectPresence("human"),
+            IntervalSet({{100, 2000}, {4000, 6000}}));
+  EXPECT_EQ(gt.ObjectPresence("surfboard"), IntervalSet({{500, 1800}}));
+  EXPECT_EQ(gt.ActionPresence("kissing"),
+            IntervalSet({{800, 1500}, {4500, 5000}}));
+  EXPECT_EQ(gt.instances().size(), 3u);
+}
+
+TEST(AnnotationTest, RoundTripsThroughFormat) {
+  auto video = ParseAnnotations(kSample);
+  ASSERT_TRUE(video.ok());
+  const std::string text = FormatAnnotations(**video);
+  auto reparsed = ParseAnnotations(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ((*reparsed)->name(), (*video)->name());
+  EXPECT_EQ((*reparsed)->num_frames(), (*video)->num_frames());
+  EXPECT_EQ((*reparsed)->ground_truth().ObjectPresence("human"),
+            (*video)->ground_truth().ObjectPresence("human"));
+  EXPECT_EQ((*reparsed)->ground_truth().ActionPresence("kissing"),
+            (*video)->ground_truth().ActionPresence("kissing"));
+  EXPECT_EQ((*reparsed)->ground_truth().instances().size(),
+            (*video)->ground_truth().instances().size());
+}
+
+TEST(AnnotationTest, SaveAndLoadFile) {
+  auto video = ParseAnnotations(kSample);
+  ASSERT_TRUE(video.ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svq_annotations.txt")
+          .string();
+  ASSERT_TRUE(SaveAnnotations(**video, path).ok());
+  auto loaded = LoadAnnotations(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->ground_truth().ObjectPresence("surfboard"),
+            (*video)->ground_truth().ObjectPresence("surfboard"));
+  std::filesystem::remove(path);
+  EXPECT_TRUE(LoadAnnotations(path).status().IsIOError());
+}
+
+TEST(AnnotationTest, ErrorsCarryLineNumbers) {
+  auto missing_video = ParseAnnotations("object car 0 10\n");
+  ASSERT_FALSE(missing_video.ok());
+  EXPECT_NE(missing_video.status().message().find("line 1"),
+            std::string::npos);
+
+  auto bad_interval =
+      ParseAnnotations("video v 100\nobject car 50 200\n");
+  ASSERT_FALSE(bad_interval.ok());
+  EXPECT_NE(bad_interval.status().message().find("line 2"),
+            std::string::npos);
+
+  auto inverted = ParseAnnotations("video v 100\naction a 50 50\n");
+  EXPECT_FALSE(inverted.ok());
+
+  auto unknown = ParseAnnotations("video v 100\nshot a 0 10\n");
+  EXPECT_FALSE(unknown.ok());
+
+  auto duplicate = ParseAnnotations("video v 100\nvideo w 100\n");
+  EXPECT_FALSE(duplicate.ok());
+
+  EXPECT_FALSE(ParseAnnotations("").ok());
+}
+
+TEST(AnnotationTest, AnnotatedVideoAnswersQueries) {
+  // The adoption path: hand-labeled footage + ideal models + a query.
+  auto video = ParseAnnotations(kSample);
+  ASSERT_TRUE(video.ok());
+  core::VideoQueryEngine engine(models::IdealSuite());
+  ASSERT_TRUE(engine.AddVideo(*video).ok());
+  core::Query query;
+  query.action = "kissing";
+  query.objects = {"human"};
+  auto result = engine.ExecuteOnline(query, "beach_day");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->sequences.empty());
+  // Both annotated kissing ranges co-occur with a human; the results cover
+  // them at clip granularity.
+  const int64_t fpc = (*video)->layout().FramesPerClip();
+  EXPECT_TRUE(result->sequences.Contains(800 / fpc + 1));
+  EXPECT_TRUE(result->sequences.Contains(4500 / fpc + 1));
+}
+
+TEST(FromGroundTruthTest, ValidatesBounds) {
+  GroundTruth gt;
+  gt.AddObjectInstance("car", {0, 200});
+  EXPECT_FALSE(
+      SyntheticVideo::FromGroundTruth("v", 100, VideoLayout(), gt).ok());
+  GroundTruth gt2;
+  gt2.AddActionInterval("a", {-5, 10});
+  EXPECT_FALSE(
+      SyntheticVideo::FromGroundTruth("v", 100, VideoLayout(), gt2).ok());
+  GroundTruth ok;
+  ok.AddObjectInstance("car", {0, 100});
+  EXPECT_TRUE(
+      SyntheticVideo::FromGroundTruth("v", 100, VideoLayout(), ok).ok());
+}
+
+}  // namespace
+}  // namespace svq::video

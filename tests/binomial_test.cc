@@ -1,0 +1,86 @@
+#include "svq/stats/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svq::stats {
+namespace {
+
+TEST(BinomialTest, PmfMatchesHandComputed) {
+  // Binomial(4, 0.5): pmf = {1,4,6,4,1}/16.
+  EXPECT_NEAR(BinomialPmf(0, 4, 0.5), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(1, 4, 0.5), 4.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(2, 4, 0.5), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(BinomialPmf(4, 4, 0.5), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialTest, PmfOutsideSupportIsZero) {
+  EXPECT_EQ(BinomialPmf(-1, 10, 0.3), 0.0);
+  EXPECT_EQ(BinomialPmf(11, 10, 0.3), 0.0);
+}
+
+TEST(BinomialTest, PmfDegenerateP) {
+  EXPECT_EQ(BinomialPmf(0, 5, 0.0), 1.0);
+  EXPECT_EQ(BinomialPmf(1, 5, 0.0), 0.0);
+  EXPECT_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(BinomialPmf(4, 5, 1.0), 0.0);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (const double p : {0.01, 0.3, 0.77}) {
+    for (const int n : {1, 7, 40}) {
+      double total = 0.0;
+      for (int k = 0; k <= n; ++k) total += BinomialPmf(k, n, p);
+      EXPECT_NEAR(total, 1.0, 1e-10) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialTest, CdfEdges) {
+  EXPECT_EQ(BinomialCdf(-1, 10, 0.4), 0.0);
+  EXPECT_EQ(BinomialCdf(10, 10, 0.4), 1.0);
+  EXPECT_EQ(BinomialCdf(25, 10, 0.4), 1.0);
+}
+
+TEST(BinomialTest, CdfMatchesPmfSum) {
+  const int n = 30;
+  const double p = 0.15;
+  double running = 0.0;
+  for (int k = 0; k < n; ++k) {
+    running += BinomialPmf(k, n, p);
+    EXPECT_NEAR(BinomialCdf(k, n, p), running, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(BinomialTest, SfComplementsCdf) {
+  const int n = 50;
+  const double p = 0.2;
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(BinomialSf(k, n, p) + BinomialCdf(k - 1, n, p), 1.0, 1e-10);
+  }
+}
+
+TEST(BinomialTest, SfAccurateInDeepTail) {
+  // P(X >= 20) for Binomial(20, 0.1) = 0.1^20 = 1e-20: the complement
+  // formula would lose all precision.
+  EXPECT_NEAR(BinomialSf(20, 20, 0.1) / 1e-20, 1.0, 1e-6);
+}
+
+TEST(BinomialTest, LogCoefficientMatchesSmallCases) {
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 5)), 252.0, 1e-6);
+  EXPECT_EQ(LogBinomialCoefficient(3, 5),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialTest, LargeNStable) {
+  // Mean-region pmf of a large binomial stays finite and sane.
+  const double pmf = BinomialPmf(5000, 10000, 0.5);
+  EXPECT_GT(pmf, 0.005);
+  EXPECT_LT(pmf, 0.01);
+  EXPECT_NEAR(BinomialCdf(5000, 10000, 0.5), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace svq::stats

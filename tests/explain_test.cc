@@ -1,0 +1,85 @@
+#include "svq/query/explain.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::query {
+namespace {
+
+constexpr const char* kRankedSql =
+    "SELECT MERGE(clipID), RANK(act, obj) "
+    "FROM (PROCESS demo PRODUCE clipID, obj USING ObjectTracker, "
+    "act USING ActionRecognizer) "
+    "WHERE act='jumping' AND obj.include('car', 'human') "
+    "ORDER BY RANK(act, obj) LIMIT 3";
+
+constexpr const char* kStreamingSql =
+    "SELECT MERGE(clipID) FROM (PROCESS demo PRODUCE clipID, obj, act) "
+    "WHERE act='jumping' AND obj.include('car') AND "
+    "rel.left_of('human', 'car')";
+
+TEST(StripExplainTest, RecognizesKeyword) {
+  EXPECT_TRUE(StripExplain("EXPLAIN SELECT ...").has_value());
+  EXPECT_TRUE(StripExplain("  explain SELECT ...").has_value());
+  EXPECT_EQ(*StripExplain("Explain X"), " X");
+  EXPECT_FALSE(StripExplain("SELECT ...").has_value());
+  EXPECT_FALSE(StripExplain("EXPLAINER").has_value());
+  EXPECT_FALSE(StripExplain("").has_value());
+}
+
+TEST(ExplainTest, RankedPlan) {
+  auto plan = ExplainStatement(nullptr, kRankedSql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("ranked top-3 query (offline)"), std::string::npos);
+  EXPECT_NE(plan->find("RVAQ"), std::string::npos);
+  EXPECT_NE(plan->find("P_a(jumping)"), std::string::npos);
+  EXPECT_NE(plan->find("P_o(car)"), std::string::npos);
+  EXPECT_NE(plan->find("detector=ObjectTracker"), std::string::npos);
+}
+
+TEST(ExplainTest, StreamingPlanWithRelationship) {
+  auto plan = ExplainStatement(nullptr, kStreamingSql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("streaming query (online)"), std::string::npos);
+  EXPECT_NE(plan->find("SVAQD"), std::string::npos);
+  EXPECT_NE(plan->find("left_of(human, car)"), std::string::npos);
+}
+
+TEST(ExplainTest, AcceptsExplainPrefix) {
+  auto plan =
+      ExplainStatement(nullptr, std::string("EXPLAIN ") + kStreamingSql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+}
+
+TEST(ExplainTest, ReportsRepositoryState) {
+  core::VideoQueryEngine engine;
+  video::SyntheticVideoSpec spec;
+  spec.name = "demo";
+  spec.num_frames = 4000;
+  spec.actions.push_back({"jumping", 300.0, 900.0});
+  auto video = video::SyntheticVideo::Generate(spec);
+  ASSERT_TRUE(video.ok());
+  ASSERT_TRUE(engine.AddVideo(*video).ok());
+
+  auto not_ingested = ExplainStatement(&engine, kRankedSql);
+  ASSERT_TRUE(not_ingested.ok());
+  EXPECT_NE(not_ingested->find("not ingested"), std::string::npos);
+
+  ASSERT_TRUE(engine.Ingest("demo").ok());
+  auto ingested = ExplainStatement(&engine, kRankedSql);
+  ASSERT_TRUE(ingested.ok());
+  EXPECT_NE(ingested->find("registered, ingested"), std::string::npos);
+
+  auto unknown = ExplainStatement(
+      &engine,
+      "SELECT MERGE(clipID) FROM (PROCESS ghost PRODUCE clipID, act) "
+      "WHERE act='jumping'");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_NE(unknown->find("NOT REGISTERED"), std::string::npos);
+}
+
+TEST(ExplainTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(ExplainStatement(nullptr, "EXPLAIN garbage").ok());
+}
+
+}  // namespace
+}  // namespace svq::query

@@ -1,0 +1,171 @@
+#include "svq/video/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/common/rng.h"
+
+namespace svq::video {
+namespace {
+
+TEST(IntervalTest, BasicProperties) {
+  Interval i{3, 7};
+  EXPECT_EQ(i.length(), 4);
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(6));
+  EXPECT_FALSE(i.Contains(7));
+  EXPECT_TRUE((Interval{5, 5}).empty());
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE((Interval{0, 5}).Overlaps({4, 8}));
+  EXPECT_FALSE((Interval{0, 5}).Overlaps({5, 8}));
+  EXPECT_TRUE((Interval{2, 3}).Overlaps({0, 10}));
+}
+
+TEST(IntervalTest, Iou) {
+  EXPECT_DOUBLE_EQ(Interval::Iou({0, 10}, {0, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(Interval::Iou({0, 10}, {5, 15}), 5.0 / 15.0);
+  EXPECT_DOUBLE_EQ(Interval::Iou({0, 5}, {5, 10}), 0.0);
+  EXPECT_DOUBLE_EQ(Interval::Iou({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(IntervalSetTest, NormalizesOnConstruction) {
+  IntervalSet set({{5, 8}, {1, 3}, {2, 4}, {8, 9}, {20, 20}});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{1, 4}));
+  EXPECT_EQ(set.intervals()[1], (Interval{5, 9}));
+}
+
+TEST(IntervalSetTest, AddMergesAdjacent) {
+  IntervalSet set;
+  set.Add({0, 2});
+  set.Add({2, 4});  // touching -> merges (the paper's clip MERGE)
+  set.Add({10, 12});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{0, 4}));
+}
+
+TEST(IntervalSetTest, AddOutOfOrder) {
+  IntervalSet set;
+  set.Add({10, 12});
+  set.Add({0, 2});
+  set.Add({11, 15});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[1], (Interval{10, 15}));
+}
+
+TEST(IntervalSetTest, ContainsAndFind) {
+  IntervalSet set({{2, 5}, {9, 11}});
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(4));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_EQ(set.FindInterval(10), 1);
+  EXPECT_EQ(set.FindInterval(8), -1);
+}
+
+TEST(IntervalSetTest, TotalLength) {
+  IntervalSet set({{0, 3}, {10, 14}});
+  EXPECT_EQ(set.TotalLength(), 7);
+  EXPECT_EQ(IntervalSet().TotalLength(), 0);
+}
+
+TEST(IntervalSetTest, UnionIntersectDifference) {
+  IntervalSet a({{0, 5}, {10, 15}});
+  IntervalSet b({{3, 12}});
+  EXPECT_EQ(IntervalSet::Union(a, b), IntervalSet({{0, 15}}));
+  EXPECT_EQ(IntervalSet::Intersect(a, b), IntervalSet({{3, 5}, {10, 12}}));
+  EXPECT_EQ(IntervalSet::Difference(a, b), IntervalSet({{0, 3}, {12, 15}}));
+  EXPECT_EQ(IntervalSet::Difference(b, a), IntervalSet({{5, 10}}));
+}
+
+TEST(IntervalSetTest, IntersectEmpty) {
+  IntervalSet a({{0, 5}});
+  EXPECT_TRUE(IntervalSet::Intersect(a, IntervalSet()).empty());
+  EXPECT_TRUE(IntervalSet::Intersect(IntervalSet(), a).empty());
+}
+
+TEST(IntervalSetTest, Complement) {
+  IntervalSet set({{2, 4}, {6, 8}});
+  EXPECT_EQ(set.Complement(0, 10), IntervalSet({{0, 2}, {4, 6}, {8, 10}}));
+  EXPECT_EQ(IntervalSet().Complement(0, 5), IntervalSet({{0, 5}}));
+}
+
+TEST(IntervalSetTest, OverlapLength) {
+  IntervalSet a({{0, 10}});
+  IntervalSet b({{5, 7}, {9, 20}});
+  EXPECT_EQ(a.OverlapLength(b), 3);
+}
+
+TEST(IntervalSetTest, CoarsenAny) {
+  // Frames -> clips of 10: [5, 12) touches clips 0 and 1.
+  IntervalSet frames({{5, 12}, {25, 26}});
+  EXPECT_EQ(frames.CoarsenAny(10), IntervalSet({{0, 2}, {2, 3}}));
+}
+
+TEST(IntervalSetTest, CoarsenAll) {
+  // Only fully covered units survive: [5, 32) fully covers units 1 and 2.
+  IntervalSet frames({{5, 32}});
+  EXPECT_EQ(frames.CoarsenAll(10), IntervalSet({{1, 3}}));
+  EXPECT_TRUE(IntervalSet({{5, 9}}).CoarsenAll(10).empty());
+}
+
+TEST(IntervalSetTest, Refine) {
+  IntervalSet clips({{1, 3}});
+  EXPECT_EQ(clips.Refine(10), IntervalSet({{10, 30}}));
+}
+
+TEST(IntervalSetTest, RefineInvertsCoarsenAllOnAligned) {
+  IntervalSet clips({{2, 5}, {8, 9}});
+  EXPECT_EQ(clips.Refine(16).CoarsenAll(16), clips);
+  EXPECT_EQ(clips.Refine(16).CoarsenAny(16), clips);
+}
+
+/// Algebraic property sweep against a bitset oracle.
+class IntervalAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalAlgebraTest, MatchesBitsetOracle) {
+  svq::Rng rng(GetParam());
+  const int64_t domain = 64;
+  auto random_set = [&](std::vector<bool>* bits) {
+    IntervalSet set;
+    bits->assign(domain, false);
+    const int n = 1 + static_cast<int>(rng.NextUint64(6));
+    for (int i = 0; i < n; ++i) {
+      const int64_t begin = static_cast<int64_t>(rng.NextUint64(domain));
+      const int64_t end =
+          begin + 1 + static_cast<int64_t>(rng.NextUint64(12));
+      set.Add({begin, std::min(end, domain)});
+      for (int64_t x = begin; x < std::min(end, domain); ++x) {
+        (*bits)[static_cast<size_t>(x)] = true;
+      }
+    }
+    return set;
+  };
+  std::vector<bool> abits, bbits;
+  const IntervalSet a = random_set(&abits);
+  const IntervalSet b = random_set(&bbits);
+
+  const IntervalSet uni = IntervalSet::Union(a, b);
+  const IntervalSet inter = IntervalSet::Intersect(a, b);
+  const IntervalSet diff = IntervalSet::Difference(a, b);
+  for (int64_t x = 0; x < domain; ++x) {
+    const bool ia = abits[static_cast<size_t>(x)];
+    const bool ib = bbits[static_cast<size_t>(x)];
+    EXPECT_EQ(uni.Contains(x), ia || ib) << "x=" << x;
+    EXPECT_EQ(inter.Contains(x), ia && ib) << "x=" << x;
+    EXPECT_EQ(diff.Contains(x), ia && !ib) << "x=" << x;
+  }
+  // Identities.
+  EXPECT_EQ(IntervalSet::Intersect(a, b), IntervalSet::Intersect(b, a));
+  EXPECT_EQ(IntervalSet::Union(a, b), IntervalSet::Union(b, a));
+  EXPECT_EQ(IntervalSet::Union(IntervalSet::Difference(a, b), inter), a);
+  EXPECT_EQ(inter.TotalLength() + diff.TotalLength(), a.TotalLength());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, IntervalAlgebraTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace svq::video

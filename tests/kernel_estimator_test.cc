@@ -1,0 +1,128 @@
+#include "svq/stats/kernel_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/common/rng.h"
+
+namespace svq::stats {
+namespace {
+
+KernelRateEstimator Make(double bandwidth, double initial_p,
+                         int64_t warmup = 0) {
+  KernelRateEstimator::Options options;
+  options.bandwidth = bandwidth;
+  options.initial_p = initial_p;
+  options.warmup_ous = warmup;
+  auto result = KernelRateEstimator::Create(options);
+  EXPECT_TRUE(result.ok());
+  return *std::move(result);
+}
+
+TEST(KernelEstimatorTest, ValidatesOptions) {
+  KernelRateEstimator::Options bad;
+  bad.bandwidth = 0.0;
+  EXPECT_FALSE(KernelRateEstimator::Create(bad).ok());
+  bad.bandwidth = 10.0;
+  bad.initial_p = 1.5;
+  EXPECT_FALSE(KernelRateEstimator::Create(bad).ok());
+  bad.initial_p = 0.1;
+  bad.warmup_ous = -1;
+  EXPECT_FALSE(KernelRateEstimator::Create(bad).ok());
+}
+
+TEST(KernelEstimatorTest, ReportsInitialBeforeData) {
+  auto est = Make(100.0, 0.0123);
+  EXPECT_DOUBLE_EQ(est.rate(), 0.0123);
+}
+
+TEST(KernelEstimatorTest, UnbiasedOnConstantStream) {
+  // E[rate] = p for an i.i.d. Bernoulli(p) stream (the paper's
+  // unbiasedness claim for Eq. 6 with constant background probability).
+  const double p = 0.07;
+  Rng rng(31337);
+  double sum = 0.0;
+  const int replicas = 40;
+  for (int r = 0; r < replicas; ++r) {
+    auto est = Make(200.0, 0.5);
+    for (int t = 0; t < 4000; ++t) est.Step(rng.NextBernoulli(p));
+    sum += est.rate();
+  }
+  EXPECT_NEAR(sum / replicas, p, 0.01);
+}
+
+TEST(KernelEstimatorTest, AllEventsConvergesToOne) {
+  auto est = Make(64.0, 0.0);
+  for (int t = 0; t < 2000; ++t) est.Step(true);
+  EXPECT_NEAR(est.rate(), 1.0, 1e-6);
+}
+
+TEST(KernelEstimatorTest, NoEventsConvergesToZero) {
+  auto est = Make(64.0, 0.9);
+  for (int t = 0; t < 2000; ++t) est.Step(false);
+  EXPECT_NEAR(est.rate(), 0.0, 1e-6);
+}
+
+TEST(KernelEstimatorTest, AdaptsToLevelShift) {
+  // Concept drift: the rate jumps from 0.01 to 0.2; the estimate follows
+  // within a few bandwidths.
+  Rng rng(99);
+  auto est = Make(256.0, 0.01);
+  for (int t = 0; t < 5000; ++t) est.Step(rng.NextBernoulli(0.01));
+  EXPECT_NEAR(est.rate(), 0.01, 0.01);
+  for (int t = 0; t < 5000; ++t) est.Step(rng.NextBernoulli(0.2));
+  EXPECT_NEAR(est.rate(), 0.2, 0.05);
+}
+
+TEST(KernelEstimatorTest, ForgetsInitialValue) {
+  // SVAQD's key property (paper Fig. 2): two estimators with wildly
+  // different priors agree after seeing the same data.
+  Rng rng(17);
+  auto low = Make(128.0, 1e-6);
+  auto high = Make(128.0, 0.5);
+  for (int t = 0; t < 3000; ++t) {
+    const bool event = rng.NextBernoulli(0.05);
+    low.Step(event);
+    high.Step(event);
+  }
+  EXPECT_NEAR(low.rate(), high.rate(), 1e-9);
+}
+
+TEST(KernelEstimatorTest, WarmupBlendsPrior) {
+  auto est = Make(1000.0, 0.5, /*warmup=*/1000);
+  // A short all-zero prefix: with warmup, the estimate stays near the
+  // prior early on instead of collapsing to zero.
+  for (int t = 0; t < 10; ++t) est.Step(false);
+  EXPECT_GT(est.rate(), 0.45);
+}
+
+TEST(KernelEstimatorTest, AdvanceEqualsStepsWithoutEvents) {
+  auto a = Make(50.0, 0.1);
+  auto b = Make(50.0, 0.1);
+  a.Step(true);
+  b.Step(true);
+  for (int i = 0; i < 25; ++i) a.Step(false);
+  b.Advance(25);
+  EXPECT_NEAR(a.rate(), b.rate(), 1e-12);
+  EXPECT_EQ(a.total_ous(), b.total_ous());
+}
+
+TEST(KernelEstimatorTest, CountsEventsAndUnits) {
+  auto est = Make(10.0, 0.1);
+  est.Step(true);
+  est.Step(false);
+  est.Step(true);
+  EXPECT_EQ(est.total_ous(), 3);
+  EXPECT_EQ(est.total_events(), 2);
+}
+
+TEST(KernelEstimatorTest, RateStaysInUnitInterval) {
+  auto est = Make(4.0, 0.5);
+  for (int t = 0; t < 100; ++t) {
+    est.Step(true);
+    EXPECT_GE(est.rate(), 0.0);
+    EXPECT_LE(est.rate(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace svq::stats

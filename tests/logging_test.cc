@@ -1,0 +1,49 @@
+#include "svq/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace svq {
+namespace {
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold statements must not evaluate their stream arguments.
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  SVQ_LOG(Debug) << expensive();
+  SVQ_LOG(Info) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SVQ_LOG(Error) << "exercised error path (" << expensive() << ")";
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, EmitsToStderr) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  SVQ_LOG(Warning) << "watch out " << 42;
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("watch out 42"), std::string::npos);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnViolation) {
+  EXPECT_DEATH({ SVQ_CHECK(1 + 1 == 3) << "math broke"; },
+               "check failed: 1 \\+ 1 == 3");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  testing::internal::CaptureStderr();
+  SVQ_CHECK(2 + 2 == 4) << "never printed";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace svq

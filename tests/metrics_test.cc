@@ -1,0 +1,93 @@
+#include "svq/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::eval {
+namespace {
+
+using video::Interval;
+using video::IntervalSet;
+
+TEST(MatchStatsTest, DerivedScores) {
+  MatchStats stats{8, 2, 2};
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(stats.f1(), 0.8);
+  EXPECT_DOUBLE_EQ(MatchStats{}.f1(), 0.0);
+  MatchStats sum = stats;
+  sum += MatchStats{2, 0, 0};
+  EXPECT_EQ(sum.tp, 10);
+}
+
+TEST(SequenceMatchTest, ExactMatch) {
+  IntervalSet truth({{0, 10}, {20, 30}});
+  MatchStats stats = SequenceMatch(truth, truth, 0.5);
+  EXPECT_EQ(stats.tp, 2);
+  EXPECT_EQ(stats.fp, 0);
+  EXPECT_EQ(stats.fn, 0);
+  EXPECT_DOUBLE_EQ(stats.f1(), 1.0);
+}
+
+TEST(SequenceMatchTest, IouThresholdDecides) {
+  IntervalSet truth({{0, 10}});
+  // IoU([0,6), [0,10)) = 0.6 >= 0.5 -> TP.
+  MatchStats hit = SequenceMatch(IntervalSet({{0, 6}}), truth, 0.5);
+  EXPECT_EQ(hit.tp, 1);
+  EXPECT_EQ(hit.fn, 0);
+  // IoU([0,4), [0,10)) = 0.4 < 0.5 -> FP + FN.
+  MatchStats miss = SequenceMatch(IntervalSet({{0, 4}}), truth, 0.5);
+  EXPECT_EQ(miss.tp, 0);
+  EXPECT_EQ(miss.fp, 1);
+  EXPECT_EQ(miss.fn, 1);
+}
+
+TEST(SequenceMatchTest, SpuriousAndMissing) {
+  IntervalSet truth({{0, 10}, {50, 60}});
+  IntervalSet predicted({{0, 10}, {100, 105}});
+  MatchStats stats = SequenceMatch(predicted, truth, 0.5);
+  EXPECT_EQ(stats.tp, 1);
+  EXPECT_EQ(stats.fp, 1);
+  EXPECT_EQ(stats.fn, 1);
+}
+
+TEST(SequenceMatchTest, EmptySets) {
+  MatchStats both = SequenceMatch(IntervalSet(), IntervalSet(), 0.5);
+  EXPECT_EQ(both.tp + both.fp + both.fn, 0);
+  MatchStats no_pred = SequenceMatch(IntervalSet(), IntervalSet({{0, 5}}));
+  EXPECT_EQ(no_pred.fn, 1);
+}
+
+TEST(ElementMatchTest, CountsLengths) {
+  IntervalSet predicted({{0, 10}});
+  IntervalSet truth({{5, 15}});
+  MatchStats stats = ElementMatch(predicted, truth);
+  EXPECT_EQ(stats.tp, 5);
+  EXPECT_EQ(stats.fp, 5);
+  EXPECT_EQ(stats.fn, 5);
+}
+
+TEST(FalsePositiveRateTest, Computed) {
+  IntervalSet truth({{0, 50}});
+  IntervalSet predicted({{40, 70}});  // 20 predicted frames outside truth
+  // Negatives: 100 - 50 = 50; FP = 20.
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(predicted, truth, 100), 0.4);
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(IntervalSet(), truth, 100), 0.0);
+  // All-truth domain has no negatives.
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(predicted, IntervalSet({{0, 100}}),
+                                     100),
+                   0.0);
+}
+
+TEST(ShotTruthTest, HalfCoverageRule) {
+  // 10-frame shots; [0, 15) covers shot 0 fully and half of shot 1.
+  IntervalSet frames({{0, 15}});
+  EXPECT_EQ(ShotTruth(frames, 10), IntervalSet({{0, 2}}));
+  // [0, 14) covers only 4 frames of shot 1 -> excluded.
+  EXPECT_EQ(ShotTruth(IntervalSet({{0, 14}}), 10), IntervalSet({{0, 1}}));
+  // A sliver inside one shot is excluded.
+  EXPECT_TRUE(ShotTruth(IntervalSet({{12, 14}}), 10).empty());
+  EXPECT_EQ(ShotTruth(IntervalSet({{10, 15}}), 10), IntervalSet({{1, 2}}));
+}
+
+}  // namespace
+}  // namespace svq::eval

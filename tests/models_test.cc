@@ -1,0 +1,289 @@
+#include "svq/models/synthetic_models.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace svq::models {
+namespace {
+
+using video::Interval;
+using video::IntervalSet;
+using video::SyntheticVideo;
+using video::SyntheticVideoSpec;
+
+std::shared_ptr<const SyntheticVideo> MakeVideo(uint64_t seed = 3) {
+  SyntheticVideoSpec spec;
+  spec.name = "models_test";
+  spec.num_frames = 24000;
+  spec.seed = seed;
+  spec.actions.push_back({"jumping", 320.0, 1000.0});
+  video::SyntheticObjectSpec car;
+  car.label = "car";
+  car.correlate_with_action = "jumping";
+  car.correlation = 0.9;
+  car.coverage = 0.9;
+  car.mean_on_frames = 250.0;
+  car.mean_off_frames = 1800.0;
+  spec.objects.push_back(car);
+  auto video = SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+TEST(ProfileTest, Validation) {
+  DetectorProfile p = MaskRcnnProfile();
+  EXPECT_TRUE(p.Validate().ok());
+  p.tpr = 1.4;
+  EXPECT_FALSE(p.Validate().ok());
+  p = MaskRcnnProfile();
+  p.mean_fp_burst = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = MaskRcnnProfile();
+  p.true_score.alpha = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProfileTest, LabelOverrides) {
+  DetectorProfile p = MaskRcnnProfile();
+  p.label_accuracy["faucet"] = {0.7, 0.08};
+  EXPECT_DOUBLE_EQ(p.TprFor("faucet"), 0.7);
+  EXPECT_DOUBLE_EQ(p.FprFor("faucet"), 0.08);
+  EXPECT_DOUBLE_EQ(p.TprFor("car"), p.tpr);
+}
+
+TEST(PresenceOverlayTest, IdealMatchesTruth) {
+  IntervalSet truth({{100, 200}, {400, 450}});
+  Rng rng(1);
+  auto overlay =
+      PresenceOverlay::Build(truth, 1000, 1.0, 0.0, 5, 3, true, rng);
+  EXPECT_EQ(overlay.detected(), truth);
+  EXPECT_TRUE(overlay.false_detected().empty());
+}
+
+TEST(PresenceOverlayTest, RatesApproximatelyRespected) {
+  IntervalSet truth({{0, 50000}});
+  Rng rng(2);
+  auto overlay =
+      PresenceOverlay::Build(truth, 100000, 0.9, 0.05, 6, 3, false, rng);
+  const double tpr =
+      static_cast<double>(overlay.true_detected().TotalLength()) / 50000.0;
+  const double fpr =
+      static_cast<double>(overlay.false_detected().TotalLength()) / 50000.0;
+  EXPECT_NEAR(tpr, 0.9, 0.05);
+  EXPECT_NEAR(fpr, 0.05, 0.03);
+}
+
+TEST(PresenceOverlayTest, FalsePositivesOutsideTruth) {
+  IntervalSet truth({{1000, 2000}});
+  Rng rng(3);
+  auto overlay =
+      PresenceOverlay::Build(truth, 10000, 0.8, 0.1, 6, 3, false, rng);
+  EXPECT_EQ(overlay.false_detected().OverlapLength(truth), 0);
+  // detected = true_detected ∪ false_detected, disjoint.
+  EXPECT_EQ(overlay.detected().TotalLength(),
+            overlay.true_detected().TotalLength() +
+                overlay.false_detected().TotalLength());
+}
+
+TEST(ObjectDetectorTest, DeterministicPerFrame) {
+  auto video = MakeVideo();
+  SyntheticObjectDetector det(video, MaskRcnnProfile(), {"bus"}, 9);
+  auto first = det.Detect(1234);
+  auto second = det.Detect(1234);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].label, (*second)[i].label);
+    EXPECT_DOUBLE_EQ((*first)[i].score, (*second)[i].score);
+  }
+}
+
+TEST(ObjectDetectorTest, VocabularyIncludesExtraLabels) {
+  auto video = MakeVideo();
+  SyntheticObjectDetector det(video, MaskRcnnProfile(), {"zebra"}, 9);
+  const auto& vocab = det.SupportedLabels();
+  EXPECT_NE(std::find(vocab.begin(), vocab.end(), "zebra"), vocab.end());
+  EXPECT_NE(std::find(vocab.begin(), vocab.end(), "car"), vocab.end());
+}
+
+TEST(ObjectDetectorTest, RejectsOutOfRangeFrame) {
+  auto video = MakeVideo();
+  SyntheticObjectDetector det(video, MaskRcnnProfile(), {}, 9);
+  EXPECT_FALSE(det.Detect(-1).ok());
+  EXPECT_FALSE(det.Detect(video->num_frames()).ok());
+}
+
+TEST(ObjectDetectorTest, IdealDetectorMatchesGroundTruth) {
+  auto video = MakeVideo();
+  SyntheticObjectDetector det(video, IdealObjectProfile(), {}, 9);
+  const IntervalSet& truth = video->ground_truth().ObjectPresence("car");
+  for (video::FrameIndex f = 0; f < 2000; ++f) {
+    auto dets = det.Detect(f);
+    ASSERT_TRUE(dets.ok());
+    bool has_car = false;
+    for (const auto& d : *dets) {
+      if (d.label == "car") {
+        has_car = true;
+        EXPECT_DOUBLE_EQ(d.score, 1.0);
+      }
+    }
+    EXPECT_EQ(has_car, truth.Contains(f)) << "frame " << f;
+  }
+}
+
+TEST(ObjectDetectorTest, AccruesInferenceCost) {
+  auto video = MakeVideo();
+  SyntheticObjectDetector det(video, MaskRcnnProfile(), {}, 9);
+  ASSERT_TRUE(det.Detect(0).ok());
+  ASSERT_TRUE(det.Detect(1).ok());
+  EXPECT_EQ(det.stats().units, 2);
+  EXPECT_DOUBLE_EQ(det.stats().simulated_ms,
+                   2.0 * MaskRcnnProfile().cost_ms);
+}
+
+TEST(ObjectDetectorTest, ScoresAboveThresholdMostlyInTruth) {
+  auto video = MakeVideo();
+  SyntheticObjectDetector det(video, MaskRcnnProfile(), {}, 9);
+  const IntervalSet& truth = video->ground_truth().ObjectPresence("car");
+  int64_t positives = 0, true_positives = 0;
+  for (video::FrameIndex f = 0; f < video->num_frames(); f += 3) {
+    auto dets = det.Detect(f);
+    ASSERT_TRUE(dets.ok());
+    for (const auto& d : *dets) {
+      if (d.label == "car" && d.score >= 0.5) {
+        ++positives;
+        if (truth.Contains(f)) ++true_positives;
+      }
+    }
+  }
+  ASSERT_GT(positives, 0);
+  EXPECT_GT(static_cast<double>(true_positives) / positives, 0.7);
+}
+
+TEST(ActionRecognizerTest, ShotTruthHalfCoverageRule) {
+  auto video = MakeVideo();
+  SyntheticActionRecognizer rec(video, IdealActionProfile(), {}, 9);
+  const IntervalSet shots = rec.ShotTruth("jumping");
+  const IntervalSet& frames = video->ground_truth().ActionPresence("jumping");
+  // Every truth shot must overlap the frame truth by >= half a shot.
+  const int fps = video->layout().frames_per_shot;
+  for (const Interval& run : shots.intervals()) {
+    for (int64_t s = run.begin; s < run.end; ++s) {
+      const IntervalSet shot_set(
+          std::vector<Interval>{{s * fps, (s + 1) * fps}});
+      EXPECT_GE(2 * shot_set.OverlapLength(frames), fps) << "shot " << s;
+    }
+  }
+}
+
+TEST(ActionRecognizerTest, IdealRecognizerScoresTruthShots) {
+  auto video = MakeVideo();
+  SyntheticActionRecognizer rec(video, IdealActionProfile(), {}, 9);
+  const IntervalSet shots = rec.ShotTruth("jumping");
+  video::ShotRef shot;
+  shot.shot = shots.intervals().front().begin;
+  const int fps = video->layout().frames_per_shot;
+  shot.frames = {shot.shot * fps, (shot.shot + 1) * fps};
+  auto scores = rec.Recognize(shot);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 1u);
+  EXPECT_EQ((*scores)[0].label, "jumping");
+  EXPECT_DOUBLE_EQ((*scores)[0].score, 1.0);
+}
+
+TEST(ActionRecognizerTest, RejectsOutOfRangeShot) {
+  auto video = MakeVideo();
+  SyntheticActionRecognizer rec(video, I3dProfile(), {}, 9);
+  video::ShotRef shot;
+  shot.shot = video->NumShots();
+  EXPECT_FALSE(rec.Recognize(shot).ok());
+}
+
+TEST(ObjectTrackerTest, StableIdsWithinASegment) {
+  auto video = MakeVideo();
+  TrackerProfile tracker_profile;
+  tracker_profile.mean_segment_frames = 1e9;  // effectively no churn
+  SyntheticObjectTracker tracker(video, IdealObjectProfile(), tracker_profile,
+                                 {}, 9);
+  const auto& instances = video->ground_truth().instances();
+  ASSERT_FALSE(instances.empty());
+  const video::TrackInstance& inst = instances.front();
+  std::set<int64_t> ids;
+  for (video::FrameIndex f = inst.frames.begin; f < inst.frames.end; ++f) {
+    auto dets = tracker.Track(f);
+    ASSERT_TRUE(dets.ok());
+    for (const auto& d : *dets) {
+      if (d.label == inst.label) ids.insert(d.track_id);
+    }
+  }
+  // Without churn and possibly overlapping instances, the id set is small
+  // and every id is a valid (non-negative) track id.
+  EXPECT_FALSE(ids.empty());
+  for (const int64_t id : ids) EXPECT_GE(id, 0);
+}
+
+TEST(ObjectTrackerTest, ChurnSplitsLongTracks) {
+  auto video = MakeVideo();
+  TrackerProfile churny;
+  churny.mean_segment_frames = 40.0;
+  SyntheticObjectTracker tracker(video, IdealObjectProfile(), churny, {}, 9);
+  // Find a long instance and count distinct ids across it.
+  const video::TrackInstance* longest = nullptr;
+  for (const auto& inst : video->ground_truth().instances()) {
+    if (longest == nullptr ||
+        inst.frames.length() > longest->frames.length()) {
+      longest = &inst;
+    }
+  }
+  ASSERT_NE(longest, nullptr);
+  ASSERT_GT(longest->frames.length(), 120);
+  std::set<int64_t> ids;
+  for (video::FrameIndex f = longest->frames.begin; f < longest->frames.end;
+       ++f) {
+    auto dets = tracker.Track(f);
+    ASSERT_TRUE(dets.ok());
+    for (const auto& d : *dets) {
+      if (d.label == longest->label) ids.insert(d.track_id);
+    }
+  }
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ObjectTrackerTest, DeterministicPerFrame) {
+  auto video = MakeVideo();
+  SyntheticObjectTracker tracker(video, MaskRcnnProfile(),
+                                 CenterTrackProfile(), {}, 9);
+  auto a = tracker.Track(5000);
+  auto b = tracker.Track(5000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].track_id, (*b)[i].track_id);
+    EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+  }
+}
+
+TEST(ModelSetTest, FactoryBuildsAllThree) {
+  auto video = MakeVideo();
+  ModelSet set = MakeModelSet(video, MaskRcnnI3dSuite(), {"car", "bus"},
+                              {"jumping"});
+  ASSERT_NE(set.detector, nullptr);
+  ASSERT_NE(set.recognizer, nullptr);
+  ASSERT_NE(set.tracker, nullptr);
+  EXPECT_EQ(set.detector->name(), "maskrcnn");
+  EXPECT_EQ(set.recognizer->name(), "i3d");
+}
+
+TEST(ModelSetTest, SuitesDifferInQuality) {
+  EXPECT_GT(MaskRcnnI3dSuite().object_profile.tpr,
+            YoloV3I3dSuite().object_profile.tpr);
+  EXPECT_LT(MaskRcnnI3dSuite().object_profile.fpr,
+            YoloV3I3dSuite().object_profile.fpr);
+  EXPECT_TRUE(IdealSuite().object_profile.ideal);
+}
+
+}  // namespace
+}  // namespace svq::models

@@ -1,0 +1,306 @@
+#include "svq/core/online_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/eval/metrics.h"
+#include "svq/eval/workloads.h"
+#include "svq/models/synthetic_models.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::core {
+namespace {
+
+using models::MakeModelSet;
+using models::ModelSet;
+using video::SyntheticVideo;
+using video::SyntheticVideoSpec;
+
+std::shared_ptr<const SyntheticVideo> MakeVideo(uint64_t seed = 21,
+                                                int64_t frames = 40000) {
+  SyntheticVideoSpec spec;
+  spec.name = "online_test";
+  spec.num_frames = frames;
+  spec.seed = seed;
+  spec.actions.push_back({"jumping", 400.0, 4600.0});
+  video::SyntheticObjectSpec car;
+  car.label = "car";
+  car.correlate_with_action = "jumping";
+  car.correlation = 0.9;
+  car.coverage = 0.9;
+  car.mean_on_frames = 250.0;
+  car.mean_off_frames = 2500.0;
+  spec.objects.push_back(car);
+  auto video = SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+Query JumpingCarQuery() {
+  Query query;
+  query.action = "jumping";
+  query.objects = {"car"};
+  return query;
+}
+
+TEST(QueryTest, Validation) {
+  EXPECT_FALSE(Query{}.Validate().ok());
+  Query q = JumpingCarQuery();
+  EXPECT_TRUE(q.Validate().ok());
+  q.objects.push_back("car");
+  EXPECT_FALSE(q.Validate().ok());
+  q.objects = {""};
+  EXPECT_FALSE(q.Validate().ok());
+  EXPECT_EQ(JumpingCarQuery().ToString(), "{a=jumping; o1=car}");
+}
+
+TEST(OnlineConfigTest, Validation) {
+  OnlineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.alpha = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = OnlineConfig();
+  config.object_threshold = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = OnlineConfig();
+  config.reference_windows = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = OnlineConfig();
+  config.object_bandwidth = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(OnlineEngineTest, CreateValidatesInputs) {
+  auto video = MakeVideo();
+  ModelSet models = MakeModelSet(video, models::IdealSuite(), {"car"},
+                                 {"jumping"});
+  EXPECT_FALSE(OnlineEngine::Create(OnlineEngine::Mode::kSvaq, Query{},
+                                    OnlineConfig(), video->layout(),
+                                    models.detector.get(),
+                                    models.recognizer.get())
+                   .ok());
+  EXPECT_FALSE(OnlineEngine::Create(OnlineEngine::Mode::kSvaq,
+                                    JumpingCarQuery(), OnlineConfig(),
+                                    video->layout(), nullptr,
+                                    models.recognizer.get())
+                   .ok());
+}
+
+TEST(OnlineEngineTest, IdealModelsRecoverGroundTruth) {
+  // A video where the car covers the action exactly (no jitter, no
+  // background appearances): ideal models must recover the ground truth
+  // perfectly, as in the paper's Table 4 "Ideal Models -> F1 = 1.0" row.
+  SyntheticVideoSpec spec;
+  spec.name = "ideal_exact";
+  spec.num_frames = 40000;
+  spec.seed = 77;
+  spec.actions.push_back({"jumping", 400.0, 4600.0});
+  video::SyntheticObjectSpec car;
+  car.label = "car";
+  car.correlate_with_action = "jumping";
+  car.correlation = 1.0;
+  car.coverage = 1.0;
+  car.jitter_frames = 0.0;
+  car.mean_on_frames = 0.0;  // no background process
+  spec.objects.push_back(car);
+  auto video_result = SyntheticVideo::Generate(spec);
+  ASSERT_TRUE(video_result.ok());
+  auto video = *video_result;
+  ModelSet models = MakeModelSet(video, models::IdealSuite(), {"car"},
+                                 {"jumping"});
+  auto engine = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), models.detector.get(), models.recognizer.get());
+  ASSERT_TRUE(engine.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto result = (*engine)->Run(stream);
+  ASSERT_TRUE(result.ok());
+
+  const video::IntervalSet truth =
+      eval::TruthFrames(*video, JumpingCarQuery())
+          .CoarsenAny(video->layout().FramesPerClip());
+  const eval::MatchStats match =
+      eval::SequenceMatch(result->sequences, truth, 0.5);
+  // The paper's Table 4: ideal models give F1 = 1.0. Clip-boundary
+  // quantization (ground truth annotated in frames, decisions taken per
+  // clip with the half-shot coverage rule) can split one boundary clip off
+  // a sequence, so we require perfect recall and near-perfect F1.
+  EXPECT_EQ(match.fn, 0);
+  EXPECT_GE(match.f1(), 0.95)
+      << "tp=" << match.tp << " fp=" << match.fp << " fn=" << match.fn;
+}
+
+TEST(OnlineEngineTest, NoisyModelsStillAccurate) {
+  auto video = MakeVideo();
+  models::ModelSuite suite = models::MaskRcnnI3dSuite();
+  ModelSet models = MakeModelSet(video, suite, {"car"}, {"jumping"});
+  auto engine = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), models.detector.get(), models.recognizer.get());
+  ASSERT_TRUE(engine.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto result = (*engine)->Run(stream);
+  ASSERT_TRUE(result.ok());
+  const video::IntervalSet truth =
+      eval::TruthFrames(*video, JumpingCarQuery())
+          .CoarsenAny(video->layout().FramesPerClip());
+  const eval::MatchStats match =
+      eval::SequenceMatch(result->sequences, truth, 0.5);
+  EXPECT_GT(match.f1(), 0.6);
+}
+
+TEST(OnlineEngineTest, SvaqSensitiveToBadPrior) {
+  // SVAQ with an absurdly high background probability cannot certify
+  // anything; SVAQD recovers (the paper's Figure 2 contrast). Recovery
+  // needs enough stream for the kernel estimate to forget the prior.
+  auto video = MakeVideo(21, 120000);
+  OnlineConfig config;
+  config.initial_object_p = 0.6;
+  config.initial_action_p = 0.6;
+  ModelSet models = MakeModelSet(video, models::IdealSuite(), {"car"},
+                                 {"jumping"});
+  auto svaq = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaq, JumpingCarQuery(), config, video->layout(),
+      models.detector.get(), models.recognizer.get());
+  ASSERT_TRUE(svaq.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto svaq_result = (*svaq)->Run(stream);
+  ASSERT_TRUE(svaq_result.ok());
+  EXPECT_TRUE(svaq_result->sequences.empty());
+
+  ModelSet models2 = MakeModelSet(video, models::IdealSuite(), {"car"},
+                                  {"jumping"});
+  auto svaqd = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), config, video->layout(),
+      models2.detector.get(), models2.recognizer.get());
+  ASSERT_TRUE(svaqd.ok());
+  video::SyntheticVideoStream stream2(video, 0);
+  auto svaqd_result = (*svaqd)->Run(stream2);
+  ASSERT_TRUE(svaqd_result.ok());
+  EXPECT_FALSE(svaqd_result->sequences.empty());
+}
+
+TEST(OnlineEngineTest, ShortCircuitSkipsActionInference) {
+  // A query for an object that never appears: every clip short-circuits on
+  // the object predicate and the recognizer never runs.
+  auto video = MakeVideo();
+  Query query;
+  query.action = "jumping";
+  query.objects = {"unicorn"};
+  ModelSet models = MakeModelSet(video, models::IdealSuite(), {"unicorn"},
+                                 {"jumping"});
+  auto engine = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, query, OnlineConfig(), video->layout(),
+      models.detector.get(), models.recognizer.get());
+  ASSERT_TRUE(engine.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto result = (*engine)->Run(stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->sequences.empty());
+  // Every clip short-circuits except the periodic background-sampling
+  // ticks, which evaluate both stages to keep the estimators unbiased.
+  const int64_t period = OnlineConfig().action_null_sampling_period;
+  EXPECT_GE(result->stats.clips_short_circuited,
+            result->stats.clips_processed -
+                result->stats.clips_processed / period - 1);
+  // The recognizer only runs on the sampling ticks, not for query
+  // evaluation.
+  const int64_t total_shots = video->NumShots();
+  EXPECT_LE(models.recognizer->stats().units, total_shots / period + 5);
+  EXPECT_GT(models.recognizer->stats().units, 0);
+}
+
+TEST(OnlineEngineTest, StreamingInterfaceMatchesRun) {
+  auto video = MakeVideo();
+  ModelSet m1 = MakeModelSet(video, models::MaskRcnnI3dSuite(), {"car"},
+                             {"jumping"});
+  auto batch = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), m1.detector.get(), m1.recognizer.get());
+  ASSERT_TRUE(batch.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto batch_result = (*batch)->Run(stream);
+  ASSERT_TRUE(batch_result.ok());
+
+  ModelSet m2 = MakeModelSet(video, models::MaskRcnnI3dSuite(), {"car"},
+                             {"jumping"});
+  auto incremental = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), m2.detector.get(), m2.recognizer.get());
+  ASSERT_TRUE(incremental.ok());
+  video::SyntheticVideoStream stream2(video, 0);
+  std::vector<video::Interval> completed;
+  while (auto clip = stream2.NextClip()) {
+    ASSERT_TRUE((*incremental)->ProcessClip(*clip).ok());
+    for (const auto& seq : (*incremental)->TakeCompleted()) {
+      completed.push_back(seq);
+    }
+  }
+  EXPECT_EQ((*incremental)->sequences(), batch_result->sequences);
+  // Completed sequences are a prefix of all sequences (the last run may
+  // still be open).
+  EXPECT_LE(completed.size(), batch_result->sequences.size());
+  for (const auto& seq : completed) {
+    EXPECT_TRUE(batch_result->sequences.Contains(seq.begin));
+  }
+}
+
+TEST(OnlineEngineTest, DeterministicAcrossRuns) {
+  auto video = MakeVideo();
+  video::IntervalSet first;
+  for (int run = 0; run < 2; ++run) {
+    ModelSet models = MakeModelSet(video, models::MaskRcnnI3dSuite(),
+                                   {"car"}, {"jumping"});
+    auto engine = OnlineEngine::Create(
+        OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+        video->layout(), models.detector.get(), models.recognizer.get());
+    ASSERT_TRUE(engine.ok());
+    video::SyntheticVideoStream stream(video, 0);
+    auto result = (*engine)->Run(stream);
+    ASSERT_TRUE(result.ok());
+    if (run == 0) {
+      first = result->sequences;
+    } else {
+      EXPECT_EQ(result->sequences, first);
+    }
+  }
+}
+
+TEST(OnlineEngineTest, SnapshotReportsEstimates) {
+  auto video = MakeVideo();
+  ModelSet models = MakeModelSet(video, models::MaskRcnnI3dSuite(), {"car"},
+                                 {"jumping"});
+  auto engine = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), models.detector.get(), models.recognizer.get());
+  ASSERT_TRUE(engine.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto result = (*engine)->Run(stream);
+  ASSERT_TRUE(result.ok());
+  const OnlineStats& stats = result->stats;
+  EXPECT_EQ(stats.clips_processed, video->NumClips());
+  ASSERT_EQ(stats.object_kcrits.size(), 1u);
+  EXPECT_GE(stats.object_kcrits[0], 1);
+  EXPECT_GE(stats.action_kcrit, 1);
+  ASSERT_EQ(stats.object_p.size(), 1u);
+  EXPECT_GT(stats.object_p[0], 0.0);
+  EXPECT_GT(stats.model_ms, 0.0);
+}
+
+TEST(OnlineEngineTest, PositiveClipUpdatePolicyRuns) {
+  auto video = MakeVideo();
+  OnlineConfig config;
+  config.update_policy = UpdatePolicy::kPositiveClip;
+  ModelSet models = MakeModelSet(video, models::MaskRcnnI3dSuite(), {"car"},
+                                 {"jumping"});
+  auto engine = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), config, video->layout(),
+      models.detector.get(), models.recognizer.get());
+  ASSERT_TRUE(engine.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto result = (*engine)->Run(stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.clips_positive, 0);
+}
+
+}  // namespace
+}  // namespace svq::core

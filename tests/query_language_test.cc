@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "svq/query/binder.h"
+#include "svq/query/lexer.h"
+#include "svq/query/parser.h"
+
+namespace svq::query {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LexerTest, TokenizesPunctuationAndWords) {
+  auto tokens = Lex("SELECT obj.include('car', \"human\") LIMIT 5");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types,
+            (std::vector<TokenType>{
+                TokenType::kKeyword, TokenType::kIdentifier, TokenType::kDot,
+                TokenType::kIdentifier, TokenType::kLeftParen,
+                TokenType::kString, TokenType::kComma, TokenType::kString,
+                TokenType::kRightParen, TokenType::kKeyword,
+                TokenType::kNumber, TokenType::kEnd}));
+  EXPECT_EQ((*tokens)[5].text, "car");
+  EXPECT_EQ((*tokens)[7].text, "human");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select FROM WhErE");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  auto tokens = Lex("WHERE act='jumping");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsInvalidArgument());
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Lex("SELECT #").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Lex("a = b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 2u);
+  EXPECT_EQ((*tokens)[2].position, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+constexpr const char* kOnlineSql =
+    "SELECT MERGE(clipID) AS Sequence "
+    "FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectDetector, "
+    "act USING ActionRecognizer) "
+    "WHERE act='jumping' AND obj.include('car', 'human')";
+
+constexpr const char* kOfflineSql =
+    "SELECT MERGE(clipID) AS Sequence, RANK(act, obj) "
+    "FROM (PROCESS inputVideo PRODUCE clipID, obj USING ObjectTracker, "
+    "act USING ActionRecognizer) "
+    "WHERE act='jumping' AND obj.include('car', 'human') "
+    "ORDER BY RANK(act, obj) LIMIT 7";
+
+constexpr const char* kVisionModelSql =
+    "SELECT frameSequence FROM (PROCESS inputVideo PRODUCE frameSequence, "
+    "det USING VisionModel) "
+    "WHERE det = Action('robot_dancing', 'car', 'human')";
+
+TEST(ParserTest, ParsesOnlineStatement) {
+  auto stmt = Parse(kOnlineSql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->select.size(), 1u);
+  EXPECT_EQ(stmt->select[0].kind, SelectItem::Kind::kMerge);
+  EXPECT_EQ(stmt->select[0].column, "clipID");
+  EXPECT_EQ(stmt->select[0].alias, "Sequence");
+  EXPECT_EQ(stmt->process.video, "inputVideo");
+  ASSERT_EQ(stmt->process.items.size(), 3u);
+  EXPECT_EQ(stmt->process.items[1].alias, "obj");
+  EXPECT_EQ(stmt->process.items[1].model, "ObjectDetector");
+  ASSERT_EQ(stmt->predicates.size(), 2u);
+  EXPECT_EQ(stmt->predicates[0].kind, Predicate::Kind::kEquals);
+  EXPECT_EQ(stmt->predicates[0].args[0], "jumping");
+  EXPECT_EQ(stmt->predicates[1].kind, Predicate::Kind::kMethodCall);
+  EXPECT_EQ(stmt->predicates[1].method, "include");
+  EXPECT_EQ(stmt->predicates[1].args,
+            (std::vector<std::string>{"car", "human"}));
+  EXPECT_FALSE(stmt->order_by.has_value());
+  EXPECT_FALSE(stmt->limit.has_value());
+}
+
+TEST(ParserTest, ParsesOfflineStatement) {
+  auto stmt = Parse(kOfflineSql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->select.size(), 2u);
+  EXPECT_EQ(stmt->select[1].kind, SelectItem::Kind::kRank);
+  EXPECT_EQ(stmt->select[1].rank_args,
+            (std::vector<std::string>{"act", "obj"}));
+  ASSERT_TRUE(stmt->order_by.has_value());
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 7);
+}
+
+TEST(ParserTest, ParsesVisionModelForm) {
+  auto stmt = Parse(kVisionModelSql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->predicates.size(), 1u);
+  EXPECT_EQ(stmt->predicates[0].kind, Predicate::Kind::kActionCall);
+  EXPECT_EQ(stmt->predicates[0].target, "det");
+  EXPECT_EQ(stmt->predicates[0].args,
+            (std::vector<std::string>{"robot_dancing", "car", "human"}));
+}
+
+TEST(ParserTest, ErrorsCarryPositionAndExpectation) {
+  auto stmt = Parse("SELECT FROM x");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  std::string sql = std::string(kOnlineSql) + " extra";
+  EXPECT_FALSE(Parse(sql).ok());
+}
+
+TEST(ParserTest, RejectsMissingWhere) {
+  EXPECT_FALSE(
+      Parse("SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID)").ok());
+}
+
+TEST(ParserTest, RejectsBadLimit) {
+  std::string sql = std::string(kOnlineSql) + " ORDER BY RANK(act) LIMIT x";
+  EXPECT_FALSE(Parse(sql).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Binder
+
+TEST(BinderTest, BindsOnlineQuery) {
+  auto bound = ParseAndBind(kOnlineSql);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.action, "jumping");
+  EXPECT_EQ(bound->query.objects,
+            (std::vector<std::string>{"car", "human"}));
+  EXPECT_EQ(bound->video, "inputVideo");
+  EXPECT_FALSE(bound->ranked);
+  EXPECT_EQ(bound->k, 0);
+  EXPECT_EQ(bound->detector_model, "ObjectDetector");
+  EXPECT_EQ(bound->recognizer_model, "ActionRecognizer");
+}
+
+TEST(BinderTest, BindsOfflineQuery) {
+  auto bound = ParseAndBind(kOfflineSql);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_TRUE(bound->ranked);
+  EXPECT_EQ(bound->k, 7);
+}
+
+TEST(BinderTest, BindsVisionModelForm) {
+  auto bound = ParseAndBind(kVisionModelSql);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.action, "robot_dancing");
+  EXPECT_EQ(bound->query.objects,
+            (std::vector<std::string>{"car", "human"}));
+}
+
+TEST(BinderTest, IncSynonym) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND obj.inc('car')");
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.objects, (std::vector<std::string>{"car"}));
+}
+
+TEST(BinderTest, RejectsQueryWithoutAction) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj) "
+      "WHERE obj.include('car')");
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST(BinderTest, MultipleActionPredicatesBecomeExtraActions) {
+  // Paper footnote 3: conjunctive multi-action queries.
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, act) "
+      "WHERE act='x' AND act='y'");
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.action, "x");
+  EXPECT_EQ(bound->query.extra_actions, (std::vector<std::string>{"y"}));
+}
+
+TEST(BinderTest, RejectsDuplicateActions) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, act) "
+      "WHERE act='x' AND act='x'");
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST(BinderTest, BindsDisjunction) {
+  // Paper footnote 4: any-of object groups.
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND obj.include_any('car', 'bus')");
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_TRUE(bound->query.objects.empty());
+  ASSERT_EQ(bound->query.object_disjunctions.size(), 1u);
+  EXPECT_EQ(bound->query.object_disjunctions[0],
+            (std::vector<std::string>{"car", "bus"}));
+}
+
+TEST(BinderTest, BindsRelationship) {
+  // Paper footnote 2: spatial relationship predicates; the `rel` pseudo-
+  // alias needs no PRODUCE declaration.
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND rel.left_of('human', 'car')");
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  ASSERT_EQ(bound->query.relationships.size(), 1u);
+  EXPECT_EQ(bound->query.relationships[0],
+            (svq::core::Relationship{svq::core::RelOp::kLeftOf, "human",
+                                     "car"}));
+}
+
+TEST(BinderTest, RelationshipNeedsTwoArgs) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND rel.left_of('human')");
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST(BinderTest, RejectsUndeclaredAlias) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, act) "
+      "WHERE act='x' AND obj.include('car')");
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST(BinderTest, RejectsUnknownObjectMethod) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND obj.excludes('car')");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(BinderTest, RankedRequiresLimit) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID), RANK(act, obj) "
+      "FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND obj.include('car')");
+  EXPECT_FALSE(bound.ok());
+}
+
+TEST(BinderTest, RejectsDuplicateObjects) {
+  auto bound = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND obj.include('car', 'car')");
+  EXPECT_FALSE(bound.ok());
+}
+
+}  // namespace
+}  // namespace svq::query

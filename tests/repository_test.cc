@@ -1,0 +1,170 @@
+#include "svq/core/repository.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/core/baselines.h"
+#include "svq/core/engine.h"
+#include "svq/models/synthetic_models.h"
+
+namespace svq::core {
+namespace {
+
+using video::SyntheticVideo;
+using video::SyntheticVideoSpec;
+
+std::shared_ptr<const SyntheticVideo> MakeVideo(const std::string& name,
+                                                uint64_t seed) {
+  SyntheticVideoSpec spec;
+  spec.name = name;
+  spec.num_frames = 40000;
+  spec.seed = seed;
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  auto video = SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+Result<IngestedVideo> Ingest(
+    const std::shared_ptr<const SyntheticVideo>& video, video::VideoId id) {
+  models::ModelSet models =
+      models::MakeModelSet(video, models::MaskRcnnI3dSuite(), {}, {});
+  return IngestVideo(video, id, models.tracker.get(),
+                     models.recognizer.get(), IngestOptions());
+}
+
+Query SmokingCup() {
+  Query q;
+  q.action = "smoking";
+  q.objects = {"cup"};
+  return q;
+}
+
+TEST(RepositoryTest, GlobalTopKMatchesPerVideoMerge) {
+  auto ingested_a = Ingest(MakeVideo("movie_a", 5), 0);
+  auto ingested_b = Ingest(MakeVideo("movie_b", 6), 1);
+  ASSERT_TRUE(ingested_a.ok());
+  ASSERT_TRUE(ingested_b.ok());
+
+  AdditiveScoring scoring;
+  const int k = 4;
+  auto repo = RunRepositoryTopK({&*ingested_a, &*ingested_b}, SmokingCup(),
+                                k, scoring, OfflineOptions());
+  ASSERT_TRUE(repo.ok()) << repo.status();
+  ASSERT_LE(repo->sequences.size(), static_cast<size_t>(k));
+
+  // Oracle: exhaustive per-video scoring, merged.
+  struct Oracle {
+    std::string video;
+    video::Interval clips;
+    double score;
+  };
+  std::vector<Oracle> oracle;
+  const storage::DiskCostModel cost;
+  for (const auto* ingested : {&*ingested_a, &*ingested_b}) {
+    auto all = RunPqTraverse(*ingested, SmokingCup(), 1000, scoring, cost);
+    ASSERT_TRUE(all.ok());
+    for (const auto& seq : all->sequences) {
+      oracle.push_back({ingested->name, seq.clips, seq.upper_bound});
+    }
+  }
+  std::sort(oracle.begin(), oracle.end(),
+            [](const Oracle& a, const Oracle& b) { return a.score > b.score; });
+  ASSERT_GE(oracle.size(), repo->sequences.size());
+  for (size_t i = 0; i < repo->sequences.size(); ++i) {
+    EXPECT_EQ(repo->sequences[i].video_name, oracle[i].video) << "rank " << i;
+    EXPECT_EQ(repo->sequences[i].sequence.clips, oracle[i].clips)
+        << "rank " << i;
+    EXPECT_NEAR(repo->sequences[i].sequence.upper_bound, oracle[i].score,
+                1e-6);
+  }
+}
+
+TEST(RepositoryTest, ResultsAttributedToVideos) {
+  auto ingested_a = Ingest(MakeVideo("movie_a", 5), 7);
+  ASSERT_TRUE(ingested_a.ok());
+  AdditiveScoring scoring;
+  auto repo = RunRepositoryTopK({&*ingested_a}, SmokingCup(), 2, scoring,
+                                OfflineOptions());
+  ASSERT_TRUE(repo.ok());
+  for (const RepositoryEntry& entry : repo->sequences) {
+    EXPECT_EQ(entry.video_id, 7);
+    EXPECT_EQ(entry.video_name, "movie_a");
+  }
+  EXPECT_GT(repo->stats.storage.sorted_accesses, 0);
+}
+
+TEST(RepositoryTest, ValidatesInputs) {
+  AdditiveScoring scoring;
+  EXPECT_FALSE(
+      RunRepositoryTopK({nullptr}, SmokingCup(), 2, scoring, OfflineOptions())
+          .ok());
+  auto ingested = Ingest(MakeVideo("movie_a", 5), 0);
+  ASSERT_TRUE(ingested.ok());
+  EXPECT_FALSE(RunRepositoryTopK({&*ingested}, SmokingCup(), 0, scoring,
+                                 OfflineOptions())
+                   .ok());
+}
+
+TEST(RepositoryTest, EngineFacadeEndToEnd) {
+  VideoQueryEngine engine;
+  ASSERT_TRUE(engine.AddVideo(MakeVideo("movie_a", 5)).ok());
+  ASSERT_TRUE(engine.AddVideo(MakeVideo("movie_b", 6)).ok());
+  // Nothing ingested yet.
+  EXPECT_EQ(engine.ExecuteTopKAll(SmokingCup(), 3).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Parallel ingestion of the whole repository.
+  ASSERT_TRUE(engine.IngestAll(/*parallelism=*/2).ok());
+  EXPECT_NE(engine.Ingested("movie_a"), nullptr);
+  EXPECT_NE(engine.Ingested("movie_b"), nullptr);
+  // Idempotent: nothing left to ingest.
+  EXPECT_TRUE(engine.IngestAll().ok());
+  auto repo = engine.ExecuteTopKAll(SmokingCup(), 3);
+  ASSERT_TRUE(repo.ok()) << repo.status();
+  EXPECT_LE(repo->sequences.size(), 3u);
+  EXPECT_FALSE(repo->sequences.empty());
+  // Scores come back ranked.
+  for (size_t i = 1; i < repo->sequences.size(); ++i) {
+    EXPECT_GE(repo->sequences[i - 1].sequence.lower_bound,
+              repo->sequences[i].sequence.lower_bound - 1e-9);
+  }
+}
+
+TEST(RepositoryTest, ParallelIngestionMatchesSerial) {
+  // The models are deterministic per video, so concurrent ingestion must
+  // produce byte-identical query results.
+  VideoQueryEngine serial;
+  ASSERT_TRUE(serial.AddVideo(MakeVideo("movie_a", 5)).ok());
+  ASSERT_TRUE(serial.AddVideo(MakeVideo("movie_b", 6)).ok());
+  ASSERT_TRUE(serial.Ingest("movie_a").ok());
+  ASSERT_TRUE(serial.Ingest("movie_b").ok());
+
+  VideoQueryEngine parallel;
+  ASSERT_TRUE(parallel.AddVideo(MakeVideo("movie_a", 5)).ok());
+  ASSERT_TRUE(parallel.AddVideo(MakeVideo("movie_b", 6)).ok());
+  ASSERT_TRUE(parallel.IngestAll(/*parallelism=*/4).ok());
+
+  auto from_serial = serial.ExecuteTopKAll(SmokingCup(), 5);
+  auto from_parallel = parallel.ExecuteTopKAll(SmokingCup(), 5);
+  ASSERT_TRUE(from_serial.ok());
+  ASSERT_TRUE(from_parallel.ok());
+  ASSERT_EQ(from_serial->sequences.size(), from_parallel->sequences.size());
+  for (size_t i = 0; i < from_serial->sequences.size(); ++i) {
+    EXPECT_EQ(from_serial->sequences[i].video_name,
+              from_parallel->sequences[i].video_name);
+    EXPECT_EQ(from_serial->sequences[i].sequence.clips,
+              from_parallel->sequences[i].sequence.clips);
+    EXPECT_DOUBLE_EQ(from_serial->sequences[i].sequence.upper_bound,
+                     from_parallel->sequences[i].sequence.upper_bound);
+  }
+}
+
+}  // namespace
+}  // namespace svq::core

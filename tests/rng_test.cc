@@ -1,0 +1,120 @@
+#include "svq/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(12);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-1.0));
+  EXPECT_TRUE(rng.NextBernoulli(2.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextBeta(8.0, 2.0);
+  EXPECT_NEAR(sum / n, 0.8, 0.01);
+}
+
+TEST(RngTest, BetaStaysInUnitInterval) {
+  Rng rng(15);
+  for (int i = 0; i < 2000; ++i) {
+    const double b = rng.NextBeta(0.5, 0.5);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 100000;
+  const double p = 0.2;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextGeometric(p));
+  // Mean failures before success = (1-p)/p = 4.
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(99);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.Fork(3);
+  Rng fb = b.Fork(3);
+  EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+}
+
+}  // namespace
+}  // namespace svq

@@ -1,0 +1,318 @@
+#include "svq/core/rvaq.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "svq/common/rng.h"
+#include "svq/core/baselines.h"
+
+namespace svq::core {
+namespace {
+
+/// Builds a self-consistent IngestedVideo directly (tables + individual
+/// sequences) so the offline algorithms can be verified against a
+/// brute-force oracle without running the full ingestion pipeline.
+struct OfflineWorld {
+  IngestedVideo ingested;
+  Query query;
+  AdditiveScoring scoring;
+  /// Brute-force exact sequence scores, sorted descending.
+  std::vector<RankedSequence> expected;
+};
+
+OfflineWorld MakeWorld(uint64_t seed, int num_clips = 300) {
+  Rng rng(seed);
+  OfflineWorld world;
+  world.query.action = "smoking";
+  world.query.objects = {"cup", "glass"};
+
+  world.ingested.id = 0;
+  world.ingested.num_clips = num_clips;
+  world.ingested.num_frames = num_clips * 80;
+
+  // Random per-label positive sequences; candidates = their intersection.
+  auto random_sequences = [&](double on_mean, double off_mean) {
+    video::IntervalSet set;
+    int64_t cursor = static_cast<int64_t>(rng.NextDouble() * off_mean);
+    while (cursor < num_clips) {
+      const int64_t run =
+          1 + static_cast<int64_t>(rng.NextGeometric(1.0 / on_mean));
+      set.Add({cursor, std::min<int64_t>(num_clips, cursor + run)});
+      cursor += run + 1 +
+                static_cast<int64_t>(rng.NextGeometric(1.0 / off_mean));
+    }
+    return set;
+  };
+  const video::IntervalSet act = random_sequences(12.0, 10.0);
+  const video::IntervalSet cup = random_sequences(15.0, 8.0);
+  const video::IntervalSet glass = random_sequences(18.0, 6.0);
+  world.ingested.action_sequences["smoking"] = act;
+  world.ingested.object_sequences["cup"] = cup;
+  world.ingested.object_sequences["glass"] = glass;
+
+  // Tables: every clip in a label's sequences gets a row (invariant),
+  // plus random extra rows.
+  std::map<std::string, std::map<video::ClipIndex, double>> scores;
+  auto fill = [&](const std::string& label, const video::IntervalSet& seqs,
+                  double max_score) {
+    for (int c = 0; c < num_clips; ++c) {
+      if (seqs.Contains(c) || rng.NextBernoulli(0.4)) {
+        scores[label][c] = rng.NextDouble(0.05, max_score);
+      }
+    }
+  };
+  fill("smoking", act, 3.0);
+  fill("cup", cup, 6.0);
+  fill("glass", glass, 6.0);
+  for (const auto& [label, per_clip] : scores) {
+    std::vector<storage::ClipScoreRow> rows;
+    for (const auto& [clip, score] : per_clip) rows.push_back({clip, score});
+    auto table = storage::MemoryScoreTable::Create(std::move(rows));
+    EXPECT_TRUE(table.ok());
+    if (label == "smoking") {
+      world.ingested.action_tables[label] = std::move(*table);
+    } else {
+      world.ingested.object_tables[label] = std::move(*table);
+    }
+  }
+
+  // Brute-force oracle.
+  video::IntervalSet candidates = video::IntervalSet::Intersect(
+      video::IntervalSet::Intersect(act, cup), glass);
+  for (const video::Interval& seq : candidates.intervals()) {
+    double total = 0.0;
+    for (video::ClipIndex c = seq.begin; c < seq.end; ++c) {
+      auto get = [&](const std::string& label) {
+        auto it = scores[label].find(c);
+        return it == scores[label].end() ? 0.0 : it->second;
+      };
+      total += world.scoring.ClipScore({get("cup"), get("glass")},
+                                       get("smoking"));
+    }
+    world.expected.push_back({seq, total, total});
+  }
+  std::sort(world.expected.begin(), world.expected.end(),
+            [](const RankedSequence& a, const RankedSequence& b) {
+              return a.upper_bound > b.upper_bound;
+            });
+  return world;
+}
+
+void ExpectMatchesOracle(const TopKResult& result,
+                         const std::vector<RankedSequence>& expected, int k,
+                         bool check_scores) {
+  const size_t n = std::min<size_t>(static_cast<size_t>(k), expected.size());
+  ASSERT_EQ(result.sequences.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(result.sequences[i].clips, expected[i].clips) << "rank " << i;
+    if (check_scores) {
+      EXPECT_NEAR(result.sequences[i].upper_bound, expected[i].upper_bound,
+                  1e-6)
+          << "rank " << i;
+      EXPECT_NEAR(result.sequences[i].lower_bound, expected[i].lower_bound,
+                  1e-6)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(CandidateSequencesTest, IntersectsAllPredicates) {
+  OfflineWorld world = MakeWorld(10);
+  auto candidates = CandidateSequences(world.ingested, world.query);
+  ASSERT_TRUE(candidates.ok());
+  video::IntervalSet expected;
+  for (const auto& e : world.expected) expected.Add(e.clips);
+  EXPECT_EQ(*candidates, expected);
+}
+
+TEST(CandidateSequencesTest, MissingLabelYieldsEmpty) {
+  OfflineWorld world = MakeWorld(11);
+  Query query = world.query;
+  query.objects.push_back("unicorn");
+  auto candidates = CandidateSequences(world.ingested, query);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+}
+
+/// RVAQ, RVAQ-noSkip, FA and Pq-Traverse must all return the oracle top-K.
+class OfflineAlgorithmsTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(OfflineAlgorithmsTest, AllAlgorithmsMatchBruteForce) {
+  const auto [seed, k] = GetParam();
+  OfflineWorld world = MakeWorld(seed);
+  ASSERT_FALSE(world.expected.empty());
+  const storage::DiskCostModel cost;
+
+  OfflineOptions options;
+  auto rvaq = RunRvaq(world.ingested, world.query, k, world.scoring, options);
+  ASSERT_TRUE(rvaq.ok()) << rvaq.status();
+  ExpectMatchesOracle(*rvaq, world.expected, k, /*check_scores=*/true);
+
+  auto noskip =
+      RunRvaqNoSkip(world.ingested, world.query, k, world.scoring, cost);
+  ASSERT_TRUE(noskip.ok()) << noskip.status();
+  ExpectMatchesOracle(*noskip, world.expected, k, true);
+
+  auto fagin = RunFagin(world.ingested, world.query, k, world.scoring, cost);
+  ASSERT_TRUE(fagin.ok()) << fagin.status();
+  ExpectMatchesOracle(*fagin, world.expected, k, true);
+
+  auto traverse =
+      RunPqTraverse(world.ingested, world.query, k, world.scoring, cost);
+  ASSERT_TRUE(traverse.ok()) << traverse.status();
+  ExpectMatchesOracle(*traverse, world.expected, k, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedAndKSweep, OfflineAlgorithmsTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(1, 3, 5, 100)));
+
+TEST(RvaqTest, BoundsOnlyModeReturnsCorrectSet) {
+  OfflineWorld world = MakeWorld(42);
+  OfflineOptions options;
+  options.compute_exact_scores = false;
+  const int k = 3;
+  auto rvaq = RunRvaq(world.ingested, world.query, k, world.scoring, options);
+  ASSERT_TRUE(rvaq.ok());
+  // The *set* of sequences matches the oracle; scores are only bounded.
+  std::vector<video::Interval> got, want;
+  for (const auto& s : rvaq->sequences) got.push_back(s.clips);
+  for (size_t i = 0; i < std::min<size_t>(k, world.expected.size()); ++i) {
+    want.push_back(world.expected[i].clips);
+  }
+  auto by_begin = [](const video::Interval& a, const video::Interval& b) {
+    return a.begin < b.begin;
+  };
+  std::sort(got.begin(), got.end(), by_begin);
+  std::sort(want.begin(), want.end(), by_begin);
+  EXPECT_EQ(got, want);
+  for (const auto& s : rvaq->sequences) {
+    EXPECT_LE(s.lower_bound, s.upper_bound + 1e-9);
+  }
+}
+
+TEST(RvaqTest, SkipReducesRandomAccesses) {
+  OfflineWorld world = MakeWorld(7);
+  const int k = 2;
+  OfflineOptions options;
+  auto rvaq = RunRvaq(world.ingested, world.query, k, world.scoring, options);
+  auto noskip = RunRvaqNoSkip(world.ingested, world.query, k, world.scoring,
+                              options.cost_model);
+  ASSERT_TRUE(rvaq.ok());
+  ASSERT_TRUE(noskip.ok());
+  EXPECT_LT(rvaq->stats.storage.random_accesses,
+            noskip->stats.storage.random_accesses);
+}
+
+TEST(RvaqTest, FaginCostsMoreThanRvaq) {
+  OfflineWorld world = MakeWorld(8);
+  const int k = 2;
+  auto rvaq = RunRvaq(world.ingested, world.query, k, world.scoring,
+                      OfflineOptions());
+  auto fagin = RunFagin(world.ingested, world.query, k, world.scoring,
+                        storage::DiskCostModel());
+  ASSERT_TRUE(rvaq.ok());
+  ASSERT_TRUE(fagin.ok());
+  EXPECT_LT(rvaq->stats.storage.random_accesses,
+            fagin->stats.storage.random_accesses);
+}
+
+TEST(RvaqTest, PqTraverseUsesNoRandomAccesses) {
+  OfflineWorld world = MakeWorld(9);
+  auto traverse = RunPqTraverse(world.ingested, world.query, 5, world.scoring,
+                                storage::DiskCostModel());
+  ASSERT_TRUE(traverse.ok());
+  EXPECT_EQ(traverse->stats.storage.random_accesses, 0);
+  EXPECT_EQ(traverse->stats.storage.sorted_accesses, 0);
+  EXPECT_GT(traverse->stats.storage.sequential_reads, 0);
+}
+
+TEST(RvaqTest, EmptyCandidatesGiveEmptyResult) {
+  OfflineWorld world = MakeWorld(12);
+  Query query = world.query;
+  query.action = "never_happens";
+  auto rvaq =
+      RunRvaq(world.ingested, query, 3, world.scoring, OfflineOptions());
+  ASSERT_TRUE(rvaq.ok());
+  EXPECT_TRUE(rvaq->sequences.empty());
+  EXPECT_EQ(rvaq->stats.storage.random_accesses, 0);
+}
+
+TEST(RvaqTest, RejectsInvalidK) {
+  OfflineWorld world = MakeWorld(13);
+  EXPECT_FALSE(
+      RunRvaq(world.ingested, world.query, 0, world.scoring, OfflineOptions())
+          .ok());
+}
+
+TEST(ScoringTest, AdditiveInstanceProperties) {
+  AdditiveScoring scoring;
+  EXPECT_DOUBLE_EQ(scoring.ClipScore({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(scoring.AggregateIdentity(), 0.0);
+  EXPECT_DOUBLE_EQ(scoring.Aggregate(2.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(scoring.Replicate(2.5, 4), 10.0);
+  EXPECT_DOUBLE_EQ(scoring.Replicate(2.5, 0), scoring.AggregateIdentity());
+  EXPECT_DOUBLE_EQ(scoring.SequenceScore({1.0, 2.0, 3.0}), 6.0);
+}
+
+TEST(ScoringTest, MaxInstanceProperties) {
+  MaxScoring scoring;
+  EXPECT_DOUBLE_EQ(scoring.Aggregate(2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(scoring.Replicate(2.5, 4), 2.5);
+  EXPECT_DOUBLE_EQ(scoring.Replicate(2.5, 0), scoring.AggregateIdentity());
+  EXPECT_DOUBLE_EQ(scoring.SequenceScore({1.0, 5.0, 3.0}), 5.0);
+}
+
+TEST(RvaqTest, ReportedBoundsBracketTrueScores) {
+  // Whatever RVAQ reports, [lower, upper] must bracket the exact sequence
+  // score — for every K, both with and without the exact-score requirement.
+  for (uint64_t seed = 20; seed <= 23; ++seed) {
+    OfflineWorld world = MakeWorld(seed);
+    std::map<int64_t, double> truth;  // clips.begin -> exact score
+    for (const RankedSequence& seq : world.expected) {
+      truth[seq.clips.begin] = seq.upper_bound;
+    }
+    for (const int k : {1, 2, 5, 50}) {
+      for (const bool exact : {true, false}) {
+        OfflineOptions options;
+        options.compute_exact_scores = exact;
+        auto result =
+            RunRvaq(world.ingested, world.query, k, world.scoring, options);
+        ASSERT_TRUE(result.ok());
+        for (const RankedSequence& seq : result->sequences) {
+          ASSERT_TRUE(truth.contains(seq.clips.begin));
+          const double score = truth[seq.clips.begin];
+          EXPECT_LE(seq.lower_bound, score + 1e-6)
+              << "seed " << seed << " k " << k << " exact " << exact;
+          EXPECT_GE(seq.upper_bound, score - 1e-6)
+              << "seed " << seed << " k " << k << " exact " << exact;
+        }
+      }
+    }
+  }
+}
+
+TEST(RvaqTest, WorksWithMaxScoring) {
+  OfflineWorld world = MakeWorld(14);
+  MaxScoring max_scoring;
+  // Oracle under max scoring.
+  const storage::DiskCostModel cost;
+  auto traverse =
+      RunPqTraverse(world.ingested, world.query, 3, max_scoring, cost);
+  OfflineOptions options;
+  auto rvaq = RunRvaq(world.ingested, world.query, 3, max_scoring, options);
+  ASSERT_TRUE(traverse.ok());
+  ASSERT_TRUE(rvaq.ok());
+  ASSERT_EQ(rvaq->sequences.size(), traverse->sequences.size());
+  for (size_t i = 0; i < rvaq->sequences.size(); ++i) {
+    EXPECT_EQ(rvaq->sequences[i].clips, traverse->sequences[i].clips);
+    EXPECT_NEAR(rvaq->sequences[i].upper_bound,
+                traverse->sequences[i].upper_bound, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,221 @@
+#include "svq/stats/scan_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "svq/common/rng.h"
+
+namespace svq::stats {
+namespace {
+
+TEST(ScanTailTest, EdgeCases) {
+  const ScanParams params{0.1, 10, 20.0};
+  EXPECT_EQ(ScanTailProbability(0, params), 1.0);
+  EXPECT_EQ(ScanTailProbability(-3, params), 1.0);
+  EXPECT_EQ(ScanTailProbability(11, params), 0.0);
+  EXPECT_EQ(ScanTailProbability(5, {0.0, 10, 20.0}), 0.0);
+  EXPECT_EQ(ScanTailProbability(5, {1.0, 10, 20.0}), 1.0);
+}
+
+TEST(ScanTailTest, MonotoneNonIncreasingInK) {
+  for (const double p : {0.001, 0.02, 0.1, 0.3}) {
+    const ScanParams params{p, 16, 50.0};
+    double prev = 1.0;
+    for (int k = 1; k <= 16; ++k) {
+      const double tail = ScanTailProbability(k, params);
+      EXPECT_LE(tail, prev + 1e-12) << "p=" << p << " k=" << k;
+      prev = tail;
+    }
+  }
+}
+
+TEST(ScanTailTest, MonotoneNonDecreasingInP) {
+  double prev = 0.0;
+  for (const double p : {0.001, 0.01, 0.05, 0.1, 0.2}) {
+    const double tail = ScanTailProbability(4, {p, 12, 30.0});
+    EXPECT_GE(tail, prev - 1e-12) << "p=" << p;
+    prev = tail;
+  }
+}
+
+TEST(ScanTailTest, MoreWindowsMoreProbability) {
+  double prev = 0.0;
+  for (const double l : {2.0, 5.0, 20.0, 100.0}) {
+    const double tail = ScanTailProbability(3, {0.02, 10, l});
+    EXPECT_GE(tail, prev - 1e-12) << "L=" << l;
+    prev = tail;
+  }
+}
+
+/// The approximation must track the exact finite-Markov-chain embedding in
+/// the operating regime (rare events, small alpha).
+using ApproxCase = std::tuple<int /*window*/, double /*p*/, double /*L*/>;
+
+class ScanApproxTest : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(ScanApproxTest, TracksExactEmbedding) {
+  const auto [w, p, l] = GetParam();
+  const int64_t n = static_cast<int64_t>(l * w);
+  for (int k = 1; k <= w; ++k) {
+    auto exact = ExactScanTailIid(k, w, n, p);
+    ASSERT_TRUE(exact.ok());
+    const double approx = ScanTailProbability(k, {p, w, l});
+    // Absolute tolerance for the bulk, relative slack in the deep tail.
+    EXPECT_LE(std::fabs(approx - *exact),
+              0.08 + 1.0 * *exact)
+        << "w=" << w << " p=" << p << " L=" << l << " k=" << k
+        << " exact=" << *exact << " approx=" << approx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingRegime, ScanApproxTest,
+    ::testing::Values(ApproxCase{8, 0.005, 20.0}, ApproxCase{8, 0.02, 50.0},
+                      ApproxCase{12, 0.01, 20.0}, ApproxCase{12, 0.05, 10.0},
+                      ApproxCase{16, 0.02, 30.0},
+                      ApproxCase{16, 0.08, 10.0}));
+
+TEST(CriticalValueTest, ValidatesInputs) {
+  EXPECT_FALSE(CriticalValue({0.1, 10, 20.0}, 0.0).ok());
+  EXPECT_FALSE(CriticalValue({0.1, 10, 20.0}, 1.0).ok());
+  EXPECT_FALSE(CriticalValue({0.1, 0, 20.0}, 0.05).ok());
+  EXPECT_FALSE(CriticalValue({-0.1, 10, 20.0}, 0.05).ok());
+  EXPECT_FALSE(CriticalValue({0.1, 10, 0.5}, 0.05).ok());
+}
+
+TEST(CriticalValueTest, WithinOneOfExactAcrossRegimes) {
+  for (const int w : {8, 12, 16}) {
+    for (const double p : {0.005, 0.02, 0.1, 0.25}) {
+      for (const double l : {5.0, 20.0, 100.0}) {
+        auto approx_k = CriticalValue({p, w, l}, 0.05);
+        ASSERT_TRUE(approx_k.ok());
+        int exact_k = w + 1;
+        for (int k = 1; k <= w; ++k) {
+          auto tail = ExactScanTailIid(k, w, static_cast<int64_t>(l * w), p);
+          ASSERT_TRUE(tail.ok());
+          if (*tail <= 0.05) {
+            exact_k = k;
+            break;
+          }
+        }
+        EXPECT_LE(std::abs(*approx_k - exact_k), 1)
+            << "w=" << w << " p=" << p << " L=" << l;
+      }
+    }
+  }
+}
+
+TEST(CriticalValueTest, IncreasesWithBackgroundProbability) {
+  int prev = 0;
+  for (const double p : {1e-5, 1e-4, 1e-3, 1e-2, 0.1}) {
+    auto k = CriticalValue({p, 80, 200.0}, 0.05);
+    ASSERT_TRUE(k.ok());
+    EXPECT_GE(*k, prev) << "p=" << p;
+    prev = *k;
+  }
+}
+
+TEST(CriticalValueTest, TinyBackgroundNeedsFewEvents) {
+  auto k = CriticalValue({1e-6, 80, 200.0}, 0.05);
+  ASSERT_TRUE(k.ok());
+  EXPECT_LE(*k, 3);
+}
+
+TEST(CriticalValueTest, SaturatedBackgroundIsNeverSignificant) {
+  auto k = CriticalValue({0.95, 20, 100.0}, 0.05);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 21);  // window + 1: unattainable quota
+}
+
+TEST(ExactScanTest, ValidatesInputs) {
+  EXPECT_FALSE(ExactScanTailIid(3, 0, 10, 0.1).ok());
+  EXPECT_FALSE(ExactScanTailIid(3, 21, 42, 0.1).ok());
+  EXPECT_FALSE(ExactScanTailIid(3, 10, 5, 0.1).ok());
+  EXPECT_FALSE(ExactScanTailIid(3, 10, 20, -0.5).ok());
+}
+
+TEST(ExactScanTest, KnownSmallCase) {
+  // w=2, k=2 over n trials = P(two consecutive successes). For n=4,
+  // p=0.5: 1 - q^2 (1 + 2p) with q=1-p gives 1 - 0.25*2 = 0.5.
+  auto tail = ExactScanTailIid(2, 2, 4, 0.5);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_NEAR(*tail, 0.5, 1e-12);
+}
+
+TEST(ExactScanTest, MatchesMonteCarlo) {
+  const int w = 6;
+  const int64_t n = 60;
+  const double p = 0.15;
+  const int k = 4;
+  auto exact = ExactScanTailIid(k, w, n, p);
+  ASSERT_TRUE(exact.ok());
+
+  Rng rng(2024);
+  const int trials = 20000;
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    int window_count = 0;
+    bool hit = false;
+    std::vector<int> bits;
+    for (int64_t i = 0; i < n && !hit; ++i) {
+      const int b = rng.NextBernoulli(p) ? 1 : 0;
+      bits.push_back(b);
+      window_count += b;
+      if (i >= w) window_count -= bits[static_cast<size_t>(i - w)];
+      if (window_count >= k) hit = true;
+    }
+    hits += hit ? 1 : 0;
+  }
+  const double mc = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(*exact, mc, 4.0 * std::sqrt(mc * (1 - mc) / trials) + 1e-3);
+}
+
+TEST(MarkovScanTest, StationaryProbability) {
+  MarkovChainParams chain{0.1, 0.6, -1.0};
+  EXPECT_NEAR(chain.StationaryP(), 0.1 / (1.0 + 0.1 - 0.6), 1e-12);
+}
+
+TEST(MarkovScanTest, IidChainMatchesIidResult) {
+  // p01 == p11 == p reduces to i.i.d. trials.
+  const double p = 0.1;
+  MarkovChainParams chain{p, p, -1.0};
+  for (int k = 1; k <= 8; ++k) {
+    auto markov = ExactScanTailMarkov(k, 8, 80, chain);
+    auto iid = ExactScanTailIid(k, 8, 80, p);
+    ASSERT_TRUE(markov.ok());
+    ASSERT_TRUE(iid.ok());
+    EXPECT_NEAR(*markov, *iid, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(MarkovScanTest, PositiveDependenceClustersEvents) {
+  // Same stationary rate, but sticky successes concentrate events, so the
+  // quota is reached more often than under independence.
+  const double p = 0.1;
+  MarkovChainParams sticky;
+  sticky.p11 = 0.5;
+  sticky.p01 = p * (1.0 - sticky.p11) / (1.0 - p);  // stationary rate p
+  ASSERT_NEAR(sticky.StationaryP(), p, 1e-9);
+  auto dependent = ExactScanTailMarkov(4, 10, 100, sticky);
+  auto independent = ExactScanTailIid(4, 10, 100, p);
+  ASSERT_TRUE(dependent.ok());
+  ASSERT_TRUE(independent.ok());
+  EXPECT_GT(*dependent, *independent);
+}
+
+TEST(MarkovScanTest, CriticalValueRisesUnderDependence) {
+  const double p = 0.05;
+  MarkovChainParams sticky;
+  sticky.p11 = 0.6;
+  sticky.p01 = p * (1.0 - sticky.p11) / (1.0 - p);
+  auto k_iid = MarkovCriticalValue(12, 240, {p, p, -1.0}, 0.05);
+  auto k_dep = MarkovCriticalValue(12, 240, sticky, 0.05);
+  ASSERT_TRUE(k_iid.ok());
+  ASSERT_TRUE(k_dep.ok());
+  EXPECT_GE(*k_dep, *k_iid);
+}
+
+}  // namespace
+}  // namespace svq::stats

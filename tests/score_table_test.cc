@@ -1,0 +1,164 @@
+#include "svq/storage/score_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "svq/common/rng.h"
+
+namespace svq::storage {
+namespace {
+
+std::vector<ClipScoreRow> SampleRows() {
+  return {{5, 0.9}, {2, 0.4}, {9, 0.7}, {1, 0.1}, {7, 0.7}};
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(MemoryScoreTableTest, SortsByScoreDescending) {
+  auto table = MemoryScoreTable::Create(SampleRows());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->NumRows(), 5);
+  EXPECT_EQ((**table).RowAt(0)->clip, 5);
+  // Ties break by clip id.
+  EXPECT_EQ((**table).RowAt(1)->clip, 7);
+  EXPECT_EQ((**table).RowAt(2)->clip, 9);
+  EXPECT_EQ((**table).RowAt(4)->clip, 1);
+}
+
+TEST(MemoryScoreTableTest, RandomAccess) {
+  auto table = MemoryScoreTable::Create(SampleRows());
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(*(*table)->ScoreOf(9), 0.7);
+  EXPECT_TRUE((*table)->ScoreOf(42).status().IsNotFound());
+  EXPECT_TRUE((*table)->HasClip(2));
+  EXPECT_FALSE((*table)->HasClip(3));
+}
+
+TEST(MemoryScoreTableTest, RejectsDuplicates) {
+  EXPECT_FALSE(MemoryScoreTable::Create({{1, 0.5}, {1, 0.6}}).ok());
+}
+
+TEST(MemoryScoreTableTest, RankOutOfRange) {
+  auto table = MemoryScoreTable::Create(SampleRows());
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->RowAt(-1).status().IsOutOfRange());
+  EXPECT_TRUE((*table)->RowAt(5).status().IsOutOfRange());
+}
+
+TEST(DiskScoreTableTest, RoundTripMatchesMemory) {
+  const std::string path = TempPath("svq_table_roundtrip.svqt");
+  ASSERT_TRUE(DiskScoreTable::Write(path, SampleRows()).ok());
+  auto disk = DiskScoreTable::Open(path);
+  ASSERT_TRUE(disk.ok());
+  auto mem = MemoryScoreTable::Create(SampleRows());
+  ASSERT_TRUE(mem.ok());
+  ASSERT_EQ((*disk)->NumRows(), (*mem)->NumRows());
+  for (int64_t r = 0; r < (*disk)->NumRows(); ++r) {
+    auto drow = (*disk)->RowAt(r);
+    auto mrow = (*mem)->RowAt(r);
+    ASSERT_TRUE(drow.ok());
+    ASSERT_TRUE(mrow.ok());
+    EXPECT_EQ(*drow, *mrow) << "rank " << r;
+  }
+  for (const ClipScoreRow& row : SampleRows()) {
+    EXPECT_DOUBLE_EQ(*(*disk)->ScoreOf(row.clip), row.score);
+  }
+  EXPECT_TRUE((*disk)->ScoreOf(1000).status().IsNotFound());
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, EmptyTable) {
+  const std::string path = TempPath("svq_table_empty.svqt");
+  ASSERT_TRUE(DiskScoreTable::Write(path, {}).ok());
+  auto disk = DiskScoreTable::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->NumRows(), 0);
+  EXPECT_TRUE((*disk)->RowAt(0).status().IsOutOfRange());
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      DiskScoreTable::Open("/nonexistent/nope.svqt").status().IsIOError());
+}
+
+TEST(DiskScoreTableTest, DetectsBadMagic) {
+  const std::string path = TempPath("svq_table_badmagic.svqt");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a score table at all, not even close...";
+  out.close();
+  EXPECT_TRUE(DiskScoreTable::Open(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, DetectsTruncation) {
+  const std::string path = TempPath("svq_table_trunc.svqt");
+  ASSERT_TRUE(DiskScoreTable::Write(path, SampleRows()).ok());
+  std::filesystem::resize_file(path, 40);  // header + ~1.5 rows
+  EXPECT_FALSE(DiskScoreTable::Open(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, LargeTableRandomSpotChecks) {
+  const std::string path = TempPath("svq_table_large.svqt");
+  Rng rng(77);
+  std::vector<ClipScoreRow> rows;
+  for (int i = 0; i < 20000; ++i) rows.push_back({i, rng.NextDouble()});
+  ASSERT_TRUE(DiskScoreTable::Write(path, rows).ok());
+  auto disk = DiskScoreTable::Open(path);
+  ASSERT_TRUE(disk.ok());
+  for (int i = 0; i < 200; ++i) {
+    const auto& row = rows[rng.NextUint64(rows.size())];
+    EXPECT_DOUBLE_EQ(*(*disk)->ScoreOf(row.clip), row.score);
+  }
+  // Sorted order holds on disk.
+  double prev = 2.0;
+  for (int64_t r = 0; r < 100; ++r) {
+    auto row = (*disk)->RowAt(r);
+    ASSERT_TRUE(row.ok());
+    EXPECT_LE(row->score, prev);
+    prev = row->score;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TableReaderTest, CountsAccessClasses) {
+  auto table = MemoryScoreTable::Create(SampleRows());
+  ASSERT_TRUE(table.ok());
+  StorageMetrics metrics;
+  TableReader reader(table->get(), &metrics);
+  ASSERT_TRUE(reader.SortedAccess(0).ok());
+  ASSERT_TRUE(reader.SortedAccess(1).ok());
+  auto last = reader.ReverseAccess(0);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->clip, 1);  // lowest score
+  EXPECT_DOUBLE_EQ(reader.RandomAccessOrZero(9), 0.7);
+  EXPECT_DOUBLE_EQ(reader.RandomAccessOrZero(1234), 0.0);
+  EXPECT_DOUBLE_EQ(reader.SequentialReadOrZero(2), 0.4);
+  EXPECT_EQ(metrics.sorted_accesses, 3);
+  EXPECT_EQ(metrics.random_accesses, 2);
+  EXPECT_EQ(metrics.sequential_reads, 1);
+}
+
+TEST(StorageMetricsTest, VirtualTimeUsesCostModel) {
+  StorageMetrics metrics;
+  metrics.sorted_accesses = 10;
+  metrics.random_accesses = 4;
+  metrics.sequential_reads = 2;
+  DiskCostModel model{1.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(metrics.VirtualMs(model), 10.0 + 20.0 + 4.0);
+  StorageMetrics other;
+  other.random_accesses = 1;
+  metrics += other;
+  EXPECT_EQ(metrics.random_accesses, 5);
+  metrics.Reset();
+  EXPECT_EQ(metrics.sorted_accesses, 0);
+}
+
+}  // namespace
+}  // namespace svq::storage

@@ -1,0 +1,76 @@
+#include "svq/storage/sequence_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace svq::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SequenceStoreTest, RoundTrip) {
+  std::map<std::string, video::IntervalSet> sequences;
+  sequences["car"] = video::IntervalSet({{0, 3}, {10, 14}});
+  sequences["jumping"] = video::IntervalSet({{2, 5}});
+  sequences["empty_label"] = video::IntervalSet();
+
+  const std::string path = TempPath("svq_sequences.svqs");
+  ASSERT_TRUE(SequenceStore::Save(path, sequences).ok());
+  auto loaded = SequenceStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, sequences);
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, EmptyMap) {
+  const std::string path = TempPath("svq_sequences_empty.svqs");
+  ASSERT_TRUE(SequenceStore::Save(path, {}).ok());
+  auto loaded = SequenceStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, MissingFile) {
+  EXPECT_TRUE(SequenceStore::Load("/nonexistent/file.svqs")
+                  .status()
+                  .IsIOError());
+}
+
+TEST(SequenceStoreTest, BadMagic) {
+  const std::string path = TempPath("svq_sequences_bad.svqs");
+  std::ofstream out(path, std::ios::binary);
+  out << "garbage garbage garbage";
+  out.close();
+  EXPECT_TRUE(SequenceStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, Truncated) {
+  std::map<std::string, video::IntervalSet> sequences;
+  sequences["car"] = video::IntervalSet({{0, 3}, {10, 14}});
+  const std::string path = TempPath("svq_sequences_trunc.svqs");
+  ASSERT_TRUE(SequenceStore::Save(path, sequences).ok());
+  std::filesystem::resize_file(path, 20);
+  EXPECT_TRUE(SequenceStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, UnicodeAndSpecialLabels) {
+  std::map<std::string, video::IntervalSet> sequences;
+  sequences["robot dancing"] = video::IntervalSet({{1, 2}});
+  sequences["naïve_label"] = video::IntervalSet({{3, 4}});
+  const std::string path = TempPath("svq_sequences_labels.svqs");
+  ASSERT_TRUE(SequenceStore::Save(path, sequences).ok());
+  auto loaded = SequenceStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, sequences);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace svq::storage

@@ -1,0 +1,142 @@
+#include "svq/core/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/models/synthetic_models.h"
+
+namespace svq::core {
+namespace {
+
+using models::BoundingBox;
+using models::ObjectDetection;
+
+BoundingBox Box(double x, double y, double w = 0.1, double h = 0.1) {
+  return {x, y, w, h};
+}
+
+TEST(BoxesSatisfyTest, Directional) {
+  const BoundingBox left = Box(0.1, 0.4);
+  const BoundingBox right = Box(0.5, 0.4);
+  EXPECT_TRUE(BoxesSatisfy(RelOp::kLeftOf, left, right));
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kLeftOf, right, left));
+  EXPECT_TRUE(BoxesSatisfy(RelOp::kRightOf, right, left));
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kRightOf, left, right));
+
+  const BoundingBox top = Box(0.4, 0.1);
+  const BoundingBox bottom = Box(0.4, 0.5);
+  EXPECT_TRUE(BoxesSatisfy(RelOp::kAbove, top, bottom));
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kAbove, bottom, top));
+  EXPECT_TRUE(BoxesSatisfy(RelOp::kBelow, bottom, top));
+}
+
+TEST(BoxesSatisfyTest, DirectionalRequiresSeparation) {
+  // Overlapping extents satisfy neither left_of nor right_of.
+  const BoundingBox a = Box(0.1, 0.4, 0.3, 0.1);
+  const BoundingBox b = Box(0.3, 0.4, 0.3, 0.1);
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kLeftOf, a, b));
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kRightOf, a, b));
+  // Touching edges count as separated.
+  const BoundingBox c = Box(0.4, 0.4, 0.1, 0.1);
+  EXPECT_TRUE(BoxesSatisfy(RelOp::kLeftOf, Box(0.3, 0.4, 0.1, 0.1), c));
+}
+
+TEST(BoxesSatisfyTest, Overlaps) {
+  EXPECT_TRUE(BoxesSatisfy(RelOp::kOverlaps, Box(0.1, 0.1, 0.3, 0.3),
+                           Box(0.3, 0.3, 0.3, 0.3)));
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kOverlaps, Box(0.1, 0.1, 0.1, 0.1),
+                            Box(0.5, 0.5, 0.1, 0.1)));
+  // Touching boxes do not overlap (half-open semantics); the constants are
+  // binary-exact so the edges align precisely.
+  EXPECT_FALSE(BoxesSatisfy(RelOp::kOverlaps, Box(0.125, 0.125, 0.25, 0.25),
+                            Box(0.375, 0.125, 0.25, 0.25)));
+}
+
+TEST(BoxesSatisfyTest, LeftOfAndSwappedRightOfAgree) {
+  // left_of(s, o) must be exactly right_of(o, s).
+  for (double x = 0.0; x < 0.9; x += 0.07) {
+    const BoundingBox s = Box(x, 0.2);
+    const BoundingBox o = Box(0.45, 0.2);
+    EXPECT_EQ(BoxesSatisfy(RelOp::kLeftOf, s, o),
+              BoxesSatisfy(RelOp::kRightOf, o, s))
+        << "x=" << x;
+  }
+}
+
+std::vector<ObjectDetection> Detections() {
+  ObjectDetection human;
+  human.label = "human";
+  human.score = 0.9;
+  human.box = Box(0.1, 0.4);
+  ObjectDetection car;
+  car.label = "car";
+  car.score = 0.8;
+  car.box = Box(0.6, 0.4);
+  return {human, car};
+}
+
+TEST(RelationshipHoldsTest, FindsSatisfyingPair) {
+  Relationship rel{RelOp::kLeftOf, "human", "car"};
+  EXPECT_TRUE(RelationshipHolds(rel, Detections(), 0.5));
+  Relationship reversed{RelOp::kLeftOf, "car", "human"};
+  EXPECT_FALSE(RelationshipHolds(reversed, Detections(), 0.5));
+}
+
+TEST(RelationshipHoldsTest, RespectsScoreThreshold) {
+  auto dets = Detections();
+  dets[1].score = 0.3;  // car below threshold
+  Relationship rel{RelOp::kLeftOf, "human", "car"};
+  EXPECT_FALSE(RelationshipHolds(rel, dets, 0.5));
+  EXPECT_TRUE(RelationshipHolds(rel, dets, 0.2));
+}
+
+TEST(RelationshipHoldsTest, MissingLabel) {
+  Relationship rel{RelOp::kLeftOf, "human", "bus"};
+  EXPECT_FALSE(RelationshipHolds(rel, Detections(), 0.5));
+  EXPECT_FALSE(RelationshipHolds(rel, {}, 0.5));
+}
+
+TEST(InstanceBoxTest, StableAndDeterministic) {
+  video::TrackInstance inst{7, "car", {100, 600}};
+  const auto a = models::InstanceBox(inst, 250, 42);
+  const auto b = models::InstanceBox(inst, 250, 42);
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+  // Drift is slow: adjacent frames move the box by far less than its size.
+  const auto next = models::InstanceBox(inst, 251, 42);
+  EXPECT_LT(std::abs(next.x - a.x), 0.01);
+  // Boxes stay within the frame over the whole appearance.
+  for (video::FrameIndex f = inst.frames.begin; f < inst.frames.end;
+       f += 17) {
+    const auto box = models::InstanceBox(inst, f, 42);
+    EXPECT_GE(box.x, 0.0);
+    EXPECT_GE(box.y, 0.0);
+    EXPECT_LE(box.x + box.width, 1.0 + 1e-9);
+    EXPECT_LE(box.y + box.height, 1.0 + 1e-9);
+  }
+}
+
+TEST(InstanceBoxTest, DifferentInstancesDifferentRegions) {
+  video::TrackInstance a{1, "car", {0, 500}};
+  video::TrackInstance b{2, "car", {0, 500}};
+  const auto box_a = models::InstanceBox(a, 100, 42);
+  const auto box_b = models::InstanceBox(b, 100, 42);
+  EXPECT_TRUE(std::abs(box_a.x - box_b.x) > 1e-6 ||
+              std::abs(box_a.y - box_b.y) > 1e-6);
+}
+
+TEST(InstanceLookupTest, FindsCoveringInstance) {
+  video::GroundTruth gt;
+  const int64_t first = gt.AddObjectInstance("car", {100, 200});
+  gt.AddObjectInstance("car", {300, 400});
+  gt.AddObjectInstance("human", {150, 250});
+  models::InstanceLookup lookup(gt);
+  ASSERT_NE(lookup.At("car", 150), nullptr);
+  EXPECT_EQ(lookup.At("car", 150)->instance_id, first);
+  EXPECT_EQ(lookup.At("car", 250), nullptr);
+  ASSERT_NE(lookup.At("car", 350), nullptr);
+  EXPECT_EQ(lookup.At("human", 160)->label, "human");
+  EXPECT_EQ(lookup.At("bus", 160), nullptr);
+}
+
+}  // namespace
+}  // namespace svq::core

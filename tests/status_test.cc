@@ -1,0 +1,83 @@
+#include "svq/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/common/result.h"
+
+namespace svq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal);
+       ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
+                 "Unknown");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  SVQ_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chained(3).ok());
+  EXPECT_TRUE(Chained(-1).IsOutOfRange());
+}
+
+Result<int> HalfOfEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOfMultipleOf4(int x) {
+  SVQ_ASSIGN_OR_RETURN(const int half, HalfOfEven(x));
+  return HalfOfEven(half);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = HalfOfEven(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = HalfOfEven(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  EXPECT_EQ(*QuarterOfMultipleOf4(12), 3);
+  EXPECT_FALSE(QuarterOfMultipleOf4(6).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace svq

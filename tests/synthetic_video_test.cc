@@ -1,0 +1,192 @@
+#include "svq/video/synthetic_video.h"
+
+#include <gtest/gtest.h>
+
+#include "svq/video/video_stream.h"
+
+namespace svq::video {
+namespace {
+
+SyntheticVideoSpec BaseSpec() {
+  SyntheticVideoSpec spec;
+  spec.name = "test";
+  spec.num_frames = 20000;
+  spec.seed = 5;
+  spec.actions.push_back({"jumping", 300.0, 900.0});
+  SyntheticObjectSpec car;
+  car.label = "car";
+  car.correlate_with_action = "jumping";
+  car.correlation = 0.9;
+  car.coverage = 0.8;
+  car.mean_on_frames = 200.0;
+  car.mean_off_frames = 2000.0;
+  spec.objects.push_back(car);
+  return spec;
+}
+
+TEST(VideoLayoutTest, Geometry) {
+  VideoLayout layout;  // 16 frames/shot, 5 shots/clip
+  EXPECT_EQ(layout.FramesPerClip(), 80);
+  EXPECT_EQ(layout.ShotOfFrame(0), 0);
+  EXPECT_EQ(layout.ShotOfFrame(15), 0);
+  EXPECT_EQ(layout.ShotOfFrame(16), 1);
+  EXPECT_EQ(layout.ClipOfFrame(79), 0);
+  EXPECT_EQ(layout.ClipOfFrame(80), 1);
+  EXPECT_EQ(layout.ClipOfShot(4), 0);
+  EXPECT_EQ(layout.ClipOfShot(5), 1);
+  EXPECT_EQ(layout.NumClips(81), 2);
+  EXPECT_EQ(layout.NumClips(80), 1);
+  EXPECT_EQ(layout.NumShots(17), 2);
+  EXPECT_EQ(layout.FramesForSeconds(2.0), 60);
+}
+
+TEST(VideoLayoutTest, Validation) {
+  VideoLayout bad;
+  bad.frames_per_shot = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = VideoLayout();
+  bad.shots_per_clip = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = VideoLayout();
+  bad.fps = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_TRUE(VideoLayout().Validate().ok());
+}
+
+TEST(SyntheticVideoTest, ValidatesSpec) {
+  SyntheticVideoSpec spec = BaseSpec();
+  spec.num_frames = 0;
+  EXPECT_FALSE(SyntheticVideo::Generate(spec).ok());
+
+  spec = BaseSpec();
+  spec.objects[0].correlation = 1.5;
+  EXPECT_FALSE(SyntheticVideo::Generate(spec).ok());
+
+  spec = BaseSpec();
+  spec.objects[0].correlate_with_action = "nonexistent";
+  EXPECT_FALSE(SyntheticVideo::Generate(spec).ok());
+}
+
+TEST(SyntheticVideoTest, DeterministicInSeed) {
+  auto a = SyntheticVideo::Generate(BaseSpec());
+  auto b = SyntheticVideo::Generate(BaseSpec());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->ground_truth().ActionPresence("jumping"),
+            (*b)->ground_truth().ActionPresence("jumping"));
+  EXPECT_EQ((*a)->ground_truth().ObjectPresence("car"),
+            (*b)->ground_truth().ObjectPresence("car"));
+}
+
+TEST(SyntheticVideoTest, DifferentSeedsDiffer) {
+  auto a = SyntheticVideo::Generate(BaseSpec());
+  SyntheticVideoSpec other = BaseSpec();
+  other.seed = 6;
+  auto b = SyntheticVideo::Generate(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)->ground_truth().ActionPresence("jumping"),
+            (*b)->ground_truth().ActionPresence("jumping"));
+}
+
+TEST(SyntheticVideoTest, ActionDensityNearExpectation) {
+  SyntheticVideoSpec spec = BaseSpec();
+  spec.num_frames = 400000;
+  auto video = SyntheticVideo::Generate(spec);
+  ASSERT_TRUE(video.ok());
+  const double density =
+      static_cast<double>(
+          (*video)->ground_truth().ActionPresence("jumping").TotalLength()) /
+      static_cast<double>(spec.num_frames);
+  // Expected on-fraction = 300 / (300 + 900) = 0.25.
+  EXPECT_NEAR(density, 0.25, 0.05);
+}
+
+TEST(SyntheticVideoTest, CorrelatedObjectOverlapsAction) {
+  auto video = SyntheticVideo::Generate(BaseSpec());
+  ASSERT_TRUE(video.ok());
+  const auto& gt = (*video)->ground_truth();
+  const IntervalSet& action = gt.ActionPresence("jumping");
+  const IntervalSet& car = gt.ObjectPresence("car");
+  ASSERT_GT(action.TotalLength(), 0);
+  // With correlation 0.9 / coverage 0.8, well over half of the action
+  // duration has a car present.
+  const double overlap_frac =
+      static_cast<double>(action.OverlapLength(car)) /
+      static_cast<double>(action.TotalLength());
+  EXPECT_GT(overlap_frac, 0.5);
+}
+
+TEST(SyntheticVideoTest, IntervalsWithinBounds) {
+  auto video = SyntheticVideo::Generate(BaseSpec());
+  ASSERT_TRUE(video.ok());
+  for (const TrackInstance& inst : (*video)->ground_truth().instances()) {
+    EXPECT_GE(inst.frames.begin, 0);
+    EXPECT_LE(inst.frames.end, (*video)->num_frames());
+    EXPECT_LT(inst.frames.begin, inst.frames.end);
+  }
+}
+
+TEST(SyntheticVideoTest, InstancesCoverPresence) {
+  auto video = SyntheticVideo::Generate(BaseSpec());
+  ASSERT_TRUE(video.ok());
+  const auto& gt = (*video)->ground_truth();
+  IntervalSet from_instances;
+  for (const TrackInstance& inst : gt.instances()) {
+    if (inst.label == "car") from_instances.Add(inst.frames);
+  }
+  EXPECT_EQ(from_instances, gt.ObjectPresence("car"));
+}
+
+TEST(GroundTruthTest, UnknownLabelsAreEmpty) {
+  GroundTruth gt;
+  EXPECT_TRUE(gt.ObjectPresence("nothing").empty());
+  EXPECT_TRUE(gt.ActionPresence("nothing").empty());
+}
+
+TEST(GroundTruthTest, InstanceIdsAreUnique) {
+  GroundTruth gt;
+  const int64_t a = gt.AddObjectInstance("car", {0, 10});
+  const int64_t b = gt.AddObjectInstance("car", {5, 15});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(gt.InstancesAt("car", 7).size(), 2u);
+  EXPECT_EQ(gt.InstancesAt("car", 12).size(), 1u);
+  EXPECT_TRUE(gt.InstancesAt("bus", 7).empty());
+}
+
+TEST(VideoStreamTest, IteratesAllClipsWithPartialTail) {
+  SyntheticVideoSpec spec = BaseSpec();
+  spec.num_frames = 250;  // 3 clips of 80 + partial clip of 10
+  auto video = SyntheticVideo::Generate(spec);
+  ASSERT_TRUE(video.ok());
+  SyntheticVideoStream stream(*video, 1);
+  int64_t clips = 0;
+  int64_t frames = 0;
+  while (auto clip = stream.NextClip()) {
+    EXPECT_EQ(clip->clip, clips);
+    EXPECT_EQ(clip->video, 1);
+    frames += clip->frames.length();
+    int64_t shot_frames = 0;
+    for (const ShotRef& shot : clip->shots) shot_frames += shot.frames.length();
+    EXPECT_EQ(shot_frames, clip->frames.length());
+    ++clips;
+  }
+  EXPECT_EQ(clips, 4);
+  EXPECT_EQ(frames, 250);
+  EXPECT_FALSE(stream.NextClip().has_value());
+  stream.Reset();
+  EXPECT_TRUE(stream.NextClip().has_value());
+}
+
+TEST(VideoStreamTest, PartialClipShotStructure) {
+  VideoLayout layout;
+  // 250 frames: clip 3 covers frames [240, 250) = one partial shot.
+  ClipRef ref = MakeClipRef(layout, 0, 3, 250);
+  EXPECT_EQ(ref.frames, (Interval{240, 250}));
+  ASSERT_EQ(ref.shots.size(), 1u);
+  EXPECT_EQ(ref.shots[0].frames, (Interval{240, 250}));
+  EXPECT_EQ(ref.shots[0].shot, 15);
+}
+
+}  // namespace
+}  // namespace svq::video

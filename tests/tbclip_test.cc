@@ -1,0 +1,290 @@
+#include "svq/core/tbclip.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "svq/common/rng.h"
+#include "svq/core/scoring.h"
+#include "svq/storage/score_table.h"
+
+namespace svq::core {
+namespace {
+
+/// A small fixture world: two object tables + one action table over clips
+/// [0, num_clips), a candidate set, and a brute-force score oracle.
+struct World {
+  std::unique_ptr<storage::MemoryScoreTable> obj1, obj2, act;
+  video::IntervalSet candidates;
+  std::map<video::ClipIndex, double> oracle;  // full g score per candidate
+  AdditiveScoring scoring;
+  storage::StorageMetrics metrics;
+
+  std::vector<const storage::ScoreTable*> object_tables() const {
+    return {obj1.get(), obj2.get()};
+  }
+};
+
+World MakeWorld(uint64_t seed, int num_clips = 120) {
+  Rng rng(seed);
+  World world;
+  // Candidates: a few runs.
+  world.candidates.Add({10, 18});
+  world.candidates.Add({40, 45});
+  world.candidates.Add({80, 95});
+  std::vector<storage::ClipScoreRow> r1, r2, ra;
+  for (int c = 0; c < num_clips; ++c) {
+    const bool candidate = world.candidates.Contains(c);
+    // Candidates have rows in every table; non-candidates appear in a
+    // random subset (like real per-type tables).
+    const double s1 = rng.NextDouble(0.1, 5.0);
+    const double s2 = rng.NextDouble(0.1, 5.0);
+    const double sa = rng.NextDouble(0.1, 2.0);
+    if (candidate || rng.NextBernoulli(0.5)) r1.push_back({c, s1});
+    if (candidate || rng.NextBernoulli(0.5)) r2.push_back({c, s2});
+    if (candidate || rng.NextBernoulli(0.3)) ra.push_back({c, sa});
+    if (candidate) {
+      world.oracle[c] = world.scoring.ClipScore({s1, s2}, sa);
+    }
+  }
+  world.obj1 = *storage::MemoryScoreTable::Create(std::move(r1));
+  world.obj2 = *storage::MemoryScoreTable::Create(std::move(r2));
+  world.act = *storage::MemoryScoreTable::Create(std::move(ra));
+  return world;
+}
+
+TEST(TbClipTest, DeliversEveryCandidateExactlyOnce) {
+  World world = MakeWorld(1);
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &world.candidates, /*skip_enabled=*/true,
+                    &world.metrics);
+  std::map<video::ClipIndex, double> seen;
+  for (;;) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok()) << next.status();
+    if (!next->has_value()) break;
+    const TbClipItem top = (*next)->top;
+    const TbClipItem btm = (*next)->bottom;
+    EXPECT_TRUE(seen.emplace(top.clip, top.score).second)
+        << "clip " << top.clip << " delivered twice";
+    if (btm.clip != top.clip) {
+      EXPECT_TRUE(seen.emplace(btm.clip, btm.score).second)
+          << "clip " << btm.clip << " delivered twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), world.oracle.size());
+  for (const auto& [clip, score] : world.oracle) {
+    auto found = seen.find(clip);
+    ASSERT_NE(found, seen.end()) << "clip " << clip << " never delivered";
+    EXPECT_NEAR(found->second, score, 1e-9);
+  }
+}
+
+TEST(TbClipTest, TopsDescendAndBottomsAscend) {
+  World world = MakeWorld(2);
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &world.candidates, true, &world.metrics);
+  double prev_top = std::numeric_limits<double>::infinity();
+  double prev_btm = -1.0;
+  for (;;) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    const TbClipItem top = (*next)->top;
+    const TbClipItem btm = (*next)->bottom;
+    EXPECT_LE(top.score, prev_top + 1e-9);
+    prev_top = top.score;
+    if (btm.clip != top.clip) {
+      EXPECT_GE(btm.score, prev_btm - 1e-9);
+      prev_btm = btm.score;
+    }
+    // The top of this call always dominates the bottom of this call.
+    EXPECT_GE(top.score, btm.score - 1e-9);
+  }
+}
+
+TEST(TbClipTest, FirstTopIsGlobalMaximum) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    World world = MakeWorld(seed);
+    TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                      &world.candidates, true, &world.metrics);
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    double best = 0.0;
+    double worst = std::numeric_limits<double>::infinity();
+    for (const auto& [clip, score] : world.oracle) {
+      best = std::max(best, score);
+      worst = std::min(worst, score);
+    }
+    EXPECT_NEAR((*next)->top.score, best, 1e-9) << "seed " << seed;
+    EXPECT_NEAR((*next)->bottom.score, worst, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(TbClipTest, SkippedRangesAreNeverDelivered) {
+  World world = MakeWorld(3);
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &world.candidates, true, &world.metrics);
+  it.AddSkipRange({80, 95});  // drop the third candidate run entirely
+  for (;;) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    EXPECT_FALSE((*next)->top.clip >= 80 && (*next)->top.clip < 95);
+    EXPECT_FALSE((*next)->bottom.clip >= 80 && (*next)->bottom.clip < 95);
+  }
+}
+
+TEST(TbClipTest, NonCandidatesNeverChargedRandomAccess) {
+  // Clips outside C(P_q) are part of the initial skip set in both modes:
+  // random accesses stay bounded by #tables * #candidates.
+  for (const bool dynamic_skip : {true, false}) {
+    World world = MakeWorld(4);
+    TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                      &world.candidates, dynamic_skip, &world.metrics);
+    while (true) {
+      auto next = it.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+    }
+    EXPECT_LE(world.metrics.random_accesses,
+              3 * static_cast<int64_t>(world.oracle.size()))
+        << "dynamic_skip=" << dynamic_skip;
+  }
+}
+
+TEST(TbClipTest, DynamicSkipRangesIgnoredWhenDisabled) {
+  World world = MakeWorld(4);
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &world.candidates, /*skip_enabled=*/false,
+                    &world.metrics);
+  it.AddSkipRange({80, 95});  // no-op: dynamic skipping disabled
+  int delivered_in_range = 0;
+  while (true) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    if ((*next)->top.clip >= 80 && (*next)->top.clip < 95) {
+      ++delivered_in_range;
+    }
+  }
+  EXPECT_GT(delivered_in_range, 0);
+}
+
+TEST(TbClipTest, EmptyCandidatesEndsImmediately) {
+  World world = MakeWorld(5);
+  video::IntervalSet empty;
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &empty, true, &world.metrics);
+  auto next = it.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+TEST(TbClipTest, SingleCandidateDegeneratePair) {
+  World world = MakeWorld(6);
+  video::IntervalSet one;
+  one.Add({12, 13});
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &one, true, &world.metrics);
+  auto next = it.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->top.clip, 12);
+  EXPECT_EQ((*next)->bottom.clip, 12);
+  auto done = it.Next();
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(done->has_value());
+}
+
+TEST(TbClipTest, BoundedModeDeliversEveryCandidate) {
+  World world = MakeWorld(7);
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &world.candidates, true, &world.metrics,
+                    TbClipIterator::Emission::kBounded);
+  std::map<video::ClipIndex, double> seen;
+  for (;;) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    seen.emplace((*next)->top.clip, (*next)->top.score);
+    seen.emplace((*next)->bottom.clip, (*next)->bottom.score);
+  }
+  EXPECT_EQ(seen.size(), world.oracle.size());
+  for (const auto& [clip, score] : world.oracle) {
+    ASSERT_TRUE(seen.contains(clip));
+    EXPECT_NEAR(seen[clip], score, 1e-9);
+  }
+}
+
+TEST(TbClipTest, BoundedModeBoundsBracketUndeliveredClips) {
+  // Property: after each step, every candidate clip that has not yet been
+  // delivered scores within [lower_bound, upper_bound].
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    World world = MakeWorld(seed);
+    TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                      &world.candidates, true, &world.metrics,
+                      TbClipIterator::Emission::kBounded);
+    std::map<video::ClipIndex, double> remaining = world.oracle;
+    for (;;) {
+      auto next = it.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      remaining.erase((*next)->top.clip);
+      remaining.erase((*next)->bottom.clip);
+      for (const auto& [clip, score] : remaining) {
+        EXPECT_LE(score, (*next)->upper_bound + 1e-9)
+            << "seed " << seed << " clip " << clip;
+        EXPECT_GE(score, (*next)->lower_bound - 1e-9)
+            << "seed " << seed << " clip " << clip;
+      }
+    }
+    EXPECT_TRUE(remaining.empty());
+  }
+}
+
+TEST(TbClipTest, BoundedModeBoundsAreMonotone) {
+  World world = MakeWorld(15);
+  TbClipIterator it(world.object_tables(), world.act.get(), &world.scoring,
+                    &world.candidates, true, &world.metrics,
+                    TbClipIterator::Emission::kBounded);
+  double prev_upper = std::numeric_limits<double>::infinity();
+  double prev_lower = -1.0;
+  for (;;) {
+    auto next = it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    EXPECT_LE((*next)->upper_bound, prev_upper + 1e-9);
+    EXPECT_GE((*next)->lower_bound, prev_lower - 1e-9);
+    prev_upper = (*next)->upper_bound;
+    prev_lower = (*next)->lower_bound;
+  }
+}
+
+TEST(TbClipTest, BoundedModeCostsFewerSortedAccesses) {
+  World certified = MakeWorld(16);
+  TbClipIterator cert_it(certified.object_tables(), certified.act.get(),
+                         &certified.scoring, &certified.candidates, true,
+                         &certified.metrics);
+  while (true) {
+    auto next = cert_it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+  }
+  World bounded = MakeWorld(16);
+  TbClipIterator bound_it(bounded.object_tables(), bounded.act.get(),
+                          &bounded.scoring, &bounded.candidates, true,
+                          &bounded.metrics,
+                          TbClipIterator::Emission::kBounded);
+  while (true) {
+    auto next = bound_it.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+  }
+  EXPECT_LE(bounded.metrics.sorted_accesses,
+            certified.metrics.sorted_accesses);
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,131 @@
+#include "svq/eval/workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::eval {
+namespace {
+
+TEST(YouTubeWorkloadTest, BuildsAllTwelveQueries) {
+  auto workload = YouTubeWorkload(1, /*scale=*/0.02);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ASSERT_EQ(workload->size(), 12u);
+  EXPECT_EQ((*workload)[0].name, "q1");
+  EXPECT_EQ((*workload)[0].query.action, "washing_dishes");
+  EXPECT_EQ((*workload)[0].query.objects,
+            (std::vector<std::string>{"faucet", "oven"}));
+  EXPECT_EQ((*workload)[11].name, "q12");
+  EXPECT_EQ((*workload)[11].query.action, "archery");
+  for (const QueryScenario& scenario : *workload) {
+    EXPECT_FALSE(scenario.videos.empty()) << scenario.name;
+    EXPECT_TRUE(scenario.query.Validate().ok()) << scenario.name;
+  }
+}
+
+TEST(YouTubeWorkloadTest, ScaleControlsLength) {
+  auto small = YouTubeScenario(1, 1, 0.01);
+  auto large = YouTubeScenario(1, 1, 0.05);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  auto total = [](const QueryScenario& s) {
+    int64_t frames = 0;
+    for (const auto& v : s.videos) frames += v->num_frames();
+    return frames;
+  };
+  EXPECT_LT(total(*small), total(*large));
+}
+
+TEST(YouTubeWorkloadTest, DeterministicInSeed) {
+  auto a = YouTubeScenario(2, 9, 0.02);
+  auto b = YouTubeScenario(2, 9, 0.02);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->videos.size(), b->videos.size());
+  for (size_t i = 0; i < a->videos.size(); ++i) {
+    EXPECT_EQ(a->videos[i]->ground_truth().ActionPresence("blowing_leaves"),
+              b->videos[i]->ground_truth().ActionPresence("blowing_leaves"));
+  }
+}
+
+TEST(YouTubeWorkloadTest, GroundTruthCoversQueryLabels) {
+  // Occurrences are sparse, so an individual short video may hold none;
+  // across the scenario every queried label must appear.
+  auto scenario = YouTubeScenario(1, 3, 0.05);
+  ASSERT_TRUE(scenario.ok());
+  int64_t action_total = 0;
+  for (const auto& v : scenario->videos) {
+    action_total +=
+        v->ground_truth().ActionPresence(scenario->query.action).TotalLength();
+  }
+  EXPECT_GT(action_total, 0);
+  for (const std::string& object : scenario->query.objects) {
+    int64_t total = 0;
+    for (const auto& v : scenario->videos) {
+      total += v->ground_truth().ObjectPresence(object).TotalLength();
+    }
+    EXPECT_GT(total, 0) << object;
+  }
+}
+
+TEST(YouTubeWorkloadTest, TruthFramesIntersectsPredicates) {
+  auto scenario = YouTubeScenario(1, 3, 0.02);
+  ASSERT_TRUE(scenario.ok());
+  const auto& v = *scenario->videos.front();
+  const video::IntervalSet truth = TruthFrames(v, scenario->query);
+  const video::IntervalSet& action =
+      v.ground_truth().ActionPresence(scenario->query.action);
+  EXPECT_EQ(truth.OverlapLength(action), truth.TotalLength());
+  for (const std::string& object : scenario->query.objects) {
+    EXPECT_EQ(truth.OverlapLength(v.ground_truth().ObjectPresence(object)),
+              truth.TotalLength());
+  }
+}
+
+TEST(YouTubeWorkloadTest, PersonIsAvailableEverywhere) {
+  auto scenario = YouTubeScenario(5, 3, 0.02);
+  ASSERT_TRUE(scenario.ok());
+  for (const auto& v : scenario->videos) {
+    EXPECT_FALSE(v->ground_truth().ObjectPresence("person").empty());
+  }
+}
+
+TEST(YouTubeWorkloadTest, RejectsBadArguments) {
+  EXPECT_FALSE(YouTubeScenario(0, 1, 0.02).ok());
+  EXPECT_FALSE(YouTubeScenario(13, 1, 0.02).ok());
+  EXPECT_FALSE(YouTubeScenario(1, 1, 0.0).ok());
+}
+
+TEST(MoviesWorkloadTest, BuildsFourMovies) {
+  auto movies = MoviesWorkload(1, 0.05);
+  ASSERT_TRUE(movies.ok());
+  ASSERT_EQ(movies->size(), 4u);
+  EXPECT_EQ((*movies)[0].name, "coffee_and_cigarettes");
+  EXPECT_EQ((*movies)[0].query.action, "smoking");
+  EXPECT_EQ((*movies)[3].name, "titanic");
+  for (const QueryScenario& movie : *movies) {
+    ASSERT_EQ(movie.videos.size(), 1u);
+    EXPECT_FALSE(TruthFrames(*movie.videos[0], movie.query).empty())
+        << movie.name;
+  }
+  // Titanic (194 min) is the longest.
+  EXPECT_GT((*movies)[3].videos[0]->num_frames(),
+            (*movies)[0].videos[0]->num_frames());
+}
+
+TEST(WorkloadAccuracyTest, AppliesPerLabelOverrides) {
+  models::DetectorProfile profile =
+      ApplyWorkloadAccuracy(models::MaskRcnnProfile());
+  // person is easier than faucet for the reference detector.
+  EXPECT_GT(profile.TprFor("person"), profile.TprFor("faucet"));
+  EXPECT_LT(profile.FprFor("person"), profile.FprFor("faucet"));
+  // YOLO scales uniformly noisier.
+  models::DetectorProfile yolo =
+      ApplyWorkloadAccuracy(models::YoloV3Profile());
+  EXPECT_LT(yolo.TprFor("person"), profile.TprFor("person"));
+  // Ideal profiles are untouched.
+  models::DetectorProfile ideal =
+      ApplyWorkloadAccuracy(models::IdealObjectProfile());
+  EXPECT_TRUE(ideal.label_accuracy.empty());
+}
+
+}  // namespace
+}  // namespace svq::eval
