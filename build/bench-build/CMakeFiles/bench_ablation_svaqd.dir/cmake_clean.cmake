@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_svaqd"
+  "../bench/bench_ablation_svaqd.pdb"
+  "CMakeFiles/bench_ablation_svaqd.dir/bench_ablation_svaqd.cc.o"
+  "CMakeFiles/bench_ablation_svaqd.dir/bench_ablation_svaqd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_svaqd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_background_prob"
+  "../bench/bench_fig2_background_prob.pdb"
+  "CMakeFiles/bench_fig2_background_prob.dir/bench_fig2_background_prob.cc.o"
+  "CMakeFiles/bench_fig2_background_prob.dir/bench_fig2_background_prob.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_background_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_clip_size_f1"
+  "../bench/bench_fig5_clip_size_f1.pdb"
+  "CMakeFiles/bench_fig5_clip_size_f1.dir/bench_fig5_clip_size_f1.cc.o"
+  "CMakeFiles/bench_fig5_clip_size_f1.dir/bench_fig5_clip_size_f1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_clip_size_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_predicates"
+  "../bench/bench_table3_predicates.pdb"
+  "CMakeFiles/bench_table3_predicates.dir/bench_table3_predicates.cc.o"
+  "CMakeFiles/bench_table3_predicates.dir/bench_table3_predicates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_fpr"
+  "../bench/bench_table5_fpr.pdb"
+  "CMakeFiles/bench_table5_fpr.dir/bench_table5_fpr.cc.o"
+  "CMakeFiles/bench_table5_fpr.dir/bench_table5_fpr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

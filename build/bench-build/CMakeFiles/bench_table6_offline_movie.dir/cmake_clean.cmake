@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_offline_movie"
+  "../bench/bench_table6_offline_movie.pdb"
+  "CMakeFiles/bench_table6_offline_movie.dir/bench_table6_offline_movie.cc.o"
+  "CMakeFiles/bench_table6_offline_movie.dir/bench_table6_offline_movie.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_offline_movie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_offline_youtube.cc" "bench-build/CMakeFiles/bench_table7_offline_youtube.dir/bench_table7_offline_youtube.cc.o" "gcc" "bench-build/CMakeFiles/bench_table7_offline_youtube.dir/bench_table7_offline_youtube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svq/query/CMakeFiles/svq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/eval/CMakeFiles/svq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/core/CMakeFiles/svq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/stats/CMakeFiles/svq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/models/CMakeFiles/svq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/storage/CMakeFiles/svq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/video/CMakeFiles/svq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/common/CMakeFiles/svq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

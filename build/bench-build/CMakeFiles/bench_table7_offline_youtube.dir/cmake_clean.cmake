@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_offline_youtube"
+  "../bench/bench_table7_offline_youtube.pdb"
+  "CMakeFiles/bench_table7_offline_youtube.dir/bench_table7_offline_youtube.cc.o"
+  "CMakeFiles/bench_table7_offline_youtube.dir/bench_table7_offline_youtube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_offline_youtube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_speedup"
+  "../bench/bench_table8_speedup.pdb"
+  "CMakeFiles/bench_table8_speedup.dir/bench_table8_speedup.cc.o"
+  "CMakeFiles/bench_table8_speedup.dir/bench_table8_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

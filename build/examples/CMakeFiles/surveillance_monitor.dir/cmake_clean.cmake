@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_monitor.dir/surveillance_monitor.cpp.o"
+  "CMakeFiles/surveillance_monitor.dir/surveillance_monitor.cpp.o.d"
+  "surveillance_monitor"
+  "surveillance_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_common.dir/logging.cc.o"
+  "CMakeFiles/svq_common.dir/logging.cc.o.d"
+  "CMakeFiles/svq_common.dir/rng.cc.o"
+  "CMakeFiles/svq_common.dir/rng.cc.o.d"
+  "CMakeFiles/svq_common.dir/status.cc.o"
+  "CMakeFiles/svq_common.dir/status.cc.o.d"
+  "libsvq_common.a"
+  "libsvq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svq/core/baselines.cc" "src/svq/core/CMakeFiles/svq_core.dir/baselines.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/baselines.cc.o.d"
+  "/root/repo/src/svq/core/clip_indicator.cc" "src/svq/core/CMakeFiles/svq_core.dir/clip_indicator.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/clip_indicator.cc.o.d"
+  "/root/repo/src/svq/core/engine.cc" "src/svq/core/CMakeFiles/svq_core.dir/engine.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/engine.cc.o.d"
+  "/root/repo/src/svq/core/ingest.cc" "src/svq/core/CMakeFiles/svq_core.dir/ingest.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/ingest.cc.o.d"
+  "/root/repo/src/svq/core/online_engine.cc" "src/svq/core/CMakeFiles/svq_core.dir/online_engine.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/online_engine.cc.o.d"
+  "/root/repo/src/svq/core/query.cc" "src/svq/core/CMakeFiles/svq_core.dir/query.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/query.cc.o.d"
+  "/root/repo/src/svq/core/repository.cc" "src/svq/core/CMakeFiles/svq_core.dir/repository.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/repository.cc.o.d"
+  "/root/repo/src/svq/core/rvaq.cc" "src/svq/core/CMakeFiles/svq_core.dir/rvaq.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/rvaq.cc.o.d"
+  "/root/repo/src/svq/core/scoring.cc" "src/svq/core/CMakeFiles/svq_core.dir/scoring.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/scoring.cc.o.d"
+  "/root/repo/src/svq/core/spatial.cc" "src/svq/core/CMakeFiles/svq_core.dir/spatial.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/spatial.cc.o.d"
+  "/root/repo/src/svq/core/tbclip.cc" "src/svq/core/CMakeFiles/svq_core.dir/tbclip.cc.o" "gcc" "src/svq/core/CMakeFiles/svq_core.dir/tbclip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svq/common/CMakeFiles/svq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/stats/CMakeFiles/svq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/video/CMakeFiles/svq_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/models/CMakeFiles/svq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/storage/CMakeFiles/svq_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_core.dir/baselines.cc.o"
+  "CMakeFiles/svq_core.dir/baselines.cc.o.d"
+  "CMakeFiles/svq_core.dir/clip_indicator.cc.o"
+  "CMakeFiles/svq_core.dir/clip_indicator.cc.o.d"
+  "CMakeFiles/svq_core.dir/engine.cc.o"
+  "CMakeFiles/svq_core.dir/engine.cc.o.d"
+  "CMakeFiles/svq_core.dir/ingest.cc.o"
+  "CMakeFiles/svq_core.dir/ingest.cc.o.d"
+  "CMakeFiles/svq_core.dir/online_engine.cc.o"
+  "CMakeFiles/svq_core.dir/online_engine.cc.o.d"
+  "CMakeFiles/svq_core.dir/query.cc.o"
+  "CMakeFiles/svq_core.dir/query.cc.o.d"
+  "CMakeFiles/svq_core.dir/repository.cc.o"
+  "CMakeFiles/svq_core.dir/repository.cc.o.d"
+  "CMakeFiles/svq_core.dir/rvaq.cc.o"
+  "CMakeFiles/svq_core.dir/rvaq.cc.o.d"
+  "CMakeFiles/svq_core.dir/scoring.cc.o"
+  "CMakeFiles/svq_core.dir/scoring.cc.o.d"
+  "CMakeFiles/svq_core.dir/spatial.cc.o"
+  "CMakeFiles/svq_core.dir/spatial.cc.o.d"
+  "CMakeFiles/svq_core.dir/tbclip.cc.o"
+  "CMakeFiles/svq_core.dir/tbclip.cc.o.d"
+  "libsvq_core.a"
+  "libsvq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

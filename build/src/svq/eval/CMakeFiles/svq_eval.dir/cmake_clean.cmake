@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_eval.dir/experiments.cc.o"
+  "CMakeFiles/svq_eval.dir/experiments.cc.o.d"
+  "CMakeFiles/svq_eval.dir/metrics.cc.o"
+  "CMakeFiles/svq_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/svq_eval.dir/workloads.cc.o"
+  "CMakeFiles/svq_eval.dir/workloads.cc.o.d"
+  "libsvq_eval.a"
+  "libsvq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

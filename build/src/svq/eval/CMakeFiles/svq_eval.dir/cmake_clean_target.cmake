@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvq_eval.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svq/models/model_profile.cc" "src/svq/models/CMakeFiles/svq_models.dir/model_profile.cc.o" "gcc" "src/svq/models/CMakeFiles/svq_models.dir/model_profile.cc.o.d"
+  "/root/repo/src/svq/models/synthetic_models.cc" "src/svq/models/CMakeFiles/svq_models.dir/synthetic_models.cc.o" "gcc" "src/svq/models/CMakeFiles/svq_models.dir/synthetic_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svq/common/CMakeFiles/svq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/video/CMakeFiles/svq_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

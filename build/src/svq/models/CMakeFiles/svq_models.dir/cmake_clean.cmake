@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_models.dir/model_profile.cc.o"
+  "CMakeFiles/svq_models.dir/model_profile.cc.o.d"
+  "CMakeFiles/svq_models.dir/synthetic_models.cc.o"
+  "CMakeFiles/svq_models.dir/synthetic_models.cc.o.d"
+  "libsvq_models.a"
+  "libsvq_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svq/query/binder.cc" "src/svq/query/CMakeFiles/svq_query.dir/binder.cc.o" "gcc" "src/svq/query/CMakeFiles/svq_query.dir/binder.cc.o.d"
+  "/root/repo/src/svq/query/executor.cc" "src/svq/query/CMakeFiles/svq_query.dir/executor.cc.o" "gcc" "src/svq/query/CMakeFiles/svq_query.dir/executor.cc.o.d"
+  "/root/repo/src/svq/query/explain.cc" "src/svq/query/CMakeFiles/svq_query.dir/explain.cc.o" "gcc" "src/svq/query/CMakeFiles/svq_query.dir/explain.cc.o.d"
+  "/root/repo/src/svq/query/lexer.cc" "src/svq/query/CMakeFiles/svq_query.dir/lexer.cc.o" "gcc" "src/svq/query/CMakeFiles/svq_query.dir/lexer.cc.o.d"
+  "/root/repo/src/svq/query/parser.cc" "src/svq/query/CMakeFiles/svq_query.dir/parser.cc.o" "gcc" "src/svq/query/CMakeFiles/svq_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svq/common/CMakeFiles/svq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/core/CMakeFiles/svq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/stats/CMakeFiles/svq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/models/CMakeFiles/svq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/storage/CMakeFiles/svq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/svq/video/CMakeFiles/svq_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

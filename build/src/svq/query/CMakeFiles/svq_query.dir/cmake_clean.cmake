@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_query.dir/binder.cc.o"
+  "CMakeFiles/svq_query.dir/binder.cc.o.d"
+  "CMakeFiles/svq_query.dir/executor.cc.o"
+  "CMakeFiles/svq_query.dir/executor.cc.o.d"
+  "CMakeFiles/svq_query.dir/explain.cc.o"
+  "CMakeFiles/svq_query.dir/explain.cc.o.d"
+  "CMakeFiles/svq_query.dir/lexer.cc.o"
+  "CMakeFiles/svq_query.dir/lexer.cc.o.d"
+  "CMakeFiles/svq_query.dir/parser.cc.o"
+  "CMakeFiles/svq_query.dir/parser.cc.o.d"
+  "libsvq_query.a"
+  "libsvq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svq/stats/binomial.cc" "src/svq/stats/CMakeFiles/svq_stats.dir/binomial.cc.o" "gcc" "src/svq/stats/CMakeFiles/svq_stats.dir/binomial.cc.o.d"
+  "/root/repo/src/svq/stats/kernel_estimator.cc" "src/svq/stats/CMakeFiles/svq_stats.dir/kernel_estimator.cc.o" "gcc" "src/svq/stats/CMakeFiles/svq_stats.dir/kernel_estimator.cc.o.d"
+  "/root/repo/src/svq/stats/scan_statistics.cc" "src/svq/stats/CMakeFiles/svq_stats.dir/scan_statistics.cc.o" "gcc" "src/svq/stats/CMakeFiles/svq_stats.dir/scan_statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svq/common/CMakeFiles/svq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

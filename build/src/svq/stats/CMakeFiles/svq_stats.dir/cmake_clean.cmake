@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_stats.dir/binomial.cc.o"
+  "CMakeFiles/svq_stats.dir/binomial.cc.o.d"
+  "CMakeFiles/svq_stats.dir/kernel_estimator.cc.o"
+  "CMakeFiles/svq_stats.dir/kernel_estimator.cc.o.d"
+  "CMakeFiles/svq_stats.dir/scan_statistics.cc.o"
+  "CMakeFiles/svq_stats.dir/scan_statistics.cc.o.d"
+  "libsvq_stats.a"
+  "libsvq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_storage.dir/score_table.cc.o"
+  "CMakeFiles/svq_storage.dir/score_table.cc.o.d"
+  "CMakeFiles/svq_storage.dir/sequence_store.cc.o"
+  "CMakeFiles/svq_storage.dir/sequence_store.cc.o.d"
+  "libsvq_storage.a"
+  "libsvq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svq/video/annotation.cc" "src/svq/video/CMakeFiles/svq_video.dir/annotation.cc.o" "gcc" "src/svq/video/CMakeFiles/svq_video.dir/annotation.cc.o.d"
+  "/root/repo/src/svq/video/ground_truth.cc" "src/svq/video/CMakeFiles/svq_video.dir/ground_truth.cc.o" "gcc" "src/svq/video/CMakeFiles/svq_video.dir/ground_truth.cc.o.d"
+  "/root/repo/src/svq/video/interval_set.cc" "src/svq/video/CMakeFiles/svq_video.dir/interval_set.cc.o" "gcc" "src/svq/video/CMakeFiles/svq_video.dir/interval_set.cc.o.d"
+  "/root/repo/src/svq/video/synthetic_video.cc" "src/svq/video/CMakeFiles/svq_video.dir/synthetic_video.cc.o" "gcc" "src/svq/video/CMakeFiles/svq_video.dir/synthetic_video.cc.o.d"
+  "/root/repo/src/svq/video/video_stream.cc" "src/svq/video/CMakeFiles/svq_video.dir/video_stream.cc.o" "gcc" "src/svq/video/CMakeFiles/svq_video.dir/video_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svq/common/CMakeFiles/svq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svq_video.dir/annotation.cc.o"
+  "CMakeFiles/svq_video.dir/annotation.cc.o.d"
+  "CMakeFiles/svq_video.dir/ground_truth.cc.o"
+  "CMakeFiles/svq_video.dir/ground_truth.cc.o.d"
+  "CMakeFiles/svq_video.dir/interval_set.cc.o"
+  "CMakeFiles/svq_video.dir/interval_set.cc.o.d"
+  "CMakeFiles/svq_video.dir/synthetic_video.cc.o"
+  "CMakeFiles/svq_video.dir/synthetic_video.cc.o.d"
+  "CMakeFiles/svq_video.dir/video_stream.cc.o"
+  "CMakeFiles/svq_video.dir/video_stream.cc.o.d"
+  "libsvq_video.a"
+  "libsvq_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svq_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_test.dir/annotation_test.cc.o"
+  "CMakeFiles/annotation_test.dir/annotation_test.cc.o.d"
+  "annotation_test"
+  "annotation_test.pdb"
+  "annotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

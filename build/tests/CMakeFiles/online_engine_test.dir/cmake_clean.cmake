@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_engine_test.dir/online_engine_test.cc.o"
+  "CMakeFiles/online_engine_test.dir/online_engine_test.cc.o.d"
+  "online_engine_test"
+  "online_engine_test.pdb"
+  "online_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvaq_test.dir/rvaq_test.cc.o"
+  "CMakeFiles/rvaq_test.dir/rvaq_test.cc.o.d"
+  "rvaq_test"
+  "rvaq_test.pdb"
+  "rvaq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvaq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

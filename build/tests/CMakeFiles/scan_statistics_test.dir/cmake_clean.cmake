@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_statistics_test.dir/scan_statistics_test.cc.o"
+  "CMakeFiles/scan_statistics_test.dir/scan_statistics_test.cc.o.d"
+  "scan_statistics_test"
+  "scan_statistics_test.pdb"
+  "scan_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbclip_test.dir/tbclip_test.cc.o"
+  "CMakeFiles/tbclip_test.dir/tbclip_test.cc.o.d"
+  "tbclip_test"
+  "tbclip_test.pdb"
+  "tbclip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbclip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/binomial_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_statistics_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_video_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/score_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_store_test[1]_include.cmake")
+include("/root/repo/build/tests/query_language_test[1]_include.cmake")
+include("/root/repo/build/tests/online_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/ingest_test[1]_include.cmake")
+include("/root/repo/build/tests/tbclip_test[1]_include.cmake")
+include("/root/repo/build/tests/rvaq_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/repository_test[1]_include.cmake")
+include("/root/repo/build/tests/annotation_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
