@@ -1,0 +1,144 @@
+// Parallel runtime scaling: ingest and repository top-K wall time at 1..8
+// worker threads over an 8-video synthetic repository (docs/parallelism.md).
+// Results are written to BENCH_parallel_scaling.json so the perf trajectory
+// is tracked from PR 1 onward.
+//
+// Expected shape: repository top-K scales near-linearly with cores on a
+// multi-core host (videos are embarrassingly parallel); ingest scales in
+// its post-inference phases only (model scoring is stream-ordered). On a
+// single-core host every thread count reports ~1x.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "svq/core/engine.h"
+#include "svq/core/ingest.h"
+#include "svq/core/repository.h"
+#include "svq/models/synthetic_models.h"
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<const svq::video::SyntheticVideo> MakeVideo(int index,
+                                                            double scale) {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "scaling_" + std::to_string(index);
+  spec.num_frames = static_cast<int64_t>(200000 * scale);
+  spec.seed = 4200 + static_cast<uint64_t>(index);
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  svq::video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  return svq::benchutil::ValueOrDie(
+      svq::video::SyntheticVideo::Generate(spec), "video generation");
+}
+
+}  // namespace
+
+int main() {
+  using namespace svq::benchutil;
+  const double scale = ScaleFromEnv(0.25);
+  constexpr int kNumVideos = 8;
+  const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+  PrintTitle("Parallel runtime scaling: ingest + repository top-K");
+  PrintNote("scale=" + std::to_string(scale) + ", videos=" +
+            std::to_string(kNumVideos));
+  BenchJson json("parallel_scaling");
+
+  // Ingest scaling: one representative video, 1 thread vs each fan-out.
+  const auto probe_video = MakeVideo(0, scale);
+  double ingest_reference_ms = 0.0;
+  for (const int threads : kThreadCounts) {
+    svq::models::ModelSet models = svq::models::MakeModelSet(
+        probe_video, svq::models::MaskRcnnI3dSuite(), {}, {});
+    svq::core::IngestOptions options;
+    options.runtime.num_threads = threads;
+    const double start = NowMs();
+    const auto ingested = ValueOrDie(
+        svq::core::IngestVideo(probe_video, 0, models.tracker.get(),
+                               models.recognizer.get(), options),
+        "ingest");
+    const double elapsed = NowMs() - start;
+    if (threads == 1) ingest_reference_ms = elapsed;
+    json.Record("ingest_wall", elapsed, "ms", threads);
+    json.Record("ingest_speedup_vs_1t",
+                elapsed > 0.0 ? ingest_reference_ms / elapsed : 0.0, "x",
+                threads);
+    json.Record("ingest_parallel_phases",
+                ingested.ingest_stats.scoring_ms +
+                    ingested.ingest_stats.sequences_ms +
+                    ingested.ingest_stats.tables_ms,
+                "ms", threads);
+    std::printf("  ingest          %d thread(s): %8.1f ms (inference %.1f, "
+                "scoring %.1f, sequences %.1f, tables %.1f)\n",
+                threads, elapsed, ingested.ingest_stats.inference_ms,
+                ingested.ingest_stats.scoring_ms,
+                ingested.ingest_stats.sequences_ms,
+                ingested.ingest_stats.tables_ms);
+  }
+
+  // Repository scaling: ingest the full repository once, then sweep the
+  // RVAQ fan-out thread count.
+  std::vector<svq::core::IngestedVideo> ingested;
+  ingested.reserve(kNumVideos);
+  for (int i = 0; i < kNumVideos; ++i) {
+    const auto video = MakeVideo(i, scale);
+    svq::models::ModelSet models = svq::models::MakeModelSet(
+        video, svq::models::MaskRcnnI3dSuite(), {}, {});
+    ingested.push_back(
+        ValueOrDie(svq::core::IngestVideo(
+                       video, static_cast<svq::video::VideoId>(i),
+                       models.tracker.get(), models.recognizer.get(),
+                       svq::core::IngestOptions()),
+                   "repository ingest"));
+  }
+  std::vector<const svq::core::IngestedVideo*> repo;
+  for (const auto& v : ingested) repo.push_back(&v);
+
+  svq::core::Query query;
+  query.action = "smoking";
+  query.objects = {"cup"};
+  const svq::core::AdditiveScoring scoring;
+  const int k = 10;
+
+  double repo_reference_ms = 0.0;
+  for (const int threads : kThreadCounts) {
+    svq::core::OfflineOptions options;
+    options.runtime.num_threads = threads;
+    const double start = NowMs();
+    const auto result = ValueOrDie(
+        svq::core::RunRepositoryTopK(repo, query, k, scoring, options),
+        "repository top-K");
+    const double elapsed = NowMs() - start;
+    if (threads == 1) repo_reference_ms = elapsed;
+    const double speedup = elapsed > 0.0 ? repo_reference_ms / elapsed : 0.0;
+    json.Record("repository_topk_wall", elapsed, "ms", threads);
+    json.Record("repository_topk_speedup_vs_1t", speedup, "x", threads);
+    json.Record("repository_topk_steals",
+                static_cast<double>(result.stats.runtime.steals), "count",
+                threads);
+    std::printf("  repository topK %d thread(s): %8.1f ms  speedup %.2fx  "
+                "(%zu sequences, %lld tasks, %lld steals)\n",
+                threads, elapsed, speedup, result.sequences.size(),
+                static_cast<long long>(result.stats.runtime.tasks_executed),
+                static_cast<long long>(result.stats.runtime.steals));
+  }
+
+  json.Flush();
+  return 0;
+}

@@ -10,12 +10,83 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "svq/common/result.h"
 #include "svq/common/status.h"
 
 namespace svq::benchutil {
+
+/// Machine-readable bench output: collects (metric, value, unit, threads)
+/// rows and writes them as `BENCH_<name>.json` when Flush() is called (or
+/// on destruction), so the perf trajectory can be tracked run over run.
+/// Files land in SVQ_BENCH_JSON_DIR (default: the working directory); each
+/// run rewrites its bench's file.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() { Flush(); }
+
+  void Record(const std::string& metric, double value,
+              const std::string& unit, int threads = 1) {
+    rows_.push_back({metric, unit, value, threads});
+  }
+
+  /// Writes the collected rows; further Records start a new batch.
+  void Flush() {
+    if (rows_.empty()) return;
+    const char* dir = std::getenv("SVQ_BENCH_JSON_DIR");
+    const std::string path = std::string(dir == nullptr ? "." : dir) +
+                             "/BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      rows_.clear();
+      return;
+    }
+    out << "{\n  \"bench\": \"" << Escaped(bench_name_)
+        << "\",\n  \"results\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.6g", row.value);
+      out << "    {\"metric\": \"" << Escaped(row.metric)
+          << "\", \"value\": " << value << ", \"unit\": \""
+          << Escaped(row.unit) << "\", \"threads\": " << row.threads << "}"
+          << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("    wrote %s (%zu metrics)\n", path.c_str(), rows_.size());
+    rows_.clear();
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    std::string unit;
+    double value = 0.0;
+    int threads = 1;
+  };
+
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
 
 /// Workload scale factor: fraction of the paper's video lengths. Override
 /// with SVQ_BENCH_SCALE for quicker/slower runs.

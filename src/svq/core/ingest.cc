@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <fstream>
+#include <optional>
 
 #include "svq/core/kcrit_cache.h"
+#include "svq/runtime/thread_pool.h"
 #include "svq/stats/kernel_estimator.h"
 #include "svq/storage/sequence_store.h"
 #include "svq/video/video_stream.h"
@@ -98,6 +101,38 @@ Result<std::unique_ptr<storage::ScoreTable>> BuildTable(
                        storage::MemoryScoreTable::Create(std::move(rows)));
   return std::unique_ptr<storage::ScoreTable>(std::move(table));
 }
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic label -> dense-id interning in first-seen (stream) order.
+/// The dense ids index the per-label accumulator arrays of the parallel
+/// aggregation phase; final outputs are keyed by label string again, so the
+/// intern order never leaks into results.
+struct LabelIntern {
+  std::map<std::string, int> index;
+  std::vector<std::string> labels;
+
+  int Intern(const std::string& label) {
+    auto [it, inserted] =
+        index.try_emplace(label, static_cast<int>(labels.size()));
+    if (inserted) labels.push_back(label);
+    return it->second;
+  }
+};
+
+/// One model prediction flattened to (dense label, occurrence unit, score).
+/// Units are frames for objects and shots for actions; each unit belongs to
+/// exactly one clip, which is what makes the per-clip aggregation phase
+/// race-free.
+struct UnitPrediction {
+  int32_t label = 0;
+  int64_t unit = 0;
+  double score = 0.0;
+};
 
 }  // namespace
 
@@ -223,14 +258,25 @@ Result<IngestedVideo> IngestVideo(
   const models::InferenceStats tracker_base = tracker->stats();
   const models::InferenceStats recognizer_base = recognizer->stats();
 
-  // Accumulators: per-label clip score (h, additive over tracks and units)
-  // and per-label per-unit prediction indicators.
-  std::map<std::string, std::vector<double>> object_scores;
-  std::map<std::string, std::vector<double>> action_scores;
-  std::map<std::string, std::vector<uint8_t>> object_events;
-  std::map<std::string, std::vector<uint8_t>> action_events;
-  const int64_t num_shots = video->NumShots();
+  const int threads = options.runtime.ResolvedThreads();
+  std::optional<runtime::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  runtime::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  out.ingest_stats.runtime.threads_used = threads;
 
+  // Phase A — model scoring, strictly in stream order: trackers carry
+  // temporal identity state, so inference cannot fan out within one video
+  // (cross-video parallelism lives in VideoQueryEngine::IngestAll and
+  // RunRepositoryTopK). Predictions are flattened to compact per-clip
+  // records so every later phase is model-free and parallel.
+  const int64_t num_shots = video->NumShots();
+  LabelIntern object_labels;
+  LabelIntern action_labels;
+  std::vector<std::vector<UnitPrediction>> object_raw(
+      static_cast<size_t>(out.num_clips));
+  std::vector<std::vector<UnitPrediction>> action_raw(
+      static_cast<size_t>(out.num_clips));
+  double phase_start = NowMs();
   video::SyntheticVideoStream stream(video, id);
   while (auto clip = stream.NextClip()) {
     const size_t clip_index = static_cast<size_t>(clip->clip);
@@ -239,72 +285,156 @@ Result<IngestedVideo> IngestVideo(
       SVQ_ASSIGN_OR_RETURN(const std::vector<models::ObjectDetection> dets,
                            tracker->Track(frame));
       for (const models::ObjectDetection& det : dets) {
-        auto [score_it, inserted] =
-            object_scores.try_emplace(det.label);
-        if (inserted) {
-          score_it->second.assign(static_cast<size_t>(out.num_clips), 0.0);
-          object_events[det.label].assign(
-              static_cast<size_t>(out.num_frames), 0);
-        }
-        score_it->second[clip_index] += det.score;
-        if (det.score >= options.object_threshold) {
-          object_events[det.label][static_cast<size_t>(frame)] = 1;
-        }
+        object_raw[clip_index].push_back(
+            {static_cast<int32_t>(object_labels.Intern(det.label)),
+             static_cast<int64_t>(frame), det.score});
       }
     }
     for (const video::ShotRef& shot : clip->shots) {
       SVQ_ASSIGN_OR_RETURN(const std::vector<models::ActionScore> scores,
                            recognizer->Recognize(shot));
       for (const models::ActionScore& s : scores) {
-        auto [score_it, inserted] = action_scores.try_emplace(s.label);
-        if (inserted) {
-          score_it->second.assign(static_cast<size_t>(out.num_clips), 0.0);
-          action_events[s.label].assign(static_cast<size_t>(num_shots), 0);
-        }
-        score_it->second[clip_index] += s.score;
-        if (s.score >= options.action_threshold) {
-          action_events[s.label][static_cast<size_t>(shot.shot)] = 1;
-        }
+        action_raw[clip_index].push_back(
+            {static_cast<int32_t>(action_labels.Intern(s.label)),
+             static_cast<int64_t>(shot.shot), s.score});
       }
     }
   }
+  out.ingest_stats.inference_ms = NowMs() - phase_start;
 
-  // Individual sequences (P_o, P_a) via the SVAQD machinery.
-  for (const auto& [label, events] : object_events) {
-    SVQ_ASSIGN_OR_RETURN(
-        video::IntervalSet positives,
-        ComputePositiveClips(events, out.layout.FramesPerClip(),
-                             options.alpha, options.reference_windows,
-                             options.object_bandwidth,
-                             options.initial_object_p,
-                             options.merge_gap_clips));
-    out.object_sequences.emplace(label, std::move(positives));
-  }
-  for (const auto& [label, events] : action_events) {
-    SVQ_ASSIGN_OR_RETURN(
-        video::IntervalSet positives,
-        ComputePositiveClips(events, out.layout.shots_per_clip,
-                             options.alpha, options.reference_windows,
-                             options.action_bandwidth,
-                             options.initial_action_p,
-                             options.merge_gap_clips));
-    out.action_sequences.emplace(label, std::move(positives));
+  // Phase B — per-clip predicate scoring, parallel over clips. Each task
+  // owns a contiguous clip range; a unit (frame/shot) belongs to exactly
+  // one clip, so all writes into the shared per-label arrays are disjoint.
+  const size_t num_object_labels = object_labels.labels.size();
+  const size_t num_action_labels = action_labels.labels.size();
+  std::vector<std::vector<double>> object_scores(
+      num_object_labels,
+      std::vector<double>(static_cast<size_t>(out.num_clips), 0.0));
+  std::vector<std::vector<double>> action_scores(
+      num_action_labels,
+      std::vector<double>(static_cast<size_t>(out.num_clips), 0.0));
+  std::vector<std::vector<uint8_t>> object_events(
+      num_object_labels,
+      std::vector<uint8_t>(static_cast<size_t>(out.num_frames), 0));
+  std::vector<std::vector<uint8_t>> action_events(
+      num_action_labels,
+      std::vector<uint8_t>(static_cast<size_t>(num_shots), 0));
+  phase_start = NowMs();
+  runtime::ParallelFor(
+      pool_ptr, 0, out.num_clips, options.runtime.grain,
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        for (int64_t c = chunk_begin; c < chunk_end; ++c) {
+          const size_t clip_index = static_cast<size_t>(c);
+          for (const UnitPrediction& p : object_raw[clip_index]) {
+            object_scores[static_cast<size_t>(p.label)][clip_index] +=
+                p.score;
+            if (p.score >= options.object_threshold) {
+              object_events[static_cast<size_t>(p.label)]
+                           [static_cast<size_t>(p.unit)] = 1;
+            }
+          }
+          for (const UnitPrediction& p : action_raw[clip_index]) {
+            action_scores[static_cast<size_t>(p.label)][clip_index] +=
+                p.score;
+            if (p.score >= options.action_threshold) {
+              action_events[static_cast<size_t>(p.label)]
+                           [static_cast<size_t>(p.unit)] = 1;
+            }
+          }
+        }
+      });
+  out.ingest_stats.scoring_ms = NowMs() - phase_start;
+  object_raw.clear();
+  object_raw.shrink_to_fit();
+  action_raw.clear();
+  action_raw.shrink_to_fit();
+
+  // Phase C — individual sequences (P_o, P_a) via the SVAQD machinery,
+  // parallel over types; one label's kernel estimate is independent of
+  // every other label. Slots are reduced in intern order after the barrier
+  // (first error by index wins), then keyed back by label string.
+  const int64_t num_labels =
+      static_cast<int64_t>(num_object_labels + num_action_labels);
+  std::vector<std::optional<Result<video::IntervalSet>>> sequence_slots(
+      static_cast<size_t>(num_labels));
+  phase_start = NowMs();
+  runtime::ParallelFor(
+      pool_ptr, 0, num_labels, /*grain=*/1,
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+          const size_t slot = static_cast<size_t>(i);
+          if (slot < num_object_labels) {
+            sequence_slots[slot].emplace(ComputePositiveClips(
+                object_events[slot], out.layout.FramesPerClip(),
+                options.alpha, options.reference_windows,
+                options.object_bandwidth, options.initial_object_p,
+                options.merge_gap_clips));
+          } else {
+            sequence_slots[slot].emplace(ComputePositiveClips(
+                action_events[slot - num_object_labels],
+                out.layout.shots_per_clip, options.alpha,
+                options.reference_windows, options.action_bandwidth,
+                options.initial_action_p, options.merge_gap_clips));
+          }
+        }
+      });
+  out.ingest_stats.sequences_ms = NowMs() - phase_start;
+  for (size_t i = 0; i < static_cast<size_t>(num_labels); ++i) {
+    Result<video::IntervalSet>& slot = *sequence_slots[i];
+    if (!slot.ok()) return slot.status();
+    if (i < num_object_labels) {
+      out.object_sequences.emplace(object_labels.labels[i],
+                                   std::move(slot).value());
+    } else {
+      out.action_sequences.emplace(
+          action_labels.labels[i - num_object_labels],
+          std::move(slot).value());
+    }
   }
 
-  // Clip score tables.
-  for (const auto& [label, scores] : object_scores) {
-    SVQ_ASSIGN_OR_RETURN(
-        std::unique_ptr<storage::ScoreTable> table,
-        BuildTable(scores, out.object_sequences[label], options,
-                   "obj_" + SanitizeLabel(label)));
-    out.object_tables.emplace(label, std::move(table));
+  // Phase D — per-type score-table construction, parallel over types. With
+  // the disk backend every label writes its own file, so tasks never share
+  // a path.
+  std::vector<std::optional<Result<std::unique_ptr<storage::ScoreTable>>>>
+      table_slots(static_cast<size_t>(num_labels));
+  // Read-only views for the parallel tasks: lookups must never insert.
+  const auto& object_sequences = out.object_sequences;
+  const auto& action_sequences = out.action_sequences;
+  phase_start = NowMs();
+  runtime::ParallelFor(
+      pool_ptr, 0, num_labels, /*grain=*/1,
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+          const size_t slot = static_cast<size_t>(i);
+          if (slot < num_object_labels) {
+            const std::string& label = object_labels.labels[slot];
+            table_slots[slot].emplace(
+                BuildTable(object_scores[slot], object_sequences.at(label),
+                           options, "obj_" + SanitizeLabel(label)));
+          } else {
+            const std::string& label =
+                action_labels.labels[slot - num_object_labels];
+            table_slots[slot].emplace(BuildTable(
+                action_scores[slot - num_object_labels],
+                action_sequences.at(label), options,
+                "act_" + SanitizeLabel(label)));
+          }
+        }
+      });
+  out.ingest_stats.tables_ms = NowMs() - phase_start;
+  for (size_t i = 0; i < static_cast<size_t>(num_labels); ++i) {
+    Result<std::unique_ptr<storage::ScoreTable>>& slot = *table_slots[i];
+    if (!slot.ok()) return slot.status();
+    if (i < num_object_labels) {
+      out.object_tables.emplace(object_labels.labels[i],
+                                std::move(slot).value());
+    } else {
+      out.action_tables.emplace(action_labels.labels[i - num_object_labels],
+                                std::move(slot).value());
+    }
   }
-  for (const auto& [label, scores] : action_scores) {
-    SVQ_ASSIGN_OR_RETURN(
-        std::unique_ptr<storage::ScoreTable> table,
-        BuildTable(scores, out.action_sequences[label], options,
-                   "act_" + SanitizeLabel(label)));
-    out.action_tables.emplace(label, std::move(table));
+  if (pool_ptr != nullptr) {
+    out.ingest_stats.runtime.Merge(pool_ptr->Counters());
   }
 
   // Persist the individual sequences and the manifest alongside the disk

@@ -12,6 +12,7 @@
 #include "svq/models/action_recognizer.h"
 #include "svq/models/inference_stats.h"
 #include "svq/models/object_tracker.h"
+#include "svq/runtime/runtime_options.h"
 #include "svq/storage/score_table.h"
 #include "svq/video/interval_set.h"
 #include "svq/video/synthetic_video.h"
@@ -52,7 +53,28 @@ struct IngestOptions {
   /// Directory for table/sequence files; required for kDisk.
   std::string directory;
 
+  /// Parallel-execution knobs for the post-inference ingest phases
+  /// (per-clip score aggregation, per-type sequence determination, per-type
+  /// table construction). Model inference itself always runs in stream
+  /// order: trackers are stateful by contract. The default of one thread is
+  /// the sequential reference path with byte-identical outputs.
+  runtime::RuntimeOptions runtime;
+
   Status Validate() const;
+};
+
+/// Wall-clock breakdown of one IngestVideo call, phase by phase, plus the
+/// pool counters of its parallel regions.
+struct IngestRunStats {
+  /// Sequential model scoring (tracker + recognizer over the stream).
+  double inference_ms = 0.0;
+  /// Parallel per-clip aggregation of predictions into score/event arrays.
+  double scoring_ms = 0.0;
+  /// Parallel per-type positive-sequence determination (SVAQD machinery).
+  double sequences_ms = 0.0;
+  /// Parallel per-type score-table construction.
+  double tables_ms = 0.0;
+  runtime::RuntimeStats runtime;
 };
 
 /// Everything the ingestion phase materializes for one video (paper §4.2):
@@ -74,6 +96,8 @@ struct IngestedVideo {
 
   /// Model inference spent during ingestion (one-time cost).
   models::InferenceStats ingest_inference;
+  /// Phase timings and pool counters of the ingest run that built this.
+  IngestRunStats ingest_stats;
 
   /// Table lookup helpers; nullptr when the type was never detected.
   const storage::ScoreTable* ObjectTable(const std::string& label) const;

@@ -1,6 +1,9 @@
 #include "svq/core/repository.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "svq/runtime/thread_pool.h"
 
 namespace svq::core {
 
@@ -8,20 +11,49 @@ Result<RepositoryResult> RunRepositoryTopK(
     const std::vector<const IngestedVideo*>& videos, const Query& query,
     int k, const SequenceScoring& scoring, const OfflineOptions& options) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
-  RepositoryResult result;
   for (const IngestedVideo* video : videos) {
     if (video == nullptr) {
       return Status::InvalidArgument("null video in repository list");
     }
-    SVQ_ASSIGN_OR_RETURN(TopKResult per_video,
-                         RunRvaq(*video, query, k, scoring, options));
-    for (const RankedSequence& seq : per_video.sequences) {
-      result.sequences.push_back({video->id, video->name, seq});
+  }
+
+  // Per-video RVAQ fan-out (§4.2): videos are independent — each task
+  // reads only its own IngestedVideo and writes only its own slot, so the
+  // schedule cannot affect any output.
+  const int threads = static_cast<int>(
+      std::min<int64_t>(options.runtime.ResolvedThreads(),
+                        std::max<int64_t>(
+                            static_cast<int64_t>(videos.size()), 1)));
+  std::vector<std::optional<Result<TopKResult>>> per_video(videos.size());
+  const auto run_one = [&](int64_t chunk_begin, int64_t chunk_end) {
+    for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+      per_video[static_cast<size_t>(i)].emplace(
+          RunRvaq(*videos[static_cast<size_t>(i)], query, k, scoring,
+                  options));
     }
-    result.stats.storage += per_video.stats.storage;
-    result.stats.virtual_ms += per_video.stats.virtual_ms;
-    result.stats.algorithm_ms += per_video.stats.algorithm_ms;
-    result.stats.iterator_calls += per_video.stats.iterator_calls;
+  };
+  RepositoryResult result;
+  result.stats.runtime.threads_used = threads;
+  if (threads > 1) {
+    runtime::ThreadPool pool(threads);
+    pool.ParallelFor(0, static_cast<int64_t>(videos.size()), /*grain=*/1,
+                     run_one);
+    result.stats.runtime.Merge(pool.Counters());
+  } else {
+    run_one(0, static_cast<int64_t>(videos.size()));
+  }
+
+  // Deterministic reduction in video order after the barrier: the first
+  // failure (by position) wins, sequences append in input order, and stats
+  // merge in input order — identical to the sequential loop.
+  for (size_t i = 0; i < per_video.size(); ++i) {
+    Result<TopKResult>& slot = *per_video[i];
+    if (!slot.ok()) return slot.status();
+    for (RankedSequence& seq : slot->sequences) {
+      result.sequences.push_back(
+          {videos[i]->id, videos[i]->name, std::move(seq)});
+    }
+    result.stats.Merge(slot->stats);
   }
   // Merge: certified per-video results rank globally by their (exact or
   // lower-bound) scores; ties break by video then position for stability.

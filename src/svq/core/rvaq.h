@@ -7,6 +7,7 @@
 #include "svq/core/ingest.h"
 #include "svq/core/query.h"
 #include "svq/core/scoring.h"
+#include "svq/runtime/runtime_options.h"
 #include "svq/storage/access_stats.h"
 #include "svq/video/interval_set.h"
 
@@ -31,6 +32,20 @@ struct OfflineRunStats {
   double algorithm_ms = 0.0;
   /// TBClip invocations (RVAQ variants only).
   int64_t iterator_calls = 0;
+  /// Thread-pool accounting when the run fanned out (threads_used == 1 and
+  /// zero tasks on the sequential reference path).
+  runtime::RuntimeStats runtime;
+
+  /// Field-by-field aggregation; the single place that knows every field,
+  /// used by both the sequential loop and the parallel reduction.
+  OfflineRunStats& Merge(const OfflineRunStats& other) {
+    storage.Merge(other.storage);
+    virtual_ms += other.virtual_ms;
+    algorithm_ms += other.algorithm_ms;
+    iterator_calls += other.iterator_calls;
+    runtime.Merge(other.runtime);
+    return *this;
+  }
 };
 
 struct TopKResult {
@@ -51,6 +66,9 @@ struct OfflineOptions {
   bool compute_exact_scores = true;
   /// Cost model used to convert access counts to virtual runtime.
   storage::DiskCostModel cost_model;
+  /// Parallel-execution knobs (repository fan-out). The default of one
+  /// thread is the sequential reference path.
+  runtime::RuntimeOptions runtime;
 };
 
 /// Computes the candidate result sequences `P_q` of query `q` by interval

@@ -1,0 +1,58 @@
+#ifndef SVQ_RUNTIME_RUNTIME_OPTIONS_H_
+#define SVQ_RUNTIME_RUNTIME_OPTIONS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+namespace svq::runtime {
+
+/// Execution-parallelism knobs for the offline engine (see
+/// docs/parallelism.md). Embedded in core::OfflineOptions and
+/// core::IngestOptions so every offline entry point can fan out.
+struct RuntimeOptions {
+  /// Worker count for the parallel fan-outs. 1 (the default) is the
+  /// sequential reference path — no pool is created and execution is
+  /// byte-identical to the pre-parallel engine. 0 asks for
+  /// hardware_concurrency(). Values are clamped to >= 1.
+  int num_threads = 1;
+
+  /// Minimum items per ParallelFor task. <= 0 lets each call site pick a
+  /// heuristic grain (range / (threads * 8), at least 1).
+  int64_t grain = 0;
+
+  /// `num_threads` with 0 resolved to the hardware and floors applied.
+  int ResolvedThreads() const {
+    if (num_threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      return static_cast<int>(hw == 0 ? 1 : hw);
+    }
+    return std::max(1, num_threads);
+  }
+};
+
+/// Pool accounting for one offline run, reduced deterministically after
+/// every parallel region and surfaced through core::OfflineRunStats so the
+/// benches can report scaling.
+struct RuntimeStats {
+  /// Workers the run resolved to (1 = sequential reference path).
+  int threads_used = 1;
+  /// ParallelFor tasks executed across all regions of the run.
+  int64_t tasks_executed = 0;
+  /// Tasks obtained by stealing from another worker's range.
+  int64_t steals = 0;
+  /// Wall-clock time spent inside parallel regions (ms).
+  double fanout_ms = 0.0;
+
+  RuntimeStats& Merge(const RuntimeStats& other) {
+    threads_used = std::max(threads_used, other.threads_used);
+    tasks_executed += other.tasks_executed;
+    steals += other.steals;
+    fanout_ms += other.fanout_ms;
+    return *this;
+  }
+};
+
+}  // namespace svq::runtime
+
+#endif  // SVQ_RUNTIME_RUNTIME_OPTIONS_H_

@@ -1,0 +1,236 @@
+#include "svq/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace svq::runtime {
+
+namespace {
+
+/// Set while a thread executes chunks of some ParallelFor region; drives
+/// the nested-submit inline guard.
+thread_local bool tl_in_parallel_region = false;
+
+struct RegionGuard {
+  bool previous;
+  RegionGuard() : previous(tl_in_parallel_region) {
+    tl_in_parallel_region = true;
+  }
+  ~RegionGuard() { tl_in_parallel_region = previous; }
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_workers_(std::max(1, num_threads)), slices_(num_workers_) {
+  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
+  for (int w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // run_mu_ guarantees no ParallelFor is mid-flight when stop_ is raised.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tl_in_parallel_region; }
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock,
+                   [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+    }
+    Participate(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunInline(int64_t begin, int64_t end, int64_t grain,
+                           const std::function<void(int64_t, int64_t)>& fn) {
+  const bool nested = tl_in_parallel_region;
+  const int64_t t0 = NowNs();
+  RegionGuard guard;
+  int64_t tasks = 0;
+  for (int64_t chunk = begin; chunk < end;) {
+    const int64_t chunk_end = std::min(end, chunk + grain);
+    fn(chunk, chunk_end);
+    ++tasks;
+    chunk = chunk_end;
+  }
+  tasks_executed_.fetch_add(tasks, std::memory_order_relaxed);
+  // Nested regions are already covered by the enclosing region's timer.
+  if (!nested) {
+    fanout_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::Participate(int worker_index) {
+  RegionGuard guard;
+  int64_t tasks = 0;
+  int64_t steals = 0;
+  Slice& own = slices_[static_cast<size_t>(worker_index)];
+  while (!abort_.load(std::memory_order_relaxed)) {
+    int64_t chunk_begin = 0;
+    int64_t chunk_end = 0;
+    bool have_chunk = false;
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (own.next < own.end) {
+        chunk_begin = own.next;
+        chunk_end = std::min(own.end, own.next + job_grain_);
+        own.next = chunk_end;
+        have_chunk = true;
+      }
+    }
+    if (!have_chunk) {
+      // Own slice drained: detach the back half of the largest remaining
+      // slice. A stale size estimate only costs a re-scan — claiming is
+      // always re-validated under the victim's lock.
+      int victim = -1;
+      int64_t victim_remaining = 0;
+      for (int i = 0; i < num_workers_; ++i) {
+        if (i == worker_index) continue;
+        Slice& s = slices_[static_cast<size_t>(i)];
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.end - s.next > victim_remaining) {
+          victim_remaining = s.end - s.next;
+          victim = i;
+        }
+      }
+      if (victim < 0) break;  // no work anywhere: this worker is done
+      Slice& s = slices_[static_cast<size_t>(victim)];
+      int64_t stolen_begin = 0;
+      int64_t stolen_end = 0;
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        const int64_t remaining = s.end - s.next;
+        if (remaining <= 0) continue;  // lost the race; re-scan
+        // Take everything when the leftover would be below one grain.
+        stolen_begin =
+            remaining <= job_grain_ ? s.next : s.next + remaining / 2;
+        stolen_end = s.end;
+        s.end = stolen_begin;
+      }
+      ++steals;
+      {
+        std::lock_guard<std::mutex> lock(own.mu);
+        own.next = stolen_begin;
+        own.end = stolen_end;
+      }
+      continue;
+    }
+    try {
+      (*job_fn_)(chunk_begin, chunk_end);
+      ++tasks;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(exception_mu_);
+        if (!first_exception_) first_exception_ = std::current_exception();
+      }
+      abort_.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  tasks_executed_.fetch_add(tasks, std::memory_order_relaxed);
+  steals_.fetch_add(steals, std::memory_order_relaxed);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  const int64_t range = end - begin;
+  if (grain <= 0) {
+    grain = std::max<int64_t>(1, range / (static_cast<int64_t>(num_workers_) *
+                                          8));
+  }
+  // Nested submissions execute inline on the issuing worker: handing them
+  // back to the pool while every worker blocks on this call would deadlock.
+  if (tl_in_parallel_region || num_workers_ == 1 || range <= grain) {
+    RunInline(begin, end, grain, fn);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const int64_t t0 = NowNs();
+  abort_.store(false, std::memory_order_relaxed);
+  first_exception_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_grain_ = grain;
+    for (int w = 0; w < num_workers_; ++w) {
+      Slice& s = slices_[static_cast<size_t>(w)];
+      std::lock_guard<std::mutex> slice_lock(s.mu);
+      s.next = begin + range * w / num_workers_;
+      s.end = begin + range * (w + 1) / num_workers_;
+    }
+    workers_done_ = 0;
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+
+  Participate(0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_done_ == num_workers_ - 1; });
+    job_fn_ = nullptr;
+  }
+  fanout_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  if (first_exception_) std::rethrow_exception(first_exception_);
+}
+
+RuntimeStats ThreadPool::Counters() const {
+  RuntimeStats stats;
+  stats.threads_used = num_workers_;
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.fanout_ms =
+      static_cast<double>(fanout_ns_.load(std::memory_order_relaxed)) / 1e6;
+  return stats;
+}
+
+void ThreadPool::ResetCounters() {
+  tasks_executed_.store(0, std::memory_order_relaxed);
+  steals_.store(0, std::memory_order_relaxed);
+  fanout_ns_.store(0, std::memory_order_relaxed);
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(begin, end, grain, fn);
+    return;
+  }
+  if (begin >= end) return;
+  if (grain <= 0) grain = end - begin;
+  for (int64_t chunk = begin; chunk < end;) {
+    const int64_t chunk_end = std::min(end, chunk + grain);
+    fn(chunk, chunk_end);
+    chunk = chunk_end;
+  }
+}
+
+}  // namespace svq::runtime

@@ -1,0 +1,117 @@
+#ifndef SVQ_RUNTIME_THREAD_POOL_H_
+#define SVQ_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svq/runtime/runtime_options.h"
+
+namespace svq::runtime {
+
+/// Fixed-size work-stealing thread pool built around one primitive:
+/// ParallelFor over an index range. See docs/parallelism.md.
+///
+/// A pool of `num_threads` holds `num_threads - 1` spawned workers; the
+/// thread calling ParallelFor participates as the remaining worker, so a
+/// pool of 1 spawns nothing and runs inline. Each ParallelFor splits its
+/// range into per-worker contiguous slices; workers carve grain-sized
+/// chunks off their own slice and steal the back half of the largest
+/// remaining slice when theirs drains (range stealing).
+///
+/// Scheduling never affects results at the call sites in this codebase:
+/// tasks write to disjoint, index-addressed slots and every reduction
+/// happens after the ParallelFor barrier in deterministic index order.
+///
+/// Thread safety: concurrent ParallelFor calls from different threads
+/// serialize on an internal mutex. A ParallelFor issued from inside a
+/// worker (nested submission) executes inline on the calling worker —
+/// never enqueued — so nesting cannot deadlock the pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; `num_threads` is clamped to >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_workers_; }
+
+  /// Applies `fn(chunk_begin, chunk_end)` to grain-sized chunks covering
+  /// [begin, end), potentially concurrently, and blocks until every chunk
+  /// completed. `grain <= 0` picks range / (threads * 8), at least 1.
+  /// If any invocation of `fn` throws, remaining chunks are skipped (each
+  /// chunk either runs fully or not at all) and the first exception is
+  /// rethrown here after all workers quiesce.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Counters accumulated since construction or the last Reset. fanout_ms
+  /// is wall time spent inside ParallelFor (caller-side, per region).
+  RuntimeStats Counters() const;
+  void ResetCounters();
+
+  /// True on a thread currently executing inside a ParallelFor region (a
+  /// pool worker or a participating caller). Used for the nested-submit
+  /// inline guard; exposed for tests.
+  static bool InParallelRegion();
+
+ private:
+  /// One worker's share of the active range. Chunks are carved off the
+  /// front by the owner; thieves detach the back half.
+  struct alignas(64) Slice {
+    std::mutex mu;
+    int64_t next = 0;
+    int64_t end = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+  /// Drains chunks (own slice first, then stealing) until no work remains.
+  void Participate(int worker_index);
+  /// Runs chunks on the calling thread with no pool involvement.
+  void RunInline(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+  const int num_workers_;
+
+  // Job state, valid while a ParallelFor is active. Guarded by mu_ for
+  // signaling; slices have their own locks.
+  std::vector<Slice> slices_;
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  int64_t job_grain_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for workers_done_
+  uint64_t job_epoch_ = 0;
+  int workers_done_ = 0;
+  bool stop_ = false;
+
+  /// Serializes ParallelFor callers (one job at a time).
+  std::mutex run_mu_;
+
+  std::mutex exception_mu_;
+  std::exception_ptr first_exception_;
+  std::atomic<bool> abort_{false};
+
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int64_t> steals_{0};
+  std::atomic<int64_t> fanout_ns_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+/// Convenience driver used by the engine call sites: runs the loop on
+/// `pool` when it is non-null and has > 1 worker, inline otherwise.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace svq::runtime
+
+#endif  // SVQ_RUNTIME_THREAD_POOL_H_

@@ -7,14 +7,28 @@ namespace svq::stats {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// log(Gamma(x)) for x > 0. std::lgamma writes the process-global
+/// `signgam`, which is a data race when ingestion fans sequence
+/// determination out across threads; the sign is irrelevant for positive
+/// arguments, so use the reentrant variant where available.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 }  // namespace
 
 double LogBinomialCoefficient(int64_t n, int64_t k) {
   if (k < 0 || k > n || n < 0) return kNegInf;
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 double LogBinomialPmf(int64_t k, int64_t n, double p) {

@@ -34,11 +34,17 @@ struct StorageMetrics {
 
   void Reset() { *this = StorageMetrics(); }
 
-  StorageMetrics& operator+=(const StorageMetrics& other) {
+  /// Field-by-field aggregation; keep this the only place fields are
+  /// summed so growing the struct cannot silently drop a field.
+  StorageMetrics& Merge(const StorageMetrics& other) {
     sorted_accesses += other.sorted_accesses;
     random_accesses += other.random_accesses;
     sequential_reads += other.sequential_reads;
     return *this;
+  }
+
+  StorageMetrics& operator+=(const StorageMetrics& other) {
+    return Merge(other);
   }
 
   double VirtualMs(const DiskCostModel& model) const {

@@ -1,0 +1,199 @@
+// Determinism contract of the parallel runtime (docs/parallelism.md):
+// every thread count must produce byte-identical results to the
+// single-thread reference path, for both IngestVideo and RunRepositoryTopK.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svq/core/engine.h"
+#include "svq/core/ingest.h"
+#include "svq/core/repository.h"
+#include "svq/models/synthetic_models.h"
+
+namespace svq::core {
+namespace {
+
+using video::SyntheticVideo;
+using video::SyntheticVideoSpec;
+
+constexpr int kNumVideos = 8;
+
+std::shared_ptr<const SyntheticVideo> MakeVideo(int index) {
+  SyntheticVideoSpec spec;
+  spec.name = "clip_" + std::to_string(index);
+  spec.num_frames = 12000;
+  spec.seed = 1000 + static_cast<uint64_t>(index);
+  spec.actions.push_back({"smoking", 300.0, 2500.0});
+  video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 220.0;
+  cup.mean_off_frames = 1500.0;
+  spec.objects.push_back(cup);
+  auto video = SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+Result<IngestedVideo> Ingest(
+    const std::shared_ptr<const SyntheticVideo>& video, video::VideoId id,
+    int num_threads) {
+  models::ModelSet models =
+      models::MakeModelSet(video, models::MaskRcnnI3dSuite(), {}, {});
+  IngestOptions options;
+  options.runtime.num_threads = num_threads;
+  return IngestVideo(video, id, models.tracker.get(), models.recognizer.get(),
+                     options);
+}
+
+Query SmokingCup() {
+  Query q;
+  q.action = "smoking";
+  q.objects = {"cup"};
+  return q;
+}
+
+void ExpectTablesIdentical(const storage::ScoreTable* a,
+                           const storage::ScoreTable* b,
+                           const std::string& context) {
+  ASSERT_NE(a, nullptr) << context;
+  ASSERT_NE(b, nullptr) << context;
+  ASSERT_EQ(a->NumRows(), b->NumRows()) << context;
+  for (int64_t rank = 0; rank < a->NumRows(); ++rank) {
+    auto row_a = a->RowAt(rank);
+    auto row_b = b->RowAt(rank);
+    ASSERT_TRUE(row_a.ok() && row_b.ok()) << context;
+    EXPECT_EQ(row_a->clip, row_b->clip) << context << " rank " << rank;
+    // Byte-identical scores: the parallel aggregation must add the same
+    // terms in the same order as the sequential pass.
+    EXPECT_EQ(row_a->score, row_b->score) << context << " rank " << rank;
+  }
+}
+
+TEST(ParallelDeterminismTest, IngestMatchesSequentialReference) {
+  auto video = MakeVideo(0);
+  auto reference = Ingest(video, 0, /*num_threads=*/1);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int threads : {2, 8}) {
+    auto parallel = Ingest(video, 0, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->ingest_stats.runtime.threads_used, threads);
+
+    ASSERT_EQ(parallel->object_sequences.size(),
+              reference->object_sequences.size());
+    for (const auto& [label, set] : reference->object_sequences) {
+      const video::IntervalSet* other = parallel->ObjectSequences(label);
+      ASSERT_NE(other, nullptr) << label;
+      EXPECT_EQ(*other, set) << label;
+    }
+    ASSERT_EQ(parallel->action_sequences.size(),
+              reference->action_sequences.size());
+    for (const auto& [label, set] : reference->action_sequences) {
+      const video::IntervalSet* other = parallel->ActionSequences(label);
+      ASSERT_NE(other, nullptr) << label;
+      EXPECT_EQ(*other, set) << label;
+    }
+
+    ASSERT_EQ(parallel->object_tables.size(),
+              reference->object_tables.size());
+    for (const auto& [label, table] : reference->object_tables) {
+      ExpectTablesIdentical(table.get(), parallel->ObjectTable(label),
+                            "object table " + label);
+    }
+    ASSERT_EQ(parallel->action_tables.size(),
+              reference->action_tables.size());
+    for (const auto& [label, table] : reference->action_tables) {
+      ExpectTablesIdentical(table.get(), parallel->ActionTable(label),
+                            "action table " + label);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RepositoryTopKIdenticalAcrossThreadCounts) {
+  std::vector<IngestedVideo> ingested;
+  ingested.reserve(kNumVideos);
+  for (int i = 0; i < kNumVideos; ++i) {
+    auto one = Ingest(MakeVideo(i), static_cast<video::VideoId>(i),
+                      /*num_threads=*/1);
+    ASSERT_TRUE(one.ok()) << one.status();
+    ingested.push_back(std::move(one).value());
+  }
+  std::vector<const IngestedVideo*> repo;
+  for (const IngestedVideo& v : ingested) repo.push_back(&v);
+
+  const AdditiveScoring scoring;
+  const int k = 10;
+  OfflineOptions reference_options;  // num_threads = 1: reference path
+  auto reference =
+      RunRepositoryTopK(repo, SmokingCup(), k, scoring, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_FALSE(reference->sequences.empty());
+  EXPECT_EQ(reference->stats.runtime.threads_used, 1);
+  EXPECT_EQ(reference->stats.runtime.steals, 0);
+
+  for (int threads : {2, 8}) {
+    OfflineOptions options;
+    options.runtime.num_threads = threads;
+    auto parallel = RunRepositoryTopK(repo, SmokingCup(), k, scoring, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->stats.runtime.threads_used, threads);
+
+    // Identical ranked sequences, byte for byte.
+    ASSERT_EQ(parallel->sequences.size(), reference->sequences.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < reference->sequences.size(); ++i) {
+      const RepositoryEntry& expected = reference->sequences[i];
+      const RepositoryEntry& actual = parallel->sequences[i];
+      EXPECT_EQ(actual.video_id, expected.video_id) << "rank " << i;
+      EXPECT_EQ(actual.video_name, expected.video_name) << "rank " << i;
+      EXPECT_EQ(actual.sequence.clips, expected.sequence.clips)
+          << "rank " << i;
+      EXPECT_EQ(actual.sequence.lower_bound, expected.sequence.lower_bound)
+          << "rank " << i;
+      EXPECT_EQ(actual.sequence.upper_bound, expected.sequence.upper_bound)
+          << "rank " << i;
+    }
+
+    // Identical merged stats for everything that is a property of the
+    // algorithms (wall-clock fields are excluded by definition).
+    EXPECT_EQ(parallel->stats.storage.sorted_accesses,
+              reference->stats.storage.sorted_accesses);
+    EXPECT_EQ(parallel->stats.storage.random_accesses,
+              reference->stats.storage.random_accesses);
+    EXPECT_EQ(parallel->stats.storage.sequential_reads,
+              reference->stats.storage.sequential_reads);
+    EXPECT_EQ(parallel->stats.iterator_calls,
+              reference->stats.iterator_calls);
+    EXPECT_EQ(parallel->stats.virtual_ms, reference->stats.virtual_ms);
+  }
+}
+
+TEST(ParallelDeterminismTest, EngineTopKAllWithParallelOptions) {
+  VideoQueryEngine engine;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.AddVideo(MakeVideo(i)).ok());
+  }
+  ASSERT_TRUE(engine.IngestAll(/*parallelism=*/2).ok());
+  OfflineOptions sequential;
+  OfflineOptions parallel;
+  parallel.runtime.num_threads = 4;
+  auto a = engine.ExecuteTopKAll(SmokingCup(), 5, sequential);
+  auto b = engine.ExecuteTopKAll(SmokingCup(), 5, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->sequences.size(), b->sequences.size());
+  for (size_t i = 0; i < a->sequences.size(); ++i) {
+    EXPECT_EQ(a->sequences[i].video_name, b->sequences[i].video_name);
+    EXPECT_EQ(a->sequences[i].sequence.clips, b->sequences[i].sequence.clips);
+    EXPECT_EQ(a->sequences[i].sequence.lower_bound,
+              b->sequences[i].sequence.lower_bound);
+  }
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,190 @@
+#include "svq/runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace svq::runtime {
+namespace {
+
+TEST(ThreadPoolTest, LifecycleAcrossSizes) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+  }
+  // Non-positive sizes clamp to a single worker instead of failing.
+  ThreadPool clamped(0);
+  EXPECT_EQ(clamped.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(pool.Counters().tasks_executed, 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    for (int64_t grain : {1, 3, 7, 100}) {
+      ThreadPool pool(threads);
+      constexpr int64_t kN = 257;
+      std::vector<std::atomic<int>> hits(kN);
+      pool.ParallelFor(0, kN, grain, [&](int64_t begin, int64_t end) {
+        ASSERT_LT(begin, end);
+        for (int64_t i = begin; i < end; ++i) {
+          hits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsOneTask) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 14, 1000, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 10);
+    EXPECT_EQ(end, 14);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(pool.Counters().tasks_executed, 1);
+}
+
+TEST(ThreadPoolTest, AutoGrainCoversRange) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/0, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](int64_t begin, int64_t) {
+                         if (begin == 42) {
+                           throw std::runtime_error("chunk 42 failed");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool must have quiesced and still accept work.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<int> nested_inline{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t begin, int64_t end) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    for (int64_t outer = begin; outer < end; ++outer) {
+      // A worker resubmitting to its own pool must not deadlock: the
+      // nested loop executes inline on this worker.
+      pool.ParallelFor(outer * 8, (outer + 1) * 8, 1,
+                       [&](int64_t b, int64_t e) {
+                         ++nested_inline;
+                         for (int64_t i = b; i < e; ++i) {
+                           hits[static_cast<size_t>(i)].fetch_add(1);
+                         }
+                       });
+    }
+  });
+  EXPECT_EQ(nested_inline.load(), 64);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, CountersTrackTasksAndReset) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 10, 2, [](int64_t, int64_t) {});
+  RuntimeStats stats = pool.Counters();
+  EXPECT_EQ(stats.threads_used, 2);
+  // Each task covers between 1 and grain(2) items, so 10 items need
+  // between 5 and 10 tasks (the exact split depends on stealing).
+  EXPECT_GE(stats.tasks_executed, 5);
+  EXPECT_LE(stats.tasks_executed, 10);
+  EXPECT_GE(stats.steals, 0);
+  EXPECT_GE(stats.fanout_ms, 0.0);
+  pool.ResetCounters();
+  EXPECT_EQ(pool.Counters().tasks_executed, 0);
+}
+
+TEST(ThreadPoolTest, ManySmallRegionsOnLargePool) {
+  // Exercises job-epoch signaling: back-to-back regions must not lose
+  // wakeups or leave workers behind.
+  ThreadPool pool(8);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 16, 1, [&](int64_t begin, int64_t end) {
+      total += end - begin;
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 16);
+}
+
+TEST(ParallelForHelperTest, NullPoolRunsSequentially) {
+  std::vector<int> hits(20, 0);
+  ParallelFor(nullptr, 0, 20, 6, [&](int64_t begin, int64_t end) {
+    EXPECT_FALSE(ThreadPool::InParallelRegion());
+    for (int64_t i = begin; i < end; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 20);
+}
+
+TEST(RuntimeOptionsTest, ResolvedThreads) {
+  RuntimeOptions options;
+  EXPECT_EQ(options.ResolvedThreads(), 1);
+  options.num_threads = 6;
+  EXPECT_EQ(options.ResolvedThreads(), 6);
+  options.num_threads = -2;
+  EXPECT_EQ(options.ResolvedThreads(), 1);
+  options.num_threads = 0;  // hardware concurrency, at least one
+  EXPECT_GE(options.ResolvedThreads(), 1);
+}
+
+TEST(RuntimeStatsTest, MergeAggregatesEveryField) {
+  RuntimeStats a;
+  a.threads_used = 2;
+  a.tasks_executed = 10;
+  a.steals = 1;
+  a.fanout_ms = 1.5;
+  RuntimeStats b;
+  b.threads_used = 8;
+  b.tasks_executed = 5;
+  b.steals = 2;
+  b.fanout_ms = 0.5;
+  a.Merge(b);
+  EXPECT_EQ(a.threads_used, 8);
+  EXPECT_EQ(a.tasks_executed, 15);
+  EXPECT_EQ(a.steals, 3);
+  EXPECT_DOUBLE_EQ(a.fanout_ms, 2.0);
+}
+
+}  // namespace
+}  // namespace svq::runtime
