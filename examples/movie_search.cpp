@@ -50,7 +50,8 @@ int main() {
                 static_cast<long long>(movie.videos[0]->num_frames()));
     std::fflush(stdout);
     if (auto st = engine.Ingest(movie.name); !st.ok()) return Fail(st);
-    const svq::core::IngestedVideo* ingested = engine.Ingested(movie.name);
+    const std::shared_ptr<const svq::core::IngestedVideo> ingested =
+        engine.Ingested(movie.name);
     std::printf("done: %zu object types, %zu action types, %.1f min of "
                 "simulated inference\n",
                 ingested->object_tables.size(),

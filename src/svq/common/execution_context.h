@@ -1,0 +1,135 @@
+#ifndef SVQ_COMMON_EXECUTION_CONTEXT_H_
+#define SVQ_COMMON_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "svq/common/status.h"
+
+namespace svq {
+
+namespace storage {
+struct StorageMetrics;
+}  // namespace storage
+namespace runtime {
+struct RuntimeStats;
+}  // namespace runtime
+
+/// Observer half of a cooperative cancellation pair. Tokens are cheap
+/// value types (a shared pointer to the source's flag); a
+/// default-constructed token can never fire. Thread safe.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the owning CancellationSource fired.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// Whether this token is connected to a source at all. Lets hot paths
+  /// skip the atomic load when cancellation was never requested.
+  bool CanBeCancelled() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner half of a cooperative cancellation pair: the party that may abandon
+/// a query holds the source; the execution path polls tokens. Thread safe —
+/// Cancel() may race any number of concurrent token reads.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  /// Requests cancellation. Idempotent; never blocks.
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-query execution context: deadline, cooperative cancellation, and
+/// optional per-query accounting sinks. One context is created per query
+/// (or per statement) and threaded by const reference through every layer
+/// of the execution path — the engine facade, the offline algorithm loops,
+/// the TBClip iterator, the streaming per-clip loop, and the repository
+/// fan-out — each of which polls Check() at its iteration boundary so a
+/// slow or abandoned query unwinds promptly with DeadlineExceeded or
+/// Cancelled instead of running to completion.
+///
+/// A default-constructed context is unlimited: Check() always returns OK
+/// and costs two branches, so the context can be threaded unconditionally.
+///
+/// The accounting sinks are raw pointers to caller-owned structs
+/// (forward-declared here; the engine layer includes the real types).
+/// Results are merged into them once per execution by the engine facade —
+/// they are not written concurrently, so plain structs suffice.
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionContext() = default;
+
+  static ExecutionContext WithDeadline(Clock::time_point deadline) {
+    ExecutionContext context;
+    context.set_deadline(deadline);
+    return context;
+  }
+
+  static ExecutionContext WithTimeout(Clock::duration timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
+  void set_cancellation(CancellationToken token) { token_ = std::move(token); }
+  void set_storage_sink(storage::StorageMetrics* sink) {
+    storage_sink_ = sink;
+  }
+  void set_runtime_sink(runtime::RuntimeStats* sink) { runtime_sink_ = sink; }
+
+  bool has_deadline() const { return deadline_.has_value(); }
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+  storage::StorageMetrics* storage_sink() const { return storage_sink_; }
+  runtime::RuntimeStats* runtime_sink() const { return runtime_sink_; }
+
+  /// Whether this context can ever fail a Check(). Lets fan-out drivers
+  /// skip the per-chunk polling wrapper for unlimited contexts.
+  bool limited() const {
+    return deadline_.has_value() || token_.CanBeCancelled();
+  }
+
+  /// OK while the query may keep running; Cancelled once the token fired
+  /// (checked first: an explicit abandon beats a timeout); DeadlineExceeded
+  /// once the deadline passed.
+  Status Check() const {
+    if (token_.CanBeCancelled() && token_.cancelled()) {
+      return Status::Cancelled("query cancelled by caller");
+    }
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::optional<Clock::time_point> deadline_;
+  CancellationToken token_;
+  storage::StorageMetrics* storage_sink_ = nullptr;
+  runtime::RuntimeStats* runtime_sink_ = nullptr;
+};
+
+}  // namespace svq
+
+#endif  // SVQ_COMMON_EXECUTION_CONTEXT_H_

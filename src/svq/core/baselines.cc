@@ -89,8 +89,10 @@ TopKResult FinishExact(std::vector<SeqAccumulator> seqs, int k,
 
 Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
                             int k, const SequenceScoring& scoring,
-                            const storage::DiskCostModel& cost_model) {
+                            const storage::DiskCostModel& cost_model,
+                            const ExecutionContext& context) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  SVQ_RETURN_NOT_OK(context.Check());
   const double t0 = NowMs();
   OfflineRunStats stats;
 
@@ -125,6 +127,7 @@ Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
   int64_t rank = 0;
   bool progress = true;
   while (candidates_unseen > 0 && progress) {
+    SVQ_RETURN_NOT_OK(context.Check());
     progress = false;
     for (size_t t = 0; t < readers.size(); ++t) {
       if (rank >= readers[t].NumRows()) continue;
@@ -163,18 +166,21 @@ Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
 Result<TopKResult> RunRvaqNoSkip(const IngestedVideo& ingested,
                                  const Query& query, int k,
                                  const SequenceScoring& scoring,
-                                 const storage::DiskCostModel& cost_model) {
+                                 const storage::DiskCostModel& cost_model,
+                                 const ExecutionContext& context) {
   OfflineOptions options;
   options.enable_skip = false;
   options.cost_model = cost_model;
-  return RunRvaq(ingested, query, k, scoring, options);
+  return RunRvaq(ingested, query, k, scoring, options, context);
 }
 
 Result<TopKResult> RunPqTraverse(const IngestedVideo& ingested,
                                  const Query& query, int k,
                                  const SequenceScoring& scoring,
-                                 const storage::DiskCostModel& cost_model) {
+                                 const storage::DiskCostModel& cost_model,
+                                 const ExecutionContext& context) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  SVQ_RETURN_NOT_OK(context.Check());
   const double t0 = NowMs();
   OfflineRunStats stats;
 
@@ -194,6 +200,7 @@ Result<TopKResult> RunPqTraverse(const IngestedVideo& ingested,
 
   std::vector<SeqAccumulator> seqs = InitAccumulators(candidates, scoring);
   for (SeqAccumulator& seq : seqs) {
+    SVQ_RETURN_NOT_OK(context.Check());
     for (video::ClipIndex clip = seq.clips.begin; clip < seq.clips.end;
          ++clip) {
       std::vector<double> object_scores(readers.size() - 1, 0.0);

@@ -11,10 +11,12 @@ namespace svq::core {
 /// has been seen in every table, at which point its full score is resolved
 /// with random accesses. Produced clips outside `P_q` are discarded (their
 /// accesses are wasted — the source of FA's overhead); the algorithm stops
-/// when the score of every sequence in `P_q` is fully computed.
+/// when the score of every sequence in `P_q` is fully computed. `context`
+/// is polled once per sorted-access rank, like all the offline loops.
 Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
                             int k, const SequenceScoring& scoring,
-                            const storage::DiskCostModel& cost_model);
+                            const storage::DiskCostModel& cost_model,
+                            const ExecutionContext& context = {});
 
 /// The paper's RVAQ-noSkip baseline: RVAQ with the dynamic skip mechanism
 /// of §4.3 disabled — conclusively excluded sequences keep being refined at
@@ -23,15 +25,17 @@ Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
 Result<TopKResult> RunRvaqNoSkip(const IngestedVideo& ingested,
                                  const Query& query, int k,
                                  const SequenceScoring& scoring,
-                                 const storage::DiskCostModel& cost_model);
+                                 const storage::DiskCostModel& cost_model,
+                                 const ExecutionContext& context = {});
 
 /// The paper's Pq-Traverse baseline: reads every clip of every sequence in
 /// `P_q` sequentially, computes all exact sequence scores, and returns the
-/// K best. Cost is constant in K.
+/// K best. Cost is constant in K. `context` is polled once per sequence.
 Result<TopKResult> RunPqTraverse(const IngestedVideo& ingested,
                                  const Query& query, int k,
                                  const SequenceScoring& scoring,
-                                 const storage::DiskCostModel& cost_model);
+                                 const storage::DiskCostModel& cost_model,
+                                 const ExecutionContext& context = {});
 
 }  // namespace svq::core
 

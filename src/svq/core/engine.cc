@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <future>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace svq::core {
 
@@ -25,71 +27,215 @@ Result<IngestOptions> PerVideoOptions(const IngestOptions& base,
   return options;
 }
 
+/// Merges an execution's accounting into the context's optional per-query
+/// sinks. Each context belongs to one query, so the sinks are written from
+/// exactly one thread.
+void DrainToSinks(const ExecutionContext& context,
+                  const OfflineRunStats& stats) {
+  if (context.storage_sink() != nullptr) {
+    context.storage_sink()->Merge(stats.storage);
+  }
+  if (context.runtime_sink() != nullptr) {
+    context.runtime_sink()->Merge(stats.runtime);
+  }
+}
+
 }  // namespace
+
+const CatalogSnapshot::Entry* CatalogSnapshot::Find(
+    const std::string& video_name) const {
+  auto it = videos.find(video_name);
+  return it == videos.end() ? nullptr : &it->second;
+}
+
+Result<OnlineResult> ExecuteOnlineOn(const SnapshotPtr& snapshot,
+                                     const Query& query,
+                                     const std::string& video_name,
+                                     OnlineEngine::Mode mode,
+                                     const ExecutionContext& context,
+                                     const models::ModelSuite* suite_override) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be set");
+  }
+  // Gate before model construction: an already-expired context must not
+  // pay for (or run) any inference.
+  SVQ_RETURN_NOT_OK(context.Check());
+  const CatalogSnapshot::Entry* entry = snapshot->Find(video_name);
+  if (entry == nullptr) {
+    return Status::NotFound("video '" + video_name + "' is not registered");
+  }
+  const models::ModelSuite& suite =
+      suite_override != nullptr ? *suite_override : snapshot->suite;
+  models::ModelSet models = models::MakeModelSet(
+      entry->video, suite, query.AllObjectLabels(), query.AllActions());
+  SVQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<OnlineEngine> engine,
+      OnlineEngine::Create(mode, query, snapshot->online_config,
+                           entry->video->layout(), models.detector.get(),
+                           models.recognizer.get(), context));
+  video::SyntheticVideoStream stream(entry->video, entry->id);
+  return engine->Run(stream);
+}
+
+Result<TopKResult> ExecuteTopKOn(const SnapshotPtr& snapshot,
+                                 const Query& query,
+                                 const std::string& video_name, int k,
+                                 OfflineAlgorithm algorithm,
+                                 const OfflineOptions& options,
+                                 const ExecutionContext& context) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be set");
+  }
+  SVQ_RETURN_NOT_OK(context.Check());
+  const CatalogSnapshot::Entry* entry = snapshot->Find(video_name);
+  if (entry == nullptr) {
+    return Status::NotFound("video '" + video_name + "' is not registered");
+  }
+  if (entry->ingested == nullptr) {
+    return Status::FailedPrecondition("video '" + video_name +
+                                      "' has not been ingested");
+  }
+  const AdditiveScoring scoring;
+  Result<TopKResult> result = Status::InvalidArgument(
+      "unknown offline algorithm");
+  switch (algorithm) {
+    case OfflineAlgorithm::kRvaq:
+      result = RunRvaq(*entry->ingested, query, k, scoring, options, context);
+      break;
+    case OfflineAlgorithm::kRvaqNoSkip:
+      result = RunRvaqNoSkip(*entry->ingested, query, k, scoring,
+                             options.cost_model, context);
+      break;
+    case OfflineAlgorithm::kFagin:
+      result = RunFagin(*entry->ingested, query, k, scoring,
+                        options.cost_model, context);
+      break;
+    case OfflineAlgorithm::kPqTraverse:
+      result = RunPqTraverse(*entry->ingested, query, k, scoring,
+                             options.cost_model, context);
+      break;
+  }
+  if (result.ok()) DrainToSinks(context, result->stats);
+  return result;
+}
+
+Result<RepositoryResult> ExecuteTopKAllOn(const SnapshotPtr& snapshot,
+                                          const Query& query, int k,
+                                          const OfflineOptions& options,
+                                          const ExecutionContext& context) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be set");
+  }
+  SVQ_RETURN_NOT_OK(context.Check());
+  std::vector<const IngestedVideo*> ingested;
+  for (const auto& [name, entry] : snapshot->videos) {
+    if (entry.ingested != nullptr) ingested.push_back(entry.ingested.get());
+  }
+  if (ingested.empty()) {
+    return Status::FailedPrecondition("no ingested videos in the repository");
+  }
+  const AdditiveScoring scoring;
+  Result<RepositoryResult> result =
+      RunRepositoryTopK(ingested, query, k, scoring, options, context);
+  if (result.ok()) DrainToSinks(context, result->stats);
+  return result;
+}
 
 VideoQueryEngine::VideoQueryEngine(models::ModelSuite suite,
                                    OnlineConfig online_config,
                                    IngestOptions ingest_options)
-    : suite_(std::move(suite)),
-      online_config_(online_config),
-      ingest_options_(std::move(ingest_options)) {}
+    : ingest_options_(std::move(ingest_options)) {
+  auto snapshot = std::make_shared<CatalogSnapshot>();
+  snapshot->suite = std::move(suite);
+  snapshot->online_config = online_config;
+  snapshot_ = std::move(snapshot);
+}
+
+SnapshotPtr VideoQueryEngine::Pin() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void VideoQueryEngine::Publish(SnapshotPtr next) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(next);
+}
 
 Result<video::VideoId> VideoQueryEngine::AddVideo(
     std::shared_ptr<const video::SyntheticVideo> video) {
   if (video == nullptr) {
     return Status::InvalidArgument("video must be set");
   }
-  auto [it, inserted] = videos_.try_emplace(video->name());
-  if (!inserted) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const SnapshotPtr current = Pin();
+  if (current->videos.contains(video->name())) {
     return Status::AlreadyExists("video '" + video->name() +
                                  "' already registered");
   }
-  it->second.video = std::move(video);
-  it->second.id = next_id_++;
-  return it->second.id;
+  auto next = std::make_shared<CatalogSnapshot>(*current);
+  const std::string name = video->name();
+  CatalogSnapshot::Entry entry;
+  entry.video = std::move(video);
+  entry.id = next->next_id++;
+  const video::VideoId id = entry.id;
+  next->videos.emplace(name, std::move(entry));
+  Publish(std::move(next));
+  return id;
 }
 
-Result<VideoQueryEngine::Entry*> VideoQueryEngine::FindEntry(
-    const std::string& video_name) {
-  auto it = videos_.find(video_name);
-  if (it == videos_.end()) {
-    return Status::NotFound("video '" + video_name + "' is not registered");
-  }
-  return &it->second;
+Result<IngestedVideo> VideoQueryEngine::IngestOne(
+    const CatalogSnapshot& snapshot,
+    const CatalogSnapshot::Entry& entry) const {
+  SVQ_ASSIGN_OR_RETURN(
+      const IngestOptions options,
+      PerVideoOptions(ingest_options_, entry.video->name()));
+  // Ingestion is query independent: models process their full vocabulary.
+  models::ModelSet models =
+      models::MakeModelSet(entry.video, snapshot.suite,
+                           /*query_object_labels=*/{},
+                           /*query_action_labels=*/{});
+  return IngestVideo(entry.video, entry.id, models.tracker.get(),
+                     models.recognizer.get(), options);
 }
 
 Status VideoQueryEngine::Ingest(const std::string& video_name) {
-  auto entry_result = FindEntry(video_name);
-  if (!entry_result.ok()) return entry_result.status();
-  Entry* entry = *entry_result;
-  if (entry->ingested.has_value()) {
+  // The writer mutex is held across the ingestion compute: other *writers*
+  // queue behind it, but queries keep executing against the previous
+  // snapshot throughout and observe the new artifacts only after the final
+  // Publish.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const SnapshotPtr current = Pin();
+  const CatalogSnapshot::Entry* entry = current->Find(video_name);
+  if (entry == nullptr) {
+    return Status::NotFound("video '" + video_name + "' is not registered");
+  }
+  if (entry->ingested != nullptr) {
     return Status::AlreadyExists("video '" + video_name +
                                  "' is already ingested");
   }
-  // Ingestion is query independent: models process their full vocabulary.
-  auto options = PerVideoOptions(ingest_options_, video_name);
-  if (!options.ok()) return options.status();
-  models::ModelSet models =
-      models::MakeModelSet(entry->video, suite_, /*query_object_labels=*/{},
-                           /*query_action_labels=*/{});
-  auto ingested = IngestVideo(entry->video, entry->id, models.tracker.get(),
-                              models.recognizer.get(), *options);
-  if (!ingested.ok()) return ingested.status();
-  entry->ingested = std::move(ingested).value();
+  SVQ_ASSIGN_OR_RETURN(IngestedVideo ingested, IngestOne(*current, *entry));
+  auto next = std::make_shared<CatalogSnapshot>(*current);
+  next->videos[video_name].ingested =
+      std::make_shared<const IngestedVideo>(std::move(ingested));
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Status VideoQueryEngine::IngestAll(int parallelism) {
-  std::vector<Entry*> pending;
-  for (auto& [name, entry] : videos_) {
-    if (!entry.ingested.has_value()) pending.push_back(&entry);
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const SnapshotPtr current = Pin();
+  std::vector<const CatalogSnapshot::Entry*> pending;
+  for (const auto& [name, entry] : current->videos) {
+    if (entry.ingested == nullptr) pending.push_back(&entry);
   }
   if (pending.empty()) return Status::OK();
   if (parallelism <= 0) {
-    parallelism = std::max(1u, std::thread::hardware_concurrency());
+    parallelism = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
   }
   // Videos are independent: per-video model instances, per-video outputs.
   // Ingest in bounded waves; each task fills its own slot.
+  std::vector<std::shared_ptr<const IngestedVideo>> results(pending.size());
   Status first_error;
   for (size_t wave = 0; wave < pending.size();
        wave += static_cast<size_t>(parallelism)) {
@@ -97,17 +243,10 @@ Status VideoQueryEngine::IngestAll(int parallelism) {
                                 wave + static_cast<size_t>(parallelism));
     std::vector<std::future<Result<IngestedVideo>>> futures;
     for (size_t i = wave; i < end; ++i) {
-      Entry* entry = pending[i];
-      futures.push_back(std::async(std::launch::async, [this, entry]() {
-        auto options = PerVideoOptions(ingest_options_, entry->video->name());
-        if (!options.ok()) {
-          return Result<IngestedVideo>(options.status());
-        }
-        models::ModelSet models = models::MakeModelSet(
-            entry->video, suite_, /*query_object_labels=*/{},
-            /*query_action_labels=*/{});
-        return IngestVideo(entry->video, entry->id, models.tracker.get(),
-                           models.recognizer.get(), *options);
+      const CatalogSnapshot::Entry* entry = pending[i];
+      futures.push_back(std::async(std::launch::async, [this, &current,
+                                                        entry]() {
+        return IngestOne(*current, *entry);
       }));
     }
     for (size_t i = wave; i < end; ++i) {
@@ -116,70 +255,70 @@ Status VideoQueryEngine::IngestAll(int parallelism) {
         if (first_error.ok()) first_error = result.status();
         continue;
       }
-      pending[i]->ingested = std::move(result).value();
+      results[i] =
+          std::make_shared<const IngestedVideo>(std::move(result).value());
     }
   }
+  // One atomic publish for every success: a reader sees either none or all
+  // of this batch (plus whatever partial set an errored batch produced).
+  auto next = std::make_shared<CatalogSnapshot>(*current);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (results[i] == nullptr) continue;
+    next->videos[pending[i]->video->name()].ingested = std::move(results[i]);
+  }
+  Publish(std::move(next));
   return first_error;
 }
 
-const IngestedVideo* VideoQueryEngine::Ingested(
+void VideoQueryEngine::set_suite(models::ModelSuite suite) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  auto next = std::make_shared<CatalogSnapshot>(*Pin());
+  next->suite = std::move(suite);
+  Publish(std::move(next));
+}
+
+void VideoQueryEngine::set_online_config(OnlineConfig online_config) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  auto next = std::make_shared<CatalogSnapshot>(*Pin());
+  next->online_config = online_config;
+  Publish(std::move(next));
+}
+
+std::shared_ptr<const IngestedVideo> VideoQueryEngine::Ingested(
     const std::string& video_name) const {
-  auto it = videos_.find(video_name);
-  if (it == videos_.end() || !it->second.ingested.has_value()) return nullptr;
-  return &*it->second.ingested;
+  const SnapshotPtr snapshot = Pin();
+  const CatalogSnapshot::Entry* entry = snapshot->Find(video_name);
+  return entry == nullptr ? nullptr : entry->ingested;
+}
+
+bool VideoQueryEngine::HasVideo(const std::string& video_name) const {
+  return Pin()->videos.contains(video_name);
+}
+
+models::ModelSuite VideoQueryEngine::suite() const { return Pin()->suite; }
+
+OnlineConfig VideoQueryEngine::online_config() const {
+  return Pin()->online_config;
 }
 
 Result<OnlineResult> VideoQueryEngine::ExecuteOnline(
     const Query& query, const std::string& video_name,
-    OnlineEngine::Mode mode) {
-  SVQ_ASSIGN_OR_RETURN(Entry * entry, FindEntry(video_name));
-  models::ModelSet models = models::MakeModelSet(
-      entry->video, suite_, query.AllObjectLabels(), query.AllActions());
-  SVQ_ASSIGN_OR_RETURN(
-      std::unique_ptr<OnlineEngine> engine,
-      OnlineEngine::Create(mode, query, online_config_,
-                           entry->video->layout(), models.detector.get(),
-                           models.recognizer.get()));
-  video::SyntheticVideoStream stream(entry->video, entry->id);
-  return engine->Run(stream);
+    OnlineEngine::Mode mode, const ExecutionContext& context) {
+  return ExecuteOnlineOn(Pin(), query, video_name, mode, context);
 }
 
 Result<TopKResult> VideoQueryEngine::ExecuteTopK(
     const Query& query, const std::string& video_name, int k,
-    OfflineAlgorithm algorithm, const OfflineOptions& options) {
-  SVQ_ASSIGN_OR_RETURN(Entry * entry, FindEntry(video_name));
-  if (!entry->ingested.has_value()) {
-    return Status::FailedPrecondition("video '" + video_name +
-                                      "' has not been ingested");
-  }
-  const AdditiveScoring scoring;
-  switch (algorithm) {
-    case OfflineAlgorithm::kRvaq:
-      return RunRvaq(*entry->ingested, query, k, scoring, options);
-    case OfflineAlgorithm::kRvaqNoSkip:
-      return RunRvaqNoSkip(*entry->ingested, query, k, scoring,
-                           options.cost_model);
-    case OfflineAlgorithm::kFagin:
-      return RunFagin(*entry->ingested, query, k, scoring,
-                      options.cost_model);
-    case OfflineAlgorithm::kPqTraverse:
-      return RunPqTraverse(*entry->ingested, query, k, scoring,
-                           options.cost_model);
-  }
-  return Status::InvalidArgument("unknown offline algorithm");
+    OfflineAlgorithm algorithm, const OfflineOptions& options,
+    const ExecutionContext& context) {
+  return ExecuteTopKOn(Pin(), query, video_name, k, algorithm, options,
+                       context);
 }
 
 Result<RepositoryResult> VideoQueryEngine::ExecuteTopKAll(
-    const Query& query, int k, const OfflineOptions& options) {
-  std::vector<const IngestedVideo*> ingested;
-  for (const auto& [name, entry] : videos_) {
-    if (entry.ingested.has_value()) ingested.push_back(&*entry.ingested);
-  }
-  if (ingested.empty()) {
-    return Status::FailedPrecondition("no ingested videos in the repository");
-  }
-  const AdditiveScoring scoring;
-  return RunRepositoryTopK(ingested, query, k, scoring, options);
+    const Query& query, int k, const OfflineOptions& options,
+    const ExecutionContext& context) {
+  return ExecuteTopKAllOn(Pin(), query, k, options, context);
 }
 
 }  // namespace svq::core

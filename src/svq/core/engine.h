@@ -3,9 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 
+#include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 #include "svq/core/baselines.h"
 #include "svq/core/ingest.h"
@@ -20,14 +21,95 @@ namespace svq::core {
 /// Which algorithm answers an offline top-K query.
 enum class OfflineAlgorithm { kRvaq, kRvaqNoSkip, kFagin, kPqTraverse };
 
-/// The user-facing facade: a video repository plus query execution.
+/// An immutable point-in-time view of the engine's catalog: every
+/// registered video, every ingested artifact set, and the model suite /
+/// online config in force when the snapshot was taken.
+///
+/// Snapshots are published with copy-on-write semantics: a writer copies
+/// the current snapshot (cheap — entries hold shared_ptrs, not artifact
+/// bytes), mutates the copy, and swaps it in atomically. A query *pins*
+/// the snapshot it starts on by holding the shared_ptr, so catalog churn
+/// after the pin — new videos, new ingests, suite swaps — is invisible to
+/// it, and the refcounted `IngestedVideo` artifacts it reads stay alive
+/// even after the catalog has moved on. Once published, a snapshot is
+/// never mutated; concurrent readers need no locks.
+struct CatalogSnapshot {
+  struct Entry {
+    std::shared_ptr<const video::SyntheticVideo> video;
+    video::VideoId id = video::kInvalidVideoId;
+    /// Set once the video is ingested. Shared ownership is what lets a
+    /// pinned snapshot outlive later catalog churn.
+    std::shared_ptr<const IngestedVideo> ingested;
+  };
+
+  std::map<std::string, Entry> videos;
+  video::VideoId next_id = 0;
+  /// Immutable within the snapshot: queries build their per-execution
+  /// model instances from these copies, so a concurrent set_suite() /
+  /// set_online_config() can never race a running query (the old
+  /// `mutable_suite()` escape hatch is gone for exactly that reason).
+  models::ModelSuite suite;
+  OnlineConfig online_config;
+
+  /// Entry lookup; nullptr when the name is not registered. The pointer is
+  /// valid for the snapshot's lifetime.
+  const Entry* Find(const std::string& video_name) const;
+};
+
+/// A pinned, refcounted snapshot handle. Holding one keeps every artifact
+/// reachable from it alive.
+using SnapshotPtr = std::shared_ptr<const CatalogSnapshot>;
+
+/// Snapshot-pinned execution: runs entirely against `snapshot`, regardless
+/// of any catalog churn after the pin. These are what the
+/// VideoQueryEngine::Execute* members delegate to after pinning; they are
+/// exposed so callers can run several queries against one consistent view
+/// (and so tests can prove the isolation). `suite_override`, when non-null,
+/// replaces the snapshot's model suite for this execution only — the
+/// per-statement USING mechanism, without mutating any shared state.
+Result<OnlineResult> ExecuteOnlineOn(
+    const SnapshotPtr& snapshot, const Query& query,
+    const std::string& video_name,
+    OnlineEngine::Mode mode = OnlineEngine::Mode::kSvaqd,
+    const ExecutionContext& context = {},
+    const models::ModelSuite* suite_override = nullptr);
+
+Result<TopKResult> ExecuteTopKOn(
+    const SnapshotPtr& snapshot, const Query& query,
+    const std::string& video_name, int k,
+    OfflineAlgorithm algorithm = OfflineAlgorithm::kRvaq,
+    const OfflineOptions& options = OfflineOptions(),
+    const ExecutionContext& context = {});
+
+Result<RepositoryResult> ExecuteTopKAllOn(
+    const SnapshotPtr& snapshot, const Query& query, int k,
+    const OfflineOptions& options = OfflineOptions(),
+    const ExecutionContext& context = {});
+
+/// The user-facing facade: a video repository plus query execution, safe
+/// for concurrent serving.
+///
+/// Concurrency protocol (writer/reader):
+///  - The whole catalog lives in one immutable CatalogSnapshot behind a
+///    mutex-guarded shared_ptr. Readers (queries, Pin, Ingested, HasVideo)
+///    grab the pointer under the mutex — a few instructions — and then
+///    work lock-free on the pinned snapshot. Readers never block writers
+///    and never block each other.
+///  - Writers (AddVideo, Ingest, IngestAll, set_suite, set_online_config)
+///    serialize on a writer mutex, build a new snapshot copy-on-write, and
+///    publish it with one pointer swap. Ingestion work happens while the
+///    writer mutex is held (writers queue behind an in-flight ingest), but
+///    queries keep executing against the previous snapshot throughout.
+///  - A query observes the catalog exactly as it was when the query
+///    started: an Ingest that completes mid-query is invisible to it, and
+///    artifacts it reads cannot be destroyed under it (shared ownership).
 ///
 /// Register videos with AddVideo; run streaming queries with ExecuteOnline
 /// (SVAQ/SVAQD, no pre-processing); ingest videos once with Ingest and run
 /// ranked top-K queries with ExecuteTopK (RVAQ and baselines). Model
-/// instances are created per execution with the engine's ModelSuite, so the
-/// vocabulary always covers the query's labels and inference accounting is
-/// per-run.
+/// instances are created per execution from the pinned snapshot's
+/// ModelSuite, so the vocabulary always covers the query's labels and
+/// inference accounting is per-run.
 class VideoQueryEngine {
  public:
   explicit VideoQueryEngine(models::ModelSuite suite = models::ModelSuite(),
@@ -38,62 +120,85 @@ class VideoQueryEngine {
   Result<video::VideoId> AddVideo(
       std::shared_ptr<const video::SyntheticVideo> video);
 
-  /// Runs the one-time ingestion phase for `video_name` (paper §4.2).
-  /// Errors: NotFound; AlreadyExists when already ingested.
+  /// Runs the one-time ingestion phase for `video_name` (paper §4.2) and
+  /// publishes the artifacts in a new snapshot. Queries already running
+  /// keep their pinned pre-ingest view. Errors: NotFound; AlreadyExists
+  /// when already ingested.
   Status Ingest(const std::string& video_name);
 
   /// Ingests every registered-but-not-ingested video, processing up to
   /// `parallelism` videos concurrently (0 = hardware concurrency). Videos
-  /// are independent, so results are identical to serial ingestion. On
-  /// error, successfully ingested videos are kept and the first error is
-  /// returned.
+  /// are independent, so results are identical to serial ingestion. All
+  /// successes publish atomically in one snapshot; on error the successes
+  /// are kept and the first error is returned.
   Status IngestAll(int parallelism = 0);
 
-  /// Ingested metadata; nullptr when not ingested.
-  const IngestedVideo* Ingested(const std::string& video_name) const;
+  /// Replaces the model suite / online config for *future* snapshots.
+  /// In-flight queries keep the suite of the snapshot they pinned.
+  void set_suite(models::ModelSuite suite);
+  void set_online_config(OnlineConfig online_config);
 
-  /// Whether a video is registered under this name.
-  bool HasVideo(const std::string& video_name) const {
-    return videos_.contains(video_name);
-  }
+  /// Pins the current catalog snapshot. Hold the handle to run several
+  /// queries against one consistent view via the Execute*On functions.
+  SnapshotPtr Pin() const;
 
-  /// Streaming execution of `query` over the named video (paper §3).
+  /// Ingested artifacts; nullptr when not registered or not ingested. The
+  /// returned pointer participates in snapshot ownership, so it stays
+  /// valid across later catalog churn.
+  std::shared_ptr<const IngestedVideo> Ingested(
+      const std::string& video_name) const;
+
+  /// Whether a video is registered under this name (in the current
+  /// snapshot).
+  bool HasVideo(const std::string& video_name) const;
+
+  /// Copies of the current snapshot's suite / config.
+  models::ModelSuite suite() const;
+  OnlineConfig online_config() const;
+
+  /// Streaming execution of `query` over the named video (paper §3), on a
+  /// snapshot pinned at call entry.
   Result<OnlineResult> ExecuteOnline(
       const Query& query, const std::string& video_name,
-      OnlineEngine::Mode mode = OnlineEngine::Mode::kSvaqd);
+      OnlineEngine::Mode mode = OnlineEngine::Mode::kSvaqd,
+      const ExecutionContext& context = {});
 
-  /// Ranked top-K execution over the named (ingested) video (paper §4).
+  /// Ranked top-K execution over the named (ingested) video (paper §4), on
+  /// a snapshot pinned at call entry.
   Result<TopKResult> ExecuteTopK(
       const Query& query, const std::string& video_name, int k,
       OfflineAlgorithm algorithm = OfflineAlgorithm::kRvaq,
-      const OfflineOptions& options = OfflineOptions());
+      const OfflineOptions& options = OfflineOptions(),
+      const ExecutionContext& context = {});
 
   /// Ranked top-K over every ingested video in the repository (paper §4.2
-  /// multi-video setting). Errors: FailedPrecondition when nothing has been
-  /// ingested yet.
+  /// multi-video setting), on a snapshot pinned at call entry. Errors:
+  /// FailedPrecondition when nothing has been ingested yet.
   Result<RepositoryResult> ExecuteTopKAll(
       const Query& query, int k,
-      const OfflineOptions& options = OfflineOptions());
-
-  const models::ModelSuite& suite() const { return suite_; }
-  models::ModelSuite* mutable_suite() { return &suite_; }
-  const OnlineConfig& online_config() const { return online_config_; }
-  OnlineConfig* mutable_online_config() { return &online_config_; }
+      const OfflineOptions& options = OfflineOptions(),
+      const ExecutionContext& context = {});
 
  private:
-  struct Entry {
-    std::shared_ptr<const video::SyntheticVideo> video;
-    video::VideoId id = video::kInvalidVideoId;
-    std::optional<IngestedVideo> ingested;
-  };
+  /// Atomically replaces the published snapshot. Called with writer_mu_
+  /// held.
+  void Publish(SnapshotPtr next);
 
-  Result<Entry*> FindEntry(const std::string& video_name);
+  /// Runs the ingestion phase for one entry against `snapshot`'s suite.
+  /// Pure compute: touches no engine state.
+  Result<IngestedVideo> IngestOne(const CatalogSnapshot& snapshot,
+                                  const CatalogSnapshot::Entry& entry) const;
 
-  models::ModelSuite suite_;
-  OnlineConfig online_config_;
-  IngestOptions ingest_options_;
-  std::map<std::string, Entry> videos_;
-  video::VideoId next_id_ = 0;
+  /// Set at construction, immutable afterwards (safe to read from any
+  /// thread without locks).
+  const IngestOptions ingest_options_;
+
+  /// Serializes writers; never held by readers.
+  std::mutex writer_mu_;
+
+  /// Guards only the snapshot_ pointer itself.
+  mutable std::mutex snapshot_mu_;
+  SnapshotPtr snapshot_;
 };
 
 }  // namespace svq::core

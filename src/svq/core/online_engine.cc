@@ -43,24 +43,27 @@ int NullExclusionQuota(int kcrit, int64_t units_in_clip) {
 Result<std::unique_ptr<OnlineEngine>> OnlineEngine::Create(
     Mode mode, Query query, OnlineConfig config,
     const video::VideoLayout& layout, models::ObjectDetector* detector,
-    models::ActionRecognizer* recognizer) {
+    models::ActionRecognizer* recognizer, const ExecutionContext& context) {
   SVQ_RETURN_NOT_OK(query.Validate());
   SVQ_RETURN_NOT_OK(config.Validate());
   SVQ_RETURN_NOT_OK(layout.Validate());
   if (detector == nullptr || recognizer == nullptr) {
     return Status::InvalidArgument("detector and recognizer must be set");
   }
-  return std::unique_ptr<OnlineEngine>(new OnlineEngine(
-      mode, std::move(query), config, layout, detector, recognizer));
+  return std::unique_ptr<OnlineEngine>(
+      new OnlineEngine(mode, std::move(query), config, layout, detector,
+                       recognizer, context));
 }
 
 OnlineEngine::OnlineEngine(Mode mode, Query query, OnlineConfig config,
                            const video::VideoLayout& layout,
                            models::ObjectDetector* detector,
-                           models::ActionRecognizer* recognizer)
+                           models::ActionRecognizer* recognizer,
+                           ExecutionContext context)
     : mode_(mode),
       query_(std::move(query)),
       config_(config),
+      context_(std::move(context)),
       layout_(layout),
       detector_(detector),
       recognizer_(recognizer),
@@ -193,6 +196,9 @@ Status OnlineEngine::SampleActionBackground(const video::ClipRef& clip,
 }
 
 Status OnlineEngine::ProcessClip(const video::ClipRef& clip) {
+  // Deadline/cancellation gate: runs before any model inference, so an
+  // expired context cannot cost a single detector or recognizer pass.
+  SVQ_RETURN_NOT_OK(context_.Check());
   const double t0 = NowMs();
 
   EvalOptions options;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 #include "svq/core/clip_indicator.h"
 #include "svq/core/kcrit_cache.h"
@@ -61,13 +62,18 @@ class OnlineEngine {
   };
 
   /// Validates the query and configuration. Models are borrowed and must
-  /// outlive the engine.
+  /// outlive the engine. `context` is copied into the engine and polled at
+  /// the top of every ProcessClip, *before* any model inference — an
+  /// already-expired deadline fails the first clip without running a model.
   static Result<std::unique_ptr<OnlineEngine>> Create(
       Mode mode, Query query, OnlineConfig config,
       const video::VideoLayout& layout, models::ObjectDetector* detector,
-      models::ActionRecognizer* recognizer);
+      models::ActionRecognizer* recognizer,
+      const ExecutionContext& context = {});
 
   /// Consumes one clip; updates sequences, estimators and critical values.
+  /// Errors: Cancelled/DeadlineExceeded when the execution context expired
+  /// (the clip is not processed and no model runs).
   Status ProcessClip(const video::ClipRef& clip);
 
   /// Drives the whole stream through ProcessClip.
@@ -91,7 +97,8 @@ class OnlineEngine {
   OnlineEngine(Mode mode, Query query, OnlineConfig config,
                const video::VideoLayout& layout,
                models::ObjectDetector* detector,
-               models::ActionRecognizer* recognizer);
+               models::ActionRecognizer* recognizer,
+               ExecutionContext context);
 
   void RefreshCriticalValues();
   void FeedEstimators(const ClipEvaluation& eval);
@@ -107,6 +114,7 @@ class OnlineEngine {
   Mode mode_;
   Query query_;
   OnlineConfig config_;
+  ExecutionContext context_;
   video::VideoLayout layout_;
   models::ObjectDetector* detector_;
   models::ActionRecognizer* recognizer_;

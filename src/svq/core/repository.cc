@@ -9,8 +9,10 @@ namespace svq::core {
 
 Result<RepositoryResult> RunRepositoryTopK(
     const std::vector<const IngestedVideo*>& videos, const Query& query,
-    int k, const SequenceScoring& scoring, const OfflineOptions& options) {
+    int k, const SequenceScoring& scoring, const OfflineOptions& options,
+    const ExecutionContext& context) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  SVQ_RETURN_NOT_OK(context.Check());
   for (const IngestedVideo* video : videos) {
     if (video == nullptr) {
       return Status::InvalidArgument("null video in repository list");
@@ -29,24 +31,33 @@ Result<RepositoryResult> RunRepositoryTopK(
     for (int64_t i = chunk_begin; i < chunk_end; ++i) {
       per_video[static_cast<size_t>(i)].emplace(
           RunRvaq(*videos[static_cast<size_t>(i)], query, k, scoring,
-                  options));
+                  options, context));
     }
   };
   RepositoryResult result;
   result.stats.runtime.threads_used = threads;
   if (threads > 1) {
     runtime::ThreadPool pool(threads);
-    pool.ParallelFor(0, static_cast<int64_t>(videos.size()), /*grain=*/1,
-                     run_one);
+    // Context-aware fan-out: chunks queued after expiry are skipped
+    // outright instead of each starting an RVAQ run just to fail its
+    // first iterator step.
+    runtime::ParallelFor(&pool, 0, static_cast<int64_t>(videos.size()),
+                         /*grain=*/1, run_one, &context);
     result.stats.runtime.Merge(pool.Counters());
   } else {
     run_one(0, static_cast<int64_t>(videos.size()));
   }
+  // An expired context leaves skipped (empty) slots behind; report the
+  // expiry before the reduction tries to read them.
+  SVQ_RETURN_NOT_OK(context.Check());
 
   // Deterministic reduction in video order after the barrier: the first
   // failure (by position) wins, sequences append in input order, and stats
   // merge in input order — identical to the sequential loop.
   for (size_t i = 0; i < per_video.size(); ++i) {
+    if (!per_video[i].has_value()) {
+      return Status::Internal("repository fan-out left an unfilled slot");
+    }
     Result<TopKResult>& slot = *per_video[i];
     if (!slot.ok()) return slot.status();
     for (RankedSequence& seq : slot->sequences) {

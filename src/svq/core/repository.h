@@ -27,10 +27,15 @@ struct RepositoryResult {
 
 /// Global top-K over a repository of ingested videos: RVAQ runs per video
 /// (each with budget K — the global top-K is contained in the union of the
-/// per-video top-Ks) and the certified results merge by score.
+/// per-video top-Ks) and the certified results merge by score. `context`
+/// threads into every per-video RVAQ run and into the fan-out driver
+/// itself, so an expired deadline or a fired cancellation token stops the
+/// whole fan-out promptly (queued per-video tasks are skipped, running
+/// ones unwind at their next iterator step).
 Result<RepositoryResult> RunRepositoryTopK(
     const std::vector<const IngestedVideo*>& videos, const Query& query,
-    int k, const SequenceScoring& scoring, const OfflineOptions& options);
+    int k, const SequenceScoring& scoring, const OfflineOptions& options,
+    const ExecutionContext& context = {});
 
 }  // namespace svq::core
 

@@ -80,8 +80,10 @@ Result<video::IntervalSet> CandidateSequences(const IngestedVideo& ingested,
 
 Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
                            int k, const SequenceScoring& scoring,
-                           const OfflineOptions& options) {
+                           const OfflineOptions& options,
+                           const ExecutionContext& context) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  SVQ_RETURN_NOT_OK(context.Check());
   const double t0 = NowMs();
   TopKResult result;
 
@@ -131,6 +133,9 @@ Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
   TbClipIterator iterator(object_tables, action_table, &scoring, &candidates,
                           options.enable_skip, &result.stats.storage,
                           TbClipIterator::Emission::kBounded);
+  // The iterator polls the context on every Next(), which bounds how much
+  // work an expired query can still do by one step's table accesses.
+  iterator.set_context(&context);
 
   double s_top = kInf;  // certified upper bound on unprocessed clip scores
   double s_btm = 0.0;   // certified lower bound on unprocessed clip scores

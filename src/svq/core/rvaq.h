@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 #include "svq/core/ingest.h"
 #include "svq/core/query.h"
@@ -79,10 +80,13 @@ Result<video::IntervalSet> CandidateSequences(const IngestedVideo& ingested,
 
 /// Algorithm RVAQ (paper Alg. 4): certified top-K result sequences via
 /// progressive upper/lower bound refinement over the TBClip iterator with
-/// conclusive-skip pruning. `k` must be >= 1.
+/// conclusive-skip pruning. `k` must be >= 1. `context` (deadline /
+/// cancellation) is polled once per iterator step; an expired context
+/// returns Cancelled/DeadlineExceeded instead of a result.
 Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
                            int k, const SequenceScoring& scoring,
-                           const OfflineOptions& options);
+                           const OfflineOptions& options,
+                           const ExecutionContext& context = {});
 
 }  // namespace svq::core
 

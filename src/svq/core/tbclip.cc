@@ -160,6 +160,7 @@ std::optional<TbClipItem> TbClipIterator::PeekBottom() {
 }
 
 Result<std::optional<TbClipStep>> TbClipIterator::Next() {
+  if (context_ != nullptr) SVQ_RETURN_NOT_OK(context_->Check());
   ++calls_;
   std::optional<TbClipItem> top_item;
   std::optional<TbClipItem> btm_item;

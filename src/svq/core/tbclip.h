@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 #include "svq/core/scoring.h"
 #include "svq/storage/score_table.h"
@@ -85,6 +86,11 @@ class TbClipIterator {
   /// Marks a clip range as conclusively irrelevant.
   void AddSkipRange(video::Interval clips);
 
+  /// Attaches a per-query execution context; Next() polls it and returns
+  /// Cancelled/DeadlineExceeded before paying any further table accesses.
+  /// Borrowed; must outlive the iterator. Null detaches.
+  void set_context(const ExecutionContext* context) { context_ = context; }
+
   /// Exact score of a clip already resolved by the iterator (its random
   /// accesses are paid), whether or not it has been emitted; nullopt when
   /// the clip has not been resolved yet. Lets callers tighten their bounds
@@ -140,6 +146,7 @@ class TbClipIterator {
   std::optional<TbClipItem> PeekBottom();
 
   std::vector<storage::TableReader> readers_;  // objects..., action last
+  const ExecutionContext* context_ = nullptr;
   const SequenceScoring* scoring_;
   const video::IntervalSet* candidates_;
   bool skip_enabled_;

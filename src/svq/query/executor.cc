@@ -36,33 +36,35 @@ models::ModelSuite ResolveSuite(const models::ModelSuite& base,
 }  // namespace
 
 Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
-                                         std::string_view statement) {
+                                         std::string_view statement,
+                                         const ExecutionContext& context) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must be set");
   }
   StatementResult result;
   SVQ_ASSIGN_OR_RETURN(result.bound, ParseAndBind(statement));
 
-  const models::ModelSuite saved = engine->suite();
-  *engine->mutable_suite() = ResolveSuite(saved, result.bound);
-  // Restore the engine's suite regardless of outcome.
-  struct SuiteGuard {
-    core::VideoQueryEngine* engine;
-    models::ModelSuite saved;
-    ~SuiteGuard() { *engine->mutable_suite() = saved; }
-  } guard{engine, saved};
+  // Pin once: the whole statement — suite resolution and execution — sees
+  // one consistent catalog view, and USING overrides stay local to this
+  // statement instead of mutating (and racing on) the engine's suite.
+  const core::SnapshotPtr snapshot = engine->Pin();
+  const models::ModelSuite suite = ResolveSuite(snapshot->suite, result.bound);
 
   if (result.bound.ranked) {
     SVQ_ASSIGN_OR_RETURN(
         core::TopKResult topk,
-        engine->ExecuteTopK(result.bound.query, result.bound.video,
-                            static_cast<int>(result.bound.k)));
+        core::ExecuteTopKOn(snapshot, result.bound.query, result.bound.video,
+                            static_cast<int>(result.bound.k),
+                            core::OfflineAlgorithm::kRvaq,
+                            core::OfflineOptions(), context));
     result.topk = std::move(topk);
     return result;
   }
   SVQ_ASSIGN_OR_RETURN(
       core::OnlineResult online,
-      engine->ExecuteOnline(result.bound.query, result.bound.video));
+      core::ExecuteOnlineOn(snapshot, result.bound.query, result.bound.video,
+                            core::OnlineEngine::Mode::kSvaqd, context,
+                            &suite));
   result.online = std::move(online);
   return result;
 }

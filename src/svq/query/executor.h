@@ -19,12 +19,16 @@ struct StatementResult {
 };
 
 /// Parses, binds, and executes one dialect statement against the engine's
-/// video repository. `USING` model names (MaskRCNN, YOLOv3, I3D, Ideal)
-/// select the matching synthetic model profiles for this statement; other
-/// names fall back to the engine's configured suite. Ranked statements
-/// require the video to be ingested.
+/// video repository. The statement runs on a catalog snapshot pinned after
+/// binding, so concurrent ingests or suite swaps cannot affect it. `USING`
+/// model names (MaskRCNN, YOLOv3, I3D, Ideal) select the matching synthetic
+/// model profiles for this statement only — no shared engine state is
+/// touched; other names fall back to the snapshot's suite. Ranked
+/// statements require the video to be ingested. `context` carries the
+/// statement's deadline / cancellation / accounting sinks.
 Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
-                                         std::string_view statement);
+                                         std::string_view statement,
+                                         const ExecutionContext& context = {});
 
 }  // namespace svq::query
 

@@ -233,4 +233,28 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
   }
 }
 
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 const ExecutionContext* context) {
+  if (context == nullptr || !context->limited()) {
+    ParallelFor(pool, begin, end, grain, fn);
+    return;
+  }
+  // One shared latch: the first chunk that observes an expired context
+  // trips it, and every chunk scheduled afterwards returns immediately.
+  // Chunks already inside `fn` run to completion — cooperative early exit,
+  // not preemption.
+  std::atomic<bool> expired{false};
+  const std::function<void(int64_t, int64_t)> guarded =
+      [&](int64_t chunk_begin, int64_t chunk_end) {
+        if (expired.load(std::memory_order_relaxed)) return;
+        if (!context->Check().ok()) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
+        fn(chunk_begin, chunk_end);
+      };
+  ParallelFor(pool, begin, end, grain, guarded);
+}
+
 }  // namespace svq::runtime

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "svq/common/execution_context.h"
 #include "svq/runtime/runtime_options.h"
 
 namespace svq::runtime {
@@ -111,6 +112,18 @@ class ThreadPool {
 /// `pool` when it is non-null and has > 1 worker, inline otherwise.
 void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
+
+/// Context-aware variant: polls `context` before each chunk and skips every
+/// remaining chunk once it reports cancellation or deadline expiry, so an
+/// abandoned fan-out drains in O(chunks remaining) empty iterations instead
+/// of running its full workload. The call still returns normally (chunks
+/// either ran fully or not at all); callers observe the outcome by
+/// re-checking `context->Check()` after the barrier, exactly like the
+/// sequential paths do. A null or unlimited context degrades to the plain
+/// overload with zero per-chunk cost.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 const ExecutionContext* context);
 
 }  // namespace svq::runtime
 

@@ -1,0 +1,180 @@
+// Corruption-path tests of OpenIngestedVideo: every broken on-disk state —
+// truncated manifest, missing table file, garbage bytes in a table or a
+// sequence store — must surface as a clean Corruption/IOError status, never
+// a crash or a silently wrong IngestedVideo. Each test ingests a small
+// video to a fresh temp directory, damages exactly one artifact, and
+// reopens.
+
+#include "svq/core/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "svq/models/synthetic_models.h"
+
+namespace svq::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const video::SyntheticVideo> MakeVideo(uint64_t seed = 8) {
+  video::SyntheticVideoSpec spec;
+  spec.name = "corruption_test";
+  spec.num_frames = 16000;
+  spec.seed = seed;
+  spec.actions.push_back({"smoking", 400.0, 4800.0});
+  video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.85;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 3000.0;
+  spec.objects.push_back(cup);
+  auto video = video::SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+/// Ingests MakeVideo() to a fresh disk-backed directory and returns it.
+/// The directory reopens cleanly until a test damages it.
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("svq_corruption_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    IngestOptions options;
+    options.backend = IngestOptions::TableBackend::kDisk;
+    options.directory = dir_;
+    auto video = MakeVideo();
+    models::ModelSet models =
+        models::MakeModelSet(video, models::MaskRcnnI3dSuite(), {}, {});
+    auto ingested = IngestVideo(video, 1, models.tracker.get(),
+                                models.recognizer.get(), options);
+    ASSERT_TRUE(ingested.ok()) << ingested.status();
+    ASSERT_TRUE(OpenIngestedVideo(dir_).ok());
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Keeps only the first `bytes` bytes of `filename`.
+  void Truncate(const std::string& filename, uint64_t bytes) {
+    std::error_code ec;
+    fs::resize_file(fs::path(dir_) / filename, bytes, ec);
+    ASSERT_FALSE(ec) << ec.message();
+  }
+
+  /// Replaces `filename`'s contents with arbitrary non-format bytes.
+  void FillWithGarbage(const std::string& filename) {
+    std::ofstream out(fs::path(dir_) / filename,
+                      std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    const std::string junk(128, '\x5a');
+    out << junk;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CorruptionTest, MissingDirectoryIsIOError) {
+  auto result = OpenIngestedVideo(dir_ + "/does_not_exist");
+  EXPECT_TRUE(result.status().IsIOError()) << result.status();
+}
+
+TEST_F(CorruptionTest, MissingManifestIsIOError) {
+  fs::remove(fs::path(dir_) / "manifest.svqm");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsIOError()) << result.status();
+}
+
+TEST_F(CorruptionTest, BadManifestMagicIsCorruption) {
+  FillWithGarbage("manifest.svqm");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, ManifestTruncatedAfterMagicIsCorruption) {
+  // Keep the 4-byte magic plus a sliver of the header: the fixed fields
+  // can no longer be read in full.
+  Truncate("manifest.svqm", 6);
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, ManifestTruncatedInLabelListIsCorruption) {
+  // Cut the manifest just short of its full size: the fixed header still
+  // parses but a label list read runs off the end.
+  const auto full = fs::file_size(fs::path(dir_) / "manifest.svqm");
+  ASSERT_GT(full, 4u);
+  Truncate("manifest.svqm", full - 3);
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, EmptyManifestIsCorruption) {
+  Truncate("manifest.svqm", 0);
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, MissingObjectTableIsIOError) {
+  fs::remove(fs::path(dir_) / "obj_cup.svqt");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsIOError()) << result.status();
+}
+
+TEST_F(CorruptionTest, MissingActionTableIsIOError) {
+  fs::remove(fs::path(dir_) / "act_smoking.svqt");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsIOError()) << result.status();
+}
+
+TEST_F(CorruptionTest, GarbageObjectTableIsCorruption) {
+  FillWithGarbage("obj_cup.svqt");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, TruncatedActionTableIsCorruption) {
+  const auto full = fs::file_size(fs::path(dir_) / "act_smoking.svqt");
+  ASSERT_GT(full, 8u);
+  Truncate("act_smoking.svqt", full / 2);
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, MissingSequenceStoreIsIOError) {
+  fs::remove(fs::path(dir_) / "object_sequences.svqs");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsIOError()) << result.status();
+}
+
+TEST_F(CorruptionTest, GarbageSequenceStoreIsCorruption) {
+  FillWithGarbage("action_sequences.svqs");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, IntactDirectoryStillReopensAfterTests) {
+  // Control: the fixture itself is sound, so the failures above are caused
+  // by the damage each test inflicts, not by the setup.
+  auto result = OpenIngestedVideo(dir_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->name, "corruption_test");
+  EXPECT_NE(result->ObjectTable("cup"), nullptr);
+  EXPECT_NE(result->ActionTable("smoking"), nullptr);
+}
+
+}  // namespace
+}  // namespace svq::core

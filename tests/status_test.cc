@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 
 namespace svq {
@@ -23,11 +26,62 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal);
-       ++code) {
+  for (int code = 0;
+       code <= static_cast<int>(StatusCode::kDeadlineExceeded); ++code) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
                  "Unknown");
   }
+}
+
+TEST(StatusTest, TerminationCodes) {
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
+
+  Status expired = Status::DeadlineExceeded("too slow");
+  EXPECT_TRUE(expired.IsDeadlineExceeded());
+  EXPECT_FALSE(expired.IsCancelled());
+  EXPECT_EQ(expired.ToString(), "Deadline exceeded: too slow");
+}
+
+TEST(ExecutionContextTest, DefaultIsUnlimited) {
+  ExecutionContext context;
+  EXPECT_FALSE(context.limited());
+  EXPECT_FALSE(context.has_deadline());
+  EXPECT_TRUE(context.Check().ok());
+}
+
+TEST(ExecutionContextTest, DeadlineExpires) {
+  auto past = ExecutionContext::WithDeadline(
+      ExecutionContext::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.limited());
+  EXPECT_TRUE(past.Check().IsDeadlineExceeded());
+
+  auto future = ExecutionContext::WithTimeout(std::chrono::hours(1));
+  EXPECT_TRUE(future.limited());
+  EXPECT_TRUE(future.Check().ok());
+}
+
+TEST(ExecutionContextTest, CancellationFires) {
+  CancellationSource source;
+  ExecutionContext context;
+  context.set_cancellation(source.token());
+  EXPECT_TRUE(context.limited());
+  EXPECT_TRUE(context.Check().ok());
+  source.Cancel();
+  EXPECT_TRUE(context.Check().IsCancelled());
+  // Cancellation wins over an expired deadline.
+  context.set_deadline(ExecutionContext::Clock::now() -
+                       std::chrono::seconds(1));
+  EXPECT_TRUE(context.Check().IsCancelled());
+}
+
+TEST(ExecutionContextTest, DetachedTokenNeverFires) {
+  CancellationToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.cancelled());
 }
 
 Status FailIfNegative(int x) {
