@@ -1,0 +1,144 @@
+// svqd serving throughput over loopback TCP: QPS and latency at 1/2/4/8
+// closed-loop wire clients against an in-process server, the network-layer
+// counterpart of bench_concurrent_queries (which measures the same workload
+// without the socket, framing, and admission layers — the delta between the
+// two is the serving overhead). Results land in BENCH_server_throughput.json.
+//
+// Expected shape: at equal client counts QPS tracks the in-process bench
+// closely — one query costs milliseconds of engine work against tens of
+// microseconds of framing — and p99 grows once clients exceed
+// max_in_flight, as the tail waits in the admission queue.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "svq/core/engine.h"
+#include "svq/server/client.h"
+#include "svq/server/server.h"
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<const svq::video::SyntheticVideo> MakeVideo(int index,
+                                                            double scale) {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "serving_" + std::to_string(index);
+  spec.num_frames = static_cast<int64_t>(120000 * scale);
+  spec.seed = 9100 + static_cast<uint64_t>(index);
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  svq::video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  return svq::benchutil::ValueOrDie(
+      svq::video::SyntheticVideo::Generate(spec), "video generation");
+}
+
+std::string Statement(int video) {
+  return "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS serving_" +
+         std::to_string(video) +
+         " PRODUCE clipID, obj USING ObjectDetector, act USING "
+         "ActionRecognizer) WHERE act='smoking' AND obj.include('cup') "
+         "ORDER BY RANK(act, obj) LIMIT 5";
+}
+
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[rank];
+}
+
+}  // namespace
+
+int main() {
+  using namespace svq::benchutil;
+  const double scale = ScaleFromEnv(0.25);
+  constexpr int kNumVideos = 4;
+  constexpr int kQueriesPerClient = 24;
+  const std::vector<int> kClientCounts = {1, 2, 4, 8};
+
+  PrintTitle("svqd serving throughput: QPS and latency vs wire clients");
+  PrintNote("scale=" + std::to_string(scale) + ", videos=" +
+            std::to_string(kNumVideos) + ", queries/client=" +
+            std::to_string(kQueriesPerClient) + ", loopback TCP");
+  BenchJson json("server_throughput");
+
+  svq::core::VideoQueryEngine engine;
+  for (int i = 0; i < kNumVideos; ++i) {
+    CheckOk(engine.AddVideo(MakeVideo(i, scale)).status(), "AddVideo");
+  }
+  CheckOk(engine.IngestAll(), "IngestAll");
+
+  svq::server::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.max_in_flight = 4;
+  options.max_queue = 64;  // closed-loop clients never overflow this
+  svq::server::Server server(&engine, options);
+  CheckOk(server.Start(), "server Start");
+
+  for (const int clients : kClientCounts) {
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    const double start = NowMs();
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c]() {
+        svq::server::Client client;
+        CheckOk(client.Connect("127.0.0.1", server.port()),
+                "client Connect");
+        std::vector<double>& mine = latencies[static_cast<size_t>(c)];
+        mine.reserve(kQueriesPerClient);
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const double begin = NowMs();
+          auto response = client.Execute(Statement((c + q) % kNumVideos));
+          mine.push_back(NowMs() - begin);
+          CheckOk(response.status(), "Execute transport");
+          CheckOk(response->status, "query");
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double wall_ms = NowMs() - start;
+
+    std::vector<double> all;
+    for (const std::vector<double>& batch : latencies) {
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double total = static_cast<double>(all.size());
+    const double qps = wall_ms > 0.0 ? total / (wall_ms / 1000.0) : 0.0;
+    const double p50 = Percentile(all, 0.50);
+    const double p99 = Percentile(all, 0.99);
+
+    json.Record("qps", qps, "queries/s", clients);
+    json.Record("latency_p50", p50, "ms", clients);
+    json.Record("latency_p99", p99, "ms", clients);
+    std::printf("  %d client(s): %7.2f QPS   p50 %7.2f ms   p99 %7.2f ms\n",
+                clients, qps, p50, p99);
+  }
+
+  const svq::server::ServerStatsWire stats = server.Stats();
+  std::printf("  server: accepted=%lld ok=%lld rejected=%lld\n",
+              static_cast<long long>(stats.queries_accepted),
+              static_cast<long long>(stats.queries_ok),
+              static_cast<long long>(stats.queries_rejected));
+  server.Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 //
 // Run: ./build/examples/movie_search
 
+#include <chrono>
 #include <cstdio>
 
 #include "svq/core/engine.h"
@@ -98,14 +99,37 @@ int main() {
   }
 
   // A narrower ad-hoc query nobody anticipated at ingestion time: only one
-  // object predicate. The same materialized tables answer it.
+  // object predicate. The same materialized tables answer it. This one runs
+  // under an ExecutionContext with a deadline — the shape an interactive
+  // caller (or the svqd serving layer, docs/server.md) uses so a slow query
+  // returns an error instead of holding the session.
   svq::core::Query narrow;
   narrow.action = (*movies)[0].query.action;
   narrow.objects = {(*movies)[0].query.objects[0]};
-  std::printf("\nad-hoc query %s on %s:\n", narrow.ToString().c_str(),
-              (*movies)[0].name.c_str());
-  auto result = engine.ExecuteTopK(narrow, (*movies)[0].name, 3);
+  std::printf("\nad-hoc query %s on %s (10 s budget):\n",
+              narrow.ToString().c_str(), (*movies)[0].name.c_str());
+  svq::ExecutionContext context;
+  context.set_deadline(std::chrono::steady_clock::now() +
+                       std::chrono::seconds(10));
+  auto result = engine.ExecuteTopK(narrow, (*movies)[0].name, 3,
+                                   svq::core::OfflineAlgorithm::kRvaq,
+                                   svq::core::OfflineOptions(), context);
+  if (result.status().IsDeadlineExceeded()) {
+    std::printf("  query exceeded its budget (try a larger deadline)\n");
+    return 0;
+  }
   if (!result.ok()) return Fail(result.status());
   PrintResult("RVAQ", *result);
+
+  // An impossible deadline cancels cooperatively: the engine polls the
+  // context at clip/iterator granularity and unwinds with a clean status
+  // instead of running to completion.
+  svq::ExecutionContext expired;
+  expired.set_deadline(std::chrono::steady_clock::now());
+  auto cancelled = engine.ExecuteTopK(narrow, (*movies)[0].name, 3,
+                                      svq::core::OfflineAlgorithm::kRvaq,
+                                      svq::core::OfflineOptions(), expired);
+  std::printf("already-expired deadline -> %s\n",
+              cancelled.status().ToString().c_str());
   return 0;
 }

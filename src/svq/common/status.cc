@@ -1,5 +1,7 @@
 #include "svq/common/status.h"
 
+#include <cstdint>
+
 namespace svq {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -28,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }
@@ -40,6 +44,39 @@ std::string Status::ToString() const {
     out += message_;
   }
   return out;
+}
+
+void EncodeStatus(const Status& status, std::string* out) {
+  out->push_back(static_cast<char>(status.code()));
+  const uint32_t length = static_cast<uint32_t>(status.message().size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((length >> shift) & 0xff));
+  }
+  out->append(status.message());
+}
+
+Status DecodeStatus(std::string_view bytes, size_t* offset, Status* decoded) {
+  if (*offset + 5 > bytes.size()) {
+    return Status::Corruption("status encoding truncated");
+  }
+  const uint8_t raw_code = static_cast<uint8_t>(bytes[*offset]);
+  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption("unknown status code " +
+                              std::to_string(raw_code));
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(bytes[*offset + 1 + i]))
+              << (8 * i);
+  }
+  if (*offset + 5 + length > bytes.size()) {
+    return Status::Corruption("status message overruns buffer");
+  }
+  *decoded = Status(static_cast<StatusCode>(raw_code),
+                    std::string(bytes.substr(*offset + 5, length)));
+  *offset += 5 + static_cast<size_t>(length);
+  return Status::OK();
 }
 
 }  // namespace svq

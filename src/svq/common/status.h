@@ -1,8 +1,10 @@
 #ifndef SVQ_COMMON_STATUS_H_
 #define SVQ_COMMON_STATUS_H_
 
+#include <cstddef>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace svq {
@@ -23,6 +25,7 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -75,6 +78,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +97,12 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const {
+    return code_ == StatusCode::kUnimplemented;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;
@@ -103,6 +115,20 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// Appends a compact binary encoding of `status` to `out`: a one-byte code
+/// followed by a 32-bit little-endian message length and the message bytes.
+/// The encoding is self-delimiting, so statuses embed directly in larger
+/// wire frames (see svq/server/wire.h).
+void EncodeStatus(const Status& status, std::string* out);
+
+/// Decodes a status previously written by EncodeStatus starting at
+/// `*offset` in `bytes`; on success stores it in `*decoded` and advances
+/// `*offset` past the encoding. Returns non-OK (without touching `decoded`)
+/// when the buffer is truncated, the code byte is outside the known range,
+/// or the message length overruns the buffer — the inputs are untrusted
+/// network bytes.
+Status DecodeStatus(std::string_view bytes, size_t* offset, Status* decoded);
 
 /// Propagates a non-OK status to the caller. Use inside functions that
 /// return `Status` (or any type constructible from `Status`).

@@ -35,19 +35,19 @@ models::ModelSuite ResolveSuite(const models::ModelSuite& base,
 
 }  // namespace
 
-Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
-                                         std::string_view statement,
-                                         const ExecutionContext& context) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("engine must be set");
+Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
+                                           std::string_view statement,
+                                           const ExecutionContext& context,
+                                           const StatementOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be set");
   }
   StatementResult result;
   SVQ_ASSIGN_OR_RETURN(result.bound, ParseAndBind(statement));
 
-  // Pin once: the whole statement — suite resolution and execution — sees
-  // one consistent catalog view, and USING overrides stay local to this
-  // statement instead of mutating (and racing on) the engine's suite.
-  const core::SnapshotPtr snapshot = engine->Pin();
+  // The whole statement — suite resolution and execution — sees the one
+  // pinned catalog view, and USING overrides stay local to this statement
+  // instead of mutating (and racing on) any shared suite.
   const models::ModelSuite suite = ResolveSuite(snapshot->suite, result.bound);
 
   if (result.bound.ranked) {
@@ -55,18 +55,25 @@ Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
         core::TopKResult topk,
         core::ExecuteTopKOn(snapshot, result.bound.query, result.bound.video,
                             static_cast<int>(result.bound.k),
-                            core::OfflineAlgorithm::kRvaq,
-                            core::OfflineOptions(), context));
+                            options.algorithm, options.offline, context));
     result.topk = std::move(topk);
     return result;
   }
   SVQ_ASSIGN_OR_RETURN(
       core::OnlineResult online,
       core::ExecuteOnlineOn(snapshot, result.bound.query, result.bound.video,
-                            core::OnlineEngine::Mode::kSvaqd, context,
-                            &suite));
+                            options.online_mode, context, &suite));
   result.online = std::move(online);
   return result;
+}
+
+Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
+                                         std::string_view statement,
+                                         const ExecutionContext& context) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be set");
+  }
+  return ExecuteStatementOn(engine->Pin(), statement, context);
 }
 
 }  // namespace svq::query

@@ -18,14 +18,36 @@ struct StatementResult {
   std::optional<core::TopKResult> topk;
 };
 
-/// Parses, binds, and executes one dialect statement against the engine's
-/// video repository. The statement runs on a catalog snapshot pinned after
-/// binding, so concurrent ingests or suite swaps cannot affect it. `USING`
-/// model names (MaskRCNN, YOLOv3, I3D, Ideal) select the matching synthetic
-/// model profiles for this statement only — no shared engine state is
-/// touched; other names fall back to the snapshot's suite. Ranked
-/// statements require the video to be ingested. `context` carries the
-/// statement's deadline / cancellation / accounting sinks.
+/// Execution knobs a statement caller may set beyond the statement text.
+/// The server layer threads its shared runtime configuration through here;
+/// the defaults reproduce the historical single-threaded behavior.
+struct StatementOptions {
+  /// Options (cost model, runtime fan-out, skip toggle) for ranked
+  /// statements; ignored by streaming statements.
+  core::OfflineOptions offline;
+  /// Mode for streaming statements; ignored by ranked statements.
+  core::OnlineEngine::Mode online_mode = core::OnlineEngine::Mode::kSvaqd;
+  /// Algorithm for ranked statements.
+  core::OfflineAlgorithm algorithm = core::OfflineAlgorithm::kRvaq;
+};
+
+/// Parses, binds, and executes one dialect statement against an already
+/// pinned catalog snapshot — the serving-path entry point: a server pins
+/// the snapshot at request entry, so everything the request does (binding,
+/// USING suite resolution, execution) observes one consistent catalog view
+/// regardless of concurrent ingests. `USING` model names (MaskRCNN, YOLOv3,
+/// I3D, Ideal) select the matching synthetic model profiles for this
+/// statement only — no shared state is touched; other names fall back to
+/// the snapshot's suite. Ranked statements require the video to be
+/// ingested. `context` carries the statement's deadline / cancellation /
+/// accounting sinks.
+Result<StatementResult> ExecuteStatementOn(
+    const core::SnapshotPtr& snapshot, std::string_view statement,
+    const ExecutionContext& context = {},
+    const StatementOptions& options = {});
+
+/// Convenience wrapper: pins the engine's current snapshot and delegates to
+/// ExecuteStatementOn.
 Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
                                          std::string_view statement,
                                          const ExecutionContext& context = {});

@@ -1,0 +1,131 @@
+#include "svq/server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace svq::server {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       std::chrono::milliseconds recv_timeout) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("invalid host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status(StatusCode::kIOError,
+                        "connect to " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(errno));
+    Close();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(recv_timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((recv_timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return Status::OK();
+}
+
+Status Client::SendAll(const std::string& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::RecvPayload(std::string* payload) {
+  for (;;) {
+    bool has_frame = false;
+    SVQ_RETURN_NOT_OK(assembler_.Next(payload, &has_frame));
+    if (has_frame) return Status::OK();
+    char buffer[65536];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      assembler_.Feed(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("receive timed out waiting for the server");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<QueryResponse> Client::Execute(const std::string& statement,
+                                      uint32_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  QueryRequest request;
+  request.request_id = next_request_id_++;
+  request.statement = statement;
+  request.timeout_ms = timeout_ms;
+  SVQ_RETURN_NOT_OK(SendAll(EncodeQueryRequest(request)));
+
+  std::string payload;
+  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kQueryResponse;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  if (type != MessageType::kQueryResponse) {
+    return Status::Corruption("expected a query response frame");
+  }
+  QueryResponse response;
+  SVQ_RETURN_NOT_OK(DecodeQueryResponse(&cursor, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response correlation id mismatch");
+  }
+  return response;
+}
+
+Result<ServerStatsWire> Client::GetStats() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  SVQ_RETURN_NOT_OK(SendAll(EncodeStatsRequest()));
+  std::string payload;
+  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsResponse;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  if (type != MessageType::kStatsResponse) {
+    return Status::Corruption("expected a stats response frame");
+  }
+  ServerStatsWire stats;
+  SVQ_RETURN_NOT_OK(DecodeStatsResponse(&cursor, &stats));
+  return stats;
+}
+
+}  // namespace svq::server

@@ -1,0 +1,80 @@
+#ifndef SVQ_SERVER_CLIENT_H_
+#define SVQ_SERVER_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "svq/common/result.h"
+#include "svq/server/wire.h"
+
+namespace svq::server {
+
+/// A blocking wire-level client for svqd. One connection, one outstanding
+/// request at a time (the protocol allows pipelining; this client does
+/// not). Not thread safe — use one Client per thread.
+///
+/// `Execute` returns the transport outcome as the Result's status and the
+/// *query* outcome inside QueryResponse::status: a query that the server
+/// rejected (kResourceExhausted) or expired (kDeadlineExceeded) is a
+/// successful round trip carrying a non-OK query status.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Movable: ownership of the connection transfers; the source is left
+  /// disconnected.
+  Client(Client&& other) noexcept
+      : fd_(other.fd_),
+        next_request_id_(other.next_request_id_),
+        assembler_(std::move(other.assembler_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      next_request_id_ = other.next_request_id_;
+      assembler_ = std::move(other.assembler_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to `host:port`. `recv_timeout` bounds every later receive so
+  /// a dead server surfaces as IOError instead of a hang; it must comfortably
+  /// exceed the longest query timeout you plan to issue.
+  Status Connect(const std::string& host, uint16_t port,
+                 std::chrono::milliseconds recv_timeout =
+                     std::chrono::milliseconds(120000));
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs one statement with a per-request timeout (0 = unlimited). The
+  /// timeout travels to the server and becomes the query's
+  /// ExecutionContext deadline.
+  Result<QueryResponse> Execute(const std::string& statement,
+                                uint32_t timeout_ms = 0);
+
+  /// The STATS verb: cumulative server counters and latency histograms.
+  Result<ServerStatsWire> GetStats();
+
+ private:
+  Status SendAll(const std::string& frame);
+  /// Receives exactly one complete frame payload.
+  Status RecvPayload(std::string* payload);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace svq::server
+
+#endif  // SVQ_SERVER_CLIENT_H_

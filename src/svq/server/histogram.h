@@ -1,0 +1,48 @@
+#ifndef SVQ_SERVER_HISTOGRAM_H_
+#define SVQ_SERVER_HISTOGRAM_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "svq/server/wire.h"
+
+namespace svq::server {
+
+/// Thread-safe latency histogram with the wire's fixed power-of-two bucket
+/// layout (bucket i counts observations in [2^i, 2^(i+1)) µs; the last
+/// bucket absorbs everything larger). Record() is a single relaxed atomic
+/// increment, so worker threads on the hot response path never serialize on
+/// a stats lock; Snapshot() is a consistent-enough read for monitoring
+/// (individual buckets are exact, the total may trail by in-flight
+/// increments).
+class LatencyHistogram {
+ public:
+  void Record(double micros) {
+    int bucket = 0;
+    if (micros >= 1.0) {
+      bucket = static_cast<int>(std::log2(micros));
+      if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  WireHistogram Snapshot() const {
+    WireHistogram snapshot;
+    snapshot.count = count_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kLatencyBuckets; ++i) {
+      snapshot.buckets[static_cast<size_t>(i)] =
+          buckets_[i].load(std::memory_order_relaxed);
+    }
+    return snapshot;
+  }
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> buckets_[kLatencyBuckets] = {};
+};
+
+}  // namespace svq::server
+
+#endif  // SVQ_SERVER_HISTOGRAM_H_

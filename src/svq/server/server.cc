@@ -1,0 +1,540 @@
+#include "svq/server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "svq/query/executor.h"
+
+namespace svq::server {
+
+namespace {
+
+using Clock = ExecutionContext::Clock;
+
+double ElapsedMs(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+/// Converts one engine result into the wire representation. Streaming
+/// statements carry plain intervals; ranked statements carry certified
+/// score bounds and the storage/runtime accounting.
+void FillResponse(const query::StatementResult& statement,
+                  QueryResponse* response) {
+  if (statement.topk.has_value()) {
+    response->ranked = true;
+    for (const core::RankedSequence& sequence : statement.topk->sequences) {
+      response->sequences.push_back({sequence.clips.begin,
+                                     sequence.clips.end,
+                                     sequence.lower_bound,
+                                     sequence.upper_bound});
+    }
+    const core::OfflineRunStats& stats = statement.topk->stats;
+    response->metrics.sorted_accesses = stats.storage.sorted_accesses;
+    response->metrics.random_accesses = stats.storage.random_accesses;
+    response->metrics.sequential_reads = stats.storage.sequential_reads;
+    response->metrics.virtual_ms = stats.virtual_ms;
+    response->metrics.algorithm_ms = stats.algorithm_ms;
+    response->metrics.threads_used = stats.runtime.threads_used;
+    response->metrics.tasks_executed = stats.runtime.tasks_executed;
+    response->metrics.fanout_ms = stats.runtime.fanout_ms;
+    return;
+  }
+  if (statement.online.has_value()) {
+    for (const video::Interval& interval :
+         statement.online->sequences.intervals()) {
+      response->sequences.push_back({interval.begin, interval.end, 0.0, 0.0});
+    }
+    const core::OnlineStats& stats = statement.online->stats;
+    response->metrics.model_ms = stats.model_ms;
+    response->metrics.algorithm_ms = stats.algorithm_ms;
+    response->metrics.clips_processed = stats.clips_processed;
+  }
+}
+
+}  // namespace
+
+Server::Server(core::VideoQueryEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(std::chrono::milliseconds(0)); }
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (engine_ == nullptr) return Status::InvalidArgument("engine must be set");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status(StatusCode::kIOError,
+                        std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status status(StatusCode::kIOError,
+                        std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  started_ = true;
+  const int workers = std::max(1, options_.max_in_flight);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this]() { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::WakeIo() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 1;
+  // EAGAIN means a wake is already pending — exactly what we need.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// IO thread.
+
+void Server::IoLoop() {
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<ConnectionPtr> polled;
+    size_t listen_index = SIZE_MAX;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (draining_ && listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      if (stop_io_) {
+        bool pending = false;
+        for (const auto& [id, conn] : connections_) {
+          if (!conn->outbox.empty()) {
+            pending = true;
+            break;
+          }
+        }
+        if (!pending || Clock::now() >= io_flush_deadline_) break;
+      }
+      fds.push_back({wake_read_fd_, POLLIN, 0});
+      if (listen_fd_ >= 0) {
+        listen_index = fds.size();
+        fds.push_back({listen_fd_, POLLIN, 0});
+      }
+      for (const auto& [id, conn] : connections_) {
+        short events = POLLIN;
+        if (!conn->outbox.empty()) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+        polled.push_back(conn);
+      }
+    }
+    ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+
+    if (fds[0].revents & POLLIN) {
+      char scratch[256];
+      while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    if (listen_index != SIZE_MAX && (fds[listen_index].revents & POLLIN)) {
+      AcceptPending();
+    }
+    const size_t conn_base = fds.size() - polled.size();
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const ConnectionPtr& conn = polled[i];
+      const short revents = fds[conn_base + i].revents;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        ReadFromConnection(conn);
+      }
+      if (conn->fd >= 0) FlushConnection(conn);
+    }
+  }
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient error: try next poll round
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>(options_.max_frame_bytes);
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    connections_.emplace(conn->id, conn);
+    ++connections_opened_;
+  }
+}
+
+void Server::ReadFromConnection(const ConnectionPtr& conn) {
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->assembler.Feed(buffer, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buffer))) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or a hard error: the peer is gone.
+    CloseConnection(conn);
+    return;
+  }
+  for (;;) {
+    std::string payload;
+    bool has_frame = false;
+    const Status status = conn->assembler.Next(&payload, &has_frame);
+    if (!status.ok()) {
+      // Oversized frame: the stream cannot be resynchronized.
+      CloseConnection(conn);
+      return;
+    }
+    if (!has_frame) return;
+    HandlePayload(conn, payload);
+    if (conn->fd < 0) return;
+  }
+}
+
+void Server::HandlePayload(const ConnectionPtr& conn,
+                           const std::string& payload) {
+  const Clock::time_point received = Clock::now();
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kQueryRequest;
+  const Status header = DecodePayloadHeader(&cursor, &type);
+  if (!header.ok()) {
+    // Unknown version or type: answer once, then drop the connection — the
+    // peer speaks a different protocol.
+    QueryResponse response;
+    response.status = header;
+    std::lock_guard<std::mutex> lock(mu_);
+    SendLocked(conn, EncodeQueryResponse(response));
+    conn->close_after_flush = true;
+    return;
+  }
+  switch (type) {
+    case MessageType::kStatsRequest: {
+      std::string frame;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_requests_;
+        frame = EncodeStatsResponse(StatsLocked());
+        SendLocked(conn, std::move(frame));
+      }
+      stats_latency_.Record(ElapsedMs(received, Clock::now()) * 1000.0);
+      return;
+    }
+    case MessageType::kQueryRequest: {
+      QueryRequest request;
+      const Status decoded = DecodeQueryRequest(&cursor, &request);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!decoded.ok()) {
+        QueryResponse response;
+        response.request_id = request.request_id;
+        response.status = decoded;
+        SendLocked(conn, EncodeQueryResponse(response));
+        return;
+      }
+      AdmitLocked(conn, std::move(request));
+      return;
+    }
+    case MessageType::kQueryResponse:
+    case MessageType::kStatsResponse: {
+      // A response frame from a client is a protocol violation.
+      QueryResponse response;
+      response.status =
+          Status::InvalidArgument("response frames are server-to-client");
+      std::lock_guard<std::mutex> lock(mu_);
+      SendLocked(conn, EncodeQueryResponse(response));
+      conn->close_after_flush = true;
+      return;
+    }
+  }
+}
+
+void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request) {
+  auto reject = [&](std::string why) {
+    ++queries_rejected_;
+    QueryResponse response;
+    response.request_id = request.request_id;
+    response.status = Status::ResourceExhausted(std::move(why));
+    SendLocked(conn, EncodeQueryResponse(response));
+  };
+  if (draining_) {
+    reject("server draining, not accepting new queries");
+    return;
+  }
+  if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+    reject("admission queue full (" + std::to_string(options_.max_in_flight) +
+           " in flight + " + std::to_string(options_.max_queue) +
+           " queued); retry later");
+    return;
+  }
+  ++queries_accepted_;
+  PendingQuery pending;
+  pending.internal_id = next_query_id_++;
+  pending.connection_id = conn->id;
+  pending.admitted_at = Clock::now();
+  if (request.timeout_ms > 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.admitted_at + std::chrono::milliseconds(request.timeout_ms);
+  }
+  // Pin the catalog at request entry: everything this query observes —
+  // binding, USING resolution, execution — is the catalog as of this
+  // moment, no matter how long it waits in the queue or what writers do
+  // meanwhile.
+  pending.snapshot = engine_->Pin();
+  conn->inflight.emplace(pending.internal_id, pending.cancel);
+  pending.request = std::move(request);
+  queue_.push_back(std::move(pending));
+  work_cv_.notify_one();
+}
+
+void Server::SendLocked(const ConnectionPtr& conn, std::string frame) {
+  if (conn->fd < 0) return;
+  conn->outbox.push_back(std::move(frame));
+  WakeIo();
+}
+
+void Server::FlushConnection(const ConnectionPtr& conn) {
+  bool should_close = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!conn->outbox.empty()) {
+      const std::string& front = conn->outbox.front();
+      const ssize_t n =
+          ::send(conn->fd, front.data() + conn->write_offset,
+                 front.size() - conn->write_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->write_offset += static_cast<size_t>(n);
+        if (conn->write_offset == front.size()) {
+          conn->outbox.pop_front();
+          conn->write_offset = 0;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      should_close = true;
+      break;
+    }
+    if (!should_close && conn->outbox.empty() && conn->close_after_flush) {
+      should_close = true;
+    }
+  }
+  if (should_close) CloseConnection(conn);
+}
+
+void Server::CloseConnection(const ConnectionPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A vanished client abandons its queries: fire their cancellation so
+    // in-flight work unwinds instead of computing a result nobody reads.
+    for (auto& [id, source] : conn->inflight) source.Cancel();
+    conn->inflight.clear();
+    connections_.erase(conn->id);
+  }
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers.
+
+void Server::WorkerLoop() {
+  for (;;) {
+    PendingQuery pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this]() { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_workers_ with a drained queue
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    const Clock::time_point exec_begin = Clock::now();
+    const double queue_ms = ElapsedMs(pending.admitted_at, exec_begin);
+
+    ExecutionContext context;
+    if (pending.has_deadline) context.set_deadline(pending.deadline);
+    context.set_cancellation(pending.cancel.token());
+    query::StatementOptions statement_options;
+    statement_options.offline.runtime.num_threads = options_.threads_per_query;
+
+    const Result<query::StatementResult> result = query::ExecuteStatementOn(
+        pending.snapshot, pending.request.statement, context,
+        statement_options);
+
+    QueryResponse response;
+    response.request_id = pending.request.request_id;
+    response.status = result.status();
+    if (result.ok()) FillResponse(*result, &response);
+    const double exec_ms = ElapsedMs(exec_begin, Clock::now());
+    response.metrics.server_queue_ms = queue_ms;
+    response.metrics.server_exec_ms = exec_ms;
+    std::string frame = EncodeQueryResponse(response);
+    query_latency_.Record((queue_ms + exec_ms) * 1000.0);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      switch (response.status.code()) {
+        case StatusCode::kOk:
+          ++queries_ok_;
+          break;
+        case StatusCode::kCancelled:
+          ++queries_cancelled_;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++queries_deadline_exceeded_;
+          break;
+        default:
+          ++queries_failed_;
+          break;
+      }
+      auto it = connections_.find(pending.connection_id);
+      if (it != connections_.end()) {
+        it->second->inflight.erase(pending.internal_id);
+        SendLocked(it->second, std::move(frame));
+      }
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle + stats.
+
+void Server::Shutdown(std::chrono::milliseconds drain_timeout) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_ || shut_down_) return;
+    draining_ = true;
+  }
+  WakeIo();  // the IO loop closes the listen socket on its next pass
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Give admitted queries the drain budget to finish on their own.
+    drain_cv_.wait_for(lock, drain_timeout, [this]() {
+      return queue_.empty() && in_flight_ == 0;
+    });
+    // Budget exhausted: cancel the backlog with an explicit response ...
+    while (!queue_.empty()) {
+      PendingQuery pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++queries_cancelled_;
+      QueryResponse response;
+      response.request_id = pending.request.request_id;
+      response.status = Status::Cancelled("server shutting down");
+      auto it = connections_.find(pending.connection_id);
+      if (it != connections_.end()) {
+        it->second->inflight.erase(pending.internal_id);
+        SendLocked(it->second, EncodeQueryResponse(response));
+      }
+    }
+    // ... and fire cancellation on everything still executing; the engine
+    // polls its context cooperatively, so workers unwind promptly.
+    for (const auto& [id, conn] : connections_) {
+      for (auto& [qid, source] : conn->inflight) source.Cancel();
+    }
+    drain_cv_.wait(lock, [this]() { return in_flight_ == 0; });
+    stop_workers_ = true;
+    stop_io_ = true;
+    io_flush_deadline_ = Clock::now() + std::chrono::seconds(1);
+    shut_down_ = true;
+  }
+  work_cv_.notify_all();
+  WakeIo();
+  for (std::thread& worker : workers_) worker.join();
+  if (io_thread_.joinable()) io_thread_.join();
+  // The IO thread has exited: sockets are single-owner again.
+  for (const auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+ServerStatsWire Server::StatsLocked() const {
+  ServerStatsWire stats;
+  stats.queries_accepted = queries_accepted_;
+  stats.queries_rejected = queries_rejected_;
+  stats.queries_ok = queries_ok_;
+  stats.queries_failed = queries_failed_;
+  stats.queries_cancelled = queries_cancelled_;
+  stats.queries_deadline_exceeded = queries_deadline_exceeded_;
+  stats.stats_requests = stats_requests_;
+  stats.connections_opened = connections_opened_;
+  stats.connections_open = static_cast<int64_t>(connections_.size());
+  stats.queue_depth = static_cast<int64_t>(queue_.size());
+  stats.in_flight = in_flight_;
+  stats.query_latency = query_latency_.Snapshot();
+  stats.stats_latency = stats_latency_.Snapshot();
+  return stats;
+}
+
+ServerStatsWire Server::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
+}  // namespace svq::server

@@ -1,0 +1,185 @@
+#ifndef SVQ_SERVER_SERVER_H_
+#define SVQ_SERVER_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svq/common/execution_context.h"
+#include "svq/common/status.h"
+#include "svq/core/engine.h"
+#include "svq/server/histogram.h"
+#include "svq/server/wire.h"
+
+namespace svq::server {
+
+/// Tunables of one svqd instance.
+struct ServerOptions {
+  /// Address to bind; loopback by default (svqd is not an internet-facing
+  /// daemon — put a real proxy in front of it).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 64;
+  /// Admission control: queries executing concurrently (also the worker
+  /// thread count) ...
+  int max_in_flight = 4;
+  /// ... plus at most this many queued behind them; anything beyond is
+  /// rejected with kResourceExhausted instead of queueing unboundedly.
+  int max_queue = 16;
+  /// Per-query engine fan-out (OfflineOptions::runtime.num_threads). The
+  /// default keeps each query sequential and lets concurrency come from
+  /// many requests; raise it on big machines serving few fat queries.
+  int threads_per_query = 1;
+  /// Frames above this are a protocol error and drop the connection.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// A poll-based TCP server exposing a VideoQueryEngine over the svqd wire
+/// protocol (docs/server.md).
+///
+/// Threading model: one IO thread owns every socket (accept, frame
+/// assembly, response writes) and `max_in_flight` worker threads execute
+/// admitted queries. A request is pinned to a catalog snapshot at entry —
+/// on the IO thread, before it ever waits in the admission queue — so the
+/// results a client sees correspond to the catalog as of request arrival,
+/// exactly like an in-process ExecuteTopKOn caller. The client's
+/// timeout_ms becomes the query's ExecutionContext deadline, so an expired
+/// request unwinds server-side (cooperatively, within one clip / iterator
+/// step) instead of burning a worker; a client that disconnects mid-query
+/// fires the query's CancellationSource the same way.
+///
+/// Shutdown(drain) implements graceful drain: stop accepting connections,
+/// reject new queries with kResourceExhausted, let in-flight queries finish
+/// within the drain budget, cancel whatever remains, flush responses, then
+/// exit. The svqd binary wires SIGINT/SIGTERM to exactly this.
+class Server {
+ public:
+  /// `engine` is borrowed and must outlive the server.
+  Server(core::VideoQueryEngine* engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the IO + worker threads. Errors: IOError
+  /// (socket/bind failures), FailedPrecondition (already started).
+  Status Start();
+
+  /// The bound port (valid after Start; resolves port 0 requests).
+  uint16_t port() const { return bound_port_; }
+
+  /// Graceful drain, then stop. Safe to call more than once.
+  void Shutdown(std::chrono::milliseconds drain_timeout =
+                    std::chrono::milliseconds(5000));
+
+  /// Cumulative counters + gauges + per-verb latency histograms — the same
+  /// payload the STATS verb returns.
+  ServerStatsWire Stats() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameAssembler assembler;
+    /// Encoded response frames awaiting the socket, oldest first; the
+    /// front may be partially written (write_offset into it).
+    std::deque<std::string> outbox;
+    size_t write_offset = 0;
+    bool close_after_flush = false;
+    /// Cancellation handles of this connection's admitted-but-unfinished
+    /// queries, keyed by internal query id; fired on disconnect.
+    std::map<uint64_t, CancellationSource> inflight;
+
+    explicit Connection(size_t max_frame_bytes)
+        : assembler(max_frame_bytes) {}
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct PendingQuery {
+    uint64_t internal_id = 0;
+    uint64_t connection_id = 0;
+    QueryRequest request;
+    core::SnapshotPtr snapshot;
+    bool has_deadline = false;
+    ExecutionContext::Clock::time_point deadline{};
+    CancellationSource cancel;
+    ExecutionContext::Clock::time_point admitted_at{};
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+
+  /// IO-thread helpers. All take mu_ themselves where shared state is
+  /// touched; socket reads/writes happen outside the lock.
+  void AcceptPending();
+  void ReadFromConnection(const ConnectionPtr& conn);
+  void FlushConnection(const ConnectionPtr& conn);
+  void CloseConnection(const ConnectionPtr& conn);
+  void HandlePayload(const ConnectionPtr& conn, const std::string& payload);
+  /// Admission control for one decoded QUERY request (mu_ held by caller).
+  void AdmitLocked(const ConnectionPtr& conn, QueryRequest request);
+
+  /// Queues an encoded frame on `conn` (mu_ held by caller) — the IO loop
+  /// flushes it on the next POLLOUT.
+  void SendLocked(const ConnectionPtr& conn, std::string frame);
+  void WakeIo();
+
+  ServerStatsWire StatsLocked() const;
+
+  core::VideoQueryEngine* const engine_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  /// Serializes Start/Shutdown against each other (mu_ cannot be held
+  /// across thread joins).
+  std::mutex lifecycle_mu_;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue_ or stop_workers_
+  std::condition_variable drain_cv_;  // Shutdown: queue empty + idle
+  std::map<uint64_t, ConnectionPtr> connections_;
+  std::deque<PendingQuery> queue_;
+  uint64_t next_connection_id_ = 1;
+  uint64_t next_query_id_ = 1;
+  int in_flight_ = 0;
+  bool draining_ = false;
+  bool stop_workers_ = false;
+  bool stop_io_ = false;
+  ExecutionContext::Clock::time_point io_flush_deadline_{};
+
+  // Cumulative counters (guarded by mu_).
+  int64_t queries_accepted_ = 0;
+  int64_t queries_rejected_ = 0;
+  int64_t queries_ok_ = 0;
+  int64_t queries_failed_ = 0;
+  int64_t queries_cancelled_ = 0;
+  int64_t queries_deadline_exceeded_ = 0;
+  int64_t stats_requests_ = 0;
+  int64_t connections_opened_ = 0;
+
+  // Lock-free: recorded on the worker hot path.
+  LatencyHistogram query_latency_;
+  LatencyHistogram stats_latency_;
+};
+
+}  // namespace svq::server
+
+#endif  // SVQ_SERVER_SERVER_H_

@@ -1,0 +1,142 @@
+// svq_client — wire-level CLI for svqd: runs one statement (or the STATS
+// verb) against a running daemon and prints the outcome.
+//
+//   ./build/svq_client --port 7331 "SELECT ..."          run a statement
+//   ./build/svq_client --port 7331 --timeout-ms 50 "..."  with a deadline
+//   ./build/svq_client --port 7331 --stats                server counters
+//
+// Exit codes: 0 = query OK; 2 = the server answered with a non-OK query
+// status (printed); 1 = usage or transport error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "svq/server/client.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host A] [--port N] [--timeout-ms N] "
+               "(--stats | \"<statement>\")\n",
+               argv0);
+  return 1;
+}
+
+void PrintHistogram(const char* verb,
+                    const svq::server::WireHistogram& histogram) {
+  std::printf("  %-6s count=%lld p50=%.1fms p99=%.1fms\n", verb,
+              static_cast<long long>(histogram.count),
+              histogram.PercentileMicros(0.50) / 1000.0,
+              histogram.PercentileMicros(0.99) / 1000.0);
+}
+
+int RunStats(svq::server::Client& client) {
+  auto stats = client.GetStats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "svq_client: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("server stats:\n");
+  std::printf("  accepted=%lld rejected=%lld ok=%lld failed=%lld "
+              "cancelled=%lld deadline_exceeded=%lld\n",
+              static_cast<long long>(stats->queries_accepted),
+              static_cast<long long>(stats->queries_rejected),
+              static_cast<long long>(stats->queries_ok),
+              static_cast<long long>(stats->queries_failed),
+              static_cast<long long>(stats->queries_cancelled),
+              static_cast<long long>(stats->queries_deadline_exceeded));
+  std::printf("  connections: open=%lld opened=%lld   queue_depth=%lld "
+              "in_flight=%lld   stats_requests=%lld\n",
+              static_cast<long long>(stats->connections_open),
+              static_cast<long long>(stats->connections_opened),
+              static_cast<long long>(stats->queue_depth),
+              static_cast<long long>(stats->in_flight),
+              static_cast<long long>(stats->stats_requests));
+  PrintHistogram("QUERY", stats->query_latency);
+  PrintHistogram("STATS", stats->stats_latency);
+  return 0;
+}
+
+int RunQuery(svq::server::Client& client, const std::string& statement,
+             uint32_t timeout_ms) {
+  auto response = client.Execute(statement, timeout_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "svq_client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->status.ok()) {
+    std::printf("query failed: %s\n", response->status.ToString().c_str());
+    return 2;
+  }
+  std::printf("%s result: %zu sequence(s)\n",
+              response->ranked ? "ranked" : "streaming",
+              response->sequences.size());
+  for (const auto& sequence : response->sequences) {
+    if (response->ranked) {
+      std::printf("  clips [%lld, %lld]  score=[%.2f, %.2f]\n",
+                  static_cast<long long>(sequence.begin),
+                  static_cast<long long>(sequence.end - 1),
+                  sequence.lower_bound, sequence.upper_bound);
+    } else {
+      std::printf("  clips [%lld, %lld]\n",
+                  static_cast<long long>(sequence.begin),
+                  static_cast<long long>(sequence.end - 1));
+    }
+  }
+  const auto& m = response->metrics;
+  std::printf("  server: %.2f ms queued + %.2f ms executing\n",
+              m.server_queue_ms, m.server_exec_ms);
+  if (response->ranked) {
+    std::printf("  engine: %lld random + %lld sorted accesses, "
+                "%.0f ms virtual disk, %d thread(s)\n",
+                static_cast<long long>(m.random_accesses),
+                static_cast<long long>(m.sorted_accesses), m.virtual_ms,
+                static_cast<int>(m.threads_used));
+  } else {
+    std::printf("  engine: %lld clips, %.0f ms simulated inference\n",
+                static_cast<long long>(m.clips_processed), m.model_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t timeout_ms = 0;
+  bool stats = false;
+  std::string statement;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      host = value;
+    } else if (arg == "--port" && (value = next())) {
+      port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--timeout-ms" && (value = next())) {
+      timeout_ms = static_cast<uint32_t>(std::atol(value));
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (!arg.empty() && arg[0] != '-' && statement.empty()) {
+      statement = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port == 0 || (statement.empty() && !stats)) return Usage(argv[0]);
+
+  svq::server::Client client;
+  if (auto status = client.Connect(host, port); !status.ok()) {
+    std::fprintf(stderr, "svq_client: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return stats ? RunStats(client) : RunQuery(client, statement, timeout_ms);
+}

@@ -1,0 +1,173 @@
+// svqd — the SVQ-ACT network daemon: serves the dialect over the wire
+// protocol of docs/server.md, with admission control, per-request deadlines,
+// and graceful drain on SIGINT/SIGTERM.
+//
+// The daemon registers and ingests a synthetic demo repository at startup
+// (videos `serving_0..N-1`, action 'smoking' correlated with object 'cup'),
+// the same workload the serving benches use, so a fresh checkout can run a
+// server + client pair with zero external data.
+//
+// Run:   ./build/svqd --port 0 --videos 2 --scale 0.25
+// Query: ./build/svq_client --port <bound port>
+//          "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS serving_0
+//           PRODUCE clipID, obj USING ObjectDetector, act USING
+//           ActionRecognizer) WHERE act='smoking' AND obj.include('cup')
+//           ORDER BY RANK(act, obj) LIMIT 3"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "svq/core/engine.h"
+#include "svq/server/server.h"
+#include "svq/video/synthetic_video.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+svq::Result<std::shared_ptr<const svq::video::SyntheticVideo>> MakeVideo(
+    int index, double scale) {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "serving_" + std::to_string(index);
+  spec.num_frames = static_cast<int64_t>(120000 * scale);
+  spec.seed = 9100 + static_cast<uint64_t>(index);
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  svq::video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  return svq::video::SyntheticVideo::Generate(spec);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host A] [--port N] [--videos N] [--scale S]\n"
+      "          [--max-in-flight N] [--max-queue N] [--max-connections N]\n"
+      "          [--threads-per-query N] [--port-file PATH] [--drain-ms N]\n",
+      argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svq::server::ServerOptions options;
+  int videos = 2;
+  double scale = 0.25;
+  int drain_ms = 5000;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      options.bind_address = value;
+    } else if (arg == "--port" && (value = next())) {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--videos" && (value = next())) {
+      videos = std::atoi(value);
+    } else if (arg == "--scale" && (value = next())) {
+      scale = std::atof(value);
+    } else if (arg == "--max-in-flight" && (value = next())) {
+      options.max_in_flight = std::atoi(value);
+    } else if (arg == "--max-queue" && (value = next())) {
+      options.max_queue = std::atoi(value);
+    } else if (arg == "--max-connections" && (value = next())) {
+      options.max_connections = std::atoi(value);
+    } else if (arg == "--threads-per-query" && (value = next())) {
+      options.threads_per_query = std::atoi(value);
+    } else if (arg == "--port-file" && (value = next())) {
+      port_file = value;
+    } else if (arg == "--drain-ms" && (value = next())) {
+      drain_ms = std::atoi(value);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  svq::core::VideoQueryEngine engine;
+  std::printf("svqd: ingesting %d demo video(s) at scale %.2f ...\n", videos,
+              scale);
+  std::fflush(stdout);
+  for (int i = 0; i < videos; ++i) {
+    auto video = MakeVideo(i, scale);
+    if (!video.ok()) {
+      std::fprintf(stderr, "svqd: video generation failed: %s\n",
+                   video.status().ToString().c_str());
+      return 1;
+    }
+    if (auto id = engine.AddVideo(*video); !id.ok()) {
+      std::fprintf(stderr, "svqd: AddVideo failed: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto status = engine.IngestAll(); !status.ok()) {
+    std::fprintf(stderr, "svqd: ingest failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  svq::server::Server server(&engine, options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "svqd: start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("svqd: listening on %s:%u (%d in flight, %d queued)\n",
+              options.bind_address.c_str(), server.port(),
+              options.max_in_flight, options.max_queue);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+  }
+
+  // Graceful drain on SIGINT/SIGTERM via the self-pipe trick: the handler
+  // only writes a byte; the main thread does the actual shutdown.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "svqd: pipe failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("svqd: signal received, draining (budget %d ms) ...\n",
+              drain_ms);
+  std::fflush(stdout);
+  server.Shutdown(std::chrono::milliseconds(drain_ms));
+  const svq::server::ServerStatsWire stats = server.Stats();
+  std::printf("svqd: drained. accepted=%lld ok=%lld rejected=%lld "
+              "cancelled=%lld deadline_exceeded=%lld failed=%lld\n",
+              static_cast<long long>(stats.queries_accepted),
+              static_cast<long long>(stats.queries_ok),
+              static_cast<long long>(stats.queries_rejected),
+              static_cast<long long>(stats.queries_cancelled),
+              static_cast<long long>(stats.queries_deadline_exceeded),
+              static_cast<long long>(stats.queries_failed));
+  return 0;
+}

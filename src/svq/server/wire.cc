@@ -1,0 +1,345 @@
+#include "svq/server/wire.h"
+
+#include <bit>
+#include <cmath>
+
+namespace svq::server {
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+void AppendU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void AppendI64(std::string* out, int64_t value) {
+  AppendU64(out, static_cast<uint64_t>(value));
+}
+
+void AppendF64(std::string* out, double value) {
+  AppendU64(out, std::bit_cast<uint64_t>(value));
+}
+
+void AppendString(std::string* out, std::string_view value) {
+  AppendU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+Status WireCursor::Need(size_t n) {
+  if (pos_ + n > bytes_.size()) {
+    return Status::Corruption("frame truncated: need " + std::to_string(n) +
+                              " bytes, have " +
+                              std::to_string(bytes_.size() - pos_));
+  }
+  return Status::OK();
+}
+
+Status WireCursor::ReadU8(uint8_t* value) {
+  SVQ_RETURN_NOT_OK(Need(1));
+  *value = static_cast<uint8_t>(bytes_[pos_++]);
+  return Status::OK();
+}
+
+Status WireCursor::ReadU32(uint32_t* value) {
+  SVQ_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *value = v;
+  return Status::OK();
+}
+
+Status WireCursor::ReadU64(uint64_t* value) {
+  SVQ_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *value = v;
+  return Status::OK();
+}
+
+Status WireCursor::ReadI64(int64_t* value) {
+  uint64_t raw = 0;
+  SVQ_RETURN_NOT_OK(ReadU64(&raw));
+  *value = static_cast<int64_t>(raw);
+  return Status::OK();
+}
+
+Status WireCursor::ReadF64(double* value) {
+  uint64_t raw = 0;
+  SVQ_RETURN_NOT_OK(ReadU64(&raw));
+  *value = std::bit_cast<double>(raw);
+  return Status::OK();
+}
+
+Status WireCursor::ReadString(std::string* value) {
+  uint32_t length = 0;
+  SVQ_RETURN_NOT_OK(ReadU32(&length));
+  SVQ_RETURN_NOT_OK(Need(length));
+  value->assign(bytes_.substr(pos_, length));
+  pos_ += length;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+double WireHistogram::BucketUpperMicros(int i) {
+  return std::ldexp(1.0, i + 1);
+}
+
+double WireHistogram::PercentileMicros(double p) const {
+  if (count <= 0) return 0.0;
+  const double target = p * static_cast<double>(count);
+  int64_t seen = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (static_cast<double>(seen) >= target) return BucketUpperMicros(i);
+  }
+  return BucketUpperMicros(kLatencyBuckets - 1);
+}
+
+namespace {
+
+void AppendHistogram(std::string* out, const WireHistogram& histogram) {
+  AppendI64(out, histogram.count);
+  AppendU32(out, static_cast<uint32_t>(kLatencyBuckets));
+  for (const int64_t bucket : histogram.buckets) AppendI64(out, bucket);
+}
+
+Status ReadHistogram(WireCursor* cursor, WireHistogram* histogram) {
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&histogram->count));
+  uint32_t buckets = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&buckets));
+  if (buckets != static_cast<uint32_t>(kLatencyBuckets)) {
+    return Status::Corruption("histogram bucket count mismatch");
+  }
+  histogram->buckets.assign(kLatencyBuckets, 0);
+  for (int64_t& bucket : histogram->buckets) {
+    SVQ_RETURN_NOT_OK(cursor->ReadI64(&bucket));
+  }
+  return Status::OK();
+}
+
+Status ExpectEnd(const WireCursor& cursor) {
+  if (!cursor.AtEnd()) {
+    return Status::Corruption("trailing bytes after message body");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Frames.
+
+std::string EncodeFrame(MessageType type, std::string_view body) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + 2 + body.size());
+  AppendU32(&frame, static_cast<uint32_t>(2 + body.size()));
+  AppendU8(&frame, kWireVersion);
+  AppendU8(&frame, static_cast<uint8_t>(type));
+  frame.append(body);
+  return frame;
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string body;
+  AppendU64(&body, request.request_id);
+  AppendU32(&body, request.timeout_ms);
+  AppendString(&body, request.statement);
+  return EncodeFrame(MessageType::kQueryRequest, body);
+}
+
+std::string EncodeStatsRequest() {
+  return EncodeFrame(MessageType::kStatsRequest, "");
+}
+
+std::string EncodeQueryResponse(const QueryResponse& response) {
+  std::string body;
+  AppendU64(&body, response.request_id);
+  EncodeStatus(response.status, &body);
+  AppendU8(&body, response.ranked ? 1 : 0);
+  AppendU32(&body, static_cast<uint32_t>(response.sequences.size()));
+  for (const WireSequence& sequence : response.sequences) {
+    AppendI64(&body, sequence.begin);
+    AppendI64(&body, sequence.end);
+    AppendF64(&body, sequence.lower_bound);
+    AppendF64(&body, sequence.upper_bound);
+  }
+  const WireQueryMetrics& m = response.metrics;
+  AppendI64(&body, m.sorted_accesses);
+  AppendI64(&body, m.random_accesses);
+  AppendI64(&body, m.sequential_reads);
+  AppendF64(&body, m.virtual_ms);
+  AppendF64(&body, m.algorithm_ms);
+  AppendF64(&body, m.model_ms);
+  AppendI64(&body, m.clips_processed);
+  AppendI64(&body, m.threads_used);
+  AppendI64(&body, m.tasks_executed);
+  AppendF64(&body, m.fanout_ms);
+  AppendF64(&body, m.server_queue_ms);
+  AppendF64(&body, m.server_exec_ms);
+  return EncodeFrame(MessageType::kQueryResponse, body);
+}
+
+std::string EncodeStatsResponse(const ServerStatsWire& stats) {
+  std::string body;
+  AppendI64(&body, stats.queries_accepted);
+  AppendI64(&body, stats.queries_rejected);
+  AppendI64(&body, stats.queries_ok);
+  AppendI64(&body, stats.queries_failed);
+  AppendI64(&body, stats.queries_cancelled);
+  AppendI64(&body, stats.queries_deadline_exceeded);
+  AppendI64(&body, stats.stats_requests);
+  AppendI64(&body, stats.connections_opened);
+  AppendI64(&body, stats.connections_open);
+  AppendI64(&body, stats.queue_depth);
+  AppendI64(&body, stats.in_flight);
+  AppendHistogram(&body, stats.query_latency);
+  AppendHistogram(&body, stats.stats_latency);
+  return EncodeFrame(MessageType::kStatsResponse, body);
+}
+
+Status DecodePayloadHeader(WireCursor* cursor, MessageType* type) {
+  uint8_t version = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&version));
+  if (version != kWireVersion) {
+    return Status::Unimplemented("unsupported wire version " +
+                                 std::to_string(version));
+  }
+  uint8_t raw_type = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_type));
+  if (raw_type < static_cast<uint8_t>(MessageType::kQueryRequest) ||
+      raw_type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+    return Status::Corruption("unknown message type " +
+                              std::to_string(raw_type));
+  }
+  *type = static_cast<MessageType>(raw_type);
+  return Status::OK();
+}
+
+Status DecodeQueryRequest(WireCursor* cursor, QueryRequest* request) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&request->request_id));
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&request->timeout_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&request->statement));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeQueryResponse(WireCursor* cursor, QueryResponse* response) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->request_id));
+  // Statuses use the svq/common encoding; bridge through the cursor by
+  // re-reading code + message with the same layout.
+  uint8_t raw_code = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_code));
+  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption("unknown status code " +
+                              std::to_string(raw_code));
+  }
+  std::string message;
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&message));
+  response->status =
+      Status(static_cast<StatusCode>(raw_code), std::move(message));
+  uint8_t ranked = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&ranked));
+  response->ranked = ranked != 0;
+  uint32_t sequence_count = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&sequence_count));
+  // 32 bytes per sequence: the count cannot exceed what the frame holds.
+  if (static_cast<size_t>(sequence_count) * 32 > cursor->remaining()) {
+    return Status::Corruption("sequence count overruns frame");
+  }
+  response->sequences.assign(sequence_count, WireSequence());
+  for (WireSequence& sequence : response->sequences) {
+    SVQ_RETURN_NOT_OK(cursor->ReadI64(&sequence.begin));
+    SVQ_RETURN_NOT_OK(cursor->ReadI64(&sequence.end));
+    SVQ_RETURN_NOT_OK(cursor->ReadF64(&sequence.lower_bound));
+    SVQ_RETURN_NOT_OK(cursor->ReadF64(&sequence.upper_bound));
+  }
+  WireQueryMetrics& m = response->metrics;
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&m.sorted_accesses));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&m.random_accesses));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&m.sequential_reads));
+  SVQ_RETURN_NOT_OK(cursor->ReadF64(&m.virtual_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadF64(&m.algorithm_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadF64(&m.model_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&m.clips_processed));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&m.threads_used));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&m.tasks_executed));
+  SVQ_RETURN_NOT_OK(cursor->ReadF64(&m.fanout_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadF64(&m.server_queue_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadF64(&m.server_exec_ms));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeStatsResponse(WireCursor* cursor, ServerStatsWire* stats) {
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queries_accepted));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queries_rejected));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queries_ok));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queries_failed));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queries_cancelled));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queries_deadline_exceeded));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->stats_requests));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->connections_opened));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->connections_open));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->queue_depth));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->in_flight));
+  SVQ_RETURN_NOT_OK(ReadHistogram(cursor, &stats->query_latency));
+  SVQ_RETURN_NOT_OK(ReadHistogram(cursor, &stats->stats_latency));
+  return ExpectEnd(*cursor);
+}
+
+// ---------------------------------------------------------------------------
+// Assembly.
+
+void FrameAssembler::Feed(const char* data, size_t n) {
+  // Compact lazily: drop consumed bytes once they dominate the buffer.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+Status FrameAssembler::Next(std::string* payload, bool* has_frame) {
+  *has_frame = false;
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) return Status::OK();
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(buffer_[consumed_ + i]))
+              << (8 * i);
+  }
+  if (static_cast<size_t>(length) > max_frame_bytes_) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(length) + " bytes exceeds cap of " +
+        std::to_string(max_frame_bytes_));
+  }
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes + length) {
+    return Status::OK();
+  }
+  payload->assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  *has_frame = true;
+  return Status::OK();
+}
+
+}  // namespace svq::server

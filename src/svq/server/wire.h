@@ -1,0 +1,228 @@
+#ifndef SVQ_SERVER_WIRE_H_
+#define SVQ_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svq/common/status.h"
+
+namespace svq::server {
+
+/// The svqd framing protocol (docs/server.md). Every message is one frame:
+///
+///   [u32 payload_length (LE)] [payload]
+///   payload := [u8 version] [u8 message_type] [message body]
+///
+/// All integers are little-endian and fixed width; strings are a u32 length
+/// followed by raw bytes; doubles travel as their IEEE-754 bit pattern in a
+/// u64. The payload length excludes the 4-byte header. Frames above the
+/// receiver's configured maximum are a protocol error (the stream cannot be
+/// resynchronized and the connection is closed), so a hostile peer cannot
+/// make the server buffer unboundedly.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 4;
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Frame payload discriminator (second payload byte).
+enum class MessageType : uint8_t {
+  kQueryRequest = 1,  ///< QUERY verb: statement + per-request timeout
+  kStatsRequest = 2,  ///< STATS verb: cumulative server counters
+  kQueryResponse = 3,
+  kStatsResponse = 4,
+};
+
+// ---------------------------------------------------------------------------
+// Low-level append/read primitives (exposed for tests).
+
+void AppendU8(std::string* out, uint8_t value);
+void AppendU32(std::string* out, uint32_t value);
+void AppendU64(std::string* out, uint64_t value);
+void AppendI64(std::string* out, int64_t value);
+void AppendF64(std::string* out, double value);
+void AppendString(std::string* out, std::string_view value);
+
+/// Bounds-checked sequential reader over an untrusted payload. Every Read*
+/// returns Corruption instead of overrunning; a decode is complete only
+/// when the caller also verifies AtEnd().
+class WireCursor {
+ public:
+  explicit WireCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* value);
+  Status ReadU32(uint32_t* value);
+  Status ReadU64(uint64_t* value);
+  Status ReadI64(int64_t* value);
+  Status ReadF64(double* value);
+  Status ReadString(std::string* value);
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Messages.
+
+/// QUERY verb request: one dialect statement plus the client's deadline,
+/// which the server turns into an ExecutionContext deadline so an expired
+/// request is cancelled server-side instead of running to completion.
+struct QueryRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t request_id = 0;
+  /// Statement text in the SVQ-ACT dialect (docs/QUERY_LANGUAGE.md).
+  std::string statement;
+  /// Per-request budget in milliseconds; 0 means unlimited.
+  uint32_t timeout_ms = 0;
+};
+
+/// One result sequence. Ranked statements carry certified score bounds;
+/// streaming statements report intervals only (bounds are zero).
+struct WireSequence {
+  int64_t begin = 0;
+  int64_t end = 0;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+
+  friend bool operator==(const WireSequence&, const WireSequence&) = default;
+};
+
+/// Per-query accounting mirrored over the wire: the engine-side storage /
+/// runtime / timing counters, plus the two server-side components of the
+/// observed latency (time queued behind admission control and time
+/// executing).
+struct WireQueryMetrics {
+  int64_t sorted_accesses = 0;
+  int64_t random_accesses = 0;
+  int64_t sequential_reads = 0;
+  double virtual_ms = 0.0;
+  double algorithm_ms = 0.0;
+  double model_ms = 0.0;
+  int64_t clips_processed = 0;
+  int64_t threads_used = 1;
+  int64_t tasks_executed = 0;
+  double fanout_ms = 0.0;
+  double server_queue_ms = 0.0;
+  double server_exec_ms = 0.0;
+
+  friend bool operator==(const WireQueryMetrics&,
+                         const WireQueryMetrics&) = default;
+};
+
+/// QUERY verb response. `status` is the statement's full outcome
+/// (kResourceExhausted = rejected by admission control before execution;
+/// kDeadlineExceeded / kCancelled = terminated mid-execution); sequences
+/// and metrics are meaningful only when it is OK.
+struct QueryResponse {
+  uint64_t request_id = 0;
+  Status status;
+  bool ranked = false;
+  std::vector<WireSequence> sequences;
+  WireQueryMetrics metrics;
+};
+
+/// Fixed-layout latency histogram: bucket i counts observations in
+/// [2^i, 2^(i+1)) microseconds; the last bucket absorbs everything larger
+/// (~67 s and up).
+inline constexpr int kLatencyBuckets = 27;
+
+struct WireHistogram {
+  int64_t count = 0;
+  std::vector<int64_t> buckets = std::vector<int64_t>(kLatencyBuckets, 0);
+
+  /// Inclusive upper bound of bucket `i` in microseconds.
+  static double BucketUpperMicros(int i);
+  /// Approximate percentile (0 <= p <= 1) from the bucket upper bounds;
+  /// 0 when empty.
+  double PercentileMicros(double p) const;
+
+  friend bool operator==(const WireHistogram&,
+                         const WireHistogram&) = default;
+};
+
+/// STATS verb response: cumulative counters since server start plus
+/// instantaneous gauges and per-verb latency histograms.
+struct ServerStatsWire {
+  // Admission outcomes (cumulative).
+  int64_t queries_accepted = 0;   ///< admitted past admission control
+  int64_t queries_rejected = 0;   ///< turned away (queue full or draining)
+  // Execution outcomes (cumulative; partition the accepted queries).
+  int64_t queries_ok = 0;
+  int64_t queries_failed = 0;     ///< non-OK other than cancel/deadline
+  int64_t queries_cancelled = 0;  ///< client vanished or drain cancelled it
+  int64_t queries_deadline_exceeded = 0;
+  int64_t stats_requests = 0;
+  int64_t connections_opened = 0;
+  // Instantaneous gauges.
+  int64_t connections_open = 0;
+  int64_t queue_depth = 0;
+  int64_t in_flight = 0;
+  // Per-verb latency (QUERY measured from admission to response encode,
+  // STATS from receipt to response encode).
+  WireHistogram query_latency;
+  WireHistogram stats_latency;
+
+  friend bool operator==(const ServerStatsWire&,
+                         const ServerStatsWire&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode.
+
+/// Builds a complete frame (header + version + type + body).
+std::string EncodeFrame(MessageType type, std::string_view body);
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodeStatsRequest();
+std::string EncodeQueryResponse(const QueryResponse& response);
+std::string EncodeStatsResponse(const ServerStatsWire& stats);
+
+/// Reads the version and type bytes of a complete frame payload and leaves
+/// `cursor` positioned at the body. Errors: Corruption (truncated);
+/// Unimplemented (version mismatch — a newer peer).
+Status DecodePayloadHeader(WireCursor* cursor, MessageType* type);
+
+/// Body decoders; `cursor` must be positioned past the payload header.
+/// Every decoder verifies the body is fully consumed.
+Status DecodeQueryRequest(WireCursor* cursor, QueryRequest* request);
+Status DecodeQueryResponse(WireCursor* cursor, QueryResponse* response);
+Status DecodeStatsResponse(WireCursor* cursor, ServerStatsWire* stats);
+
+// ---------------------------------------------------------------------------
+// Incremental frame assembly (the read path of both peers).
+
+/// Accumulates raw stream bytes and yields complete frame payloads.
+/// Enforces the frame-size cap *from the header*, before buffering the
+/// payload, so a hostile length prefix cannot balloon memory.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Buffers `n` raw bytes from the stream.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete payload if one is buffered. Returns OK and
+  /// sets `*has_frame` accordingly; returns InvalidArgument when the stream
+  /// is unrecoverable (frame longer than the cap) — the connection must be
+  /// dropped.
+  Status Next(std::string* payload, bool* has_frame);
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace svq::server
+
+#endif  // SVQ_SERVER_WIRE_H_

@@ -27,10 +27,76 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 
 TEST(StatusTest, AllCodesHaveNames) {
   for (int code = 0;
-       code <= static_cast<int>(StatusCode::kDeadlineExceeded); ++code) {
+       code <= static_cast<int>(StatusCode::kResourceExhausted); ++code) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
                  "Unknown");
   }
+}
+
+TEST(StatusTest, ResourceExhausted) {
+  Status s = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(s.ToString(), "Resource exhausted: queue full");
+}
+
+TEST(StatusSerializationTest, RoundTripsEveryCode) {
+  for (int code = 0;
+       code <= static_cast<int>(StatusCode::kResourceExhausted); ++code) {
+    const Status original(static_cast<StatusCode>(code),
+                          code == 0 ? "" : "message for code " +
+                                               std::to_string(code));
+    std::string bytes;
+    EncodeStatus(original, &bytes);
+    size_t offset = 0;
+    Status decoded;
+    ASSERT_TRUE(DecodeStatus(bytes, &offset, &decoded).ok());
+    EXPECT_EQ(offset, bytes.size());
+    EXPECT_EQ(decoded.code(), original.code());
+    EXPECT_EQ(decoded.message(), original.message());
+  }
+}
+
+TEST(StatusSerializationTest, RoundTripsEmbeddedAndBinaryMessage) {
+  // Statuses embed mid-buffer in wire frames; the message may hold any
+  // byte, including NUL and the frame delimiters themselves.
+  std::string bytes = "prefix";
+  const size_t start = bytes.size();
+  const Status original =
+      Status::IOError(std::string("read\0fail\xff\n", 10));
+  EncodeStatus(original, &bytes);
+  bytes += "suffix";
+  size_t offset = start;
+  Status decoded;
+  ASSERT_TRUE(DecodeStatus(bytes, &offset, &decoded).ok());
+  EXPECT_EQ(offset, bytes.size() - 6);
+  EXPECT_TRUE(decoded.IsIOError());
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(StatusSerializationTest, RejectsTruncatedAndCorrupt) {
+  std::string bytes;
+  EncodeStatus(Status::NotFound("missing video"), &bytes);
+  // Truncation anywhere — header or message — must fail cleanly.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    size_t offset = 0;
+    Status decoded;
+    EXPECT_TRUE(DecodeStatus(bytes.substr(0, cut), &offset, &decoded)
+                    .IsCorruption())
+        << "cut at " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+  // An out-of-range code byte is rejected, not cast blindly.
+  std::string bad_code = bytes;
+  bad_code[0] = static_cast<char>(0x7f);
+  size_t offset = 0;
+  Status decoded;
+  EXPECT_TRUE(DecodeStatus(bad_code, &offset, &decoded).IsCorruption());
+  // A length that overruns the buffer is rejected.
+  std::string bad_length = bytes;
+  bad_length[4] = static_cast<char>(0x10);  // message length |= 0x10000000
+  offset = 0;
+  EXPECT_TRUE(DecodeStatus(bad_length, &offset, &decoded).IsCorruption());
 }
 
 TEST(StatusTest, TerminationCodes) {

@@ -1,0 +1,253 @@
+#include "svq/server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "svq/server/histogram.h"
+
+namespace svq::server {
+namespace {
+
+QueryResponse SampleResponse() {
+  QueryResponse response;
+  response.request_id = 77;
+  response.status = Status::OK();
+  response.ranked = true;
+  response.sequences = {{10, 24, 800.5, 812.0}, {100, 120, 500.0, 500.0}};
+  response.metrics.sorted_accesses = 1234;
+  response.metrics.random_accesses = 567;
+  response.metrics.sequential_reads = 89;
+  response.metrics.virtual_ms = 3120.25;
+  response.metrics.algorithm_ms = 4.5;
+  response.metrics.model_ms = 0.0;
+  response.metrics.clips_processed = 0;
+  response.metrics.threads_used = 4;
+  response.metrics.tasks_executed = 32;
+  response.metrics.fanout_ms = 2.75;
+  response.metrics.server_queue_ms = 0.4;
+  response.metrics.server_exec_ms = 18.0;
+  return response;
+}
+
+/// Strips the 4-byte length header and returns the payload.
+std::string PayloadOf(const std::string& frame) {
+  EXPECT_GE(frame.size(), kFrameHeaderBytes + 2);
+  return frame.substr(kFrameHeaderBytes);
+}
+
+TEST(WireTest, QueryRequestRoundTrip) {
+  QueryRequest request;
+  request.request_id = 42;
+  request.statement = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, "
+                      "obj USING ObjectDetector, act USING ActionRecognizer) "
+                      "WHERE act='smoking' AND obj.include('cup')";
+  request.timeout_ms = 250;
+  const std::string frame = EncodeQueryRequest(request);
+
+  const std::string payload = PayloadOf(frame);
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  EXPECT_EQ(type, MessageType::kQueryRequest);
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryRequest(&cursor, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.statement, request.statement);
+  EXPECT_EQ(decoded.timeout_ms, request.timeout_ms);
+}
+
+TEST(WireTest, QueryResponseRoundTrip) {
+  const QueryResponse response = SampleResponse();
+  const std::string payload = PayloadOf(EncodeQueryResponse(response));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  EXPECT_EQ(type, MessageType::kQueryResponse);
+  QueryResponse decoded;
+  ASSERT_TRUE(DecodeQueryResponse(&cursor, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_TRUE(decoded.status.ok());
+  EXPECT_EQ(decoded.ranked, response.ranked);
+  EXPECT_EQ(decoded.sequences, response.sequences);
+  EXPECT_EQ(decoded.metrics, response.metrics);
+}
+
+TEST(WireTest, ErrorResponseCarriesStatus) {
+  QueryResponse response;
+  response.request_id = 7;
+  response.status = Status::ResourceExhausted("admission queue full");
+  const std::string payload = PayloadOf(EncodeQueryResponse(response));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  QueryResponse decoded;
+  ASSERT_TRUE(DecodeQueryResponse(&cursor, &decoded).ok());
+  EXPECT_TRUE(decoded.status.IsResourceExhausted());
+  EXPECT_EQ(decoded.status.message(), "admission queue full");
+  EXPECT_TRUE(decoded.sequences.empty());
+}
+
+TEST(WireTest, StatsResponseRoundTrip) {
+  ServerStatsWire stats;
+  stats.queries_accepted = 100;
+  stats.queries_rejected = 3;
+  stats.queries_ok = 90;
+  stats.queries_failed = 2;
+  stats.queries_cancelled = 4;
+  stats.queries_deadline_exceeded = 4;
+  stats.stats_requests = 9;
+  stats.connections_opened = 12;
+  stats.connections_open = 5;
+  stats.queue_depth = 2;
+  stats.in_flight = 4;
+  stats.query_latency.count = 100;
+  stats.query_latency.buckets[10] = 60;
+  stats.query_latency.buckets[11] = 40;
+  stats.stats_latency.count = 9;
+  stats.stats_latency.buckets[3] = 9;
+
+  const std::string payload = PayloadOf(EncodeStatsResponse(stats));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  EXPECT_EQ(type, MessageType::kStatsResponse);
+  ServerStatsWire decoded;
+  ASSERT_TRUE(DecodeStatsResponse(&cursor, &decoded).ok());
+  EXPECT_EQ(decoded, stats);
+}
+
+TEST(WireTest, RejectsWrongVersion) {
+  std::string frame = EncodeStatsRequest();
+  frame[kFrameHeaderBytes] = static_cast<char>(kWireVersion + 1);
+  WireCursor cursor(PayloadOf(frame));
+  MessageType type = MessageType::kStatsRequest;
+  EXPECT_TRUE(DecodePayloadHeader(&cursor, &type).IsUnimplemented());
+}
+
+TEST(WireTest, RejectsUnknownMessageType) {
+  std::string frame = EncodeStatsRequest();
+  frame[kFrameHeaderBytes + 1] = static_cast<char>(200);
+  WireCursor cursor(PayloadOf(frame));
+  MessageType type = MessageType::kStatsRequest;
+  EXPECT_TRUE(DecodePayloadHeader(&cursor, &type).IsCorruption());
+}
+
+TEST(WireTest, TruncatedPayloadsFailCleanly) {
+  QueryRequest request;
+  request.request_id = 1;
+  request.statement = "SELECT 1";
+  request.timeout_ms = 9;
+  const std::string payload = PayloadOf(EncodeQueryRequest(request));
+  // Every proper prefix must decode to an error, never crash or succeed.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireCursor cursor(payload.substr(0, cut));
+    MessageType type = MessageType::kStatsRequest;
+    const Status header = DecodePayloadHeader(&cursor, &type);
+    if (!header.ok()) continue;
+    QueryRequest decoded;
+    EXPECT_FALSE(DecodeQueryRequest(&cursor, &decoded).ok()) << cut;
+  }
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  QueryRequest request;
+  request.statement = "SELECT 1";
+  std::string payload = PayloadOf(EncodeQueryRequest(request));
+  payload += "garbage";
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  QueryRequest decoded;
+  EXPECT_TRUE(DecodeQueryRequest(&cursor, &decoded).IsCorruption());
+}
+
+TEST(WireTest, HostileSequenceCountRejected) {
+  // A response frame claiming 2^31 sequences in a tiny body must be caught
+  // by the count-vs-remaining-bytes check, not allocate gigabytes.
+  QueryResponse response;
+  response.request_id = 1;
+  std::string payload = PayloadOf(EncodeQueryResponse(response));
+  // The count field sits after request id (8) + status (1 + 4 + 0) + ranked
+  // byte (1) = byte 14 of the body (plus the 2-byte payload header).
+  const size_t count_offset = 2 + 14;
+  payload[count_offset + 3] = static_cast<char>(0x80);
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  QueryResponse decoded;
+  EXPECT_TRUE(DecodeQueryResponse(&cursor, &decoded).IsCorruption());
+}
+
+TEST(FrameAssemblerTest, ReassemblesByteByByte) {
+  QueryRequest request;
+  request.request_id = 5;
+  request.statement = "SELECT MERGE(clipID) FROM x";
+  request.timeout_ms = 1000;
+  const std::string frame = EncodeQueryRequest(request);
+
+  FrameAssembler assembler;
+  std::string payload;
+  bool has_frame = false;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(assembler.Next(&payload, &has_frame).ok());
+    EXPECT_FALSE(has_frame) << "frame complete too early at byte " << i;
+    assembler.Feed(frame.data() + i, 1);
+  }
+  ASSERT_TRUE(assembler.Next(&payload, &has_frame).ok());
+  ASSERT_TRUE(has_frame);
+  EXPECT_EQ(payload, frame.substr(kFrameHeaderBytes));
+}
+
+TEST(FrameAssemblerTest, YieldsMultipleFramesFromOneFeed) {
+  const std::string a = EncodeStatsRequest();
+  QueryRequest request;
+  request.statement = "SELECT 1";
+  const std::string b = EncodeQueryRequest(request);
+  const std::string stream = a + b + a;
+
+  FrameAssembler assembler;
+  assembler.Feed(stream.data(), stream.size());
+  std::string payload;
+  bool has_frame = false;
+  int frames = 0;
+  while (true) {
+    ASSERT_TRUE(assembler.Next(&payload, &has_frame).ok());
+    if (!has_frame) break;
+    ++frames;
+  }
+  EXPECT_EQ(frames, 3);
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+TEST(FrameAssemblerTest, OversizedFrameIsAnError) {
+  FrameAssembler assembler(/*max_frame_bytes=*/64);
+  // A header announcing 1 MiB: rejected from the header alone, before any
+  // payload bytes arrive.
+  std::string header;
+  AppendU32(&header, 1 << 20);
+  assembler.Feed(header.data(), header.size());
+  std::string payload;
+  bool has_frame = false;
+  EXPECT_TRUE(assembler.Next(&payload, &has_frame).IsInvalidArgument());
+}
+
+TEST(LatencyHistogramTest, BucketsAndPercentiles) {
+  LatencyHistogram histogram;
+  histogram.Record(0.5);      // bucket 0
+  histogram.Record(3.0);      // bucket 1: [2, 4)
+  histogram.Record(1000.0);   // bucket 9: [512, 1024)
+  histogram.Record(1e12);     // clamped to the overflow bucket
+  const WireHistogram snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 4);
+  EXPECT_EQ(snapshot.buckets[0], 1);
+  EXPECT_EQ(snapshot.buckets[1], 1);
+  EXPECT_EQ(snapshot.buckets[9], 1);
+  EXPECT_EQ(snapshot.buckets[kLatencyBuckets - 1], 1);
+  EXPECT_LE(snapshot.PercentileMicros(0.5), 4.0);
+  EXPECT_GT(snapshot.PercentileMicros(0.99), 1e6);
+}
+
+}  // namespace
+}  // namespace svq::server
