@@ -139,6 +139,10 @@ int main() {
               static_cast<long long>(stats.queries_accepted),
               static_cast<long long>(stats.queries_ok),
               static_cast<long long>(stats.queries_rejected));
+  // The registry snapshot rides along in BENCH_server_throughput.json, so
+  // every recorded QPS/latency figure carries the server/engine counters
+  // (storage accesses, inference time, phase histograms) that produced it.
+  json.AttachRegistry(server.Metrics());
   server.Shutdown();
   return 0;
 }

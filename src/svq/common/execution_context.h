@@ -17,6 +17,9 @@ struct StorageMetrics;
 namespace runtime {
 struct RuntimeStats;
 }  // namespace runtime
+namespace observability {
+class QueryTrace;
+}  // namespace observability
 
 /// Observer half of a cooperative cancellation pair. Tokens are cheap
 /// value types (a shared pointer to the source's flag); a
@@ -98,11 +101,17 @@ class ExecutionContext {
     storage_sink_ = sink;
   }
   void set_runtime_sink(runtime::RuntimeStats* sink) { runtime_sink_ = sink; }
+  /// Attaches a per-query trace (see observability/trace.h). The trace is
+  /// recorded only from the thread driving the query — like the stats
+  /// sinks, it is not written concurrently. Null (the default) disables
+  /// tracing; instrumented paths no-op on a null trace.
+  void set_trace(observability::QueryTrace* trace) { trace_ = trace; }
 
   bool has_deadline() const { return deadline_.has_value(); }
   std::optional<Clock::time_point> deadline() const { return deadline_; }
   storage::StorageMetrics* storage_sink() const { return storage_sink_; }
   runtime::RuntimeStats* runtime_sink() const { return runtime_sink_; }
+  observability::QueryTrace* trace() const { return trace_; }
 
   /// Whether this context can ever fail a Check(). Lets fan-out drivers
   /// skip the per-chunk polling wrapper for unlimited contexts.
@@ -128,6 +137,7 @@ class ExecutionContext {
   CancellationToken token_;
   storage::StorageMetrics* storage_sink_ = nullptr;
   runtime::RuntimeStats* runtime_sink_ = nullptr;
+  observability::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace svq

@@ -7,9 +7,25 @@
 #include <utility>
 #include <vector>
 
+#include "svq/observability/trace.h"
+
 namespace svq::core {
 
 namespace {
+
+const char* AlgorithmSpanName(OfflineAlgorithm algorithm) {
+  switch (algorithm) {
+    case OfflineAlgorithm::kRvaq:
+      return "rvaq";
+    case OfflineAlgorithm::kRvaqNoSkip:
+      return "rvaq_noskip";
+    case OfflineAlgorithm::kFagin:
+      return "fagin";
+    case OfflineAlgorithm::kPqTraverse:
+      return "pq_traverse";
+  }
+  return "offline";
+}
 
 /// Per-video ingest options: with the disk backend, every video gets its
 /// own subdirectory so table files never collide across videos.
@@ -66,6 +82,7 @@ Result<OnlineResult> ExecuteOnlineOn(const SnapshotPtr& snapshot,
   }
   const models::ModelSuite& suite =
       suite_override != nullptr ? *suite_override : snapshot->suite;
+  observability::TraceSpan execute_span(context.trace(), "execute");
   models::ModelSet models = models::MakeModelSet(
       entry->video, suite, query.AllObjectLabels(), query.AllActions());
   SVQ_ASSIGN_OR_RETURN(
@@ -74,6 +91,9 @@ Result<OnlineResult> ExecuteOnlineOn(const SnapshotPtr& snapshot,
                            entry->video->layout(), models.detector.get(),
                            models.recognizer.get(), context));
   video::SyntheticVideoStream stream(entry->video, entry->id);
+  observability::TraceSpan mode_span(
+      context.trace(),
+      mode == OnlineEngine::Mode::kSvaq ? "svaq" : "svaqd");
   return engine->Run(stream);
 }
 
@@ -96,6 +116,9 @@ Result<TopKResult> ExecuteTopKOn(const SnapshotPtr& snapshot,
                                       "' has not been ingested");
   }
   const AdditiveScoring scoring;
+  observability::TraceSpan execute_span(context.trace(), "execute");
+  observability::TraceSpan algorithm_span(context.trace(),
+                                          AlgorithmSpanName(algorithm));
   Result<TopKResult> result = Status::InvalidArgument(
       "unknown offline algorithm");
   switch (algorithm) {

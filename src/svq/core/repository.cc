@@ -27,11 +27,16 @@ Result<RepositoryResult> RunRepositoryTopK(
                         std::max<int64_t>(
                             static_cast<int64_t>(videos.size()), 1)));
   std::vector<std::optional<Result<TopKResult>>> per_video(videos.size());
+  // The per-query trace is written without synchronization by contract, so
+  // a parallel fan-out must not share it across workers: detach it from the
+  // context the tasks see. Deadline/cancellation/sink wiring is preserved.
+  ExecutionContext task_context = context;
+  if (threads > 1) task_context.set_trace(nullptr);
   const auto run_one = [&](int64_t chunk_begin, int64_t chunk_end) {
     for (int64_t i = chunk_begin; i < chunk_end; ++i) {
       per_video[static_cast<size_t>(i)].emplace(
           RunRvaq(*videos[static_cast<size_t>(i)], query, k, scoring,
-                  options, context));
+                  options, task_context));
     }
   };
   RepositoryResult result;

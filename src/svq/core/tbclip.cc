@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "svq/observability/trace.h"
+
 namespace svq::core {
 
 namespace {
@@ -161,6 +163,10 @@ std::optional<TbClipItem> TbClipIterator::PeekBottom() {
 
 Result<std::optional<TbClipStep>> TbClipIterator::Next() {
   if (context_ != nullptr) SVQ_RETURN_NOT_OK(context_->Check());
+  // One aggregate trace span for the whole iterator, not one span per
+  // step: Next() is the offline hot loop.
+  observability::AggregateTimer timer(
+      context_ != nullptr ? context_->trace() : nullptr, "tbclip.next");
   ++calls_;
   std::optional<TbClipItem> top_item;
   std::optional<TbClipItem> btm_item;

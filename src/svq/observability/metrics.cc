@@ -1,0 +1,164 @@
+#include "svq/observability/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace svq::observability {
+
+namespace {
+
+/// Formats a metric value the way Prometheus text exposition expects:
+/// integral values without a fraction, everything else with enough digits
+/// to round-trip a double.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void DumpHelpAndType(std::ostream& out, const std::string& name,
+                     const std::string& help, const char* type) {
+  if (!help.empty()) out << "# HELP " << name << " " << help << "\n";
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+double HistogramSnapshot::BucketUpperMicros(int i) {
+  return std::ldexp(1.0, i + 1);
+}
+
+double HistogramSnapshot::PercentileMicros(double p) const {
+  if (count <= 0) return 0.0;
+  const double target = p * static_cast<double>(count);
+  int64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (static_cast<double>(seen) >= target) return BucketUpperMicros(i);
+  }
+  return BucketUpperMicros(kHistogramBuckets - 1);
+}
+
+void MetricsSnapshot::DumpPrometheus(std::ostream& out) const {
+  for (const Value& counter : counters) {
+    DumpHelpAndType(out, counter.name, counter.help, "counter");
+    out << counter.name << " " << FormatValue(counter.value) << "\n";
+  }
+  for (const Value& gauge : gauges) {
+    DumpHelpAndType(out, gauge.name, gauge.help, "gauge");
+    out << gauge.name << " " << FormatValue(gauge.value) << "\n";
+  }
+  for (const HistogramSnapshot& histogram : histograms) {
+    DumpHelpAndType(out, histogram.name, histogram.help, "histogram");
+    int64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += histogram.buckets[static_cast<size_t>(i)];
+      out << histogram.name << "_bucket{le=\""
+          << FormatValue(HistogramSnapshot::BucketUpperMicros(i)) << "\"} "
+          << cumulative << "\n";
+    }
+    out << histogram.name << "_bucket{le=\"+Inf\"} " << histogram.count
+        << "\n";
+    out << histogram.name << "_sum " << FormatValue(histogram.sum_micros)
+        << "\n";
+    out << histogram.name << "_count " << histogram.count << "\n";
+  }
+}
+
+std::vector<std::pair<std::string, double>> MetricsSnapshot::Flatten() const {
+  std::vector<std::pair<std::string, double>> flat;
+  flat.reserve(counters.size() + gauges.size() + 2 * histograms.size());
+  for (const Value& counter : counters) {
+    flat.emplace_back(counter.name, counter.value);
+  }
+  for (const Value& gauge : gauges) {
+    flat.emplace_back(gauge.name, gauge.value);
+  }
+  for (const HistogramSnapshot& histogram : histograms) {
+    flat.emplace_back(histogram.name + "_count",
+                      static_cast<double>(histogram.count));
+    flat.emplace_back(histogram.name + "_sum_micros", histogram.sum_micros);
+  }
+  return flat;
+}
+
+std::string MetricsRegistry::Sanitize(std::string_view name) {
+  std::string sanitized(name.empty() ? std::string_view("_") : name);
+  for (char& c : sanitized) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (sanitized[0] >= '0' && sanitized[0] <= '9') {
+    sanitized.insert(sanitized.begin(), '_');
+  }
+  return sanitized;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::string key = Sanitize(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    auto metric = std::unique_ptr<Counter>(
+        new Counter(key, std::string(help)));
+    it = counters_.emplace(std::move(key), std::move(metric)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::string key = Sanitize(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    auto metric = std::unique_ptr<Gauge>(new Gauge(key, std::string(help)));
+    it = gauges_.emplace(std::move(key), std::move(metric)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  std::string key = Sanitize(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    auto metric = std::unique_ptr<Histogram>(
+        new Histogram(key, std::string(help)));
+    it = histograms_.emplace(std::move(key), std::move(metric)).first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->help_, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->help_, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::DumpPrometheus(std::ostream& out) const {
+  Snapshot().DumpPrometheus(out);
+}
+
+}  // namespace svq::observability

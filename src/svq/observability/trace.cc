@@ -1,0 +1,112 @@
+#include "svq/observability/trace.h"
+
+#include <cstdio>
+
+namespace svq::observability {
+
+namespace {
+
+int64_t ElapsedNs(QueryTrace::Clock::time_point epoch,
+                  QueryTrace::Clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch)
+      .count();
+}
+
+}  // namespace
+
+int QueryTrace::Begin(std::string_view name) {
+  Span span;
+  span.name.assign(name);
+  if (!stack_.empty()) {
+    span.parent = stack_.back();
+    span.depth = spans_[static_cast<size_t>(span.parent)].depth + 1;
+  }
+  span.start_ns = ElapsedNs(epoch_, Clock::now());
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack_.push_back(index);
+  return index;
+}
+
+void QueryTrace::End(int index) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  const int64_t now_ns = ElapsedNs(epoch_, Clock::now());
+  // Close any deeper spans still open (a child may not outlive its
+  // parent), then the span itself if it is on the stack.
+  while (!stack_.empty()) {
+    const int open = stack_.back();
+    stack_.pop_back();
+    Span& span = spans_[static_cast<size_t>(open)];
+    if (span.duration_ns < 0) span.duration_ns = now_ns - span.start_ns;
+    if (open == index) return;
+  }
+  // `index` was not on the stack (already closed): nothing further to do.
+}
+
+void QueryTrace::RecordAggregate(std::string_view name, int64_t duration_ns,
+                                 int64_t count) {
+  const int parent = stack_.empty() ? -1 : stack_.back();
+  auto key = std::make_pair(parent, std::string(name));
+  auto it = aggregates_.find(key);
+  if (it == aggregates_.end()) {
+    Span span;
+    span.name = key.second;
+    span.parent = parent;
+    span.depth =
+        parent < 0 ? 0 : spans_[static_cast<size_t>(parent)].depth + 1;
+    span.start_ns = ElapsedNs(epoch_, Clock::now());
+    span.duration_ns = duration_ns;
+    span.count = count;
+    const int index = static_cast<int>(spans_.size());
+    spans_.push_back(std::move(span));
+    it = aggregates_.emplace(std::move(key), index).first;
+    return;
+  }
+  Span& span = spans_[static_cast<size_t>(it->second)];
+  span.duration_ns += duration_ns;
+  span.count += count;
+}
+
+double QueryTrace::TotalMs(std::string_view name) const {
+  double total_ns = 0.0;
+  for (const Span& span : spans_) {
+    if (span.name == name && span.duration_ns >= 0) {
+      total_ns += static_cast<double>(span.duration_ns);
+    }
+  }
+  return total_ns / 1e6;
+}
+
+int64_t QueryTrace::CountOf(std::string_view name) const {
+  int64_t total = 0;
+  for (const Span& span : spans_) {
+    if (span.name == name) total += span.count;
+  }
+  return total;
+}
+
+std::string QueryTrace::Format() const {
+  std::string out;
+  char line[160];
+  for (const Span& span : spans_) {
+    const double ms = span.duration_ns < 0
+                          ? -1.0
+                          : static_cast<double>(span.duration_ns) / 1e6;
+    const int indent = span.depth * 2;
+    if (span.duration_ns < 0) {
+      std::snprintf(line, sizeof(line), "%*s%s (open)\n", indent, "",
+                    span.name.c_str());
+    } else if (span.count > 1) {
+      std::snprintf(line, sizeof(line), "%*s%s %.3f ms (x%lld)\n", indent,
+                    "", span.name.c_str(), ms,
+                    static_cast<long long>(span.count));
+    } else {
+      std::snprintf(line, sizeof(line), "%*s%s %.3f ms\n", indent, "",
+                    span.name.c_str(), ms);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace svq::observability

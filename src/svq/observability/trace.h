@@ -1,0 +1,130 @@
+#ifndef SVQ_OBSERVABILITY_TRACE_H_
+#define SVQ_OBSERVABILITY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svq::observability {
+
+/// Per-query execution trace: a tree of named, monotonic-clock spans
+/// recording where one statement spent its time — parse → bind → plan →
+/// execute → per-algorithm work, with hot-loop contributions (e.g. TBClip
+/// iterator steps) folded into aggregate spans instead of one span per
+/// call.
+///
+/// One QueryTrace belongs to one query and is recorded from the thread
+/// driving that query (the server worker, a bench loop, a test). It is
+/// deliberately NOT thread-safe: the engine's parallel fan-outs do not
+/// touch the trace, exactly like the per-query stats sinks. Attach it via
+/// ExecutionContext::set_trace; every recording helper accepts a null
+/// trace and degrades to a no-op, so instrumented code paths cost two
+/// branches when tracing is off.
+class QueryTrace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Span {
+    std::string name;
+    /// Index of the enclosing span in spans(); -1 for roots.
+    int parent = -1;
+    int depth = 0;
+    /// Start offset from the trace epoch (construction time).
+    int64_t start_ns = 0;
+    /// -1 while the span is open.
+    int64_t duration_ns = -1;
+    /// Number of folded observations; > 1 only for aggregate spans.
+    int64_t count = 1;
+  };
+
+  QueryTrace() : epoch_(Clock::now()) {}
+
+  /// Opens a span nested under the innermost open span and returns its
+  /// index.
+  int Begin(std::string_view name);
+
+  /// Closes the span at `index` (and, defensively, any still-open spans
+  /// nested deeper — a span may not outlive its parent).
+  void End(int index);
+
+  /// Folds one timed observation into the aggregate span `name` under the
+  /// innermost open span. Aggregates are keyed by (parent, name): the
+  /// first call creates the span, later calls add to its duration and
+  /// count — O(log n) map lookup, no per-call allocation after the first.
+  void RecordAggregate(std::string_view name, int64_t duration_ns,
+                       int64_t count = 1);
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Total duration (ms) over all closed spans named `name`; 0 when none.
+  double TotalMs(std::string_view name) const;
+  /// Number of spans named `name` (closed or open).
+  int64_t CountOf(std::string_view name) const;
+
+  /// Human-readable tree, one span per line, indented by depth:
+  ///   `execute          12.345 ms`
+  ///   `  rvaq           12.301 ms`
+  ///   `    tbclip.next   8.120 ms  (x482)`
+  std::string Format() const;
+
+ private:
+  Clock::time_point epoch_;
+  std::vector<Span> spans_;
+  /// Indices of currently open spans, outermost first.
+  std::vector<int> stack_;
+  /// (parent index, name) -> span index for aggregate folding.
+  std::map<std::pair<int, std::string>, int, std::less<>> aggregates_;
+};
+
+/// RAII span: opens on construction, closes on destruction. Null-trace
+/// safe, so call sites thread `context.trace()` through unconditionally.
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, std::string_view name)
+      : trace_(trace), index_(trace != nullptr ? trace->Begin(name) : -1) {}
+  ~TraceSpan() {
+    if (trace_ != nullptr) trace_->End(index_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  int index_;
+};
+
+/// RAII aggregate observation: measures its own lifetime and folds it into
+/// the trace's aggregate span on destruction. For hot loops (iterator
+/// steps, storage accesses) where one span per call would swamp the trace.
+/// With a null trace the constructor skips the clock read entirely.
+class AggregateTimer {
+ public:
+  AggregateTimer(QueryTrace* trace, std::string_view name)
+      : trace_(trace), name_(name) {
+    if (trace_ != nullptr) start_ = QueryTrace::Clock::now();
+  }
+  ~AggregateTimer() {
+    if (trace_ == nullptr) return;
+    const auto elapsed = QueryTrace::Clock::now() - start_;
+    trace_->RecordAggregate(
+        name_,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+  }
+
+  AggregateTimer(const AggregateTimer&) = delete;
+  AggregateTimer& operator=(const AggregateTimer&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  std::string_view name_;
+  QueryTrace::Clock::time_point start_{};
+};
+
+}  // namespace svq::observability
+
+#endif  // SVQ_OBSERVABILITY_TRACE_H_

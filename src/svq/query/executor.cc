@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "svq/observability/trace.h"
+#include "svq/query/parser.h"
+
 namespace svq::query {
 
 namespace {
@@ -42,13 +45,25 @@ Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
   if (snapshot == nullptr) {
     return Status::InvalidArgument("snapshot must be set");
   }
+  observability::QueryTrace* trace = context.trace();
   StatementResult result;
-  SVQ_ASSIGN_OR_RETURN(result.bound, ParseAndBind(statement));
+  SelectStatement parsed;
+  {
+    observability::TraceSpan span(trace, "parse");
+    SVQ_ASSIGN_OR_RETURN(parsed, Parse(statement));
+  }
+  {
+    observability::TraceSpan span(trace, "bind");
+    SVQ_ASSIGN_OR_RETURN(result.bound, Bind(parsed));
+  }
 
   // The whole statement — suite resolution and execution — sees the one
   // pinned catalog view, and USING overrides stay local to this statement
   // instead of mutating (and racing on) any shared suite.
-  const models::ModelSuite suite = ResolveSuite(snapshot->suite, result.bound);
+  const models::ModelSuite suite = [&] {
+    observability::TraceSpan span(trace, "plan");
+    return ResolveSuite(snapshot->suite, result.bound);
+  }();
 
   if (result.bound.ranked) {
     SVQ_ASSIGN_OR_RETURN(

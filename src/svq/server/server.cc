@@ -60,10 +60,74 @@ void FillResponse(const query::StatementResult& statement,
   }
 }
 
+/// Registry histograms and the wire's latency histograms share one bucket
+/// layout, so snapshots travel losslessly over STATS.
+static_assert(observability::kHistogramBuckets == kLatencyBuckets);
+
+WireHistogram ToWireHistogram(const observability::HistogramSnapshot& snap) {
+  WireHistogram wire;
+  wire.count = snap.count;
+  wire.buckets.assign(snap.buckets.begin(), snap.buckets.end());
+  return wire;
+}
+
 }  // namespace
 
 Server::Server(core::VideoQueryEngine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine), options_(std::move(options)) {
+  queries_accepted_ = registry_.counter(
+      "svqd_queries_accepted_total", "Queries admitted past admission control");
+  queries_rejected_ = registry_.counter(
+      "svqd_queries_rejected_total", "Queries turned away (queue full or draining)");
+  queries_ok_ = registry_.counter("svqd_queries_ok_total",
+                                  "Queries that completed successfully");
+  queries_failed_ = registry_.counter(
+      "svqd_queries_failed_total", "Queries that failed (excluding cancel/deadline)");
+  queries_cancelled_ = registry_.counter("svqd_queries_cancelled_total",
+                                         "Queries cancelled by client or drain");
+  queries_deadline_exceeded_ = registry_.counter(
+      "svqd_queries_deadline_exceeded_total", "Queries past their deadline");
+  stats_requests_ = registry_.counter("svqd_stats_requests_total",
+                                      "STATS verb requests served");
+  connections_opened_ = registry_.counter("svqd_connections_opened_total",
+                                          "Connections accepted since start");
+  connections_open_gauge_ =
+      registry_.gauge("svqd_connections_open", "Connections currently open");
+  queue_depth_gauge_ =
+      registry_.gauge("svqd_queue_depth", "Queries queued behind admission");
+  in_flight_gauge_ =
+      registry_.gauge("svqd_in_flight", "Queries currently executing");
+  query_latency_ = registry_.histogram(
+      "svqd_query_latency_micros", "QUERY latency, admission to response encode");
+  stats_latency_ = registry_.histogram(
+      "svqd_stats_latency_micros", "STATS latency, receipt to response encode");
+  phase_parse_ =
+      registry_.histogram("svqd_phase_parse_micros", "Statement parse time");
+  phase_bind_ =
+      registry_.histogram("svqd_phase_bind_micros", "Statement bind time");
+  phase_plan_ = registry_.histogram("svqd_phase_plan_micros",
+                                    "Suite resolution / planning time");
+  phase_execute_ = registry_.histogram("svqd_phase_execute_micros",
+                                       "Engine execution time");
+  storage_sorted_accesses_ = registry_.counter(
+      "svq_storage_sorted_accesses_total", "Sorted table accesses across queries");
+  storage_random_accesses_ = registry_.counter(
+      "svq_storage_random_accesses_total", "Random table accesses across queries");
+  storage_sequential_reads_ = registry_.counter(
+      "svq_storage_sequential_reads_total", "Sequential reads across queries");
+  storage_virtual_disk_ms_ = registry_.counter(
+      "svq_storage_virtual_disk_ms_total", "Modeled disk time across queries (ms)");
+  inference_model_ms_ = registry_.counter(
+      "svq_inference_model_ms_total", "Model inference time across queries (ms)");
+  online_clips_processed_ = registry_.counter(
+      "svq_online_clips_processed_total", "Clips processed by streaming queries");
+  runtime_tasks_executed_ = registry_.counter(
+      "svq_runtime_tasks_executed_total", "Runtime fan-out tasks across queries");
+  runtime_fanout_ms_ = registry_.counter(
+      "svq_runtime_fanout_ms_total", "Runtime fan-out wall time across queries (ms)");
+  engine_algorithm_ms_ = registry_.counter(
+      "svq_engine_algorithm_ms_total", "Engine algorithm time across queries (ms)");
+}
 
 Server::~Server() { Shutdown(std::chrono::milliseconds(0)); }
 
@@ -174,7 +238,12 @@ void Server::IoLoop() {
         polled.push_back(conn);
       }
     }
-    ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/100) < 0) {
+      // EINTR: a signal (e.g. the drain handler) interrupted the wait —
+      // loop and re-poll. Any other failure leaves revents unspecified, so
+      // fall through to the next round rather than acting on them.
+      continue;
+    }
 
     if (fds[0].revents & POLLIN) {
       char scratch[256];
@@ -200,7 +269,10 @@ void Server::AcceptPending() {
   for (;;) {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or a transient error: try next poll round
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // interrupted: retry immediately
+      return;  // EAGAIN or a transient error: try next poll round
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(mu_);
@@ -212,7 +284,7 @@ void Server::AcceptPending() {
     conn->id = next_connection_id_++;
     conn->fd = fd;
     connections_.emplace(conn->id, conn);
-    ++connections_opened_;
+    connections_opened_->Increment();
   }
 }
 
@@ -225,6 +297,7 @@ void Server::ReadFromConnection(const ConnectionPtr& conn) {
       if (n < static_cast<ssize_t>(sizeof(buffer))) break;
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // interrupted: retry the recv
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // EOF or a hard error: the peer is gone.
     CloseConnection(conn);
@@ -266,11 +339,11 @@ void Server::HandlePayload(const ConnectionPtr& conn,
       std::string frame;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        ++stats_requests_;
+        stats_requests_->Increment();
         frame = EncodeStatsResponse(StatsLocked());
         SendLocked(conn, std::move(frame));
       }
-      stats_latency_.Record(ElapsedMs(received, Clock::now()) * 1000.0);
+      stats_latency_->Record(ElapsedMs(received, Clock::now()) * 1000.0);
       return;
     }
     case MessageType::kQueryRequest: {
@@ -303,7 +376,7 @@ void Server::HandlePayload(const ConnectionPtr& conn,
 
 void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request) {
   auto reject = [&](std::string why) {
-    ++queries_rejected_;
+    queries_rejected_->Increment();
     QueryResponse response;
     response.request_id = request.request_id;
     response.status = Status::ResourceExhausted(std::move(why));
@@ -319,7 +392,7 @@ void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request) {
            " queued); retry later");
     return;
   }
-  ++queries_accepted_;
+  queries_accepted_->Increment();
   PendingQuery pending;
   pending.internal_id = next_query_id_++;
   pending.connection_id = conn->id;
@@ -363,6 +436,7 @@ void Server::FlushConnection(const ConnectionPtr& conn) {
         }
         continue;
       }
+      if (n < 0 && errno == EINTR) continue;  // interrupted: retry the send
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       should_close = true;
       break;
@@ -407,9 +481,14 @@ void Server::WorkerLoop() {
     const Clock::time_point exec_begin = Clock::now();
     const double queue_ms = ElapsedMs(pending.admitted_at, exec_begin);
 
+    // Per-query trace: recorded only from this worker (the engine detaches
+    // it before any parallel fan-out), folded into the phase histograms
+    // below once the query finishes.
+    observability::QueryTrace trace;
     ExecutionContext context;
     if (pending.has_deadline) context.set_deadline(pending.deadline);
     context.set_cancellation(pending.cancel.token());
+    context.set_trace(&trace);
     query::StatementOptions statement_options;
     statement_options.offline.runtime.num_threads = options_.threads_per_query;
 
@@ -425,22 +504,23 @@ void Server::WorkerLoop() {
     response.metrics.server_queue_ms = queue_ms;
     response.metrics.server_exec_ms = exec_ms;
     std::string frame = EncodeQueryResponse(response);
-    query_latency_.Record((queue_ms + exec_ms) * 1000.0);
+    query_latency_->Record((queue_ms + exec_ms) * 1000.0);
+    RecordQueryMetrics(response.metrics, trace);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
       switch (response.status.code()) {
         case StatusCode::kOk:
-          ++queries_ok_;
+          queries_ok_->Increment();
           break;
         case StatusCode::kCancelled:
-          ++queries_cancelled_;
+          queries_cancelled_->Increment();
           break;
         case StatusCode::kDeadlineExceeded:
-          ++queries_deadline_exceeded_;
+          queries_deadline_exceeded_->Increment();
           break;
         default:
-          ++queries_failed_;
+          queries_failed_->Increment();
           break;
       }
       auto it = connections_.find(pending.connection_id);
@@ -475,7 +555,7 @@ void Server::Shutdown(std::chrono::milliseconds drain_timeout) {
     while (!queue_.empty()) {
       PendingQuery pending = std::move(queue_.front());
       queue_.pop_front();
-      ++queries_cancelled_;
+      queries_cancelled_->Increment();
       QueryResponse response;
       response.request_id = pending.request.request_id;
       response.status = Status::Cancelled("server shutting down");
@@ -514,27 +594,76 @@ void Server::Shutdown(std::chrono::milliseconds drain_timeout) {
   listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
 }
 
+void Server::RefreshGaugesLocked() const {
+  connections_open_gauge_->Set(static_cast<double>(connections_.size()));
+  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+}
+
+void Server::RecordQueryMetrics(const WireQueryMetrics& metrics,
+                                const observability::QueryTrace& trace) {
+  storage_sorted_accesses_->Increment(metrics.sorted_accesses);
+  storage_random_accesses_->Increment(metrics.random_accesses);
+  storage_sequential_reads_->Increment(metrics.sequential_reads);
+  storage_virtual_disk_ms_->Add(metrics.virtual_ms);
+  inference_model_ms_->Add(metrics.model_ms);
+  online_clips_processed_->Increment(metrics.clips_processed);
+  runtime_tasks_executed_->Increment(metrics.tasks_executed);
+  runtime_fanout_ms_->Add(metrics.fanout_ms);
+  engine_algorithm_ms_->Add(metrics.algorithm_ms);
+  // Phase spans -> per-phase latency histograms. A phase that never ran
+  // (parse error aborts before bind) records nothing.
+  const struct {
+    const char* span;
+    observability::Histogram* histogram;
+  } phases[] = {{"parse", phase_parse_},
+                {"bind", phase_bind_},
+                {"plan", phase_plan_},
+                {"execute", phase_execute_}};
+  for (const auto& phase : phases) {
+    if (trace.CountOf(phase.span) > 0) {
+      phase.histogram->Record(trace.TotalMs(phase.span) * 1000.0);
+    }
+  }
+}
+
 ServerStatsWire Server::StatsLocked() const {
+  RefreshGaugesLocked();
   ServerStatsWire stats;
-  stats.queries_accepted = queries_accepted_;
-  stats.queries_rejected = queries_rejected_;
-  stats.queries_ok = queries_ok_;
-  stats.queries_failed = queries_failed_;
-  stats.queries_cancelled = queries_cancelled_;
-  stats.queries_deadline_exceeded = queries_deadline_exceeded_;
-  stats.stats_requests = stats_requests_;
-  stats.connections_opened = connections_opened_;
+  stats.queries_accepted = static_cast<int64_t>(queries_accepted_->value());
+  stats.queries_rejected = static_cast<int64_t>(queries_rejected_->value());
+  stats.queries_ok = static_cast<int64_t>(queries_ok_->value());
+  stats.queries_failed = static_cast<int64_t>(queries_failed_->value());
+  stats.queries_cancelled = static_cast<int64_t>(queries_cancelled_->value());
+  stats.queries_deadline_exceeded =
+      static_cast<int64_t>(queries_deadline_exceeded_->value());
+  stats.stats_requests = static_cast<int64_t>(stats_requests_->value());
+  stats.connections_opened =
+      static_cast<int64_t>(connections_opened_->value());
   stats.connections_open = static_cast<int64_t>(connections_.size());
   stats.queue_depth = static_cast<int64_t>(queue_.size());
   stats.in_flight = in_flight_;
-  stats.query_latency = query_latency_.Snapshot();
-  stats.stats_latency = stats_latency_.Snapshot();
+  stats.query_latency = ToWireHistogram(query_latency_->Snapshot());
+  stats.stats_latency = ToWireHistogram(stats_latency_->Snapshot());
+  stats.registry = registry_.Snapshot().Flatten();
   return stats;
 }
 
 ServerStatsWire Server::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return StatsLocked();
+}
+
+observability::MetricsSnapshot Server::Metrics() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefreshGaugesLocked();
+  }
+  return registry_.Snapshot();
+}
+
+void Server::DumpPrometheus(std::ostream& out) const {
+  Metrics().DumpPrometheus(out);
 }
 
 }  // namespace svq::server

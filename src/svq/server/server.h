@@ -15,7 +15,8 @@
 #include "svq/common/execution_context.h"
 #include "svq/common/status.h"
 #include "svq/core/engine.h"
-#include "svq/server/histogram.h"
+#include "svq/observability/metrics.h"
+#include "svq/observability/trace.h"
 #include "svq/server/wire.h"
 
 namespace svq::server {
@@ -82,8 +83,18 @@ class Server {
                     std::chrono::milliseconds(5000));
 
   /// Cumulative counters + gauges + per-verb latency histograms — the same
-  /// payload the STATS verb returns.
+  /// payload the STATS verb returns (including the flattened registry).
   ServerStatsWire Stats() const;
+
+  /// Point-in-time snapshot of the server's metrics registry: admission /
+  /// outcome counters, connection and queue gauges, per-verb latency and
+  /// per-phase (parse/bind/plan/execute) histograms, plus the engine-side
+  /// aggregates (storage accesses, inference time) accumulated from every
+  /// finished query.
+  observability::MetricsSnapshot Metrics() const;
+
+  /// Writes Metrics() in Prometheus text exposition format.
+  void DumpPrometheus(std::ostream& out) const;
 
  private:
   struct Connection {
@@ -165,19 +176,46 @@ class Server {
   bool stop_io_ = false;
   ExecutionContext::Clock::time_point io_flush_deadline_{};
 
-  // Cumulative counters (guarded by mu_).
-  int64_t queries_accepted_ = 0;
-  int64_t queries_rejected_ = 0;
-  int64_t queries_ok_ = 0;
-  int64_t queries_failed_ = 0;
-  int64_t queries_cancelled_ = 0;
-  int64_t queries_deadline_exceeded_ = 0;
-  int64_t stats_requests_ = 0;
-  int64_t connections_opened_ = 0;
+  /// Refreshes the instantaneous gauges from queue/connection state
+  /// (mu_ held by caller).
+  void RefreshGaugesLocked() const;
 
-  // Lock-free: recorded on the worker hot path.
-  LatencyHistogram query_latency_;
-  LatencyHistogram stats_latency_;
+  /// Folds one finished query's engine-side accounting and trace into the
+  /// registry (lock-free: counters and histograms are relaxed atomics).
+  void RecordQueryMetrics(const WireQueryMetrics& metrics,
+                          const observability::QueryTrace& trace);
+
+  /// All server metrics live here; recording is relaxed-atomic, so the
+  /// worker hot path never serializes on a stats lock. The named pointers
+  /// below are registered once in the constructor and stable for the
+  /// server's lifetime.
+  observability::MetricsRegistry registry_;
+  observability::Counter* queries_accepted_;
+  observability::Counter* queries_rejected_;
+  observability::Counter* queries_ok_;
+  observability::Counter* queries_failed_;
+  observability::Counter* queries_cancelled_;
+  observability::Counter* queries_deadline_exceeded_;
+  observability::Counter* stats_requests_;
+  observability::Counter* connections_opened_;
+  observability::Gauge* connections_open_gauge_;
+  observability::Gauge* queue_depth_gauge_;
+  observability::Gauge* in_flight_gauge_;
+  observability::Histogram* query_latency_;
+  observability::Histogram* stats_latency_;
+  observability::Histogram* phase_parse_;
+  observability::Histogram* phase_bind_;
+  observability::Histogram* phase_plan_;
+  observability::Histogram* phase_execute_;
+  observability::Counter* storage_sorted_accesses_;
+  observability::Counter* storage_random_accesses_;
+  observability::Counter* storage_sequential_reads_;
+  observability::Counter* storage_virtual_disk_ms_;
+  observability::Counter* inference_model_ms_;
+  observability::Counter* online_clips_processed_;
+  observability::Counter* runtime_tasks_executed_;
+  observability::Counter* runtime_fanout_ms_;
+  observability::Counter* engine_algorithm_ms_;
 };
 
 }  // namespace svq::server

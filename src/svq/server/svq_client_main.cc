@@ -57,6 +57,12 @@ int RunStats(svq::server::Client& client) {
               static_cast<long long>(stats->stats_requests));
   PrintHistogram("QUERY", stats->query_latency);
   PrintHistogram("STATS", stats->stats_latency);
+  if (!stats->registry.empty()) {
+    std::printf("registry (%zu metrics):\n", stats->registry.size());
+    for (const auto& [name, value] : stats->registry) {
+      std::printf("  %-44s %.6g\n", name.c_str(), value);
+    }
+  }
   return 0;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -60,7 +61,9 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--host A] [--port N] [--videos N] [--scale S]\n"
       "          [--max-in-flight N] [--max-queue N] [--max-connections N]\n"
-      "          [--threads-per-query N] [--port-file PATH] [--drain-ms N]\n",
+      "          [--threads-per-query N] [--port-file PATH] [--drain-ms N]\n"
+      "          [--metrics-dump PATH]   Prometheus text dump on exit\n"
+      "                                  ('-' writes to stdout)\n",
       argv0);
   return 1;
 }
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   double scale = 0.25;
   int drain_ms = 5000;
   std::string port_file;
+  std::string metrics_dump;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -99,6 +103,8 @@ int main(int argc, char** argv) {
       port_file = value;
     } else if (arg == "--drain-ms" && (value = next())) {
       drain_ms = std::atoi(value);
+    } else if (arg == "--metrics-dump" && (value = next())) {
+      metrics_dump = value;
     } else {
       return Usage(argv[0]);
     }
@@ -169,5 +175,20 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.queries_cancelled),
               static_cast<long long>(stats.queries_deadline_exceeded),
               static_cast<long long>(stats.queries_failed));
+  if (!metrics_dump.empty()) {
+    if (metrics_dump == "-") {
+      std::fflush(stdout);
+      server.DumpPrometheus(std::cout);
+      std::cout.flush();
+    } else {
+      std::ofstream out(metrics_dump, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "svqd: cannot open metrics dump file '%s'\n",
+                     metrics_dump.c_str());
+        return 1;
+      }
+      server.DumpPrometheus(out);
+    }
+  }
   return 0;
 }

@@ -216,6 +216,11 @@ std::string EncodeStatsResponse(const ServerStatsWire& stats) {
   AppendI64(&body, stats.in_flight);
   AppendHistogram(&body, stats.query_latency);
   AppendHistogram(&body, stats.stats_latency);
+  AppendU32(&body, static_cast<uint32_t>(stats.registry.size()));
+  for (const auto& [name, value] : stats.registry) {
+    AppendString(&body, name);
+    AppendF64(&body, value);
+  }
   return EncodeFrame(MessageType::kStatsResponse, body);
 }
 
@@ -304,6 +309,22 @@ Status DecodeStatsResponse(WireCursor* cursor, ServerStatsWire* stats) {
   SVQ_RETURN_NOT_OK(cursor->ReadI64(&stats->in_flight));
   SVQ_RETURN_NOT_OK(ReadHistogram(cursor, &stats->query_latency));
   SVQ_RETURN_NOT_OK(ReadHistogram(cursor, &stats->stats_latency));
+  uint32_t registry_count = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&registry_count));
+  // 12 bytes minimum per entry (u32 name length + f64 value): a hostile
+  // count cannot force an allocation beyond what the frame holds.
+  if (static_cast<size_t>(registry_count) * 12 > cursor->remaining()) {
+    return Status::Corruption("registry entry count overruns frame");
+  }
+  stats->registry.clear();
+  stats->registry.reserve(registry_count);
+  for (uint32_t i = 0; i < registry_count; ++i) {
+    std::string name;
+    double value = 0.0;
+    SVQ_RETURN_NOT_OK(cursor->ReadString(&name));
+    SVQ_RETURN_NOT_OK(cursor->ReadF64(&value));
+    stats->registry.emplace_back(std::move(name), value);
+  }
   return ExpectEnd(*cursor);
 }
 

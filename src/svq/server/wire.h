@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "svq/common/status.h"
@@ -22,7 +23,10 @@ namespace svq::server {
 /// receiver's configured maximum are a protocol error (the stream cannot be
 /// resynchronized and the connection is closed), so a hostile peer cannot
 /// make the server buffer unboundedly.
-inline constexpr uint8_t kWireVersion = 1;
+///
+/// Version history: v1 — initial protocol; v2 — STATS responses carry the
+/// flattened metrics-registry entries after the fixed counter block.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 4;
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 
@@ -168,6 +172,11 @@ struct ServerStatsWire {
   // STATS from receipt to response encode).
   WireHistogram query_latency;
   WireHistogram stats_latency;
+  // v2: the server's full metrics registry, flattened to (name, value)
+  // pairs (MetricsSnapshot::Flatten) — every counter and gauge verbatim
+  // plus `<histogram>_count` / `<histogram>_sum_micros` per histogram.
+  // Sorted by name; the fixed counters above stay for cheap access.
+  std::vector<std::pair<std::string, double>> registry;
 
   friend bool operator==(const ServerStatsWire&,
                          const ServerStatsWire&) = default;

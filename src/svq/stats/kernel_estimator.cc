@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 namespace svq::stats {
@@ -32,10 +33,23 @@ void KernelRateEstimator::Step(bool event) {
 void KernelRateEstimator::Advance(int64_t delta_ous) {
   if (delta_ous <= 0) return;
   // Decays the raw kernel sum; the edge correction is applied in rate() so
-  // the recurrence stays a single multiply.
+  // the recurrence stays a single multiply. After a gap many bandwidths
+  // long the sum underflows toward 0 — that is the mathematically correct
+  // limit (every past event's kernel mass has decayed away, and rate()
+  // recovers unbiased from the next event) — but flush subnormals to an
+  // exact 0.0 so pathological gaps cannot leave the hot loop multiplying
+  // denormals, which is an order of magnitude slower on most cores.
   kernel_sum_ *= std::exp(-static_cast<double>(delta_ous) /
                           options_.bandwidth);
-  t_ += delta_ous;
+  if (kernel_sum_ < std::numeric_limits<double>::min()) kernel_sum_ = 0.0;
+  // Saturate instead of overflowing: signed overflow is UB, and a stream
+  // past 2^63 OUs has long since converged (the truncated mass in rate()
+  // is exactly 1.0 from ~40 bandwidths onward).
+  if (t_ > std::numeric_limits<int64_t>::max() - delta_ous) {
+    t_ = std::numeric_limits<int64_t>::max();
+  } else {
+    t_ += delta_ous;
+  }
 }
 
 void KernelRateEstimator::Observe() {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "svq/common/rng.h"
 
 namespace svq::stats {
@@ -122,6 +125,60 @@ TEST(KernelEstimatorTest, RateStaysInUnitInterval) {
     EXPECT_GE(est.rate(), 0.0);
     EXPECT_LE(est.rate(), 1.0);
   }
+}
+
+TEST(KernelEstimatorTest, LongGapDecaysToZeroAndStaysFinite) {
+  // A gap many orders of magnitude beyond the bandwidth underflows the raw
+  // kernel sum to exact zero. That is the correct limit of Eq. 6 (all past
+  // kernel mass has decayed away): the estimate must be exactly 0, finite,
+  // and free of denormal residue.
+  auto est = Make(64.0, 0.25);
+  for (int t = 0; t < 500; ++t) est.Step(true);
+  EXPECT_NEAR(est.rate(), 1.0, 1e-3);
+  est.Advance(int64_t{1} << 40);  // ~1.7e10 bandwidths of silence
+  EXPECT_TRUE(std::isfinite(est.rate()));
+  EXPECT_DOUBLE_EQ(est.rate(), 0.0);
+}
+
+TEST(KernelEstimatorTest, RecoversUnbiasedAfterLongGap) {
+  // Regression for the ISSUE-flagged edge case: after a gap >> bandwidth
+  // the estimator must remain unbiased on fresh data — the truncated mass
+  // in rate() saturates at 1, so the post-gap estimate matches a fresh
+  // estimator fed the same stream to within the washed-out edge term.
+  const double p = 0.07;
+  Rng rng(4242);
+  double gap_sum = 0.0;
+  double fresh_sum = 0.0;
+  const int replicas = 40;
+  for (int r = 0; r < replicas; ++r) {
+    auto gap = Make(200.0, 0.5);
+    auto fresh = Make(200.0, 0.5);
+    for (int t = 0; t < 2000; ++t) gap.Step(rng.NextBernoulli(0.9));
+    gap.Advance(int64_t{1} << 40);
+    for (int t = 0; t < 4000; ++t) {
+      const bool event = rng.NextBernoulli(p);
+      gap.Step(event);
+      fresh.Step(event);
+    }
+    gap_sum += gap.rate();
+    fresh_sum += fresh.rate();
+  }
+  EXPECT_NEAR(gap_sum / replicas, p, 0.01);
+  EXPECT_NEAR(gap_sum / replicas, fresh_sum / replicas, 1e-3);
+}
+
+TEST(KernelEstimatorTest, TotalOusSaturatesInsteadOfOverflowing) {
+  auto est = Make(8.0, 0.1);
+  est.Step(true);
+  est.Advance(std::numeric_limits<int64_t>::max() - 10);
+  est.Advance(std::numeric_limits<int64_t>::max());  // would overflow t_
+  EXPECT_EQ(est.total_ous(), std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(std::isfinite(est.rate()));
+  EXPECT_GE(est.rate(), 0.0);
+  EXPECT_LE(est.rate(), 1.0);
+  // Still usable after saturation: new events move the estimate.
+  for (int t = 0; t < 500; ++t) est.Step(true);
+  EXPECT_NEAR(est.rate(), 1.0, 1e-3);
 }
 
 }  // namespace

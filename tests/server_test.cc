@@ -239,6 +239,58 @@ TEST_F(ServerTest, StatsVerbReportsCounters) {
   EXPECT_GT(stats->query_latency.PercentileMicros(0.5), 0.0);
 }
 
+TEST_F(ServerTest, StatsVerbRoundTripsRegistryCounters) {
+  StartServer();
+  Client client = Connected();
+  auto response = client.Execute(kRankedStatement);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->status.ok());
+
+  auto stats = client.GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_FALSE(stats->registry.empty());
+
+  const auto find = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : stats->registry) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "registry entry missing: " << name;
+    return -1.0;
+  };
+
+  // The wire registry must agree with the legacy counters in the same
+  // response — one source of truth, two encodings.
+  EXPECT_DOUBLE_EQ(find("svqd_queries_accepted_total"),
+                   static_cast<double>(stats->queries_accepted));
+  EXPECT_DOUBLE_EQ(find("svqd_queries_ok_total"),
+                   static_cast<double>(stats->queries_ok));
+  EXPECT_DOUBLE_EQ(find("svqd_query_latency_micros_count"),
+                   static_cast<double>(stats->query_latency.count));
+  EXPECT_GT(find("svqd_query_latency_micros_sum_micros"), 0.0);
+  // The ranked query executed, so the per-phase trace spans fed the phase
+  // histograms and the engine aggregates saw storage traffic.
+  EXPECT_DOUBLE_EQ(find("svqd_phase_parse_micros_count"), 1.0);
+  EXPECT_DOUBLE_EQ(find("svqd_phase_execute_micros_count"), 1.0);
+  EXPECT_GT(find("svq_storage_sorted_accesses_total"), 0.0);
+
+  // And the snapshot the wire carried matches the server's in-process
+  // registry for monotone counters that cannot have moved since.
+  const auto in_process = server_->Metrics().Flatten();
+  const auto in_process_find = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : in_process) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "in-process registry entry missing: " << name;
+    return -1.0;
+  };
+  for (const char* name :
+       {"svqd_queries_accepted_total", "svqd_queries_ok_total",
+        "svqd_query_latency_micros_count",
+        "svq_storage_sorted_accesses_total"}) {
+    EXPECT_DOUBLE_EQ(find(name), in_process_find(name)) << name;
+  }
+}
+
 TEST_F(ServerTest, BadStatementReturnsErrorNotDisconnect) {
   StartServer();
   Client client = Connected();

@@ -5,8 +5,6 @@
 #include <limits>
 #include <string>
 
-#include "svq/server/histogram.h"
-
 namespace svq::server {
 namespace {
 
@@ -107,6 +105,9 @@ TEST(WireTest, StatsResponseRoundTrip) {
   stats.query_latency.buckets[11] = 40;
   stats.stats_latency.count = 9;
   stats.stats_latency.buckets[3] = 9;
+  stats.registry = {{"svqd_queries_ok_total", 90.0},
+                    {"svqd_query_latency_micros_sum_micros", 123456.75},
+                    {"svq_storage_random_accesses_total", 567.0}};
 
   const std::string payload = PayloadOf(EncodeStatsResponse(stats));
   WireCursor cursor(payload);
@@ -121,7 +122,9 @@ TEST(WireTest, StatsResponseRoundTrip) {
 TEST(WireTest, RejectsWrongVersion) {
   std::string frame = EncodeStatsRequest();
   frame[kFrameHeaderBytes] = static_cast<char>(kWireVersion + 1);
-  WireCursor cursor(PayloadOf(frame));
+  // The payload must outlive the cursor, which only holds a view into it.
+  const std::string payload = PayloadOf(frame);
+  WireCursor cursor(payload);
   MessageType type = MessageType::kStatsRequest;
   EXPECT_TRUE(DecodePayloadHeader(&cursor, &type).IsUnimplemented());
 }
@@ -129,7 +132,8 @@ TEST(WireTest, RejectsWrongVersion) {
 TEST(WireTest, RejectsUnknownMessageType) {
   std::string frame = EncodeStatsRequest();
   frame[kFrameHeaderBytes + 1] = static_cast<char>(200);
-  WireCursor cursor(PayloadOf(frame));
+  const std::string payload = PayloadOf(frame);
+  WireCursor cursor(payload);
   MessageType type = MessageType::kStatsRequest;
   EXPECT_TRUE(DecodePayloadHeader(&cursor, &type).IsCorruption());
 }
@@ -142,7 +146,8 @@ TEST(WireTest, TruncatedPayloadsFailCleanly) {
   const std::string payload = PayloadOf(EncodeQueryRequest(request));
   // Every proper prefix must decode to an error, never crash or succeed.
   for (size_t cut = 0; cut < payload.size(); ++cut) {
-    WireCursor cursor(payload.substr(0, cut));
+    const std::string prefix = payload.substr(0, cut);
+    WireCursor cursor(prefix);
     MessageType type = MessageType::kStatsRequest;
     const Status header = DecodePayloadHeader(&cursor, &type);
     if (!header.ok()) continue;
@@ -233,20 +238,43 @@ TEST(FrameAssemblerTest, OversizedFrameIsAnError) {
   EXPECT_TRUE(assembler.Next(&payload, &has_frame).IsInvalidArgument());
 }
 
-TEST(LatencyHistogramTest, BucketsAndPercentiles) {
-  LatencyHistogram histogram;
-  histogram.Record(0.5);      // bucket 0
-  histogram.Record(3.0);      // bucket 1: [2, 4)
-  histogram.Record(1000.0);   // bucket 9: [512, 1024)
-  histogram.Record(1e12);     // clamped to the overflow bucket
-  const WireHistogram snapshot = histogram.Snapshot();
-  EXPECT_EQ(snapshot.count, 4);
-  EXPECT_EQ(snapshot.buckets[0], 1);
-  EXPECT_EQ(snapshot.buckets[1], 1);
-  EXPECT_EQ(snapshot.buckets[9], 1);
-  EXPECT_EQ(snapshot.buckets[kLatencyBuckets - 1], 1);
-  EXPECT_LE(snapshot.PercentileMicros(0.5), 4.0);
-  EXPECT_GT(snapshot.PercentileMicros(0.99), 1e6);
+TEST(WireTest, EmptyRegistryRoundTrips) {
+  ServerStatsWire stats;
+  stats.queries_accepted = 1;
+  const std::string payload = PayloadOf(EncodeStatsResponse(stats));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  ServerStatsWire decoded;
+  ASSERT_TRUE(DecodeStatsResponse(&cursor, &decoded).ok());
+  EXPECT_TRUE(decoded.registry.empty());
+  EXPECT_EQ(decoded, stats);
+}
+
+TEST(WireTest, HostileRegistryCountRejected) {
+  // With an empty registry the u32 entry count is the final field of the
+  // stats body; inflating it must trip the count-vs-remaining check
+  // instead of allocating or overrunning.
+  ServerStatsWire stats;
+  std::string payload = PayloadOf(EncodeStatsResponse(stats));
+  payload[payload.size() - 1] = static_cast<char>(0x80);
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  ServerStatsWire decoded;
+  EXPECT_TRUE(DecodeStatsResponse(&cursor, &decoded).IsCorruption());
+}
+
+TEST(WireHistogramTest, PercentilesFromBuckets) {
+  WireHistogram histogram;
+  histogram.count = 4;
+  histogram.buckets[0] = 1;   // < 2 us
+  histogram.buckets[1] = 1;   // [2, 4)
+  histogram.buckets[9] = 1;   // [512, 1024)
+  histogram.buckets[kLatencyBuckets - 1] = 1;  // overflow
+  EXPECT_LE(histogram.PercentileMicros(0.5), 4.0);
+  EXPECT_GT(histogram.PercentileMicros(0.99), 1e6);
+  EXPECT_EQ(WireHistogram().PercentileMicros(0.5), 0.0);
 }
 
 }  // namespace
