@@ -1,0 +1,50 @@
+#ifndef SVQ_CACHE_CACHE_OPTIONS_H_
+#define SVQ_CACHE_CACHE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace svq::cache {
+
+/// Engine-level cache sizing (docs/caching.md). Passed to the
+/// VideoQueryEngine constructor; every snapshot the engine publishes gets a
+/// fresh SnapshotCache built from these knobs. Disabled by default so that
+/// single-shot tools, tests and benchmarks keep their historical cold-path
+/// behavior byte for byte; serving deployments (svqd) enable it.
+struct CacheOptions {
+  /// Master switch: when false, snapshots carry no cache at all and every
+  /// per-statement policy toggle is inert.
+  bool enabled = false;
+  /// LRU byte budget of the candidate-sequence tier (interval products,
+  /// keyed per video and canonicalized predicate prefix).
+  size_t candidate_bytes = size_t{64} << 20;
+  /// LRU byte budget of the top-K result tier (keyed on the statement
+  /// fingerprint; a cached K answers any smaller K).
+  size_t result_bytes = size_t{32} << 20;
+  /// Lock shards per LRU tier; bounds writer contention on the hot lookup
+  /// path. Must be >= 1.
+  int shards = 8;
+
+  /// Convenience: an enabled configuration with `total_mb` split 2:1
+  /// between the candidate and result tiers.
+  static CacheOptions Enabled(size_t total_mb = 96) {
+    CacheOptions options;
+    options.enabled = true;
+    options.candidate_bytes = (total_mb << 20) * 2 / 3;
+    options.result_bytes = (total_mb << 20) / 3;
+    return options;
+  }
+};
+
+/// Per-statement cache policy, threaded through StatementOptions /
+/// OfflineOptions. Both toggles default on; they only take effect when the
+/// pinned snapshot actually carries a cache (CacheOptions::enabled). The
+/// oracle tests flip these off to re-run a statement uncached against the
+/// same snapshot and compare bit-identical results.
+struct CachePolicy {
+  bool use_candidate_cache = true;
+  bool use_result_cache = true;
+};
+
+}  // namespace svq::cache
+
+#endif  // SVQ_CACHE_CACHE_OPTIONS_H_

@@ -1,0 +1,75 @@
+#ifndef SVQ_CACHE_CACHE_STATS_H_
+#define SVQ_CACHE_CACHE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace svq::cache {
+
+/// Engine-lifetime cache counters, shared by every snapshot generation's
+/// SnapshotCache. Hits/misses/evictions are cumulative across generations;
+/// `bytes` tracks the live footprint (each LRU tier adds on insert,
+/// subtracts on evict, and releases its remainder when its snapshot's last
+/// pin drops). All fields are relaxed atomics: recording from the query hot
+/// path is a single add, never a lock — the same discipline as
+/// observability::Counter.
+struct CacheStats {
+  std::atomic<int64_t> candidate_hits{0};
+  std::atomic<int64_t> candidate_misses{0};
+  std::atomic<int64_t> candidate_evictions{0};
+  std::atomic<int64_t> result_hits{0};
+  std::atomic<int64_t> result_misses{0};
+  std::atomic<int64_t> result_evictions{0};
+  /// Identical in-flight statements that waited on a single-flight leader
+  /// instead of recomputing.
+  std::atomic<int64_t> single_flight_waits{0};
+  /// Shared k_crit table: lookups answered without running the
+  /// scan-statistic computation, and actual computations.
+  std::atomic<int64_t> kcrit_hits{0};
+  std::atomic<int64_t> kcrit_computes{0};
+  /// Live bytes across all current snapshot caches.
+  std::atomic<int64_t> bytes{0};
+
+  /// Plain-value copy for delta bridging into a MetricsRegistry.
+  struct Snapshot {
+    int64_t candidate_hits = 0;
+    int64_t candidate_misses = 0;
+    int64_t candidate_evictions = 0;
+    int64_t result_hits = 0;
+    int64_t result_misses = 0;
+    int64_t result_evictions = 0;
+    int64_t single_flight_waits = 0;
+    int64_t kcrit_hits = 0;
+    int64_t kcrit_computes = 0;
+    int64_t bytes = 0;
+
+    int64_t hits() const { return candidate_hits + result_hits + kcrit_hits; }
+    int64_t misses() const {
+      return candidate_misses + result_misses + kcrit_computes;
+    }
+    int64_t evictions() const {
+      return candidate_evictions + result_evictions;
+    }
+  };
+
+  Snapshot Read() const {
+    Snapshot s;
+    s.candidate_hits = candidate_hits.load(std::memory_order_relaxed);
+    s.candidate_misses = candidate_misses.load(std::memory_order_relaxed);
+    s.candidate_evictions =
+        candidate_evictions.load(std::memory_order_relaxed);
+    s.result_hits = result_hits.load(std::memory_order_relaxed);
+    s.result_misses = result_misses.load(std::memory_order_relaxed);
+    s.result_evictions = result_evictions.load(std::memory_order_relaxed);
+    s.single_flight_waits =
+        single_flight_waits.load(std::memory_order_relaxed);
+    s.kcrit_hits = kcrit_hits.load(std::memory_order_relaxed);
+    s.kcrit_computes = kcrit_computes.load(std::memory_order_relaxed);
+    s.bytes = bytes.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace svq::cache
+
+#endif  // SVQ_CACHE_CACHE_STATS_H_

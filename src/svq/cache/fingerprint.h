@@ -1,0 +1,76 @@
+#ifndef SVQ_CACHE_FINGERPRINT_H_
+#define SVQ_CACHE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace svq::cache {
+
+/// Incremental 64-bit FNV-1a hasher for cache keys. Every cache tier keys
+/// its entries on a Fingerprint value: stable across runs (no ASLR-derived
+/// pointers, no std::hash), cheap to extend field by field, and
+/// length-prefixed so that concatenation ambiguities ("ab"+"c" vs "a"+"bc")
+/// cannot alias.
+///
+/// Keys are 64-bit, so an accidental collision between two live entries is
+/// ~2^-64 per pair — the same trust model as content-addressed caches
+/// everywhere. Entries never outlive their snapshot, which keeps the live
+/// key population small.
+class Fingerprint {
+ public:
+  Fingerprint() = default;
+  /// Resumes hashing from a previously computed fingerprint value, so a
+  /// shared key prefix (e.g. the parameter tuple of a kcrit cache) can be
+  /// mixed once and extended per lookup.
+  explicit Fingerprint(uint64_t seed) { MixRaw(seed); }
+
+  Fingerprint& Mix(std::string_view s) {
+    MixRaw(static_cast<uint64_t>(s.size()));
+    for (const char c : s) MixByte(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  // Without this overload a string literal would take the *standard*
+  // pointer-to-bool conversion over the user-defined one to string_view,
+  // silently mixing every literal as `1`.
+  Fingerprint& Mix(const char* s) { return Mix(std::string_view(s)); }
+
+  Fingerprint& Mix(uint64_t v) {
+    MixRaw(v);
+    return *this;
+  }
+
+  Fingerprint& Mix(int64_t v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(int v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(bool v) { return Mix(static_cast<uint64_t>(v ? 1 : 0)); }
+
+  /// Bit-exact double mixing (distinguishes -0.0/0.0 and every NaN payload;
+  /// cache keys must not equate values the computation could distinguish).
+  Fingerprint& Mix(double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return Mix(bits);
+  }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  void MixByte(unsigned char b) {
+    h_ ^= static_cast<uint64_t>(b);
+    h_ *= 1099511628211ULL;  // FNV-1a 64-bit prime
+  }
+
+  void MixRaw(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<unsigned char>(v >> (i * 8)));
+    }
+  }
+
+  uint64_t h_ = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis
+};
+
+}  // namespace svq::cache
+
+#endif  // SVQ_CACHE_FINGERPRINT_H_

@@ -1,0 +1,167 @@
+#ifndef SVQ_CACHE_LRU_CACHE_H_
+#define SVQ_CACHE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace svq::cache {
+
+/// Byte-bounded, sharded LRU map from 64-bit fingerprints to cheap-to-copy
+/// values (the tiers store shared_ptrs to immutable payloads). The key
+/// picks a shard; each shard is an intrusive LRU list + index behind its
+/// own mutex, so concurrent queries on different keys contend 1/shards of
+/// the time and every critical section is a handful of pointer moves — no
+/// allocation, no payload copies, no global lock.
+///
+/// Eviction is per shard against `max_bytes / shards`: a shard that fills
+/// evicts its own least-recently-used entries and cannot be displaced by
+/// traffic hashing elsewhere. Optional counters (hits/misses/evictions and
+/// a live-bytes gauge shared across caches) are plain relaxed atomics.
+template <typename V>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t max_bytes, int num_shards,
+                  std::atomic<int64_t>* hits = nullptr,
+                  std::atomic<int64_t>* misses = nullptr,
+                  std::atomic<int64_t>* evictions = nullptr,
+                  std::atomic<int64_t>* live_bytes = nullptr)
+      : shard_capacity_(max_bytes /
+                        static_cast<size_t>(num_shards < 1 ? 1 : num_shards)),
+        hits_(hits),
+        misses_(misses),
+        evictions_(evictions),
+        live_bytes_(live_bytes),
+        shards_(static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {}
+
+  ~ShardedLruCache() {
+    // Release this cache's live footprint from the shared gauge: the cache
+    // dies with its snapshot, and the gauge must only count reachable
+    // entries.
+    if (live_bytes_ == nullptr) return;
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += static_cast<int64_t>(shard.bytes);
+    }
+    if (total != 0) {
+      live_bytes_->fetch_sub(total, std::memory_order_relaxed);
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Copy of the value under `key` (refreshes recency); nullopt on miss.
+  std::optional<V> Lookup(uint64_t key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      Bump(misses_);
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    Bump(hits_);
+    return it->second->value;
+  }
+
+  /// Inserts or replaces `key`, charging `bytes` against the shard budget
+  /// (payload bytes plus a bookkeeping constant), then evicts from the cold
+  /// end until the shard fits. An entry larger than a whole shard is
+  /// admitted alone — pathological, but dropping it silently would make the
+  /// cache lie about what it was asked to hold.
+  void Insert(uint64_t key, V value, size_t bytes) {
+    const size_t charged = bytes + kEntryOverhead;
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      AdjustBytes(shard, -static_cast<int64_t>(it->second->bytes));
+      it->second->value = std::move(value);
+      it->second->bytes = charged;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(value), charged});
+      shard.index.emplace(key, shard.lru.begin());
+    }
+    AdjustBytes(shard, static_cast<int64_t>(charged));
+    while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+      const Entry& cold = shard.lru.back();
+      AdjustBytes(shard, -static_cast<int64_t>(cold.bytes));
+      shard.index.erase(cold.key);
+      shard.lru.pop_back();
+      Bump(evictions_);
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.index.size();
+    }
+    return total;
+  }
+
+  size_t bytes() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.bytes;
+    }
+    return total;
+  }
+
+ private:
+  /// Approximate per-entry bookkeeping cost (list node + index slot).
+  static constexpr size_t kEntryOverhead = 64;
+
+  struct Entry {
+    uint64_t key = 0;
+    V value;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardOf(uint64_t key) {
+    // The keys are already FNV-mixed; fold the high bits in so shard count
+    // needn't be coprime with anything.
+    return shards_[(key ^ (key >> 32)) % shards_.size()];
+  }
+
+  static void Bump(std::atomic<int64_t>* counter) {
+    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void AdjustBytes(Shard& shard, int64_t delta) {
+    shard.bytes = static_cast<size_t>(
+        static_cast<int64_t>(shard.bytes) + delta);
+    if (live_bytes_ != nullptr) {
+      live_bytes_->fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  const size_t shard_capacity_;
+  std::atomic<int64_t>* const hits_;
+  std::atomic<int64_t>* const misses_;
+  std::atomic<int64_t>* const evictions_;
+  std::atomic<int64_t>* const live_bytes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace svq::cache
+
+#endif  // SVQ_CACHE_LRU_CACHE_H_

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "svq/cache/fingerprint.h"
 #include "svq/observability/trace.h"
 
 namespace svq::core {
@@ -56,6 +57,71 @@ void DrainToSinks(const ExecutionContext& context,
   }
 }
 
+/// Statement fingerprint for the top-K result cache: the canonicalized
+/// query (labels sorted within each conjunctive list — the binder produces
+/// this order, and Intersect-based candidate generation is order
+/// independent), the target video, the algorithm, and every option that
+/// changes the produced sequences or bounds. K is deliberately excluded:
+/// an exact entry computed at K serves any K' <= K (CachedTopK::Serves).
+uint64_t ResultCacheKey(const Query& query, const std::string& video_name,
+                        OfflineAlgorithm algorithm,
+                        const OfflineOptions& options) {
+  svq::cache::Fingerprint fp;
+  fp.Mix("result").Mix(video_name);
+  fp.Mix("act").Mix(query.action);
+  std::vector<std::string> extras = query.extra_actions;
+  std::sort(extras.begin(), extras.end());
+  for (const std::string& extra : extras) fp.Mix("xa").Mix(extra);
+  std::vector<std::string> objects = query.objects;
+  std::sort(objects.begin(), objects.end());
+  for (const std::string& object : objects) fp.Mix("obj").Mix(object);
+  // Disjunctions and relationships are rejected by the offline path today,
+  // but mix them anyway so the key stays correct if that ever changes.
+  for (const auto& group : query.object_disjunctions) {
+    fp.Mix("disj");
+    for (const std::string& label : group) fp.Mix(label);
+  }
+  for (const Relationship& rel : query.relationships) {
+    fp.Mix("rel").Mix(static_cast<int>(rel.op)).Mix(rel.subject)
+        .Mix(rel.object);
+  }
+  fp.Mix("alg").Mix(static_cast<int>(algorithm));
+  fp.Mix(options.enable_skip).Mix(options.compute_exact_scores);
+  return fp.value();
+}
+
+/// A cached entry serving a (possibly smaller) K, converted back to the
+/// engine's result type. Stats stay zero: no storage was touched.
+TopKResult FromCached(const svq::cache::CachedTopK& cached, int k) {
+  TopKResult result;
+  const size_t n = std::min(cached.entries.size(), static_cast<size_t>(k));
+  result.sequences.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RankedSequence seq;
+    seq.clips = cached.entries[i].clips;
+    seq.lower_bound = cached.entries[i].lower_bound;
+    seq.upper_bound = cached.entries[i].upper_bound;
+    result.sequences.push_back(seq);
+  }
+  return result;
+}
+
+std::shared_ptr<const svq::cache::CachedTopK> ToCached(
+    const TopKResult& result, int k, const OfflineOptions& options) {
+  auto cached = std::make_shared<svq::cache::CachedTopK>();
+  cached->computed_k = k;
+  cached->exact = options.compute_exact_scores;
+  cached->entries.reserve(result.sequences.size());
+  for (const RankedSequence& seq : result.sequences) {
+    svq::cache::CachedTopK::Entry entry;
+    entry.clips = seq.clips;
+    entry.lower_bound = seq.lower_bound;
+    entry.upper_bound = seq.upper_bound;
+    cached->entries.push_back(entry);
+  }
+  return cached;
+}
+
 }  // namespace
 
 const CatalogSnapshot::Entry* CatalogSnapshot::Find(
@@ -89,7 +155,10 @@ Result<OnlineResult> ExecuteOnlineOn(const SnapshotPtr& snapshot,
       std::unique_ptr<OnlineEngine> engine,
       OnlineEngine::Create(mode, query, snapshot->online_config,
                            entry->video->layout(), models.detector.get(),
-                           models.recognizer.get(), context));
+                           models.recognizer.get(), context,
+                           snapshot->cache != nullptr
+                               ? snapshot->cache->kcrit_table()
+                               : nullptr));
   video::SyntheticVideoStream stream(entry->video, entry->id);
   observability::TraceSpan mode_span(
       context.trace(),
@@ -117,13 +186,56 @@ Result<TopKResult> ExecuteTopKOn(const SnapshotPtr& snapshot,
   }
   const AdditiveScoring scoring;
   observability::TraceSpan execute_span(context.trace(), "execute");
+
+  // Tier-2 result cache with single-flight deduplication (docs/caching.md).
+  // The first identical statement to arrive computes; concurrent duplicates
+  // wait briefly and re-check instead of redoing storage work. A leader
+  // that errors simply releases the flight — followers promote themselves.
+  svq::cache::SnapshotCache* cache = snapshot->cache.get();
+  const bool use_result_cache =
+      cache != nullptr && options.cache.use_result_cache;
+  uint64_t result_key = 0;
+  svq::cache::SingleFlightLease lease;
+  if (use_result_cache) {
+    result_key = ResultCacheKey(query, video_name, algorithm, options);
+    bool waited = false;
+    while (true) {
+      if (auto found = cache->LookupResult(result_key)) {
+        const svq::cache::CachedTopK& cached = **found;
+        if (cached.Serves(k)) {
+          observability::TraceSpan hit_span(context.trace(),
+                                            "cache.result_hit");
+          return FromCached(cached, k);
+        }
+        // Present but computed at a smaller K (or inexact): recompute —
+        // joining the flight would only serve us the same short entry.
+        break;
+      }
+      if (cache->result_flights().Begin(result_key)) {
+        lease = svq::cache::SingleFlightLease(&cache->result_flights(),
+                                              result_key);
+        break;
+      }
+      SVQ_RETURN_NOT_OK(context.Check());
+      if (!waited) {
+        waited = true;
+        cache->stats()->single_flight_waits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      cache->result_flights().WaitBriefly(result_key);
+    }
+  }
+
+  OfflineOptions exec_options = options;
+  exec_options.snapshot_cache = cache;
   observability::TraceSpan algorithm_span(context.trace(),
                                           AlgorithmSpanName(algorithm));
   Result<TopKResult> result = Status::InvalidArgument(
       "unknown offline algorithm");
   switch (algorithm) {
     case OfflineAlgorithm::kRvaq:
-      result = RunRvaq(*entry->ingested, query, k, scoring, options, context);
+      result = RunRvaq(*entry->ingested, query, k, scoring, exec_options,
+                       context);
       break;
     case OfflineAlgorithm::kRvaqNoSkip:
       result = RunRvaqNoSkip(*entry->ingested, query, k, scoring,
@@ -138,7 +250,14 @@ Result<TopKResult> ExecuteTopKOn(const SnapshotPtr& snapshot,
                              options.cost_model, context);
       break;
   }
-  if (result.ok()) DrainToSinks(context, result->stats);
+  if (result.ok()) {
+    DrainToSinks(context, result->stats);
+    if (use_result_cache) {
+      // Insert before the lease releases the flight, so woken followers
+      // find the entry on their re-check.
+      cache->InsertResult(result_key, ToCached(*result, k, options));
+    }
+  }
   return result;
 }
 
@@ -158,20 +277,30 @@ Result<RepositoryResult> ExecuteTopKAllOn(const SnapshotPtr& snapshot,
     return Status::FailedPrecondition("no ingested videos in the repository");
   }
   const AdditiveScoring scoring;
+  // The repository fan-out reuses the per-video RVAQ path, so threading the
+  // snapshot cache through here lights up the candidate tier (tier 1) for
+  // every video in the sweep. Whole-repository results are not memoized:
+  // their K interleaving is cross-video.
+  OfflineOptions exec_options = options;
+  exec_options.snapshot_cache = snapshot->cache.get();
   Result<RepositoryResult> result =
-      RunRepositoryTopK(ingested, query, k, scoring, options, context);
+      RunRepositoryTopK(ingested, query, k, scoring, exec_options, context);
   if (result.ok()) DrainToSinks(context, result->stats);
   return result;
 }
 
 VideoQueryEngine::VideoQueryEngine(models::ModelSuite suite,
                                    OnlineConfig online_config,
-                                   IngestOptions ingest_options)
-    : ingest_options_(std::move(ingest_options)) {
+                                   IngestOptions ingest_options,
+                                   svq::cache::CacheOptions cache_options)
+    : ingest_options_(std::move(ingest_options)),
+      cache_options_(cache_options),
+      cache_stats_(std::make_shared<svq::cache::CacheStats>()) {
   auto snapshot = std::make_shared<CatalogSnapshot>();
   snapshot->suite = std::move(suite);
   snapshot->online_config = online_config;
-  snapshot_ = std::move(snapshot);
+  // Route through Publish so the initial snapshot gets its cache too.
+  Publish(std::move(snapshot));
 }
 
 SnapshotPtr VideoQueryEngine::Pin() const {
@@ -179,7 +308,17 @@ SnapshotPtr VideoQueryEngine::Pin() const {
   return snapshot_;
 }
 
-void VideoQueryEngine::Publish(SnapshotPtr next) {
+void VideoQueryEngine::Publish(std::shared_ptr<CatalogSnapshot> next) {
+  // Every catalog mutation funnels through here, so attaching a *fresh*
+  // SnapshotCache per publish is the entire invalidation story: entries
+  // derived from superseded artifacts become unreachable with their
+  // snapshot, while queries pinned to the old generation keep their (still
+  // correct for that view) cache until the last pin drops.
+  if (cache_options_.enabled) {
+    next->cache =
+        std::make_shared<svq::cache::SnapshotCache>(cache_options_,
+                                                    cache_stats_);
+  }
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(next);
 }

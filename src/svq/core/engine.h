@@ -6,6 +6,9 @@
 #include <mutex>
 #include <string>
 
+#include "svq/cache/cache_options.h"
+#include "svq/cache/cache_stats.h"
+#include "svq/cache/query_cache.h"
 #include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 #include "svq/core/baselines.h"
@@ -44,6 +47,12 @@ struct CatalogSnapshot {
 
   std::map<std::string, Entry> videos;
   video::VideoId next_id = 0;
+  /// This snapshot generation's query cache (docs/caching.md); nullptr when
+  /// the engine runs with caching disabled. Every Publish attaches a fresh
+  /// instance, so a cache entry can never outlive — or be read across — the
+  /// snapshot whose artifacts produced it: staleness is impossible by
+  /// construction and pinned readers keep hitting their own generation.
+  std::shared_ptr<svq::cache::SnapshotCache> cache;
   /// Immutable within the snapshot: queries build their per-execution
   /// model instances from these copies, so a concurrent set_suite() /
   /// set_online_config() can never race a running query (the old
@@ -112,9 +121,11 @@ Result<RepositoryResult> ExecuteTopKAllOn(
 /// inference accounting is per-run.
 class VideoQueryEngine {
  public:
-  explicit VideoQueryEngine(models::ModelSuite suite = models::ModelSuite(),
-                            OnlineConfig online_config = OnlineConfig(),
-                            IngestOptions ingest_options = IngestOptions());
+  explicit VideoQueryEngine(
+      models::ModelSuite suite = models::ModelSuite(),
+      OnlineConfig online_config = OnlineConfig(),
+      IngestOptions ingest_options = IngestOptions(),
+      svq::cache::CacheOptions cache_options = svq::cache::CacheOptions());
 
   /// Registers a video under its `name()`. Errors: AlreadyExists.
   Result<video::VideoId> AddVideo(
@@ -156,6 +167,13 @@ class VideoQueryEngine {
   models::ModelSuite suite() const;
   OnlineConfig online_config() const;
 
+  /// Engine-lifetime cache counters (cumulative across snapshot
+  /// generations). Always non-null, even with caching disabled — the
+  /// counters simply stay at zero.
+  const std::shared_ptr<svq::cache::CacheStats>& cache_stats() const {
+    return cache_stats_;
+  }
+
   /// Streaming execution of `query` over the named video (paper §3), on a
   /// snapshot pinned at call entry.
   Result<OnlineResult> ExecuteOnline(
@@ -180,9 +198,11 @@ class VideoQueryEngine {
       const ExecutionContext& context = {});
 
  private:
-  /// Atomically replaces the published snapshot. Called with writer_mu_
-  /// held.
-  void Publish(SnapshotPtr next);
+  /// Attaches a fresh SnapshotCache (when caching is enabled) and
+  /// atomically replaces the published snapshot. Called with writer_mu_
+  /// held; the single choke point through which every catalog mutation
+  /// invalidates the cache.
+  void Publish(std::shared_ptr<CatalogSnapshot> next);
 
   /// Runs the ingestion phase for one entry against `snapshot`'s suite.
   /// Pure compute: touches no engine state.
@@ -192,6 +212,9 @@ class VideoQueryEngine {
   /// Set at construction, immutable afterwards (safe to read from any
   /// thread without locks).
   const IngestOptions ingest_options_;
+  const svq::cache::CacheOptions cache_options_;
+  /// Shared with every snapshot generation's cache; outlives them all.
+  std::shared_ptr<svq::cache::CacheStats> cache_stats_;
 
   /// Serializes writers; never held by readers.
   std::mutex writer_mu_;

@@ -4,8 +4,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
+#include "svq/cache/fingerprint.h"
+#include "svq/cache/kcrit_table.h"
 #include "svq/stats/scan_statistics.h"
 
 namespace svq::core {
@@ -21,21 +25,41 @@ class CriticalValueCache {
   /// when the estimated background probability dips toward zero (no events
   /// observed recently), the raw critical value collapses to 1 and every
   /// stray model false positive would certify its clip.
+  /// `shared` (optional) is a snapshot-shared L2 table: on a local miss the
+  /// value is fetched from — or computed exactly once into — the shared
+  /// table, so concurrent executions on the same snapshot never duplicate a
+  /// scan-statistic evaluation. The private map stays as a lock-free L1.
   CriticalValueCache(int window, double num_windows, double alpha,
-                     int min_k = 2)
+                     int min_k = 2,
+                     std::shared_ptr<svq::cache::KcritTable> shared = nullptr)
       : window_(window), num_windows_(num_windows), alpha_(alpha),
-        min_k_(min_k) {}
+        min_k_(min_k), shared_(std::move(shared)),
+        params_key_(svq::cache::Fingerprint()
+                        .Mix("kcrit.iid")
+                        .Mix(window_)
+                        .Mix(num_windows_)
+                        .Mix(alpha_)
+                        .Mix(min_k_)
+                        .value()) {}
 
   /// Floored `k_crit` for background probability `p`.
   int Get(double p) {
     const int64_t key = Quantize(p);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
-    auto result = stats::CriticalValue({p, window_, num_windows_}, alpha_);
-    // Inputs are validated by the callers; a failure here is a programming
-    // error, so fall back to the most conservative quota.
-    int k = result.ok() ? *result : window_ + 1;
-    k = std::max(k, std::min(min_k_, window_));
+    const auto compute = [this, p] {
+      auto result = stats::CriticalValue({p, window_, num_windows_}, alpha_);
+      // Inputs are validated by the callers; a failure here is a programming
+      // error, so fall back to the most conservative quota.
+      int k = result.ok() ? *result : window_ + 1;
+      return std::max(k, std::min(min_k_, window_));
+    };
+    const int k =
+        shared_ ? shared_->GetOrCompute(svq::cache::Fingerprint(params_key_)
+                                            .Mix(static_cast<uint64_t>(key))
+                                            .value(),
+                                        compute)
+                : compute();
     cache_.emplace(key, k);
     return k;
   }
@@ -55,6 +79,8 @@ class CriticalValueCache {
   double num_windows_;
   double alpha_;
   int min_k_;
+  std::shared_ptr<svq::cache::KcritTable> shared_;
+  uint64_t params_key_ = 0;
   std::unordered_map<int64_t, int> cache_;
 };
 
@@ -68,9 +94,18 @@ class CriticalValueCache {
 class MarkovCriticalValueCache {
  public:
   MarkovCriticalValueCache(int window, double num_windows, double alpha,
-                           int min_k = 2)
+                           int min_k = 2,
+                           std::shared_ptr<svq::cache::KcritTable> shared =
+                               nullptr)
       : window_(window), num_windows_(num_windows), alpha_(alpha),
-        min_k_(min_k) {}
+        min_k_(min_k), shared_(std::move(shared)),
+        params_key_(svq::cache::Fingerprint()
+                        .Mix("kcrit.markov")
+                        .Mix(window_)
+                        .Mix(num_windows_)
+                        .Mix(alpha_)
+                        .Mix(min_k_)
+                        .value()) {}
 
   /// Floored `k_crit` for stationary rate `p` and persistence
   /// `p11 = P(event | previous event)`. Falls back to the i.i.d. chain when
@@ -82,15 +117,23 @@ class MarkovCriticalValueCache {
     const int64_t key = (Quantize(p) << 20) ^ Quantize(p11);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
-    stats::MarkovChainParams chain;
-    chain.p11 = p11;
-    chain.p01 = p >= 1.0 ? 1.0 : std::clamp(p * (1.0 - p11) / (1.0 - p),
-                                            0.0, 1.0);
-    chain.start_p = p;
-    const int64_t n = static_cast<int64_t>(num_windows_ * window_);
-    auto result = stats::MarkovCriticalValue(window_, n, chain, alpha_);
-    int k = result.ok() ? *result : window_ + 1;
-    k = std::max(k, std::min(min_k_, window_));
+    const auto compute = [this, p, p11] {
+      stats::MarkovChainParams chain;
+      chain.p11 = p11;
+      chain.p01 = p >= 1.0 ? 1.0 : std::clamp(p * (1.0 - p11) / (1.0 - p),
+                                              0.0, 1.0);
+      chain.start_p = p;
+      const int64_t n = static_cast<int64_t>(num_windows_ * window_);
+      auto result = stats::MarkovCriticalValue(window_, n, chain, alpha_);
+      int k = result.ok() ? *result : window_ + 1;
+      return std::max(k, std::min(min_k_, window_));
+    };
+    const int k =
+        shared_ ? shared_->GetOrCompute(svq::cache::Fingerprint(params_key_)
+                                            .Mix(static_cast<uint64_t>(key))
+                                            .value(),
+                                        compute)
+                : compute();
     cache_.emplace(key, k);
     return k;
   }
@@ -108,6 +151,8 @@ class MarkovCriticalValueCache {
   double num_windows_;
   double alpha_;
   int min_k_;
+  std::shared_ptr<svq::cache::KcritTable> shared_;
+  uint64_t params_key_ = 0;
   std::unordered_map<int64_t, int> cache_;
 };
 

@@ -43,7 +43,8 @@ int NullExclusionQuota(int kcrit, int64_t units_in_clip) {
 Result<std::unique_ptr<OnlineEngine>> OnlineEngine::Create(
     Mode mode, Query query, OnlineConfig config,
     const video::VideoLayout& layout, models::ObjectDetector* detector,
-    models::ActionRecognizer* recognizer, const ExecutionContext& context) {
+    models::ActionRecognizer* recognizer, const ExecutionContext& context,
+    std::shared_ptr<svq::cache::KcritTable> kcrit_table) {
   SVQ_RETURN_NOT_OK(query.Validate());
   SVQ_RETURN_NOT_OK(config.Validate());
   SVQ_RETURN_NOT_OK(layout.Validate());
@@ -52,14 +53,15 @@ Result<std::unique_ptr<OnlineEngine>> OnlineEngine::Create(
   }
   return std::unique_ptr<OnlineEngine>(
       new OnlineEngine(mode, std::move(query), config, layout, detector,
-                       recognizer, context));
+                       recognizer, context, std::move(kcrit_table)));
 }
 
 OnlineEngine::OnlineEngine(Mode mode, Query query, OnlineConfig config,
                            const video::VideoLayout& layout,
                            models::ObjectDetector* detector,
                            models::ActionRecognizer* recognizer,
-                           ExecutionContext context)
+                           ExecutionContext context,
+                           std::shared_ptr<svq::cache::KcritTable> kcrit_table)
     : mode_(mode),
       query_(std::move(query)),
       config_(config),
@@ -70,11 +72,12 @@ OnlineEngine::OnlineEngine(Mode mode, Query query, OnlineConfig config,
       frame_predicates_(FramePredicatesOf(query_)),
       actions_(query_.AllActions()),
       frame_cache_(layout.FramesPerClip(), config.reference_windows,
-                   config.alpha),
+                   config.alpha, /*min_k=*/2, kcrit_table),
       action_cache_(layout.shots_per_clip, config.reference_windows,
-                    config.alpha),
+                    config.alpha, /*min_k=*/2, kcrit_table),
       markov_action_cache_(layout.shots_per_clip, config.reference_windows,
-                           config.alpha) {
+                           config.alpha, /*min_k=*/2,
+                           std::move(kcrit_table)) {
   for (size_t i = 0; i < frame_predicates_.size(); ++i) {
     frame_estimators_.push_back(
         MakeEstimator(config_.object_bandwidth, config_.initial_object_p));

@@ -65,11 +65,15 @@ class OnlineEngine {
   /// outlive the engine. `context` is copied into the engine and polled at
   /// the top of every ProcessClip, *before* any model inference — an
   /// already-expired deadline fails the first clip without running a model.
+  /// `kcrit_table`, when set, is a snapshot-shared L2 for the critical-value
+  /// caches: executions on the same snapshot compute each quantized k_crit
+  /// entry once between them (see docs/caching.md).
   static Result<std::unique_ptr<OnlineEngine>> Create(
       Mode mode, Query query, OnlineConfig config,
       const video::VideoLayout& layout, models::ObjectDetector* detector,
       models::ActionRecognizer* recognizer,
-      const ExecutionContext& context = {});
+      const ExecutionContext& context = {},
+      std::shared_ptr<svq::cache::KcritTable> kcrit_table = nullptr);
 
   /// Consumes one clip; updates sequences, estimators and critical values.
   /// Errors: Cancelled/DeadlineExceeded when the execution context expired
@@ -98,7 +102,8 @@ class OnlineEngine {
                const video::VideoLayout& layout,
                models::ObjectDetector* detector,
                models::ActionRecognizer* recognizer,
-               ExecutionContext context);
+               ExecutionContext context,
+               std::shared_ptr<svq::cache::KcritTable> kcrit_table);
 
   void RefreshCriticalValues();
   void FeedEstimators(const ClipEvaluation& eval);

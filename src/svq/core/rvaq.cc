@@ -4,9 +4,15 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
+#include <string>
+#include <vector>
 
+#include "svq/cache/fingerprint.h"
+#include "svq/cache/query_cache.h"
 #include "svq/core/tbclip.h"
+#include "svq/observability/trace.h"
 
 namespace svq::core {
 
@@ -78,6 +84,103 @@ Result<video::IntervalSet> CandidateSequences(const IngestedVideo& ingested,
   return result;
 }
 
+namespace {
+
+/// CandidateSequences with prefix-shared memoization against the pinned
+/// snapshot's cache (docs/caching.md tier 1). Labels are canonicalized —
+/// primary action, then sorted extra actions, then sorted objects — before
+/// keying: IntervalSet::Intersect is commutative and associative on the
+/// integer clip domain, so every order produces the same candidate set, and
+/// one canonical order both makes label-permuted statements share entries
+/// and lets `{a, o1, o2}` extend a cached `{a, o1}` instead of re-sweeping
+/// from scratch. Falls back to the plain computation when the statement
+/// opts out or the snapshot carries no cache.
+Result<video::IntervalSet> CandidatesWithCache(
+    const IngestedVideo& ingested, const Query& query,
+    const OfflineOptions& options, const ExecutionContext& context) {
+  svq::cache::SnapshotCache* cache = options.snapshot_cache;
+  if (cache == nullptr || !options.cache.use_candidate_cache) {
+    return CandidateSequences(ingested, query);
+  }
+  SVQ_RETURN_NOT_OK(query.Validate());
+  if (!query.relationships.empty() || !query.object_disjunctions.empty()) {
+    return Status::Unimplemented(
+        "offline queries support conjunctive objects and actions only");
+  }
+
+  struct Step {
+    const char* tag;
+    const std::string* label;
+    bool is_action;
+  };
+  std::vector<std::string> extras = query.extra_actions;
+  std::sort(extras.begin(), extras.end());
+  std::vector<std::string> objects = query.objects;
+  std::sort(objects.begin(), objects.end());
+  std::vector<Step> steps;
+  steps.push_back({"act", &query.action, true});
+  for (const std::string& extra : extras) {
+    steps.push_back({"xa", &extra, true});
+  }
+  for (const std::string& object : objects) {
+    steps.push_back({"obj", &object, false});
+  }
+
+  // Rolling prefix fingerprints: keys[i] covers the video identity plus
+  // steps[0..i].
+  std::vector<uint64_t> keys(steps.size());
+  svq::cache::Fingerprint fp;
+  fp.Mix("cand").Mix(static_cast<uint64_t>(ingested.id)).Mix(ingested.name);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    fp.Mix(std::string_view(steps[i].tag)).Mix(*steps[i].label);
+    keys[i] = fp.value();
+  }
+
+  // Longest cached prefix wins; everything after it is computed and
+  // published so the next statement starts one step further along.
+  std::shared_ptr<const video::IntervalSet> base;
+  size_t next_step = 0;
+  for (size_t i = steps.size(); i-- > 0;) {
+    if (auto found = cache->LookupCandidates(keys[i])) {
+      base = std::move(*found);
+      next_step = i + 1;
+      break;
+    }
+  }
+
+  video::IntervalSet result;
+  if (base != nullptr) {
+    if (next_step == steps.size()) {
+      observability::TraceSpan hit_span(context.trace(),
+                                        "cache.candidate_hit");
+      return *base;
+    }
+    result = *base;
+  } else {
+    const video::IntervalSet* action = ingested.ActionSequences(query.action);
+    if (action != nullptr) result = *action;
+    cache->InsertCandidates(
+        keys[0], std::make_shared<const video::IntervalSet>(result));
+    next_step = 1;
+  }
+  for (size_t i = next_step; i < steps.size(); ++i) {
+    // Empty is absorbing under intersection: keep publishing the longer
+    // (still empty) prefixes without touching the sequence sets again.
+    if (!result.empty()) {
+      const video::IntervalSet* p =
+          steps[i].is_action ? ingested.ActionSequences(*steps[i].label)
+                             : ingested.ObjectSequences(*steps[i].label);
+      result = p == nullptr ? video::IntervalSet()
+                            : video::IntervalSet::Intersect(result, *p);
+    }
+    cache->InsertCandidates(
+        keys[i], std::make_shared<const video::IntervalSet>(result));
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
                            int k, const SequenceScoring& scoring,
                            const OfflineOptions& options,
@@ -87,8 +190,9 @@ Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
   const double t0 = NowMs();
   TopKResult result;
 
-  SVQ_ASSIGN_OR_RETURN(const video::IntervalSet candidates,
-                       CandidateSequences(ingested, query));
+  SVQ_ASSIGN_OR_RETURN(
+      const video::IntervalSet candidates,
+      CandidatesWithCache(ingested, query, options, context));
   if (candidates.empty()) {
     result.stats.algorithm_ms = NowMs() - t0;
     return result;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "svq/cache/cache_options.h"
 #include "svq/common/execution_context.h"
 #include "svq/common/result.h"
 #include "svq/core/ingest.h"
@@ -11,6 +12,10 @@
 #include "svq/runtime/runtime_options.h"
 #include "svq/storage/access_stats.h"
 #include "svq/video/interval_set.h"
+
+namespace svq::cache {
+class SnapshotCache;
+}  // namespace svq::cache
 
 namespace svq::core {
 
@@ -70,6 +75,15 @@ struct OfflineOptions {
   /// Parallel-execution knobs (repository fan-out). The default of one
   /// thread is the sequential reference path.
   runtime::RuntimeOptions runtime;
+  /// Per-statement cache toggles (only effective when `snapshot_cache` is
+  /// set).
+  svq::cache::CachePolicy cache;
+  /// The pinned snapshot's cache, set by the Execute*On entry points when
+  /// the engine runs with caching enabled. Borrowed: the caller holds the
+  /// snapshot pin for the duration of the run. When null (the default, and
+  /// every direct RunRvaq caller), execution is byte-for-byte the
+  /// historical uncached path.
+  svq::cache::SnapshotCache* snapshot_cache = nullptr;
 };
 
 /// Computes the candidate result sequences `P_q` of query `q` by interval

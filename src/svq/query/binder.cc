@@ -131,6 +131,17 @@ Result<BoundQuery> Bind(const SelectStatement& statement) {
   }
   SVQ_RETURN_NOT_OK(bound.query.Validate());
 
+  // Canonicalize conjunctive label order: `{car, human; jumping}` and
+  // `{human, car; jumping}` are the same query, and sorting here makes them
+  // produce identical Query values — one cache fingerprint, one candidate
+  // sweep, one memoized result between them (docs/caching.md). Execution is
+  // order independent (conjunctive intersection), so results are unchanged.
+  // Disjunction groups keep their written order: any-of group order is
+  // user-visible in diagnostics and groups are matched as units.
+  std::sort(bound.query.objects.begin(), bound.query.objects.end());
+  std::sort(bound.query.extra_actions.begin(),
+            bound.query.extra_actions.end());
+
   const bool has_rank_item = std::any_of(
       statement.select.begin(), statement.select.end(),
       [](const SelectItem& i) { return i.kind == SelectItem::Kind::kRank; });

@@ -84,11 +84,12 @@ Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
 
 Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
                                          std::string_view statement,
-                                         const ExecutionContext& context) {
+                                         const ExecutionContext& context,
+                                         const StatementOptions& options) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must be set");
   }
-  return ExecuteStatementOn(engine->Pin(), statement, context);
+  return ExecuteStatementOn(engine->Pin(), statement, context, options);
 }
 
 }  // namespace svq::query

@@ -50,7 +50,8 @@ Result<StatementResult> ExecuteStatementOn(
 /// ExecuteStatementOn.
 Result<StatementResult> ExecuteStatement(core::VideoQueryEngine* engine,
                                          std::string_view statement,
-                                         const ExecutionContext& context = {});
+                                         const ExecutionContext& context = {},
+                                         const StatementOptions& options = {});
 
 }  // namespace svq::query
 

@@ -127,6 +127,30 @@ Server::Server(core::VideoQueryEngine* engine, ServerOptions options)
       "svq_runtime_fanout_ms_total", "Runtime fan-out wall time across queries (ms)");
   engine_algorithm_ms_ = registry_.counter(
       "svq_engine_algorithm_ms_total", "Engine algorithm time across queries (ms)");
+  cache_hits_ = registry_.counter("svq_cache_hits_total",
+                                  "Query cache hits, all tiers");
+  cache_misses_ = registry_.counter("svq_cache_misses_total",
+                                    "Query cache misses, all tiers");
+  cache_evictions_ = registry_.counter("svq_cache_evictions_total",
+                                       "Query cache LRU evictions");
+  cache_candidate_hits_ = registry_.counter(
+      "svq_cache_candidate_hits_total", "Candidate-sequence cache hits");
+  cache_candidate_misses_ = registry_.counter(
+      "svq_cache_candidate_misses_total", "Candidate-sequence cache misses");
+  cache_result_hits_ = registry_.counter("svq_cache_result_hits_total",
+                                         "Top-K result cache hits");
+  cache_result_misses_ = registry_.counter("svq_cache_result_misses_total",
+                                           "Top-K result cache misses");
+  cache_kcrit_hits_ = registry_.counter(
+      "svq_cache_kcrit_hits_total", "Shared k_crit table hits");
+  cache_kcrit_computes_ = registry_.counter(
+      "svq_cache_kcrit_computes_total",
+      "Critical-value computations (shared-table misses)");
+  cache_single_flight_waits_ = registry_.counter(
+      "svq_cache_single_flight_waits_total",
+      "Duplicate in-flight statements deduplicated by single-flight");
+  cache_bytes_gauge_ = registry_.gauge("svq_cache_bytes",
+                                       "Live query-cache bytes, all tiers");
 }
 
 Server::~Server() { Shutdown(std::chrono::milliseconds(0)); }
@@ -598,6 +622,28 @@ void Server::RefreshGaugesLocked() const {
   connections_open_gauge_->Set(static_cast<double>(connections_.size()));
   queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
   in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  BridgeCacheStatsLocked();
+}
+
+void Server::BridgeCacheStatsLocked() const {
+  if (engine_ == nullptr) return;
+  const svq::cache::CacheStats::Snapshot now =
+      engine_->cache_stats()->Read();
+  const svq::cache::CacheStats::Snapshot& last = last_cache_;
+  cache_hits_->Increment(now.hits() - last.hits());
+  cache_misses_->Increment(now.misses() - last.misses());
+  cache_evictions_->Increment(now.evictions() - last.evictions());
+  cache_candidate_hits_->Increment(now.candidate_hits - last.candidate_hits);
+  cache_candidate_misses_->Increment(now.candidate_misses -
+                                     last.candidate_misses);
+  cache_result_hits_->Increment(now.result_hits - last.result_hits);
+  cache_result_misses_->Increment(now.result_misses - last.result_misses);
+  cache_kcrit_hits_->Increment(now.kcrit_hits - last.kcrit_hits);
+  cache_kcrit_computes_->Increment(now.kcrit_computes - last.kcrit_computes);
+  cache_single_flight_waits_->Increment(now.single_flight_waits -
+                                        last.single_flight_waits);
+  cache_bytes_gauge_->Set(static_cast<double>(now.bytes));
+  last_cache_ = now;
 }
 
 void Server::RecordQueryMetrics(const WireQueryMetrics& metrics,

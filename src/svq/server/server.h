@@ -216,6 +216,24 @@ class Server {
   observability::Counter* runtime_tasks_executed_;
   observability::Counter* runtime_fanout_ms_;
   observability::Counter* engine_algorithm_ms_;
+
+  /// Folds the engine's cumulative cache counters into the registry as
+  /// deltas since the previous bridge (mu_ held by caller — it guards
+  /// last_cache_). Registry counters only go up, so the bridge tracks the
+  /// last folded snapshot instead of Set()ing absolutes.
+  void BridgeCacheStatsLocked() const;
+  mutable svq::cache::CacheStats::Snapshot last_cache_;
+  observability::Counter* cache_hits_;
+  observability::Counter* cache_misses_;
+  observability::Counter* cache_evictions_;
+  observability::Counter* cache_candidate_hits_;
+  observability::Counter* cache_candidate_misses_;
+  observability::Counter* cache_result_hits_;
+  observability::Counter* cache_result_misses_;
+  observability::Counter* cache_kcrit_hits_;
+  observability::Counter* cache_kcrit_computes_;
+  observability::Counter* cache_single_flight_waits_;
+  observability::Gauge* cache_bytes_gauge_;
 };
 
 }  // namespace svq::server

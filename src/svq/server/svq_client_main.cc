@@ -3,11 +3,15 @@
 //
 //   ./build/svq_client --port 7331 "SELECT ..."          run a statement
 //   ./build/svq_client --port 7331 --timeout-ms 50 "..."  with a deadline
+//   ./build/svq_client --port 7331 --repeat 5 "..."       re-run, per-run
+//                                                         latency (warms the
+//                                                         server query cache)
 //   ./build/svq_client --port 7331 --stats                server counters
 //
 // Exit codes: 0 = query OK; 2 = the server answered with a non-OK query
 // status (printed); 1 = usage or transport error.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,7 +23,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port N] [--timeout-ms N] "
-               "(--stats | \"<statement>\")\n",
+               "[--repeat N] (--stats | \"<statement>\")\n",
                argv0);
   return 1;
 }
@@ -57,6 +61,24 @@ int RunStats(svq::server::Client& client) {
               static_cast<long long>(stats->stats_requests));
   PrintHistogram("QUERY", stats->query_latency);
   PrintHistogram("STATS", stats->stats_latency);
+  // Query-cache summary up front; the raw per-tier counters follow in the
+  // registry dump.
+  auto metric = [&](const std::string& name) -> double {
+    for (const auto& [entry_name, value] : stats->registry) {
+      if (entry_name == name) return value;
+    }
+    return 0.0;
+  };
+  const double cache_hits = metric("svq_cache_hits_total");
+  const double cache_misses = metric("svq_cache_misses_total");
+  if (cache_hits + cache_misses > 0) {
+    std::printf("  cache: hits=%.0f misses=%.0f (%.1f%% hit rate) "
+                "evictions=%.0f bytes=%.0f\n",
+                cache_hits, cache_misses,
+                100.0 * cache_hits / (cache_hits + cache_misses),
+                metric("svq_cache_evictions_total"),
+                metric("svq_cache_bytes"));
+  }
   if (!stats->registry.empty()) {
     std::printf("registry (%zu metrics):\n", stats->registry.size());
     for (const auto& [name, value] : stats->registry) {
@@ -67,8 +89,38 @@ int RunStats(svq::server::Client& client) {
 }
 
 int RunQuery(svq::server::Client& client, const std::string& statement,
-             uint32_t timeout_ms) {
+             uint32_t timeout_ms, int repeat) {
+  // With --repeat N the statement is re-sent N times on the same
+  // connection, printing one latency line per run: against a cache-enabled
+  // server the first run is cold and the rest expose the warm path.
+  for (int iteration = 1; iteration < repeat; ++iteration) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto response = client.Execute(statement, timeout_ms);
+    const double total_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!response.ok()) {
+      std::fprintf(stderr, "svq_client: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (!response->status.ok()) {
+      std::printf("query failed: %s\n", response->status.ToString().c_str());
+      return 2;
+    }
+    std::printf("run %d/%d: %.2f ms total (%.2f ms queued + %.2f ms "
+                "executing), %zu sequence(s)\n",
+                iteration, repeat, total_ms,
+                response->metrics.server_queue_ms,
+                response->metrics.server_exec_ms,
+                response->sequences.size());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
   auto response = client.Execute(statement, timeout_ms);
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
   if (!response.ok()) {
     std::fprintf(stderr, "svq_client: %s\n",
                  response.status().ToString().c_str());
@@ -77,6 +129,9 @@ int RunQuery(svq::server::Client& client, const std::string& statement,
   if (!response->status.ok()) {
     std::printf("query failed: %s\n", response->status.ToString().c_str());
     return 2;
+  }
+  if (repeat > 1) {
+    std::printf("run %d/%d: %.2f ms total\n", repeat, repeat, total_ms);
   }
   std::printf("%s result: %zu sequence(s)\n",
               response->ranked ? "ranked" : "streaming",
@@ -115,6 +170,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   uint32_t timeout_ms = 0;
+  int repeat = 1;
   bool stats = false;
   std::string statement;
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +185,9 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(value));
     } else if (arg == "--timeout-ms" && (value = next())) {
       timeout_ms = static_cast<uint32_t>(std::atol(value));
+    } else if (arg == "--repeat" && (value = next())) {
+      repeat = std::atoi(value);
+      if (repeat < 1) return Usage(argv[0]);
     } else if (arg == "--stats") {
       stats = true;
     } else if (!arg.empty() && arg[0] != '-' && statement.empty()) {
@@ -144,5 +203,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "svq_client: %s\n", status.ToString().c_str());
     return 1;
   }
-  return stats ? RunStats(client) : RunQuery(client, statement, timeout_ms);
+  return stats ? RunStats(client)
+               : RunQuery(client, statement, timeout_ms, repeat);
 }

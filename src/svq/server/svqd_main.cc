@@ -62,6 +62,8 @@ int Usage(const char* argv0) {
       "usage: %s [--host A] [--port N] [--videos N] [--scale S]\n"
       "          [--max-in-flight N] [--max-queue N] [--max-connections N]\n"
       "          [--threads-per-query N] [--port-file PATH] [--drain-ms N]\n"
+      "          [--cache-mb N]          query cache budget, 0 disables\n"
+      "                                  (default 64)\n"
       "          [--metrics-dump PATH]   Prometheus text dump on exit\n"
       "                                  ('-' writes to stdout)\n",
       argv0);
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   int videos = 2;
   double scale = 0.25;
   int drain_ms = 5000;
+  int cache_mb = 64;
   std::string port_file;
   std::string metrics_dump;
   for (int i = 1; i < argc; ++i) {
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
       port_file = value;
     } else if (arg == "--drain-ms" && (value = next())) {
       drain_ms = std::atoi(value);
+    } else if (arg == "--cache-mb" && (value = next())) {
+      cache_mb = std::atoi(value);
     } else if (arg == "--metrics-dump" && (value = next())) {
       metrics_dump = value;
     } else {
@@ -110,7 +115,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  svq::core::VideoQueryEngine engine;
+  // Serving is where repeated statements pay off: enable the snapshot query
+  // cache unless explicitly zeroed (single-shot tools leave it off).
+  svq::cache::CacheOptions cache_options;
+  if (cache_mb > 0) {
+    cache_options =
+        svq::cache::CacheOptions::Enabled(static_cast<size_t>(cache_mb));
+  }
+  svq::core::VideoQueryEngine engine(svq::models::ModelSuite(),
+                                     svq::core::OnlineConfig(),
+                                     svq::core::IngestOptions(),
+                                     cache_options);
   std::printf("svqd: ingesting %d demo video(s) at scale %.2f ...\n", videos,
               scale);
   std::fflush(stdout);

@@ -308,6 +308,78 @@ TEST(ConcurrentEngineTest, CancellationAbortsMidQuery) {
   EXPECT_EQ(bad_status.load(), 0);
 }
 
+TEST(ConcurrentEngineTest, CachedExecutionMatchesUncachedUnderChurn) {
+  // Cached-vs-uncached oracle stress: readers pin a snapshot, run a
+  // statement through the default (cached) policy and again with both cache
+  // tiers disabled ON THE SAME PIN, and the two must agree bit for bit —
+  // clips and both certified bounds — while a writer churns the catalog
+  // (every ingest swaps in a fresh snapshot cache). Each statement keeps a
+  // fixed LIMIT so cached entries are always same-key-same-K, which is
+  // exactly deterministic.
+  constexpr int kReaders = 3;
+  constexpr int kIterations = 6;
+  const std::string videos[] = {"pool_a", "pool_b", "pool_c"};
+  const int limits[] = {2, 3, 4};
+
+  VideoQueryEngine engine(models::ModelSuite(), OnlineConfig(),
+                          IngestOptions(), cache::CacheOptions::Enabled());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.AddVideo(DemoVideo(videos[i], 40 + i)).ok());
+    ASSERT_TRUE(engine.Ingest(videos[i]).ok());
+  }
+
+  std::thread writer([&]() {
+    for (int i = 0; i < 5; ++i) {
+      const std::string name = "churn_" + std::to_string(i);
+      ASSERT_TRUE(engine.AddVideo(DemoVideo(name, 300 + i)).ok());
+      ASSERT_TRUE(engine.Ingest(name).ok());
+    }
+  });
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      for (int i = 0; i < kIterations; ++i) {
+        const int pick = (t + i) % 3;
+        const std::string statement =
+            "SELECT MERGE(clipID), RANK(act, obj) "
+            "FROM (PROCESS " + videos[pick] +
+            " PRODUCE clipID, obj USING ObjectTracker, "
+            "act USING ActionRecognizer) "
+            "WHERE act='jumping' AND obj.include('car') "
+            "ORDER BY RANK(act, obj) LIMIT " + std::to_string(limits[pick]);
+        const SnapshotPtr pin = engine.Pin();
+        query::StatementOptions uncached;
+        uncached.offline.cache.use_candidate_cache = false;
+        uncached.offline.cache.use_result_cache = false;
+        auto cached = query::ExecuteStatementOn(pin, statement);
+        auto plain = query::ExecuteStatementOn(pin, statement, {}, uncached);
+        if (!cached.ok() || !plain.ok() || !cached->topk.has_value() ||
+            !plain->topk.has_value() ||
+            cached->topk->sequences.size() != plain->topk->sequences.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t s = 0; s < cached->topk->sequences.size(); ++s) {
+          const RankedSequence& lhs = cached->topk->sequences[s];
+          const RankedSequence& rhs = plain->topk->sequences[s];
+          if (!(lhs.clips == rhs.clips) ||
+              lhs.lower_bound != rhs.lower_bound ||
+              lhs.upper_bound != rhs.upper_bound) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // The point of caching: the repeated statements actually hit.
+  EXPECT_GT(engine.cache_stats()->Read().hits(), 0);
+}
+
 TEST(ConcurrentEngineTest, ConcurrentIngestAllPublishesAtomically) {
   VideoQueryEngine engine;
   for (int i = 0; i < 4; ++i) {

@@ -201,6 +201,28 @@ TEST(BinderTest, RejectsDuplicateActions) {
   EXPECT_FALSE(bound.ok());
 }
 
+TEST(BinderTest, CanonicalizesConjunctiveLabelOrder) {
+  // Conjunctive predicates are commutative, so the binder sorts objects and
+  // extra actions: permuted-but-equivalent statements bind to the same Query
+  // (and therefore share one query-cache fingerprint).
+  auto forward = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND act='z' AND act='y' AND "
+      "obj.include('human', 'car')");
+  auto reversed = ParseAndBind(
+      "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, obj, act) "
+      "WHERE act='x' AND act='y' AND act='z' AND "
+      "obj.include('car', 'human')");
+  ASSERT_TRUE(forward.ok()) << forward.status();
+  ASSERT_TRUE(reversed.ok()) << reversed.status();
+  EXPECT_EQ(forward->query.objects,
+            (std::vector<std::string>{"car", "human"}));
+  EXPECT_EQ(forward->query.extra_actions,
+            (std::vector<std::string>{"y", "z"}));
+  EXPECT_EQ(forward->query.objects, reversed->query.objects);
+  EXPECT_EQ(forward->query.extra_actions, reversed->query.extra_actions);
+}
+
 TEST(BinderTest, BindsDisjunction) {
   // Paper footnote 4: any-of object groups.
   auto bound = ParseAndBind(
