@@ -86,14 +86,18 @@ int main() {
   std::printf("actions: jumping, kneeling; objects: car, human, dog.\n");
   std::printf("Enter a statement (single line), or an empty line to quit.\n");
 
-  std::printf("Prefix a statement with EXPLAIN to see its plan.\n");
+  std::printf(
+      "Prefix a statement with EXPLAIN to see its plan, or with\n"
+      "EXPLAIN ANALYZE to execute it and see actuals beside estimates.\n");
 
   std::string line;
   while (std::printf("svq> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line.empty()) break;
     if (svq::query::StripExplain(line).has_value()) {
-      auto plan = svq::query::ExplainStatement(&engine, line);
+      // Pin once so the rendered plan and its statistics come from the
+      // same catalog view the shell would execute on.
+      auto plan = svq::query::ExplainStatementOn(engine.Pin(), line);
       if (!plan.ok()) {
         std::printf("  %s\n", plan.status().ToString().c_str());
       } else {

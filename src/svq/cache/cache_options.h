@@ -20,6 +20,9 @@ struct CacheOptions {
   /// LRU byte budget of the top-K result tier (keyed on the statement
   /// fingerprint; a cached K answers any smaller K).
   size_t result_bytes = size_t{32} << 20;
+  /// LRU byte budget of the physical-plan tier (keyed on the statement
+  /// fingerprint; plans are tiny, so this is generous).
+  size_t plan_bytes = size_t{4} << 20;
   /// Lock shards per LRU tier; bounds writer contention on the hot lookup
   /// path. Must be >= 1.
   int shards = 8;
@@ -43,6 +46,7 @@ struct CacheOptions {
 struct CachePolicy {
   bool use_candidate_cache = true;
   bool use_result_cache = true;
+  bool use_plan_cache = true;
 };
 
 }  // namespace svq::cache

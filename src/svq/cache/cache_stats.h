@@ -20,6 +20,9 @@ struct CacheStats {
   std::atomic<int64_t> result_hits{0};
   std::atomic<int64_t> result_misses{0};
   std::atomic<int64_t> result_evictions{0};
+  std::atomic<int64_t> plan_hits{0};
+  std::atomic<int64_t> plan_misses{0};
+  std::atomic<int64_t> plan_evictions{0};
   /// Identical in-flight statements that waited on a single-flight leader
   /// instead of recomputing.
   std::atomic<int64_t> single_flight_waits{0};
@@ -38,17 +41,22 @@ struct CacheStats {
     int64_t result_hits = 0;
     int64_t result_misses = 0;
     int64_t result_evictions = 0;
+    int64_t plan_hits = 0;
+    int64_t plan_misses = 0;
+    int64_t plan_evictions = 0;
     int64_t single_flight_waits = 0;
     int64_t kcrit_hits = 0;
     int64_t kcrit_computes = 0;
     int64_t bytes = 0;
 
-    int64_t hits() const { return candidate_hits + result_hits + kcrit_hits; }
+    int64_t hits() const {
+      return candidate_hits + result_hits + plan_hits + kcrit_hits;
+    }
     int64_t misses() const {
-      return candidate_misses + result_misses + kcrit_computes;
+      return candidate_misses + result_misses + plan_misses + kcrit_computes;
     }
     int64_t evictions() const {
-      return candidate_evictions + result_evictions;
+      return candidate_evictions + result_evictions + plan_evictions;
     }
   };
 
@@ -61,6 +69,9 @@ struct CacheStats {
     s.result_hits = result_hits.load(std::memory_order_relaxed);
     s.result_misses = result_misses.load(std::memory_order_relaxed);
     s.result_evictions = result_evictions.load(std::memory_order_relaxed);
+    s.plan_hits = plan_hits.load(std::memory_order_relaxed);
+    s.plan_misses = plan_misses.load(std::memory_order_relaxed);
+    s.plan_evictions = plan_evictions.load(std::memory_order_relaxed);
     s.single_flight_waits =
         single_flight_waits.load(std::memory_order_relaxed);
     s.kcrit_hits = kcrit_hits.load(std::memory_order_relaxed);

@@ -36,6 +36,11 @@ SnapshotCache::SnapshotCache(const CacheOptions& options,
                stats_ ? &stats_->result_misses : nullptr,
                stats_ ? &stats_->result_evictions : nullptr,
                stats_ ? &stats_->bytes : nullptr),
+      plans_(options.plan_bytes, options.shards,
+             stats_ ? &stats_->plan_hits : nullptr,
+             stats_ ? &stats_->plan_misses : nullptr,
+             stats_ ? &stats_->plan_evictions : nullptr,
+             stats_ ? &stats_->bytes : nullptr),
       kcrit_(std::make_shared<KcritTable>(stats_.get())) {}
 
 std::optional<std::shared_ptr<const video::IntervalSet>>
@@ -60,6 +65,17 @@ void SnapshotCache::InsertResult(uint64_t key,
                                  std::shared_ptr<const CachedTopK> value) {
   const size_t bytes = value ? value->ByteSize() : sizeof(CachedTopK);
   results_.Insert(key, std::move(value), bytes);
+}
+
+std::optional<std::shared_ptr<const CachedPlan>> SnapshotCache::LookupPlan(
+    uint64_t key) {
+  return plans_.Lookup(key);
+}
+
+void SnapshotCache::InsertPlan(uint64_t key,
+                               std::shared_ptr<const CachedPlan> value) {
+  const size_t bytes = value ? value->ByteSize() : sizeof(CachedPlan);
+  plans_.Insert(key, std::move(value), bytes);
 }
 
 }  // namespace svq::cache

@@ -58,6 +58,18 @@ struct CachedTopK {
   }
 };
 
+/// Type-erased base for cached physical plans. The plan IR lives in
+/// svq_plan, *above* this library in the dependency stack, so the cache
+/// stores plans behind this interface and the planner downcasts on lookup
+/// (it only ever retrieves entries it inserted itself, keyed on its own
+/// fingerprints).
+class CachedPlan {
+ public:
+  virtual ~CachedPlan() = default;
+  /// Approximate heap footprint, charged against CacheOptions::plan_bytes.
+  virtual size_t ByteSize() const = 0;
+};
+
 /// Deduplicates concurrent identical computations: the first caller to
 /// Begin(key) becomes the leader and computes; followers wait briefly, then
 /// re-check the cache (the leader inserts before End). A leader that fails
@@ -156,15 +168,23 @@ class SnapshotCache {
   // Tier 3: shared critical values.
   const std::shared_ptr<KcritTable>& kcrit_table() const { return kcrit_; }
 
+  // Tier 4: physical plans per statement fingerprint. Like every tier the
+  // keys are implicitly snapshot-scoped, so a cached plan's embedded cost
+  // estimates always reflect the statistics of the snapshot it serves.
+  std::optional<std::shared_ptr<const CachedPlan>> LookupPlan(uint64_t key);
+  void InsertPlan(uint64_t key, std::shared_ptr<const CachedPlan> value);
+
   const std::shared_ptr<CacheStats>& stats() const { return stats_; }
 
   size_t candidate_entries() const { return candidates_.size(); }
   size_t result_entries() const { return results_.size(); }
+  size_t plan_entries() const { return plans_.size(); }
 
  private:
   std::shared_ptr<CacheStats> stats_;
   ShardedLruCache<std::shared_ptr<const video::IntervalSet>> candidates_;
   ShardedLruCache<std::shared_ptr<const CachedTopK>> results_;
+  ShardedLruCache<std::shared_ptr<const CachedPlan>> plans_;
   SingleFlight result_flights_;
   std::shared_ptr<KcritTable> kcrit_;
 };

@@ -98,6 +98,9 @@ Result<TopKResult> RunFagin(const IngestedVideo& ingested, const Query& query,
 
   SVQ_ASSIGN_OR_RETURN(const video::IntervalSet candidates,
                        CandidateSequences(ingested, query));
+  stats.candidate_sequences =
+      static_cast<int64_t>(candidates.intervals().size());
+  stats.candidate_clips = candidates.TotalLength();
   if (candidates.empty()) {
     TopKResult empty;
     empty.stats.algorithm_ms = NowMs() - t0;
@@ -186,6 +189,9 @@ Result<TopKResult> RunPqTraverse(const IngestedVideo& ingested,
 
   SVQ_ASSIGN_OR_RETURN(const video::IntervalSet candidates,
                        CandidateSequences(ingested, query));
+  stats.candidate_sequences =
+      static_cast<int64_t>(candidates.intervals().size());
+  stats.candidate_clips = candidates.TotalLength();
   if (candidates.empty()) {
     TopKResult empty;
     empty.stats.algorithm_ms = NowMs() - t0;

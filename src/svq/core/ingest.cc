@@ -236,6 +236,58 @@ const video::IntervalSet* IngestedVideo::ActionSequences(
   return it == action_sequences.end() ? nullptr : &it->second;
 }
 
+const storage::TypeStatistics* IngestedVideo::ObjectStatistics(
+    const std::string& label) const {
+  auto it = object_statistics.find(label);
+  return it == object_statistics.end() ? nullptr : &it->second;
+}
+
+const storage::TypeStatistics* IngestedVideo::ActionStatistics(
+    const std::string& label) const {
+  auto it = action_statistics.find(label);
+  return it == action_statistics.end() ? nullptr : &it->second;
+}
+
+void IngestedVideo::ComputeStatistics() {
+  object_statistics.clear();
+  action_statistics.clear();
+  const double clips = num_clips > 0 ? static_cast<double>(num_clips) : 0.0;
+  auto stats_of = [&](const video::IntervalSet* sequences,
+                      const storage::ScoreTable* table) {
+    storage::TypeStatistics stats;
+    if (table != nullptr) stats.table_rows = table->NumRows();
+    if (sequences != nullptr) {
+      stats.posting_intervals = static_cast<int64_t>(sequences->size());
+      stats.covered_clips = sequences->TotalLength();
+    }
+    if (clips > 0.0) {
+      stats.density = static_cast<double>(stats.covered_clips) / clips;
+    }
+    return stats;
+  };
+  for (const auto& [label, sequences] : object_sequences) {
+    object_statistics.emplace(label,
+                              stats_of(&sequences, ObjectTable(label)));
+  }
+  for (const auto& [label, sequences] : action_sequences) {
+    action_statistics.emplace(label,
+                              stats_of(&sequences, ActionTable(label)));
+  }
+  // Tables without posting lists still get a row-count entry: the type was
+  // detected somewhere even though no positive sequence survived the scan
+  // statistic, and a zero-density entry prices it correctly.
+  for (const auto& [label, table] : object_tables) {
+    if (!object_statistics.contains(label)) {
+      object_statistics.emplace(label, stats_of(nullptr, table.get()));
+    }
+  }
+  for (const auto& [label, table] : action_tables) {
+    if (!action_statistics.contains(label)) {
+      action_statistics.emplace(label, stats_of(nullptr, table.get()));
+    }
+  }
+}
+
 Result<IngestedVideo> IngestVideo(
     const std::shared_ptr<const video::SyntheticVideo>& video,
     video::VideoId id, models::ObjectTracker* tracker,
@@ -456,6 +508,11 @@ Result<IngestedVideo> IngestVideo(
         WriteManifest(options.directory, out, object_labels, action_labels));
   }
 
+  // Selectivity statistics ride with the artifacts: posting-list interval
+  // counts, covered-clip densities, and table sizes, derived once here so
+  // the planner never touches the tables on the query path.
+  out.ComputeStatistics();
+
   out.ingest_inference.units =
       (tracker->stats().units - tracker_base.units) +
       (recognizer->stats().units - recognizer_base.units);
@@ -523,6 +580,9 @@ Result<IngestedVideo> OpenIngestedVideo(const std::string& directory) {
   SVQ_ASSIGN_OR_RETURN(
       out.action_sequences,
       storage::SequenceStore::Load(directory + "/action_sequences.svqs"));
+  // Statistics are pure derivations of the artifacts, so a reopened
+  // directory reconstructs them instead of persisting a separate file.
+  out.ComputeStatistics();
   return out;
 }
 

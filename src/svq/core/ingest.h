@@ -14,6 +14,7 @@
 #include "svq/models/object_tracker.h"
 #include "svq/runtime/runtime_options.h"
 #include "svq/storage/score_table.h"
+#include "svq/storage/statistics.h"
 #include "svq/video/interval_set.h"
 #include "svq/video/synthetic_video.h"
 
@@ -93,6 +94,11 @@ struct IngestedVideo {
   std::map<std::string, video::IntervalSet> object_sequences;
   /// `P_{a_j}` per action type, clip domain.
   std::map<std::string, video::IntervalSet> action_sequences;
+  /// Per-type selectivity statistics, derived from the tables and posting
+  /// lists above at ingest/open time (docs/planner.md). Immutable with the
+  /// rest of the artifact set.
+  std::map<std::string, storage::TypeStatistics> object_statistics;
+  std::map<std::string, storage::TypeStatistics> action_statistics;
 
   /// Model inference spent during ingestion (one-time cost).
   models::InferenceStats ingest_inference;
@@ -104,6 +110,17 @@ struct IngestedVideo {
   const storage::ScoreTable* ActionTable(const std::string& label) const;
   const video::IntervalSet* ObjectSequences(const std::string& label) const;
   const video::IntervalSet* ActionSequences(const std::string& label) const;
+  /// Statistics lookup helpers; nullptr when the type was never detected
+  /// (the planner treats a missing type as zero selectivity).
+  const storage::TypeStatistics* ObjectStatistics(
+      const std::string& label) const;
+  const storage::TypeStatistics* ActionStatistics(
+      const std::string& label) const;
+
+  /// (Re)derives object_statistics / action_statistics from the tables and
+  /// posting lists. Called by IngestVideo and OpenIngestedVideo once the
+  /// artifacts are in place; cheap (interval counts and table sizes only).
+  void ComputeStatistics();
 };
 
 /// Runs the ingestion phase over one video with the given tracker and

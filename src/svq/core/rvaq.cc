@@ -84,6 +84,63 @@ Result<video::IntervalSet> CandidateSequences(const IngestedVideo& ingested,
   return result;
 }
 
+Result<video::IntervalSet> CandidateSequencesOrdered(
+    const IngestedVideo& ingested, const Query& query,
+    const std::vector<SweepStep>& order) {
+  if (order.empty()) return CandidateSequences(ingested, query);
+  SVQ_RETURN_NOT_OK(query.Validate());
+  if (!query.relationships.empty() || !query.object_disjunctions.empty()) {
+    return Status::Unimplemented(
+        "offline queries support conjunctive objects and actions only");
+  }
+  // The order must be a permutation of the statement's predicates: a
+  // dropped predicate would silently widen the candidate set, an invented
+  // one would silently narrow it. Count-matching each (label, kind) pair
+  // catches both directions, including duplicates.
+  auto count_in_query = [&](const SweepStep& step) {
+    int64_t n = 0;
+    if (step.is_action) {
+      n += step.label == query.action ? 1 : 0;
+      n += std::count(query.extra_actions.begin(), query.extra_actions.end(),
+                      step.label);
+    } else {
+      n += std::count(query.objects.begin(), query.objects.end(), step.label);
+    }
+    return n;
+  };
+  const size_t expected =
+      1 + query.extra_actions.size() + query.objects.size();
+  if (order.size() != expected) {
+    return Status::InvalidArgument(
+        "sweep order must cover every query predicate exactly once");
+  }
+  for (const SweepStep& step : order) {
+    const int64_t in_query = count_in_query(step);
+    const int64_t in_order = std::count(order.begin(), order.end(), step);
+    if (in_query == 0 || in_order != in_query) {
+      return Status::InvalidArgument("sweep order step is not a predicate: " +
+                                     step.label);
+    }
+  }
+
+  video::IntervalSet result;
+  bool first = true;
+  for (const SweepStep& step : order) {
+    const video::IntervalSet* p =
+        step.is_action ? ingested.ActionSequences(step.label)
+                       : ingested.ObjectSequences(step.label);
+    if (p == nullptr) return video::IntervalSet();
+    if (first) {
+      result = *p;
+      first = false;
+    } else {
+      result = video::IntervalSet::Intersect(result, *p);
+    }
+    if (result.empty()) return result;
+  }
+  return result;
+}
+
 namespace {
 
 /// CandidateSequences with prefix-shared memoization against the pinned
@@ -100,7 +157,13 @@ Result<video::IntervalSet> CandidatesWithCache(
     const OfflineOptions& options, const ExecutionContext& context) {
   svq::cache::SnapshotCache* cache = options.snapshot_cache;
   if (cache == nullptr || !options.cache.use_candidate_cache) {
-    return CandidateSequences(ingested, query);
+    // Uncached path: honor the planner's most-selective-first order (no-op
+    // when empty). The cached path below deliberately ignores sweep_order:
+    // its prefix keys are canonical so label-permuted statements share
+    // entries, and letting per-snapshot statistics reorder them would
+    // fragment that sharing for no gain — a cached prefix costs one lookup
+    // regardless of selectivity (docs/planner.md).
+    return CandidateSequencesOrdered(ingested, query, options.sweep_order);
   }
   SVQ_RETURN_NOT_OK(query.Validate());
   if (!query.relationships.empty() || !query.object_disjunctions.empty()) {
@@ -193,6 +256,9 @@ Result<TopKResult> RunRvaq(const IngestedVideo& ingested, const Query& query,
   SVQ_ASSIGN_OR_RETURN(
       const video::IntervalSet candidates,
       CandidatesWithCache(ingested, query, options, context));
+  result.stats.candidate_sequences =
+      static_cast<int64_t>(candidates.intervals().size());
+  result.stats.candidate_clips = candidates.TotalLength();
   if (candidates.empty()) {
     result.stats.algorithm_ms = NowMs() - t0;
     return result;

@@ -1,6 +1,7 @@
 #ifndef SVQ_CORE_RVAQ_H_
 #define SVQ_CORE_RVAQ_H_
 
+#include <string>
 #include <vector>
 
 #include "svq/cache/cache_options.h"
@@ -38,6 +39,11 @@ struct OfflineRunStats {
   double algorithm_ms = 0.0;
   /// TBClip invocations (RVAQ variants only).
   int64_t iterator_calls = 0;
+  /// Size of the candidate set P_q actually swept: sequences (intervals)
+  /// and the clips they cover. The planner compares these actuals against
+  /// its estimates (EXPLAIN ANALYZE, svq_plan_estimate_* counters).
+  int64_t candidate_sequences = 0;
+  int64_t candidate_clips = 0;
   /// Thread-pool accounting when the run fanned out (threads_used == 1 and
   /// zero tasks on the sequential reference path).
   runtime::RuntimeStats runtime;
@@ -49,6 +55,8 @@ struct OfflineRunStats {
     virtual_ms += other.virtual_ms;
     algorithm_ms += other.algorithm_ms;
     iterator_calls += other.iterator_calls;
+    candidate_sequences += other.candidate_sequences;
+    candidate_clips += other.candidate_clips;
     runtime.Merge(other.runtime);
     return *this;
   }
@@ -58,6 +66,17 @@ struct TopKResult {
   /// At most K sequences, highest score first.
   std::vector<RankedSequence> sequences;
   OfflineRunStats stats;
+};
+
+/// One step of the candidate interval sweep: intersect the posting list of
+/// `label` (an action or object type) into the running candidate set. The
+/// planner emits a most-selective-first sequence of these; an empty
+/// sweep_order means the canonical statement order.
+struct SweepStep {
+  std::string label;
+  bool is_action = false;
+
+  friend bool operator==(const SweepStep&, const SweepStep&) = default;
 };
 
 /// Options for RVAQ and its variants.
@@ -84,6 +103,15 @@ struct OfflineOptions {
   /// every direct RunRvaq caller), execution is byte-for-byte the
   /// historical uncached path.
   svq::cache::SnapshotCache* snapshot_cache = nullptr;
+  /// Planner-chosen intersection order for the candidate sweep. Must cover
+  /// exactly the statement's predicates (primary action + extras +
+  /// objects) when non-empty; empty keeps the canonical statement order.
+  /// Intersection is commutative on the clip domain, so the resulting
+  /// candidate set — and therefore the query result — is identical for
+  /// every order; only the sweep's intermediate work changes. When the
+  /// candidate cache is active the sweep runs in canonical order instead
+  /// so prefix keys keep their sharing (docs/planner.md).
+  std::vector<SweepStep> sweep_order;
 };
 
 /// Computes the candidate result sequences `P_q` of query `q` by interval
@@ -91,6 +119,14 @@ struct OfflineOptions {
 /// when a queried type has no positive clips.
 Result<video::IntervalSet> CandidateSequences(const IngestedVideo& ingested,
                                               const Query& query);
+
+/// CandidateSequences with an explicit intersection order. `order` must be
+/// a permutation of the query's predicates (validated: InvalidArgument on
+/// mismatch); an empty order falls back to the canonical statement order.
+/// The result is identical to CandidateSequences for every legal order.
+Result<video::IntervalSet> CandidateSequencesOrdered(
+    const IngestedVideo& ingested, const Query& query,
+    const std::vector<SweepStep>& order);
 
 /// Algorithm RVAQ (paper Alg. 4): certified top-K result sequences via
 /// progressive upper/lower bound refinement over the TBClip iterator with

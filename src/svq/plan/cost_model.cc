@@ -1,0 +1,163 @@
+#include "svq/plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svq::plan {
+
+std::vector<PlanOperator> OrderSweep(
+    const std::vector<PredicateLeaf>& intersection) {
+  std::vector<PlanOperator> sweep;
+  sweep.reserve(intersection.size());
+  for (const PredicateLeaf& leaf : intersection) {
+    PlanOperator op;
+    op.step.label = leaf.label;
+    op.step.is_action = leaf.is_action;
+    op.stats_known = leaf.stats_known;
+    op.selectivity = leaf.stats_known ? leaf.stats.density : 1.0;
+    if (leaf.stats_known) op.stats = leaf.stats;
+    sweep.push_back(op);
+  }
+  std::stable_sort(sweep.begin(), sweep.end(),
+                   [](const PlanOperator& a, const PlanOperator& b) {
+                     if (a.stats_known != b.stats_known) return a.stats_known;
+                     if (a.selectivity != b.selectivity) {
+                       return a.selectivity < b.selectivity;
+                     }
+                     return a.step.label < b.step.label;
+                   });
+  return sweep;
+}
+
+void EstimateCardinalities(const LogicalPlan& logical,
+                           std::vector<PlanOperator>* sweep,
+                           double* estimated_clips,
+                           double* estimated_sequences) {
+  *estimated_clips = -1.0;
+  *estimated_sequences = -1.0;
+  if (logical.video_clips < 0 || sweep->empty()) return;
+  bool any_known = false;
+  for (const PlanOperator& op : *sweep) any_known |= op.stats_known;
+  if (!any_known) return;
+
+  // Running clip count under independence: each intersected leaf keeps a
+  // `density` fraction of the surviving clips. Leaves without statistics
+  // (defensive: on an ingested video every leaf resolves, a never-detected
+  // type resolving to density 0) pass clips through at density 1, keeping
+  // the estimate an upper bound instead of a guess.
+  double clips = static_cast<double>(logical.video_clips);
+  double min_intervals = std::numeric_limits<double>::infinity();
+  for (PlanOperator& op : *sweep) {
+    clips *= op.stats_known ? op.stats.density : 1.0;
+    op.estimated_rows = clips;
+    if (op.stats_known) {
+      min_intervals =
+          std::min(min_intervals,
+                   static_cast<double>(op.stats.posting_intervals));
+    }
+  }
+  *estimated_clips = clips;
+
+  // The intersection cannot produce more maximal intervals than its
+  // sparsest input has (intersecting can split intervals in pathological
+  // alignments, but posting lists here are gap-merged and sparse); scale
+  // the sparsest list by the probability the other leaves keep a clip.
+  double sequences = min_intervals;
+  for (const PlanOperator& op : *sweep) {
+    if (!op.stats_known) continue;
+    if (static_cast<double>(op.stats.posting_intervals) == min_intervals) {
+      // Consume the sparsest list once; further equal-sized lists scale.
+      min_intervals = -1.0;
+      continue;
+    }
+    sequences *= op.stats.density;
+  }
+  // At least one sequence whenever clips survive; never more sequences
+  // than clips.
+  if (clips > 0.0) sequences = std::max(sequences, 1.0);
+  *estimated_sequences = std::min(sequences, clips);
+}
+
+std::vector<AlgorithmCost> EstimateAlgorithmCosts(
+    const LogicalPlan& logical, double estimated_clips,
+    double estimated_sequences, const storage::DiskCostModel& disk) {
+  std::vector<AlgorithmCost> costs;
+  if (estimated_clips < 0.0 || !logical.ranked) return costs;
+  const double tables = static_cast<double>(logical.intersection.size());
+  const double clips = estimated_clips;
+  const double sequences = std::max(estimated_sequences, 0.0);
+  const double k = static_cast<double>(std::max<int64_t>(logical.k, 1));
+
+  // Pq-Traverse reads every candidate clip from every table exactly once —
+  // the one cost here that is an identity, not an estimate. It wins
+  // whenever the candidate set is small enough that exhaustive reads are
+  // cheaper than RVAQ's sorted-cursor exploration.
+  {
+    AlgorithmCost cost;
+    cost.algorithm = core::OfflineAlgorithm::kPqTraverse;
+    cost.virtual_ms = clips * tables * disk.sequential_read_ms;
+    costs.push_back(cost);
+  }
+
+  // RVAQ resolves the clips of the k winning sequences exactly (the
+  // measured compute_exact_scores configuration) plus a few probes per
+  // surviving sequence before the bounds exclude it, each probe paying one
+  // random access per table; the sorted cursors that drive the bounds add
+  // two cheap sorted steps per resolved clip.
+  {
+    const double avg_len = sequences > 0.0 ? clips / sequences : 0.0;
+    const double resolved = std::min(clips, k * avg_len + 2.0 * sequences);
+    AlgorithmCost cost;
+    cost.algorithm = core::OfflineAlgorithm::kRvaq;
+    cost.virtual_ms = resolved * tables * disk.random_access_ms +
+                      resolved * 2.0 * tables * disk.sorted_access_ms;
+    costs.push_back(cost);
+  }
+
+  // Fagin terminates only once every candidate clip has surfaced on every
+  // sorted cursor. Candidate clips sit at uncorrelated ranks, so the
+  // deepest of `clips` uniform ranks in a table of R rows is expected at
+  // R * clips/(clips+1) — for a sparse candidate set the cursors go nearly
+  // the full depth, and every clip surfaced on the way down is resolved
+  // with random accesses on the remaining tables (paper §5.1's overhead).
+  {
+    double max_rows = 0.0;
+    double sum_rows = 0.0;
+    for (const PredicateLeaf& leaf : logical.intersection) {
+      if (!leaf.stats_known) continue;
+      max_rows = std::max(max_rows,
+                          static_cast<double>(leaf.stats.table_rows));
+      sum_rows += static_cast<double>(leaf.stats.table_rows);
+    }
+    const double depth = max_rows * (clips / (clips + 1.0));
+    const double resolved = std::min(depth * tables, sum_rows);
+    AlgorithmCost cost;
+    cost.algorithm = core::OfflineAlgorithm::kFagin;
+    cost.virtual_ms = depth * tables * disk.sorted_access_ms +
+                      resolved * tables * disk.random_access_ms;
+    costs.push_back(cost);
+  }
+  return costs;
+}
+
+core::OfflineAlgorithm ChooseAlgorithm(
+    const std::vector<AlgorithmCost>& costs) {
+  core::OfflineAlgorithm best = core::OfflineAlgorithm::kRvaq;
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (const AlgorithmCost& cost : costs) {
+    if (cost.algorithm == core::OfflineAlgorithm::kRvaq) {
+      // RVAQ wins ties (<=): certified bounds at equal estimated price.
+      if (cost.virtual_ms <= best_ms) {
+        best = cost.algorithm;
+        best_ms = cost.virtual_ms;
+      }
+    } else if (cost.virtual_ms < best_ms) {
+      best = cost.algorithm;
+      best_ms = cost.virtual_ms;
+    }
+  }
+  return best;
+}
+
+}  // namespace svq::plan

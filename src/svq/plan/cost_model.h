@@ -1,0 +1,48 @@
+#ifndef SVQ_PLAN_COST_MODEL_H_
+#define SVQ_PLAN_COST_MODEL_H_
+
+#include <vector>
+
+#include "svq/plan/plan_ir.h"
+#include "svq/storage/access_stats.h"
+
+namespace svq::plan {
+
+/// Orders the logical intersection most-selective-first (ascending
+/// posting-list density). Leaves without statistics sort last — an unknown
+/// selectivity must not displace a measured one — and ties break on the
+/// label so the order is deterministic. Intersection is commutative on the
+/// clip domain, so any order is correct; this one shrinks the running set
+/// fastest, which is what makes each later Intersect cheap.
+std::vector<PlanOperator> OrderSweep(
+    const std::vector<PredicateLeaf>& intersection);
+
+/// Fills PlanOperator::estimated_rows along the ordered sweep and returns
+/// the final candidate-set estimates via the out-params. Cardinalities use
+/// the textbook independence assumption: after intersecting a leaf of
+/// density d, the running clip count multiplies by d. Sequence counts are
+/// bounded by the smallest posting list, scaled by the other leaves'
+/// densities. Estimates are -1 (unknown) when no leaf has statistics;
+/// a leaf whose type was never detected has density 0 and zeroes
+/// everything after it — exactly what execution does.
+void EstimateCardinalities(const LogicalPlan& logical,
+                           std::vector<PlanOperator>* sweep,
+                           double* estimated_clips,
+                           double* estimated_sequences);
+
+/// Prices each eligible algorithm in virtual ms under `disk` for a
+/// candidate set of `estimated_clips` clips in `estimated_sequences`
+/// sequences. kRvaqNoSkip is never priced: it exists as an explicit
+/// baseline override only. Empty when the estimates are unknown.
+std::vector<AlgorithmCost> EstimateAlgorithmCosts(
+    const LogicalPlan& logical, double estimated_clips,
+    double estimated_sequences, const storage::DiskCostModel& disk);
+
+/// The cheapest priced algorithm; kRvaq when `costs` is empty (the
+/// paper's default) or on ties (certified bounds beat exhaustive reads at
+/// equal price).
+core::OfflineAlgorithm ChooseAlgorithm(const std::vector<AlgorithmCost>& costs);
+
+}  // namespace svq::plan
+
+#endif  // SVQ_PLAN_COST_MODEL_H_

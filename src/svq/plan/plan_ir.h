@@ -1,0 +1,126 @@
+#ifndef SVQ_PLAN_PLAN_IR_H_
+#define SVQ_PLAN_PLAN_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svq/cache/query_cache.h"
+#include "svq/core/engine.h"
+#include "svq/core/rvaq.h"
+#include "svq/storage/statistics.h"
+
+namespace svq::plan {
+
+/// Statement-level algorithm request. The historical
+/// StatementOptions::algorithm knob hard-picked a core::OfflineAlgorithm;
+/// it is now an *override* — the default kAuto lets the cost model choose
+/// per statement. kRvaqNoSkip exists only as an explicit override: it is a
+/// paper baseline, strictly dominated by kRvaq, and the cost model never
+/// selects it.
+enum class AlgorithmChoice { kAuto, kRvaq, kRvaqNoSkip, kFagin, kPqTraverse };
+
+const char* AlgorithmChoiceName(AlgorithmChoice choice);
+const char* AlgorithmName(core::OfflineAlgorithm algorithm);
+
+/// The non-kAuto choices map 1:1 onto execution algorithms.
+core::OfflineAlgorithm ToAlgorithm(AlgorithmChoice choice);
+
+/// One conjunctive predicate of the statement, resolved against the pinned
+/// snapshot: the label, which posting-list family it lives in, and — when
+/// the source video is ingested and the type was detected — its ingest-time
+/// selectivity statistics.
+struct PredicateLeaf {
+  std::string label;
+  bool is_action = false;
+  /// The statement's primary action (act='...'), kept distinguishable
+  /// because RVAQ scores it on the g_act side.
+  bool is_primary = false;
+  /// False when the video is not ingested in this snapshot or the type was
+  /// never detected (the planner then treats the leaf as unknown / zero
+  /// selectivity respectively — see stats.density).
+  bool stats_known = false;
+  storage::TypeStatistics stats;
+};
+
+/// What the binder's output means to the planner: the n-ary intersection
+/// of predicate leaves plus the catalog facts that price it. Disjunction
+/// groups and relationships are carried for rendering — the offline path
+/// rejects them, the online path evaluates them per clip without plan
+/// choices to make.
+struct LogicalPlan {
+  std::string video;
+  bool ranked = false;
+  int64_t k = 0;
+  std::vector<PredicateLeaf> intersection;
+  std::vector<std::vector<std::string>> disjunction_groups;
+  int64_t num_relationships = 0;
+  /// Snapshot facts about the source video.
+  bool video_registered = false;
+  bool video_ingested = false;
+  /// Clip count of the ingested video; -1 when not ingested.
+  int64_t video_clips = -1;
+};
+
+/// One physical operator: intersect a posting list into the running
+/// candidate set, annotated with the cost model's cardinality estimates.
+struct PlanOperator {
+  core::SweepStep step;
+  /// The leaf's selectivity (posting-list density); 1.0 when unknown.
+  double selectivity = 1.0;
+  bool stats_known = false;
+  /// Copy of the leaf's statistics (zeroed when !stats_known).
+  storage::TypeStatistics stats;
+  /// Estimated clips in the running intersection *after* this operator
+  /// (independence assumption); -1 when no statistics were available.
+  double estimated_rows = -1.0;
+};
+
+/// Cost-model verdict for one candidate algorithm, in the virtual-ms
+/// currency of storage::DiskCostModel.
+struct AlgorithmCost {
+  core::OfflineAlgorithm algorithm = core::OfflineAlgorithm::kRvaq;
+  double virtual_ms = 0.0;
+};
+
+/// The lowered, executable plan. Immutable once planned; cached per
+/// statement fingerprint on the snapshot's plan tier (a snapshot's
+/// statistics are immutable, so its plans never go stale — they die with
+/// the snapshot generation, like every cache tier).
+struct PhysicalPlan : public svq::cache::CachedPlan {
+  std::string video;
+  bool ranked = false;
+  int64_t k = 0;
+  AlgorithmChoice requested = AlgorithmChoice::kAuto;
+  /// The algorithm execution will run (resolved: never "auto").
+  core::OfflineAlgorithm algorithm = core::OfflineAlgorithm::kRvaq;
+  /// Whether `algorithm` came from the cost model rather than an override.
+  bool auto_selected = false;
+  /// Interval-sweep intersection, most-selective-first. Empty for
+  /// streaming statements.
+  std::vector<PlanOperator> sweep;
+  /// Estimated size of the final candidate set P_q; -1 when unknown.
+  double estimated_candidate_clips = -1.0;
+  double estimated_candidate_sequences = -1.0;
+  /// Per-algorithm cost estimates the selection compared (empty when the
+  /// statistics were unavailable or the statement is streaming).
+  std::vector<AlgorithmCost> costs;
+  /// The logical plan this was lowered from (kept for EXPLAIN rendering).
+  LogicalPlan logical;
+  /// Statement fingerprint this plan is cached under (0 = not cached).
+  uint64_t fingerprint = 0;
+
+  /// The sweep order in core terms, ready for OfflineOptions::sweep_order.
+  std::vector<core::SweepStep> SweepOrder() const {
+    std::vector<core::SweepStep> order;
+    order.reserve(sweep.size());
+    for (const PlanOperator& op : sweep) order.push_back(op.step);
+    return order;
+  }
+
+  size_t ByteSize() const override;
+};
+
+}  // namespace svq::plan
+
+#endif  // SVQ_PLAN_PLAN_IR_H_

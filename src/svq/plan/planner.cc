@@ -1,0 +1,259 @@
+#include "svq/plan/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "svq/cache/fingerprint.h"
+#include "svq/observability/trace.h"
+#include "svq/plan/cost_model.h"
+
+namespace svq::plan {
+
+namespace {
+
+/// Statement fingerprint for the plan tier: everything the produced plan
+/// depends on beyond the snapshot itself (which scopes the cache). Labels
+/// are canonicalized so permuted-equivalent statements share one plan,
+/// mirroring the result-cache key; k and the option bits join because the
+/// cost model prices with them.
+uint64_t PlanFingerprint(const core::Query& query, const std::string& video,
+                         bool ranked, int64_t k, AlgorithmChoice requested,
+                         const core::OfflineOptions& offline) {
+  svq::cache::Fingerprint fp;
+  fp.Mix("plan").Mix(video).Mix(ranked).Mix(static_cast<uint64_t>(k));
+  fp.Mix("act").Mix(query.action);
+  std::vector<std::string> extras = query.extra_actions;
+  std::sort(extras.begin(), extras.end());
+  for (const std::string& extra : extras) fp.Mix("xa").Mix(extra);
+  std::vector<std::string> objects = query.objects;
+  std::sort(objects.begin(), objects.end());
+  for (const std::string& object : objects) fp.Mix("obj").Mix(object);
+  for (const auto& group : query.object_disjunctions) {
+    fp.Mix("disj");
+    for (const std::string& label : group) fp.Mix(label);
+  }
+  fp.Mix("nrel").Mix(static_cast<uint64_t>(query.relationships.size()));
+  fp.Mix("req").Mix(static_cast<int>(requested));
+  fp.Mix(offline.enable_skip).Mix(offline.compute_exact_scores);
+  return fp.value();
+}
+
+LogicalPlan BuildLogical(const core::SnapshotPtr& snapshot,
+                         const core::Query& query, const std::string& video,
+                         bool ranked, int64_t k) {
+  LogicalPlan logical;
+  logical.video = video;
+  logical.ranked = ranked;
+  logical.k = k;
+  logical.disjunction_groups = query.object_disjunctions;
+  logical.num_relationships =
+      static_cast<int64_t>(query.relationships.size());
+
+  const core::IngestedVideo* ingested = nullptr;
+  if (snapshot != nullptr) {
+    if (const core::CatalogSnapshot::Entry* entry = snapshot->Find(video)) {
+      logical.video_registered = true;
+      if (entry->ingested != nullptr) {
+        logical.video_ingested = true;
+        ingested = entry->ingested.get();
+        logical.video_clips = ingested->num_clips;
+      }
+    }
+  }
+
+  auto add_leaf = [&](const std::string& label, bool is_action,
+                      bool is_primary) {
+    PredicateLeaf leaf;
+    leaf.label = label;
+    leaf.is_action = is_action;
+    leaf.is_primary = is_primary;
+    if (ingested != nullptr) {
+      const storage::TypeStatistics* stats =
+          is_action ? ingested->ActionStatistics(label)
+                    : ingested->ObjectStatistics(label);
+      // An ingested video without an entry means the type was never in the
+      // vocabulary: execution finds no posting list and produces the empty
+      // set, so the planner prices it as zero selectivity.
+      leaf.stats_known = true;
+      if (stats != nullptr) leaf.stats = *stats;
+    }
+    logical.intersection.push_back(std::move(leaf));
+  };
+  add_leaf(query.action, /*is_action=*/true, /*is_primary=*/true);
+  for (const std::string& extra : query.extra_actions) {
+    add_leaf(extra, /*is_action=*/true, /*is_primary=*/false);
+  }
+  for (const std::string& object : query.objects) {
+    add_leaf(object, /*is_action=*/false, /*is_primary=*/false);
+  }
+  return logical;
+}
+
+}  // namespace
+
+const char* AlgorithmChoiceName(AlgorithmChoice choice) {
+  switch (choice) {
+    case AlgorithmChoice::kAuto:
+      return "auto";
+    case AlgorithmChoice::kRvaq:
+      return "RVAQ";
+    case AlgorithmChoice::kRvaqNoSkip:
+      return "RVAQ-noSkip";
+    case AlgorithmChoice::kFagin:
+      return "Fagin";
+    case AlgorithmChoice::kPqTraverse:
+      return "Pq-Traverse";
+  }
+  return "unknown";
+}
+
+const char* AlgorithmName(core::OfflineAlgorithm algorithm) {
+  switch (algorithm) {
+    case core::OfflineAlgorithm::kRvaq:
+      return "RVAQ";
+    case core::OfflineAlgorithm::kRvaqNoSkip:
+      return "RVAQ-noSkip";
+    case core::OfflineAlgorithm::kFagin:
+      return "Fagin";
+    case core::OfflineAlgorithm::kPqTraverse:
+      return "Pq-Traverse";
+  }
+  return "unknown";
+}
+
+core::OfflineAlgorithm ToAlgorithm(AlgorithmChoice choice) {
+  switch (choice) {
+    case AlgorithmChoice::kRvaqNoSkip:
+      return core::OfflineAlgorithm::kRvaqNoSkip;
+    case AlgorithmChoice::kFagin:
+      return core::OfflineAlgorithm::kFagin;
+    case AlgorithmChoice::kPqTraverse:
+      return core::OfflineAlgorithm::kPqTraverse;
+    case AlgorithmChoice::kAuto:
+    case AlgorithmChoice::kRvaq:
+      break;
+  }
+  return core::OfflineAlgorithm::kRvaq;
+}
+
+size_t PhysicalPlan::ByteSize() const {
+  size_t bytes = sizeof(PhysicalPlan);
+  bytes += video.size() + logical.video.size();
+  for (const PlanOperator& op : sweep) {
+    bytes += sizeof(PlanOperator) + op.step.label.size();
+  }
+  for (const PredicateLeaf& leaf : logical.intersection) {
+    bytes += sizeof(PredicateLeaf) + leaf.label.size();
+  }
+  bytes += costs.size() * sizeof(AlgorithmCost);
+  for (const auto& group : logical.disjunction_groups) {
+    for (const std::string& label : group) bytes += label.size();
+  }
+  return bytes;
+}
+
+PlannerCounters& GlobalPlannerCounters() {
+  static PlannerCounters counters;
+  return counters;
+}
+
+Result<std::shared_ptr<const PhysicalPlan>> PlanQuery(
+    const core::SnapshotPtr& snapshot, const core::Query& query,
+    const std::string& video, bool ranked, int64_t k,
+    AlgorithmChoice requested, const core::OfflineOptions& offline,
+    const ExecutionContext& context) {
+  PlannerCounters& counters = GlobalPlannerCounters();
+  observability::QueryTrace* trace = context.trace();
+
+  // The plan tier answers before any lowering work. Keyed on the statement
+  // fingerprint; scoped to the snapshot by construction, so the cached
+  // plan's estimates are guaranteed to come from this snapshot's
+  // statistics.
+  svq::cache::SnapshotCache* cache =
+      snapshot != nullptr ? snapshot->cache.get() : nullptr;
+  const bool use_cache = cache != nullptr && offline.cache.use_plan_cache;
+  const uint64_t fingerprint =
+      PlanFingerprint(query, video, ranked, k, requested, offline);
+  if (use_cache) {
+    if (auto found = cache->LookupPlan(fingerprint)) {
+      observability::TraceSpan hit_span(trace, "plan.cache_hit");
+      counters.plans_total.fetch_add(1, std::memory_order_relaxed);
+      counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return std::static_pointer_cast<const PhysicalPlan>(*found);
+    }
+  }
+
+  auto plan = std::make_shared<PhysicalPlan>();
+  plan->video = video;
+  plan->ranked = ranked;
+  plan->k = k;
+  plan->requested = requested;
+  plan->fingerprint = fingerprint;
+  {
+    observability::TraceSpan lower_span(trace, "lower");
+    plan->logical = BuildLogical(snapshot, query, video, ranked, k);
+    plan->sweep = OrderSweep(plan->logical.intersection);
+  }
+  {
+    observability::TraceSpan cost_span(trace, "cost");
+    EstimateCardinalities(plan->logical, &plan->sweep,
+                          &plan->estimated_candidate_clips,
+                          &plan->estimated_candidate_sequences);
+    plan->costs = EstimateAlgorithmCosts(plan->logical,
+                                         plan->estimated_candidate_clips,
+                                         plan->estimated_candidate_sequences,
+                                         offline.cost_model);
+    if (requested == AlgorithmChoice::kAuto) {
+      plan->algorithm = ChooseAlgorithm(plan->costs);
+      plan->auto_selected = true;
+    } else {
+      plan->algorithm = ToAlgorithm(requested);
+      plan->auto_selected = false;
+    }
+  }
+
+  counters.plans_total.fetch_add(1, std::memory_order_relaxed);
+  if (ranked) {
+    if (plan->auto_selected) {
+      switch (plan->algorithm) {
+        case core::OfflineAlgorithm::kRvaq:
+          counters.auto_rvaq.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case core::OfflineAlgorithm::kFagin:
+          counters.auto_fagin.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case core::OfflineAlgorithm::kPqTraverse:
+          counters.auto_pq_traverse.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case core::OfflineAlgorithm::kRvaqNoSkip:
+          break;  // never auto-selected
+      }
+    } else {
+      counters.overrides.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (use_cache) cache->InsertPlan(fingerprint, plan);
+  return std::shared_ptr<const PhysicalPlan>(std::move(plan));
+}
+
+void RecordEstimateActuals(const PhysicalPlan& plan,
+                           const core::OfflineRunStats& stats) {
+  // Cache-served results carry zero stats; only a run that actually swept
+  // candidates is an estimate sample (an estimated-empty run that came
+  // back empty contributes zero error and is fine to skip).
+  if (stats.candidate_sequences <= 0) return;
+  if (plan.estimated_candidate_clips < 0.0) return;
+  const double actual = static_cast<double>(stats.candidate_clips);
+  const double error_pct =
+      std::fabs(plan.estimated_candidate_clips - actual) /
+      std::max(actual, 1.0) * 100.0;
+  PlannerCounters& counters = GlobalPlannerCounters();
+  counters.estimate_samples.fetch_add(1, std::memory_order_relaxed);
+  counters.estimate_error_pct_sum.fetch_add(
+      static_cast<int64_t>(std::llround(error_pct)),
+      std::memory_order_relaxed);
+}
+
+}  // namespace svq::plan

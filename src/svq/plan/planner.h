@@ -1,0 +1,90 @@
+#ifndef SVQ_PLAN_PLANNER_H_
+#define SVQ_PLAN_PLANNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svq/common/execution_context.h"
+#include "svq/common/result.h"
+#include "svq/plan/plan_ir.h"
+
+namespace svq::plan {
+
+/// Process-wide planner accounting, bridged into the server registry as
+/// svq_plan_* counters. Relaxed atomics, same discipline as CacheStats;
+/// cumulative for the process lifetime, so consumers bridge deltas.
+struct PlannerCounters {
+  /// Plans produced (cache hits included).
+  std::atomic<int64_t> plans_total{0};
+  /// Plans served from the snapshot's plan tier.
+  std::atomic<int64_t> cache_hits{0};
+  /// Auto-selection outcomes (ranked statements planned with kAuto).
+  std::atomic<int64_t> auto_rvaq{0};
+  std::atomic<int64_t> auto_fagin{0};
+  std::atomic<int64_t> auto_pq_traverse{0};
+  /// Ranked statements that overrode the algorithm explicitly.
+  std::atomic<int64_t> overrides{0};
+  /// Estimate-error tracking: executed plans whose actual candidate sizes
+  /// were compared against the estimates, and the accumulated absolute
+  /// clip-count error in percent of actual (mean error = sum / samples).
+  std::atomic<int64_t> estimate_samples{0};
+  std::atomic<int64_t> estimate_error_pct_sum{0};
+
+  struct Snapshot {
+    int64_t plans_total = 0;
+    int64_t cache_hits = 0;
+    int64_t auto_rvaq = 0;
+    int64_t auto_fagin = 0;
+    int64_t auto_pq_traverse = 0;
+    int64_t overrides = 0;
+    int64_t estimate_samples = 0;
+    int64_t estimate_error_pct_sum = 0;
+  };
+
+  Snapshot Read() const {
+    Snapshot s;
+    s.plans_total = plans_total.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.auto_rvaq = auto_rvaq.load(std::memory_order_relaxed);
+    s.auto_fagin = auto_fagin.load(std::memory_order_relaxed);
+    s.auto_pq_traverse = auto_pq_traverse.load(std::memory_order_relaxed);
+    s.overrides = overrides.load(std::memory_order_relaxed);
+    s.estimate_samples = estimate_samples.load(std::memory_order_relaxed);
+    s.estimate_error_pct_sum =
+        estimate_error_pct_sum.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+PlannerCounters& GlobalPlannerCounters();
+
+/// Plans one bound statement against a pinned snapshot: builds the logical
+/// plan from the query and the snapshot's ingest-time statistics, lowers
+/// it through the cost model (sweep ordering, cardinality estimates,
+/// algorithm selection), and returns the immutable physical plan. Planning
+/// never fails on catalog state — an unregistered or un-ingested video
+/// yields a plan without estimates (EXPLAIN renders it; ranked execution
+/// fails later exactly as before). `snapshot` may be null (the deprecated
+/// engine-less EXPLAIN path); the plan then carries no catalog facts.
+///
+/// Plans are memoized on the snapshot's plan tier keyed by the statement
+/// fingerprint (labels canonicalized, k, requested algorithm, option bits)
+/// unless `offline.cache.use_plan_cache` is off. Trace spans: `lower` and
+/// `cost` under the caller's current span, `plan.cache_hit` on a hit.
+Result<std::shared_ptr<const PhysicalPlan>> PlanQuery(
+    const core::SnapshotPtr& snapshot, const core::Query& query,
+    const std::string& video, bool ranked, int64_t k,
+    AlgorithmChoice requested, const core::OfflineOptions& offline,
+    const ExecutionContext& context = {});
+
+/// Folds one executed run's actual candidate sizes into the global
+/// estimate-error counters. Call with the stats of a genuinely executed
+/// run (cache hits carry zero stats and are skipped automatically).
+void RecordEstimateActuals(const PhysicalPlan& plan,
+                           const core::OfflineRunStats& stats);
+
+}  // namespace svq::plan
+
+#endif  // SVQ_PLAN_PLANNER_H_

@@ -57,20 +57,32 @@ Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
     SVQ_ASSIGN_OR_RETURN(result.bound, Bind(parsed));
   }
 
-  // The whole statement — suite resolution and execution — sees the one
-  // pinned catalog view, and USING overrides stay local to this statement
-  // instead of mutating (and racing on) any shared suite.
-  const models::ModelSuite suite = [&] {
+  // The whole statement — suite resolution, planning and execution — sees
+  // the one pinned catalog view, and USING overrides stay local to this
+  // statement instead of mutating (and racing on) any shared suite.
+  models::ModelSuite suite;
+  {
     observability::TraceSpan span(trace, "plan");
-    return ResolveSuite(snapshot->suite, result.bound);
-  }();
+    suite = ResolveSuite(snapshot->suite, result.bound);
+    SVQ_ASSIGN_OR_RETURN(
+        result.plan,
+        plan::PlanQuery(snapshot, result.bound.query, result.bound.video,
+                        result.bound.ranked, result.bound.k,
+                        options.algorithm, options.offline, context));
+  }
 
   if (result.bound.ranked) {
+    // Lower the physical plan into core terms: the chosen algorithm plus
+    // the planner's sweep order (honored on the uncached candidate path;
+    // the cached path keeps canonical-order prefix keys — docs/planner.md).
+    core::OfflineOptions exec_options = options.offline;
+    exec_options.sweep_order = result.plan->SweepOrder();
     SVQ_ASSIGN_OR_RETURN(
         core::TopKResult topk,
         core::ExecuteTopKOn(snapshot, result.bound.query, result.bound.video,
                             static_cast<int>(result.bound.k),
-                            options.algorithm, options.offline, context));
+                            result.plan->algorithm, exec_options, context));
+    plan::RecordEstimateActuals(*result.plan, topk.stats);
     result.topk = std::move(topk);
     return result;
   }

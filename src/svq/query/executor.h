@@ -1,19 +1,24 @@
 #ifndef SVQ_QUERY_EXECUTOR_H_
 #define SVQ_QUERY_EXECUTOR_H_
 
+#include <memory>
 #include <optional>
 #include <string_view>
 
 #include "svq/common/result.h"
 #include "svq/core/engine.h"
+#include "svq/plan/planner.h"
 #include "svq/query/binder.h"
 
 namespace svq::query {
 
 /// Outcome of executing one statement: streaming statements fill `online`,
-/// ranked statements fill `topk`.
+/// ranked statements fill `topk`. `plan` is the physical plan execution
+/// ran under (always set on success — EXPLAIN and callers inspect the
+/// chosen algorithm and estimates from here).
 struct StatementResult {
   BoundQuery bound;
+  std::shared_ptr<const plan::PhysicalPlan> plan;
   std::optional<core::OnlineResult> online;
   std::optional<core::TopKResult> topk;
 };
@@ -27,8 +32,10 @@ struct StatementOptions {
   core::OfflineOptions offline;
   /// Mode for streaming statements; ignored by ranked statements.
   core::OnlineEngine::Mode online_mode = core::OnlineEngine::Mode::kSvaqd;
-  /// Algorithm for ranked statements.
-  core::OfflineAlgorithm algorithm = core::OfflineAlgorithm::kRvaq;
+  /// Algorithm for ranked statements. The default lets the cost-based
+  /// planner pick per statement from the snapshot's selectivity
+  /// statistics; the other values are explicit overrides (docs/planner.md).
+  plan::AlgorithmChoice algorithm = plan::AlgorithmChoice::kAuto;
 };
 
 /// Parses, binds, and executes one dialect statement against an already

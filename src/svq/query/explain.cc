@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iomanip>
 #include <sstream>
 
 #include "svq/core/clip_indicator.h"
@@ -9,47 +10,160 @@
 
 namespace svq::query {
 
-std::optional<std::string_view> StripExplain(std::string_view statement) {
+namespace {
+
+std::optional<std::string_view> StripKeyword(std::string_view statement,
+                                             std::string_view keyword) {
   size_t i = 0;
   while (i < statement.size() &&
          std::isspace(static_cast<unsigned char>(statement[i]))) {
     ++i;
   }
-  constexpr std::string_view kKeyword = "EXPLAIN";
-  if (statement.size() - i < kKeyword.size()) return std::nullopt;
-  for (size_t j = 0; j < kKeyword.size(); ++j) {
+  if (statement.size() - i < keyword.size()) return std::nullopt;
+  for (size_t j = 0; j < keyword.size(); ++j) {
     if (std::toupper(static_cast<unsigned char>(statement[i + j])) !=
-        kKeyword[j]) {
+        keyword[j]) {
       return std::nullopt;
     }
   }
-  const size_t rest = i + kKeyword.size();
+  const size_t rest = i + keyword.size();
   if (rest < statement.size() &&
       !std::isspace(static_cast<unsigned char>(statement[rest]))) {
-    return std::nullopt;  // e.g. an identifier starting with "explain"
+    return std::nullopt;  // e.g. an identifier starting with the keyword
   }
   return statement.substr(rest);
 }
 
-Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
-                                     std::string_view statement) {
+std::string FormatMs(double ms) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1) << ms;
+  return out.str();
+}
+
+std::string FormatRows(double rows) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(rows < 10.0 ? 1 : 0) << rows;
+  return out.str();
+}
+
+std::string OperatorName(const plan::PlanOperator& op) {
+  return (op.step.is_action ? "P_a(" : "P_o(") + op.step.label + ")";
+}
+
+/// Per-operator *actual* rows for EXPLAIN ANALYZE: replays the plan's
+/// sweep order over the snapshot's materialized posting lists. Pure
+/// interval arithmetic — cheap relative to the executed query — and
+/// exactly what the ordered candidate sweep computes, so "actual rows"
+/// equals what execution saw after each operator.
+std::vector<int64_t> ActualRows(const core::IngestedVideo& ingested,
+                                const std::vector<plan::PlanOperator>& sweep) {
+  std::vector<int64_t> rows;
+  rows.reserve(sweep.size());
+  video::IntervalSet running;
+  bool first = true;
+  bool dead = false;
+  for (const plan::PlanOperator& op : sweep) {
+    if (!dead) {
+      const video::IntervalSet* p =
+          op.step.is_action ? ingested.ActionSequences(op.step.label)
+                            : ingested.ObjectSequences(op.step.label);
+      if (p == nullptr) {
+        running = video::IntervalSet();
+        dead = true;
+      } else if (first) {
+        running = *p;
+      } else {
+        running = video::IntervalSet::Intersect(running, *p);
+      }
+      first = false;
+      if (running.empty()) dead = true;
+    }
+    rows.push_back(running.TotalLength());
+  }
+  return rows;
+}
+
+void RenderPlan(std::ostringstream& out, const plan::PhysicalPlan& plan,
+                const std::vector<int64_t>* actual_rows) {
+  out << "  Plan: algorithm=" << plan::AlgorithmName(plan.algorithm)
+      << (plan.auto_selected ? " (cost-based auto selection)"
+                             : " (explicit override)")
+      << "\n";
+  if (!plan.costs.empty()) {
+    out << "    costs:";
+    for (const plan::AlgorithmCost& cost : plan.costs) {
+      out << " " << plan::AlgorithmName(cost.algorithm) << "="
+          << FormatMs(cost.virtual_ms);
+    }
+    out << " virtual ms\n";
+  }
+  out << "    sweep (most selective first):\n";
+  for (size_t i = 0; i < plan.sweep.size(); ++i) {
+    const plan::PlanOperator& op = plan.sweep[i];
+    out << "      " << i + 1 << ". intersect " << OperatorName(op);
+    if (op.stats_known) {
+      out << "  density=" << std::fixed << std::setprecision(4)
+          << op.selectivity;
+      out << "  est rows=" << FormatRows(op.estimated_rows);
+    } else {
+      out << "  (no statistics)";
+    }
+    if (actual_rows != nullptr && i < actual_rows->size()) {
+      out << "  actual rows=" << (*actual_rows)[i];
+    }
+    out << "\n";
+  }
+  if (plan.estimated_candidate_clips >= 0.0) {
+    out << "    candidates: est "
+        << FormatRows(plan.estimated_candidate_clips) << " clips in "
+        << FormatRows(plan.estimated_candidate_sequences) << " sequences\n";
+  }
+}
+
+}  // namespace
+
+std::optional<std::string_view> StripExplain(std::string_view statement) {
+  return StripKeyword(statement, "EXPLAIN");
+}
+
+std::optional<std::string_view> StripAnalyze(std::string_view statement) {
+  return StripKeyword(statement, "ANALYZE");
+}
+
+Result<std::string> ExplainStatementOn(const core::SnapshotPtr& snapshot,
+                                       std::string_view statement,
+                                       const ExplainOptions& options,
+                                       const ExecutionContext& context) {
+  bool analyze = options.analyze;
   if (const auto inner = StripExplain(statement)) statement = *inner;
+  if (const auto inner = StripAnalyze(statement)) {
+    statement = *inner;
+    analyze = true;
+  }
   SVQ_ASSIGN_OR_RETURN(const BoundQuery bound, ParseAndBind(statement));
+  SVQ_ASSIGN_OR_RETURN(
+      const std::shared_ptr<const plan::PhysicalPlan> plan,
+      plan::PlanQuery(snapshot, bound.query, bound.video, bound.ranked,
+                      bound.k, options.statement.algorithm,
+                      options.statement.offline, context));
 
   std::ostringstream out;
   out << "Statement: "
       << (bound.ranked
               ? "ranked top-" + std::to_string(bound.k) + " query (offline)"
               : "streaming query (online)")
-      << "\n";
+      << (analyze ? " [ANALYZE]" : "") << "\n";
   out << "  Query: " << bound.query.ToString() << "\n";
 
   out << "  Source: " << bound.video;
-  if (engine != nullptr) {
-    if (!engine->HasVideo(bound.video)) {
+  const core::CatalogSnapshot::Entry* entry =
+      snapshot != nullptr ? snapshot->Find(bound.video) : nullptr;
+  if (snapshot != nullptr) {
+    if (entry == nullptr) {
       out << " (NOT REGISTERED)";
-    } else if (engine->Ingested(bound.video) != nullptr) {
-      out << " (registered, ingested)";
+    } else if (entry->ingested != nullptr) {
+      out << " (registered, ingested; "
+          << entry->ingested->num_clips << " clips)";
     } else {
       out << " (registered, not ingested"
           << (bound.ranked ? " — ranked execution will fail" : "") << ")";
@@ -69,21 +183,53 @@ Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
         << "  [per-shot events -> scan-statistic quota per clip]\n";
   }
 
+  // ANALYZE executes first so the plan section can render actuals inline.
+  std::optional<StatementResult> executed;
+  std::vector<int64_t> actual_rows;
+  if (analyze) {
+    StatementOptions statement_options = options.statement;
+    SVQ_ASSIGN_OR_RETURN(
+        executed,
+        ExecuteStatementOn(snapshot, statement, context, statement_options));
+    if (bound.ranked && entry != nullptr && entry->ingested != nullptr) {
+      actual_rows = ActualRows(*entry->ingested, plan->sweep);
+    }
+  }
+
   if (bound.ranked) {
-    out << "  Pipeline: RVAQ (paper Alg. 4)\n";
+    RenderPlan(out, *plan, actual_rows.empty() ? nullptr : &actual_rows);
+    out << "  Pipeline: " << plan::AlgorithmName(plan->algorithm)
+        << (plan->algorithm == core::OfflineAlgorithm::kRvaq
+                ? " (paper Alg. 4)"
+                : " (paper baseline)")
+        << "\n";
     out << "    - P_q <- ";
-    out << "P_a(" << bound.query.action << ")";
-    for (const std::string& extra : bound.query.extra_actions) {
-      out << " (x) P_a(" << extra << ")";
+    for (size_t i = 0; i < plan->sweep.size(); ++i) {
+      if (i > 0) out << " (x) ";
+      out << OperatorName(plan->sweep[i]);
     }
-    for (const std::string& object : bound.query.objects) {
-      out << " (x) P_o(" << object << ")";
+    out << "   [interval sweep over materialized sequences, planner "
+           "order]\n";
+    switch (plan->algorithm) {
+      case core::OfflineAlgorithm::kRvaq:
+      case core::OfflineAlgorithm::kRvaqNoSkip:
+        out << "    - TBClip sorted/random access over the per-type clip "
+               "score tables\n";
+        out << "    - progressive upper/lower bounds, "
+            << (plan->algorithm == core::OfflineAlgorithm::kRvaq
+                    ? "conclusive skipping, "
+                    : "no skipping (baseline), ")
+            << "stop at Eq. 15\n";
+        break;
+      case core::OfflineAlgorithm::kFagin:
+        out << "    - sorted cursors advance in lockstep; every surfaced "
+               "clip resolved by random access (FA)\n";
+        break;
+      case core::OfflineAlgorithm::kPqTraverse:
+        out << "    - sequential read of every candidate clip from every "
+               "table\n";
+        break;
     }
-    out << "   [interval sweep over materialized sequences]\n";
-    out << "    - TBClip sorted/random access over the per-type clip score "
-           "tables\n";
-    out << "    - progressive upper/lower bounds, conclusive skipping, "
-           "stop at Eq. 15\n";
   } else {
     out << "  Pipeline: SVAQD (paper Alg. 3)\n";
     out << "    - per-clip evaluation with short-circuiting (Alg. 2)\n";
@@ -91,6 +237,31 @@ Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
            "(Eq. 5/6)\n";
     out << "    - consecutive positive clips merge into result sequences "
            "(Eq. 4)\n";
+  }
+
+  if (executed.has_value()) {
+    out << "  Analyze:\n";
+    if (executed->topk.has_value()) {
+      const core::OfflineRunStats& stats = executed->topk->stats;
+      out << "    candidates: actual " << stats.candidate_clips
+          << " clips in " << stats.candidate_sequences << " sequences";
+      if (plan->estimated_candidate_clips >= 0.0) {
+        out << " (est " << FormatRows(plan->estimated_candidate_clips)
+            << " / " << FormatRows(plan->estimated_candidate_sequences)
+            << ")";
+      }
+      out << "\n";
+      out << "    result: " << executed->topk->sequences.size()
+          << " sequences, " << FormatMs(stats.virtual_ms)
+          << " virtual ms, " << FormatMs(stats.algorithm_ms)
+          << " ms algorithm time\n";
+    } else if (executed->online.has_value()) {
+      out << "    result: "
+          << executed->online->sequences.intervals().size()
+          << " sequences, "
+          << FormatMs(executed->online->stats.algorithm_ms)
+          << " ms algorithm time\n";
+    }
   }
 
   out << "  Models: detector="
@@ -101,6 +272,12 @@ Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
                                          : bound.recognizer_model)
       << "\n";
   return out.str();
+}
+
+Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
+                                     std::string_view statement) {
+  return ExplainStatementOn(
+      engine != nullptr ? engine->Pin() : core::SnapshotPtr(), statement);
 }
 
 }  // namespace svq::query

@@ -1,19 +1,49 @@
 #ifndef SVQ_QUERY_EXPLAIN_H_
 #define SVQ_QUERY_EXPLAIN_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "svq/common/result.h"
 #include "svq/core/engine.h"
+#include "svq/query/executor.h"
 
 namespace svq::query {
 
-/// Renders a human-readable execution plan for a dialect statement without
-/// executing it: the bound query, the source's registration/ingestion
-/// state, the chosen pipeline (streaming SVAQD vs ranked RVAQ), and the
-/// resolved model profiles. `engine` may be null — the plan then omits
-/// repository state.
+/// EXPLAIN behavior knobs.
+struct ExplainOptions {
+  /// EXPLAIN ANALYZE: execute the statement and annotate the plan with
+  /// actual rows per operator, actual candidate sizes, and run timings
+  /// next to the estimates.
+  bool analyze = false;
+  /// Planning/execution knobs (algorithm override, cache policy, cost
+  /// model) — the same options the statement would execute with, so the
+  /// rendered plan is the executed plan.
+  StatementOptions statement;
+};
+
+/// Renders the execution plan for a dialect statement against a pinned
+/// catalog snapshot — the same consistent view execution observes, so the
+/// statistics, estimates, and algorithm choice shown are exactly those of
+/// a statement executed on this snapshot. Shows the bound query, the
+/// source's registration/ingestion state, the cost-based physical plan
+/// (selectivity-ordered sweep with per-operator estimated rows, the chosen
+/// algorithm and the per-algorithm cost estimates it beat), and the
+/// resolved model profiles. `snapshot` may be null — the plan then omits
+/// catalog state and estimates. With `options.analyze` the statement is
+/// executed (deadline/cancellation via `context`) and actuals are rendered
+/// beside the estimates.
+Result<std::string> ExplainStatementOn(const core::SnapshotPtr& snapshot,
+                                       std::string_view statement,
+                                       const ExplainOptions& options = {},
+                                       const ExecutionContext& context = {});
+
+/// DEPRECATED: engine-pointer EXPLAIN, kept as a thin wrapper for the
+/// shells. Pins the engine's current snapshot (or none when `engine` is
+/// null) and delegates to ExplainStatementOn — prefer that directly: a
+/// caller holding a snapshot gets EXPLAIN output guaranteed consistent
+/// with its own execution.
 Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
                                      std::string_view statement);
 
@@ -21,6 +51,10 @@ Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
 /// or nullopt when the input does not start with EXPLAIN. Lets shells
 /// accept `EXPLAIN SELECT ...`.
 std::optional<std::string_view> StripExplain(std::string_view statement);
+
+/// Strips a leading (case-insensitive) ANALYZE keyword — for the
+/// `EXPLAIN ANALYZE SELECT ...` form after StripExplain.
+std::optional<std::string_view> StripAnalyze(std::string_view statement);
 
 }  // namespace svq::query
 

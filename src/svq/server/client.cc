@@ -112,6 +112,32 @@ Result<QueryResponse> Client::Execute(const std::string& statement,
   return response;
 }
 
+Result<ExplainResponse> Client::Explain(const std::string& statement,
+                                        bool analyze, uint32_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  ExplainRequest request;
+  request.request_id = next_request_id_++;
+  request.statement = statement;
+  request.analyze = analyze;
+  request.timeout_ms = timeout_ms;
+  SVQ_RETURN_NOT_OK(SendAll(EncodeExplainRequest(request)));
+
+  std::string payload;
+  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kExplainResponse;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  if (type != MessageType::kExplainResponse) {
+    return Status::Corruption("expected an explain response frame");
+  }
+  ExplainResponse response;
+  SVQ_RETURN_NOT_OK(DecodeExplainResponse(&cursor, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response correlation id mismatch");
+  }
+  return response;
+}
+
 Result<ServerStatsWire> Client::GetStats() {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   SVQ_RETURN_NOT_OK(SendAll(EncodeStatsRequest()));

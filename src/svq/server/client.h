@@ -65,6 +65,17 @@ class Client {
   /// The STATS verb: cumulative server counters and latency histograms.
   Result<ServerStatsWire> GetStats();
 
+  /// The EXPLAIN verb (wire v3): renders the statement's cost-based plan
+  /// against the server's current catalog snapshot. With `analyze` the
+  /// statement executes server-side (through admission control, same as
+  /// Execute) and actuals are rendered beside the estimates; `timeout_ms`
+  /// bounds that execution (0 = unlimited). Like Execute, the transport
+  /// outcome is the Result's status and the explain outcome lives in
+  /// ExplainResponse::status.
+  Result<ExplainResponse> Explain(const std::string& statement,
+                                  bool analyze = false,
+                                  uint32_t timeout_ms = 0);
+
  private:
   Status SendAll(const std::string& frame);
   /// Receives exactly one complete frame payload.

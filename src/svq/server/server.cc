@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "svq/query/executor.h"
+#include "svq/query/explain.h"
 
 namespace svq::server {
 
@@ -89,6 +90,8 @@ Server::Server(core::VideoQueryEngine* engine, ServerOptions options)
       "svqd_queries_deadline_exceeded_total", "Queries past their deadline");
   stats_requests_ = registry_.counter("svqd_stats_requests_total",
                                       "STATS verb requests served");
+  explain_requests_ = registry_.counter("svqd_explain_requests_total",
+                                        "EXPLAIN verb requests admitted");
   connections_opened_ = registry_.counter("svqd_connections_opened_total",
                                           "Connections accepted since start");
   connections_open_gauge_ =
@@ -151,6 +154,27 @@ Server::Server(core::VideoQueryEngine* engine, ServerOptions options)
       "Duplicate in-flight statements deduplicated by single-flight");
   cache_bytes_gauge_ = registry_.gauge("svq_cache_bytes",
                                        "Live query-cache bytes, all tiers");
+  plan_plans_ = registry_.counter("svq_plan_plans_total",
+                                  "Physical plans produced (cache hits included)");
+  plan_cache_hits_ = registry_.counter("svq_plan_cache_hits_total",
+                                       "Plans served from the snapshot plan tier");
+  plan_auto_rvaq_ = registry_.counter("svq_plan_auto_rvaq_total",
+                                      "Cost-based selections of RVAQ");
+  plan_auto_fagin_ = registry_.counter("svq_plan_auto_fagin_total",
+                                       "Cost-based selections of Fagin");
+  plan_auto_pq_traverse_ = registry_.counter(
+      "svq_plan_auto_pq_traverse_total", "Cost-based selections of Pq-Traverse");
+  plan_overrides_ = registry_.counter(
+      "svq_plan_overrides_total", "Ranked statements with an explicit algorithm");
+  plan_estimate_samples_ = registry_.counter(
+      "svq_plan_estimate_samples_total",
+      "Executed plans with estimate-vs-actual candidate comparisons");
+  plan_estimate_error_pct_sum_ = registry_.counter(
+      "svq_plan_estimate_error_pct_sum",
+      "Accumulated absolute candidate-clip estimate error (percent of actual)");
+  // The planner counters are process-global; baseline them here so this
+  // server only reports planning activity from its own lifetime.
+  last_plan_ = plan::GlobalPlannerCounters().Read();
 }
 
 Server::~Server() { Shutdown(std::chrono::milliseconds(0)); }
@@ -384,8 +408,31 @@ void Server::HandlePayload(const ConnectionPtr& conn,
       AdmitLocked(conn, std::move(request));
       return;
     }
+    case MessageType::kExplainRequest: {
+      ExplainRequest request;
+      const Status decoded = DecodeExplainRequest(&cursor, &request);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!decoded.ok()) {
+        ExplainResponse response;
+        response.request_id = request.request_id;
+        response.status = decoded;
+        SendLocked(conn, EncodeExplainResponse(response));
+        return;
+      }
+      // EXPLAIN rides the same admission queue as QUERY: under ANALYZE the
+      // statement genuinely executes, so it must compete for workers like
+      // any query instead of bypassing admission control.
+      QueryRequest as_query;
+      as_query.request_id = request.request_id;
+      as_query.statement = std::move(request.statement);
+      as_query.timeout_ms = request.timeout_ms;
+      AdmitLocked(conn, std::move(as_query), /*is_explain=*/true,
+                  request.analyze);
+      return;
+    }
     case MessageType::kQueryResponse:
-    case MessageType::kStatsResponse: {
+    case MessageType::kStatsResponse:
+    case MessageType::kExplainResponse: {
       // A response frame from a client is a protocol violation.
       QueryResponse response;
       response.status =
@@ -398,12 +445,21 @@ void Server::HandlePayload(const ConnectionPtr& conn,
   }
 }
 
-void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request) {
+void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request,
+                         bool is_explain, bool explain_analyze) {
   auto reject = [&](std::string why) {
     queries_rejected_->Increment();
+    const Status status = Status::ResourceExhausted(std::move(why));
+    if (is_explain) {
+      ExplainResponse response;
+      response.request_id = request.request_id;
+      response.status = status;
+      SendLocked(conn, EncodeExplainResponse(response));
+      return;
+    }
     QueryResponse response;
     response.request_id = request.request_id;
-    response.status = Status::ResourceExhausted(std::move(why));
+    response.status = status;
     SendLocked(conn, EncodeQueryResponse(response));
   };
   if (draining_) {
@@ -417,7 +473,10 @@ void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request) {
     return;
   }
   queries_accepted_->Increment();
+  if (is_explain) explain_requests_->Increment();
   PendingQuery pending;
+  pending.is_explain = is_explain;
+  pending.explain_analyze = explain_analyze;
   pending.internal_id = next_query_id_++;
   pending.connection_id = conn->id;
   pending.admitted_at = Clock::now();
@@ -516,24 +575,44 @@ void Server::WorkerLoop() {
     query::StatementOptions statement_options;
     statement_options.offline.runtime.num_threads = options_.threads_per_query;
 
-    const Result<query::StatementResult> result = query::ExecuteStatementOn(
-        pending.snapshot, pending.request.statement, context,
-        statement_options);
+    Status outcome;
+    std::string frame;
+    if (pending.is_explain) {
+      query::ExplainOptions explain_options;
+      explain_options.analyze = pending.explain_analyze;
+      explain_options.statement = statement_options;
+      const Result<std::string> rendered = query::ExplainStatementOn(
+          pending.snapshot, pending.request.statement, explain_options,
+          context);
+      ExplainResponse response;
+      response.request_id = pending.request.request_id;
+      response.status = rendered.status();
+      if (rendered.ok()) response.text = *rendered;
+      outcome = rendered.status();
+      frame = EncodeExplainResponse(response);
+      const double exec_ms = ElapsedMs(exec_begin, Clock::now());
+      query_latency_->Record((queue_ms + exec_ms) * 1000.0);
+    } else {
+      const Result<query::StatementResult> result = query::ExecuteStatementOn(
+          pending.snapshot, pending.request.statement, context,
+          statement_options);
 
-    QueryResponse response;
-    response.request_id = pending.request.request_id;
-    response.status = result.status();
-    if (result.ok()) FillResponse(*result, &response);
-    const double exec_ms = ElapsedMs(exec_begin, Clock::now());
-    response.metrics.server_queue_ms = queue_ms;
-    response.metrics.server_exec_ms = exec_ms;
-    std::string frame = EncodeQueryResponse(response);
-    query_latency_->Record((queue_ms + exec_ms) * 1000.0);
-    RecordQueryMetrics(response.metrics, trace);
+      QueryResponse response;
+      response.request_id = pending.request.request_id;
+      response.status = result.status();
+      if (result.ok()) FillResponse(*result, &response);
+      const double exec_ms = ElapsedMs(exec_begin, Clock::now());
+      response.metrics.server_queue_ms = queue_ms;
+      response.metrics.server_exec_ms = exec_ms;
+      outcome = response.status;
+      frame = EncodeQueryResponse(response);
+      query_latency_->Record((queue_ms + exec_ms) * 1000.0);
+      RecordQueryMetrics(response.metrics, trace);
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      switch (response.status.code()) {
+      switch (outcome.code()) {
         case StatusCode::kOk:
           queries_ok_->Increment();
           break;
@@ -623,6 +702,7 @@ void Server::RefreshGaugesLocked() const {
   queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
   in_flight_gauge_->Set(static_cast<double>(in_flight_));
   BridgeCacheStatsLocked();
+  BridgePlannerStatsLocked();
 }
 
 void Server::BridgeCacheStatsLocked() const {
@@ -644,6 +724,24 @@ void Server::BridgeCacheStatsLocked() const {
                                         last.single_flight_waits);
   cache_bytes_gauge_->Set(static_cast<double>(now.bytes));
   last_cache_ = now;
+}
+
+void Server::BridgePlannerStatsLocked() const {
+  const plan::PlannerCounters::Snapshot now =
+      plan::GlobalPlannerCounters().Read();
+  const plan::PlannerCounters::Snapshot& last = last_plan_;
+  plan_plans_->Increment(now.plans_total - last.plans_total);
+  plan_cache_hits_->Increment(now.cache_hits - last.cache_hits);
+  plan_auto_rvaq_->Increment(now.auto_rvaq - last.auto_rvaq);
+  plan_auto_fagin_->Increment(now.auto_fagin - last.auto_fagin);
+  plan_auto_pq_traverse_->Increment(now.auto_pq_traverse -
+                                    last.auto_pq_traverse);
+  plan_overrides_->Increment(now.overrides - last.overrides);
+  plan_estimate_samples_->Increment(now.estimate_samples -
+                                    last.estimate_samples);
+  plan_estimate_error_pct_sum_->Increment(now.estimate_error_pct_sum -
+                                          last.estimate_error_pct_sum);
+  last_plan_ = now;
 }
 
 void Server::RecordQueryMetrics(const WireQueryMetrics& metrics,

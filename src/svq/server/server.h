@@ -17,6 +17,7 @@
 #include "svq/core/engine.h"
 #include "svq/observability/metrics.h"
 #include "svq/observability/trace.h"
+#include "svq/plan/planner.h"
 #include "svq/server/wire.h"
 
 namespace svq::server {
@@ -124,6 +125,11 @@ class Server {
     ExecutionContext::Clock::time_point deadline{};
     CancellationSource cancel;
     ExecutionContext::Clock::time_point admitted_at{};
+    /// EXPLAIN verb: render the plan instead of returning sequences. Under
+    /// `explain_analyze` the statement also executes, which is why EXPLAIN
+    /// shares the admission queue with QUERY instead of bypassing it.
+    bool is_explain = false;
+    bool explain_analyze = false;
   };
 
   void IoLoop();
@@ -136,8 +142,10 @@ class Server {
   void FlushConnection(const ConnectionPtr& conn);
   void CloseConnection(const ConnectionPtr& conn);
   void HandlePayload(const ConnectionPtr& conn, const std::string& payload);
-  /// Admission control for one decoded QUERY request (mu_ held by caller).
-  void AdmitLocked(const ConnectionPtr& conn, QueryRequest request);
+  /// Admission control for one decoded QUERY or EXPLAIN request (mu_ held
+  /// by caller). EXPLAIN rejections answer with an ExplainResponse.
+  void AdmitLocked(const ConnectionPtr& conn, QueryRequest request,
+                   bool is_explain = false, bool explain_analyze = false);
 
   /// Queues an encoded frame on `conn` (mu_ held by caller) — the IO loop
   /// flushes it on the next POLLOUT.
@@ -197,6 +205,7 @@ class Server {
   observability::Counter* queries_cancelled_;
   observability::Counter* queries_deadline_exceeded_;
   observability::Counter* stats_requests_;
+  observability::Counter* explain_requests_;
   observability::Counter* connections_opened_;
   observability::Gauge* connections_open_gauge_;
   observability::Gauge* queue_depth_gauge_;
@@ -234,6 +243,20 @@ class Server {
   observability::Counter* cache_kcrit_computes_;
   observability::Counter* cache_single_flight_waits_;
   observability::Gauge* cache_bytes_gauge_;
+
+  /// Folds the process-wide planner counters into the registry as deltas
+  /// since the previous bridge, same discipline as the cache bridge above
+  /// (mu_ held by caller — it guards last_plan_).
+  void BridgePlannerStatsLocked() const;
+  mutable plan::PlannerCounters::Snapshot last_plan_;
+  observability::Counter* plan_plans_;
+  observability::Counter* plan_cache_hits_;
+  observability::Counter* plan_auto_rvaq_;
+  observability::Counter* plan_auto_fagin_;
+  observability::Counter* plan_auto_pq_traverse_;
+  observability::Counter* plan_overrides_;
+  observability::Counter* plan_estimate_samples_;
+  observability::Counter* plan_estimate_error_pct_sum_;
 };
 
 }  // namespace svq::server

@@ -7,6 +7,8 @@
 //                                                         latency (warms the
 //                                                         server query cache)
 //   ./build/svq_client --port 7331 --stats                server counters
+//   ./build/svq_client --port 7331 --explain "..."         plan only
+//   ./build/svq_client --port 7331 --explain-analyze "..."  plan + actuals
 //
 // Exit codes: 0 = query OK; 2 = the server answered with a non-OK query
 // status (printed); 1 = usage or transport error.
@@ -23,7 +25,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port N] [--timeout-ms N] "
-               "[--repeat N] (--stats | \"<statement>\")\n",
+               "[--repeat N] [--explain | --explain-analyze] "
+               "(--stats | \"<statement>\")\n",
                argv0);
   return 1;
 }
@@ -85,6 +88,22 @@ int RunStats(svq::server::Client& client) {
       std::printf("  %-44s %.6g\n", name.c_str(), value);
     }
   }
+  return 0;
+}
+
+int RunExplain(svq::server::Client& client, const std::string& statement,
+               bool analyze, uint32_t timeout_ms) {
+  auto response = client.Explain(statement, analyze, timeout_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "svq_client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->status.ok()) {
+    std::printf("explain failed: %s\n", response->status.ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", response->text.c_str());
   return 0;
 }
 
@@ -172,6 +191,8 @@ int main(int argc, char** argv) {
   uint32_t timeout_ms = 0;
   int repeat = 1;
   bool stats = false;
+  bool explain = false;
+  bool analyze = false;
   std::string statement;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -190,6 +211,11 @@ int main(int argc, char** argv) {
       if (repeat < 1) return Usage(argv[0]);
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--explain-analyze") {
+      explain = true;
+      analyze = true;
     } else if (!arg.empty() && arg[0] != '-' && statement.empty()) {
       statement = arg;
     } else {
@@ -203,6 +229,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "svq_client: %s\n", status.ToString().c_str());
     return 1;
   }
-  return stats ? RunStats(client)
-               : RunQuery(client, statement, timeout_ms, repeat);
+  if (stats) return RunStats(client);
+  if (explain) return RunExplain(client, statement, analyze, timeout_ms);
+  return RunQuery(client, statement, timeout_ms, repeat);
 }

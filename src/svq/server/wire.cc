@@ -224,6 +224,23 @@ std::string EncodeStatsResponse(const ServerStatsWire& stats) {
   return EncodeFrame(MessageType::kStatsResponse, body);
 }
 
+std::string EncodeExplainRequest(const ExplainRequest& request) {
+  std::string body;
+  AppendU64(&body, request.request_id);
+  AppendU8(&body, request.analyze ? 1 : 0);
+  AppendU32(&body, request.timeout_ms);
+  AppendString(&body, request.statement);
+  return EncodeFrame(MessageType::kExplainRequest, body);
+}
+
+std::string EncodeExplainResponse(const ExplainResponse& response) {
+  std::string body;
+  AppendU64(&body, response.request_id);
+  EncodeStatus(response.status, &body);
+  AppendString(&body, response.text);
+  return EncodeFrame(MessageType::kExplainResponse, body);
+}
+
 Status DecodePayloadHeader(WireCursor* cursor, MessageType* type) {
   uint8_t version = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&version));
@@ -234,7 +251,7 @@ Status DecodePayloadHeader(WireCursor* cursor, MessageType* type) {
   uint8_t raw_type = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_type));
   if (raw_type < static_cast<uint8_t>(MessageType::kQueryRequest) ||
-      raw_type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+      raw_type > static_cast<uint8_t>(MessageType::kExplainResponse)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(raw_type));
   }
@@ -325,6 +342,32 @@ Status DecodeStatsResponse(WireCursor* cursor, ServerStatsWire* stats) {
     SVQ_RETURN_NOT_OK(cursor->ReadF64(&value));
     stats->registry.emplace_back(std::move(name), value);
   }
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeExplainRequest(WireCursor* cursor, ExplainRequest* request) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&request->request_id));
+  uint8_t analyze = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&analyze));
+  request->analyze = analyze != 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&request->timeout_ms));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&request->statement));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeExplainResponse(WireCursor* cursor, ExplainResponse* response) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->request_id));
+  uint8_t raw_code = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_code));
+  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption("unknown status code " +
+                              std::to_string(raw_code));
+  }
+  std::string message;
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&message));
+  response->status =
+      Status(static_cast<StatusCode>(raw_code), std::move(message));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&response->text));
   return ExpectEnd(*cursor);
 }
 

@@ -25,17 +25,21 @@ namespace svq::server {
 /// make the server buffer unboundedly.
 ///
 /// Version history: v1 — initial protocol; v2 — STATS responses carry the
-/// flattened metrics-registry entries after the fixed counter block.
-inline constexpr uint8_t kWireVersion = 2;
+/// flattened metrics-registry entries after the fixed counter block;
+/// v3 — EXPLAIN verb (plan text for a statement, optionally executed
+/// under ANALYZE).
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 4;
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 
 /// Frame payload discriminator (second payload byte).
 enum class MessageType : uint8_t {
-  kQueryRequest = 1,  ///< QUERY verb: statement + per-request timeout
-  kStatsRequest = 2,  ///< STATS verb: cumulative server counters
+  kQueryRequest = 1,    ///< QUERY verb: statement + per-request timeout
+  kStatsRequest = 2,    ///< STATS verb: cumulative server counters
   kQueryResponse = 3,
   kStatsResponse = 4,
+  kExplainRequest = 5,  ///< EXPLAIN verb: render the statement's plan
+  kExplainResponse = 6,
 };
 
 // ---------------------------------------------------------------------------
@@ -132,6 +136,30 @@ struct QueryResponse {
   WireQueryMetrics metrics;
 };
 
+/// EXPLAIN verb request (v3): render the cost-based plan for a statement
+/// against the server's current catalog snapshot. With `analyze` the
+/// statement is also executed (through admission control, like QUERY) and
+/// actual rows/timings are rendered beside the estimates.
+struct ExplainRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t request_id = 0;
+  /// Statement text; a leading EXPLAIN [ANALYZE] prefix is accepted too.
+  std::string statement;
+  /// EXPLAIN ANALYZE: execute and annotate with actuals.
+  bool analyze = false;
+  /// Per-request budget in milliseconds; 0 means unlimited. Only
+  /// meaningful under `analyze`, where the statement really runs.
+  uint32_t timeout_ms = 0;
+};
+
+/// EXPLAIN verb response: the rendered plan text, meaningful only when
+/// `status` is OK.
+struct ExplainResponse {
+  uint64_t request_id = 0;
+  Status status;
+  std::string text;
+};
+
 /// Fixed-layout latency histogram: bucket i counts observations in
 /// [2^i, 2^(i+1)) microseconds; the last bucket absorbs everything larger
 /// (~67 s and up).
@@ -192,6 +220,8 @@ std::string EncodeQueryRequest(const QueryRequest& request);
 std::string EncodeStatsRequest();
 std::string EncodeQueryResponse(const QueryResponse& response);
 std::string EncodeStatsResponse(const ServerStatsWire& stats);
+std::string EncodeExplainRequest(const ExplainRequest& request);
+std::string EncodeExplainResponse(const ExplainResponse& response);
 
 /// Reads the version and type bytes of a complete frame payload and leaves
 /// `cursor` positioned at the body. Errors: Corruption (truncated);
@@ -203,6 +233,8 @@ Status DecodePayloadHeader(WireCursor* cursor, MessageType* type);
 Status DecodeQueryRequest(WireCursor* cursor, QueryRequest* request);
 Status DecodeQueryResponse(WireCursor* cursor, QueryResponse* response);
 Status DecodeStatsResponse(WireCursor* cursor, ServerStatsWire* stats);
+Status DecodeExplainRequest(WireCursor* cursor, ExplainRequest* request);
+Status DecodeExplainResponse(WireCursor* cursor, ExplainResponse* response);
 
 // ---------------------------------------------------------------------------
 // Incremental frame assembly (the read path of both peers).

@@ -1,0 +1,33 @@
+#ifndef SVQ_STORAGE_STATISTICS_H_
+#define SVQ_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+
+namespace svq::storage {
+
+/// Ingest-time selectivity statistics for one object/action type of one
+/// video — the planner's raw material (docs/planner.md). Collected once
+/// when the artifacts are materialized (IngestVideo) or reopened
+/// (OpenIngestedVideo); stored on the immutable IngestedVideo, so every
+/// snapshot that carries the artifacts carries their statistics and a
+/// planner consulting a pinned snapshot always prices against the catalog
+/// view the query will actually execute on.
+struct TypeStatistics {
+  /// Rows of the type's clip score table (clips with at least one
+  /// detection of the type).
+  int64_t table_rows = 0;
+  /// Intervals of the type's positive-sequence posting list `P_o` / `P_a`.
+  int64_t posting_intervals = 0;
+  /// Clips covered by the posting list (its total length).
+  int64_t covered_clips = 0;
+  /// covered_clips / video clip count, in [0, 1]: the probability a
+  /// uniformly drawn clip satisfies the type — the planner's selectivity.
+  double density = 0.0;
+
+  friend bool operator==(const TypeStatistics&,
+                         const TypeStatistics&) = default;
+};
+
+}  // namespace svq::storage
+
+#endif  // SVQ_STORAGE_STATISTICS_H_

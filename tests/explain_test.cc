@@ -81,5 +81,90 @@ TEST(ExplainTest, ParseErrorsPropagate) {
   EXPECT_FALSE(ExplainStatement(nullptr, "EXPLAIN garbage").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Cost-based plan rendering on a snapshot with statistics.
+
+class ExplainPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    video::SyntheticVideoSpec spec;
+    spec.name = "demo";
+    spec.num_frames = 30000;
+    spec.seed = 21;
+    spec.actions.push_back({"jumping", 350.0, 4200.0});
+    for (const char* label : {"car", "human"}) {
+      video::SyntheticObjectSpec obj;
+      obj.label = label;
+      obj.correlate_with_action = "jumping";
+      obj.correlation = 0.85;
+      obj.coverage = 0.9;
+      obj.mean_on_frames = 250.0;
+      obj.mean_off_frames = 2200.0;
+      spec.objects.push_back(obj);
+    }
+    auto video = video::SyntheticVideo::Generate(spec);
+    ASSERT_TRUE(video.ok());
+    ASSERT_TRUE(engine_.AddVideo(*video).ok());
+    ASSERT_TRUE(engine_.Ingest("demo").ok());
+  }
+
+  core::VideoQueryEngine engine_;
+};
+
+TEST_F(ExplainPlanTest, RendersAutoSelectionWithCostsAndOrderedSweep) {
+  auto plan = ExplainStatementOn(engine_.Pin(), kRankedSql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("cost-based auto selection"), std::string::npos);
+  EXPECT_NE(plan->find("costs:"), std::string::npos);
+  EXPECT_NE(plan->find("RVAQ="), std::string::npos);
+  EXPECT_NE(plan->find("Fagin="), std::string::npos);
+  EXPECT_NE(plan->find("Pq-Traverse="), std::string::npos);
+  EXPECT_NE(plan->find("sweep (most selective first):"), std::string::npos);
+  EXPECT_NE(plan->find("density="), std::string::npos);
+  EXPECT_NE(plan->find("est rows="), std::string::npos);
+  EXPECT_NE(plan->find("candidates: est "), std::string::npos);
+  // Every predicate appears as a sweep operator.
+  EXPECT_NE(plan->find("intersect P_a(jumping)"), std::string::npos);
+  EXPECT_NE(plan->find("intersect P_o(car)"), std::string::npos);
+  EXPECT_NE(plan->find("intersect P_o(human)"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, RendersExplicitOverride) {
+  ExplainOptions options;
+  options.statement.algorithm = plan::AlgorithmChoice::kFagin;
+  auto plan = ExplainStatementOn(engine_.Pin(), kRankedSql, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("algorithm=Fagin (explicit override)"),
+            std::string::npos);
+  EXPECT_EQ(plan->find("cost-based auto selection"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, AnalyzeRendersActualsBesideEstimates) {
+  auto plan = ExplainStatementOn(engine_.Pin(),
+                                 std::string("EXPLAIN ANALYZE ") + kRankedSql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("[ANALYZE]"), std::string::npos);
+  EXPECT_NE(plan->find("actual rows="), std::string::npos);
+  EXPECT_NE(plan->find("Analyze:"), std::string::npos);
+  EXPECT_NE(plan->find("candidates: actual "), std::string::npos);
+  EXPECT_NE(plan->find("result: "), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, PlainExplainDoesNotExecute) {
+  auto plan = ExplainStatementOn(engine_.Pin(), kRankedSql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->find("[ANALYZE]"), std::string::npos);
+  EXPECT_EQ(plan->find("actual rows="), std::string::npos);
+  EXPECT_EQ(plan->find("Analyze:"), std::string::npos);
+}
+
+TEST_F(ExplainPlanTest, AnalyzeOptionEquivalentToKeyword) {
+  ExplainOptions options;
+  options.analyze = true;
+  auto via_option = ExplainStatementOn(engine_.Pin(), kRankedSql, options);
+  ASSERT_TRUE(via_option.ok()) << via_option.status();
+  EXPECT_NE(via_option->find("Analyze:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace svq::query

@@ -1,0 +1,274 @@
+// Unit tests of the cost-based planner: sweep ordering, cardinality
+// estimation under the independence assumption, algorithm pricing and
+// selection, and PlanQuery end to end against a pinned snapshot.
+
+#include "svq/plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "svq/core/engine.h"
+#include "svq/plan/cost_model.h"
+#include "svq/query/executor.h"
+
+namespace svq::plan {
+namespace {
+
+PredicateLeaf Leaf(const std::string& label, bool is_action, double density,
+                   int64_t posting_intervals = 100, int64_t table_rows = 500) {
+  PredicateLeaf leaf;
+  leaf.label = label;
+  leaf.is_action = is_action;
+  leaf.stats_known = true;
+  leaf.stats.density = density;
+  leaf.stats.posting_intervals = posting_intervals;
+  leaf.stats.table_rows = table_rows;
+  return leaf;
+}
+
+TEST(CostModelTest, OrderSweepMostSelectiveFirst) {
+  std::vector<PredicateLeaf> leaves = {Leaf("car", false, 0.5),
+                                       Leaf("jumping", true, 0.1),
+                                       Leaf("dog", false, 0.3)};
+  const std::vector<PlanOperator> sweep = OrderSweep(leaves);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].step.label, "jumping");
+  EXPECT_TRUE(sweep[0].step.is_action);
+  EXPECT_EQ(sweep[1].step.label, "dog");
+  EXPECT_EQ(sweep[2].step.label, "car");
+}
+
+TEST(CostModelTest, OrderSweepUnknownStatsSortLast) {
+  PredicateLeaf unknown;
+  unknown.label = "aardvark";  // alphabetically first, still sorts last
+  std::vector<PredicateLeaf> leaves = {unknown, Leaf("car", false, 0.9)};
+  const std::vector<PlanOperator> sweep = OrderSweep(leaves);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep[0].step.label, "car");
+  EXPECT_EQ(sweep[1].step.label, "aardvark");
+  EXPECT_FALSE(sweep[1].stats_known);
+}
+
+TEST(CostModelTest, OrderSweepTiesBreakOnLabel) {
+  std::vector<PredicateLeaf> leaves = {Leaf("dog", false, 0.2),
+                                       Leaf("cat", false, 0.2)};
+  const std::vector<PlanOperator> sweep = OrderSweep(leaves);
+  EXPECT_EQ(sweep[0].step.label, "cat");
+  EXPECT_EQ(sweep[1].step.label, "dog");
+}
+
+TEST(CostModelTest, CardinalitiesMultiplyDensities) {
+  LogicalPlan logical;
+  logical.video_clips = 1000;
+  logical.intersection = {Leaf("jumping", true, 0.1, /*posting_intervals=*/20),
+                          Leaf("car", false, 0.5, /*posting_intervals=*/80)};
+  std::vector<PlanOperator> sweep = OrderSweep(logical.intersection);
+  double clips = 0.0, sequences = 0.0;
+  EstimateCardinalities(logical, &sweep, &clips, &sequences);
+  // Most selective first: 1000 * 0.1 = 100, then * 0.5 = 50.
+  EXPECT_DOUBLE_EQ(sweep[0].estimated_rows, 100.0);
+  EXPECT_DOUBLE_EQ(sweep[1].estimated_rows, 50.0);
+  EXPECT_DOUBLE_EQ(clips, 50.0);
+  // Sparsest list (20 intervals) scaled by the other leaf's density.
+  EXPECT_DOUBLE_EQ(sequences, 10.0);
+}
+
+TEST(CostModelTest, ZeroDensityLeafZeroesTheEstimate) {
+  LogicalPlan logical;
+  logical.video_clips = 1000;
+  logical.intersection = {Leaf("jumping", true, 0.2),
+                          Leaf("ghost", false, 0.0, /*posting_intervals=*/0)};
+  std::vector<PlanOperator> sweep = OrderSweep(logical.intersection);
+  double clips = -2.0, sequences = -2.0;
+  EstimateCardinalities(logical, &sweep, &clips, &sequences);
+  EXPECT_DOUBLE_EQ(clips, 0.0);
+  EXPECT_DOUBLE_EQ(sequences, 0.0);
+}
+
+TEST(CostModelTest, NoStatisticsMeansUnknownEstimates) {
+  LogicalPlan logical;
+  logical.video_clips = -1;  // not ingested
+  PredicateLeaf leaf;
+  leaf.label = "car";
+  logical.intersection = {leaf};
+  std::vector<PlanOperator> sweep = OrderSweep(logical.intersection);
+  double clips = 0.0, sequences = 0.0;
+  EstimateCardinalities(logical, &sweep, &clips, &sequences);
+  EXPECT_DOUBLE_EQ(clips, -1.0);
+  EXPECT_DOUBLE_EQ(sequences, -1.0);
+  EXPECT_DOUBLE_EQ(sweep[0].estimated_rows, -1.0);
+}
+
+TEST(CostModelTest, SmallCandidateSetPrefersPqTraverse) {
+  LogicalPlan logical;
+  logical.ranked = true;
+  logical.k = 5;
+  logical.video_clips = 1000;
+  logical.intersection = {Leaf("jumping", true, 0.01),
+                          Leaf("car", false, 0.2)};
+  const storage::DiskCostModel disk;
+  // Two surviving clips in one sequence: exhaustive reads beat sorted
+  // cursor exploration.
+  const std::vector<AlgorithmCost> costs =
+      EstimateAlgorithmCosts(logical, /*estimated_clips=*/2.0,
+                             /*estimated_sequences=*/1.0, disk);
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_EQ(ChooseAlgorithm(costs), core::OfflineAlgorithm::kPqTraverse);
+}
+
+TEST(CostModelTest, LargeCandidateSetSmallKPrefersRvaq) {
+  LogicalPlan logical;
+  logical.ranked = true;
+  logical.k = 3;
+  logical.video_clips = 10000;
+  logical.intersection = {
+      Leaf("jumping", true, 0.3, /*posting_intervals=*/400, /*rows=*/5000),
+      Leaf("car", false, 0.4, /*posting_intervals=*/400, /*rows=*/5000)};
+  const storage::DiskCostModel disk;
+  const std::vector<AlgorithmCost> costs =
+      EstimateAlgorithmCosts(logical, /*estimated_clips=*/1000.0,
+                             /*estimated_sequences=*/100.0, disk);
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_EQ(ChooseAlgorithm(costs), core::OfflineAlgorithm::kRvaq);
+}
+
+TEST(CostModelTest, ChooseAlgorithmDefaultsToRvaq) {
+  EXPECT_EQ(ChooseAlgorithm({}), core::OfflineAlgorithm::kRvaq);
+}
+
+TEST(CostModelTest, RvaqWinsCostTies) {
+  std::vector<AlgorithmCost> costs = {
+      {core::OfflineAlgorithm::kPqTraverse, 10.0},
+      {core::OfflineAlgorithm::kRvaq, 10.0}};
+  EXPECT_EQ(ChooseAlgorithm(costs), core::OfflineAlgorithm::kRvaq);
+  std::reverse(costs.begin(), costs.end());
+  EXPECT_EQ(ChooseAlgorithm(costs), core::OfflineAlgorithm::kRvaq);
+}
+
+// ---------------------------------------------------------------------------
+// PlanQuery against a real snapshot.
+
+std::shared_ptr<const video::SyntheticVideo> DemoVideo() {
+  video::SyntheticVideoSpec spec;
+  spec.name = "demo";
+  spec.num_frames = 30000;
+  spec.seed = 7;
+  spec.actions.push_back({"jumping", 350.0, 4200.0});
+  for (const char* label : {"car", "human"}) {
+    video::SyntheticObjectSpec obj;
+    obj.label = label;
+    obj.correlate_with_action = "jumping";
+    obj.correlation = 0.8;
+    obj.coverage = 0.9;
+    obj.mean_on_frames = 250.0;
+    obj.mean_off_frames = 2200.0;
+    spec.objects.push_back(obj);
+  }
+  auto video = video::SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+core::Query JumpingCarHuman() {
+  core::Query q;
+  q.action = "jumping";
+  q.objects = {"car", "human"};
+  return q;
+}
+
+TEST(PlannerTest, AutoSelectionOnIngestedVideo) {
+  core::VideoQueryEngine engine;
+  ASSERT_TRUE(engine.AddVideo(DemoVideo()).ok());
+  ASSERT_TRUE(engine.Ingest("demo").ok());
+
+  auto plan = PlanQuery(engine.Pin(), JumpingCarHuman(), "demo",
+                        /*ranked=*/true, /*k=*/3, AlgorithmChoice::kAuto, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE((*plan)->auto_selected);
+  EXPECT_NE((*plan)->algorithm, core::OfflineAlgorithm::kRvaqNoSkip);
+  EXPECT_EQ((*plan)->costs.size(), 3u);
+  ASSERT_EQ((*plan)->sweep.size(), 3u);
+  // Most-selective-first: densities ascend along the sweep.
+  for (size_t i = 1; i < (*plan)->sweep.size(); ++i) {
+    EXPECT_TRUE((*plan)->sweep[i].stats_known);
+    EXPECT_LE((*plan)->sweep[i - 1].selectivity,
+              (*plan)->sweep[i].selectivity);
+  }
+  // Estimated rows shrink monotonically along the intersection.
+  for (size_t i = 1; i < (*plan)->sweep.size(); ++i) {
+    EXPECT_GE((*plan)->sweep[i - 1].estimated_rows,
+              (*plan)->sweep[i].estimated_rows);
+  }
+  EXPECT_GE((*plan)->estimated_candidate_clips, 0.0);
+  EXPECT_NE((*plan)->fingerprint, 0u);
+}
+
+TEST(PlannerTest, ExplicitOverrideIsHonored) {
+  core::VideoQueryEngine engine;
+  ASSERT_TRUE(engine.AddVideo(DemoVideo()).ok());
+  ASSERT_TRUE(engine.Ingest("demo").ok());
+
+  auto plan = PlanQuery(engine.Pin(), JumpingCarHuman(), "demo",
+                        /*ranked=*/true, /*k=*/3, AlgorithmChoice::kFagin, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE((*plan)->auto_selected);
+  EXPECT_EQ((*plan)->algorithm, core::OfflineAlgorithm::kFagin);
+}
+
+TEST(PlannerTest, UnregisteredVideoStillPlans) {
+  auto plan = PlanQuery(core::SnapshotPtr(), JumpingCarHuman(), "ghost",
+                        /*ranked=*/true, /*k=*/3, AlgorithmChoice::kAuto, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE((*plan)->logical.video_registered);
+  EXPECT_EQ((*plan)->estimated_candidate_clips, -1.0);
+  // No statistics: the default algorithm is the paper's RVAQ.
+  EXPECT_EQ((*plan)->algorithm, core::OfflineAlgorithm::kRvaq);
+}
+
+TEST(PlannerTest, PlanCacheServesRepeatedStatements) {
+  core::VideoQueryEngine engine(models::ModelSuite(), core::OnlineConfig(),
+                                core::IngestOptions(),
+                                svq::cache::CacheOptions::Enabled());
+  ASSERT_TRUE(engine.AddVideo(DemoVideo()).ok());
+  ASSERT_TRUE(engine.Ingest("demo").ok());
+  const core::SnapshotPtr snapshot = engine.Pin();
+
+  auto first = PlanQuery(snapshot, JumpingCarHuman(), "demo", true, 3,
+                         AlgorithmChoice::kAuto, {});
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = PlanQuery(snapshot, JumpingCarHuman(), "demo", true, 3,
+                          AlgorithmChoice::kAuto, {});
+  ASSERT_TRUE(second.ok()) << second.status();
+  // Same fingerprint, same snapshot: the second plan is the cached object.
+  EXPECT_EQ(first->get(), second->get());
+
+  // A different k is a different fingerprint.
+  auto third = PlanQuery(snapshot, JumpingCarHuman(), "demo", true, 4,
+                         AlgorithmChoice::kAuto, {});
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_NE(first->get(), third->get());
+}
+
+TEST(PlannerTest, ExecutorThreadsThePlanThrough) {
+  core::VideoQueryEngine engine;
+  ASSERT_TRUE(engine.AddVideo(DemoVideo()).ok());
+  ASSERT_TRUE(engine.Ingest("demo").ok());
+  auto result = query::ExecuteStatement(
+      &engine,
+      "SELECT MERGE(clipID), RANK(act, obj) "
+      "FROM (PROCESS demo PRODUCE clipID, obj USING ObjectTracker, "
+      "act USING ActionRecognizer) "
+      "WHERE act='jumping' AND obj.include('car', 'human') "
+      "ORDER BY RANK(act, obj) LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->plan, nullptr);
+  EXPECT_TRUE(result->plan->auto_selected);
+  EXPECT_EQ(result->plan->sweep.size(), 3u);
+  ASSERT_TRUE(result->topk.has_value());
+  // The run recorded actual candidate sizes for estimate-error tracking.
+  EXPECT_GT(result->topk->stats.candidate_sequences, 0);
+}
+
+}  // namespace
+}  // namespace svq::plan

@@ -22,6 +22,7 @@
 
 #include "svq/core/engine.h"
 #include "svq/query/executor.h"
+#include "svq/query/explain.h"
 #include "svq/server/client.h"
 #include "svq/server/server.h"
 #include "svq/video/synthetic_video.h"
@@ -109,6 +110,49 @@ TEST_F(ServerTest, RankedQueryMatchesInProcessExecution) {
         << i;
   }
   EXPECT_GE(response->metrics.server_exec_ms, 0.0);
+}
+
+TEST_F(ServerTest, ExplainVerbRoundTripsThePlan) {
+  StartServer();
+  Client client = Connected();
+  auto response = client.Explain(kRankedStatement);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->status.ok()) << response->status;
+  // The rendered plan carries the chosen algorithm and the per-operator
+  // estimates over the wire, and it is identical to the in-process
+  // rendering against the same catalog state.
+  EXPECT_NE(response->text.find("Plan: algorithm="), std::string::npos);
+  EXPECT_NE(response->text.find("cost-based auto selection"),
+            std::string::npos);
+  EXPECT_NE(response->text.find("est rows="), std::string::npos);
+  EXPECT_NE(response->text.find("sweep (most selective first):"),
+            std::string::npos);
+  auto reference = query::ExplainStatementOn(engine_.Pin(), kRankedStatement);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  EXPECT_EQ(response->text, *reference);
+}
+
+TEST_F(ServerTest, ExplainAnalyzeExecutesAndRendersActuals) {
+  StartServer();
+  Client client = Connected();
+  auto response = client.Explain(kRankedStatement, /*analyze=*/true);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->status.ok()) << response->status;
+  EXPECT_NE(response->text.find("[ANALYZE]"), std::string::npos);
+  EXPECT_NE(response->text.find("actual rows="), std::string::npos);
+  EXPECT_NE(response->text.find("candidates: actual "), std::string::npos);
+}
+
+TEST_F(ServerTest, ExplainParseErrorsTravelAsExplainStatus) {
+  StartServer();
+  Client client = Connected();
+  auto response = client.Explain("EXPLAIN garbage");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response->status.ok());
+  // The connection survives the failed EXPLAIN.
+  auto again = client.Explain(kRankedStatement);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->status.ok());
 }
 
 TEST_F(ServerTest, StreamingQueryMatchesInProcessExecution) {
@@ -268,10 +312,15 @@ TEST_F(ServerTest, StatsVerbRoundTripsRegistryCounters) {
                    static_cast<double>(stats->query_latency.count));
   EXPECT_GT(find("svqd_query_latency_micros_sum_micros"), 0.0);
   // The ranked query executed, so the per-phase trace spans fed the phase
-  // histograms and the engine aggregates saw storage traffic.
+  // histograms and the engine aggregates saw storage traffic. Which access
+  // class depends on the planner's algorithm choice (RVAQ drives sorted
+  // cursors, Pq-Traverse reads sequentially), so assert on the sum.
   EXPECT_DOUBLE_EQ(find("svqd_phase_parse_micros_count"), 1.0);
   EXPECT_DOUBLE_EQ(find("svqd_phase_execute_micros_count"), 1.0);
-  EXPECT_GT(find("svq_storage_sorted_accesses_total"), 0.0);
+  EXPECT_GT(find("svq_storage_sorted_accesses_total") +
+                find("svq_storage_random_accesses_total") +
+                find("svq_storage_sequential_reads_total"),
+            0.0);
 
   // And the snapshot the wire carried matches the server's in-process
   // registry for monotone counters that cannot have moved since.

@@ -119,6 +119,76 @@ TEST(WireTest, StatsResponseRoundTrip) {
   EXPECT_EQ(decoded, stats);
 }
 
+TEST(WireTest, ExplainRequestRoundTrip) {
+  ExplainRequest request;
+  request.request_id = 91;
+  request.statement = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, "
+                      "act) WHERE act='jumping'";
+  request.analyze = true;
+  request.timeout_ms = 750;
+  const std::string payload = PayloadOf(EncodeExplainRequest(request));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  EXPECT_EQ(type, MessageType::kExplainRequest);
+  ExplainRequest decoded;
+  ASSERT_TRUE(DecodeExplainRequest(&cursor, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.statement, request.statement);
+  EXPECT_EQ(decoded.analyze, request.analyze);
+  EXPECT_EQ(decoded.timeout_ms, request.timeout_ms);
+}
+
+TEST(WireTest, ExplainResponseRoundTrip) {
+  ExplainResponse response;
+  response.request_id = 92;
+  response.status = Status::OK();
+  response.text = "Statement: ranked top-3 query (offline)\n  Plan: "
+                  "algorithm=RVAQ (cost-based auto selection)\n";
+  const std::string payload = PayloadOf(EncodeExplainResponse(response));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  EXPECT_EQ(type, MessageType::kExplainResponse);
+  ExplainResponse decoded;
+  ASSERT_TRUE(DecodeExplainResponse(&cursor, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_TRUE(decoded.status.ok());
+  EXPECT_EQ(decoded.text, response.text);
+}
+
+TEST(WireTest, ExplainErrorResponseCarriesStatus) {
+  ExplainResponse response;
+  response.request_id = 93;
+  response.status = Status::InvalidArgument("parse error");
+  const std::string payload = PayloadOf(EncodeExplainResponse(response));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  ExplainResponse decoded;
+  ASSERT_TRUE(DecodeExplainResponse(&cursor, &decoded).ok());
+  EXPECT_TRUE(decoded.status.IsInvalidArgument());
+  EXPECT_EQ(decoded.status.message(), "parse error");
+  EXPECT_TRUE(decoded.text.empty());
+}
+
+TEST(WireTest, TruncatedExplainPayloadsFailCleanly) {
+  ExplainRequest request;
+  request.request_id = 1;
+  request.statement = "SELECT 1";
+  request.analyze = true;
+  const std::string payload = PayloadOf(EncodeExplainRequest(request));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::string prefix = payload.substr(0, cut);
+    WireCursor cursor(prefix);
+    MessageType type = MessageType::kStatsRequest;
+    const Status header = DecodePayloadHeader(&cursor, &type);
+    if (!header.ok()) continue;
+    ExplainRequest decoded;
+    EXPECT_FALSE(DecodeExplainRequest(&cursor, &decoded).ok()) << cut;
+  }
+}
+
 TEST(WireTest, RejectsWrongVersion) {
   std::string frame = EncodeStatsRequest();
   frame[kFrameHeaderBytes] = static_cast<char>(kWireVersion + 1);
