@@ -1,0 +1,171 @@
+// Streaming subsystem throughput: events/sec through the StreamDispatcher
+// and the shared-inference saving of multiplexed standing queries
+// (docs/streaming.md). Phase A runs ONE standing query over a live feed;
+// phase B runs EIGHT subscribers with the same (overlapping) workload on
+// one feed. Because the dispatcher runs each distinct model once per clip
+// and fans the outputs out, phase B's actual model invocations should
+// match phase A's (ratio <= ~1.1x) while the subscribers are *charged*
+// eight query-worths — the savings factor. Results land in
+// BENCH_stream_throughput.json.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "svq/core/engine.h"
+#include "svq/stream/dispatcher.h"
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<const svq::video::SyntheticVideo> MakeVideo(double scale) {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "feed_video";
+  spec.num_frames = static_cast<int64_t>(120000 * scale);
+  spec.seed = 4400;
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  svq::video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  return svq::benchutil::ValueOrDie(
+      svq::video::SyntheticVideo::Generate(spec), "video generation");
+}
+
+constexpr const char* kStatement =
+    "SELECT MERGE(clipID) FROM (PROCESS feed_video PRODUCE clipID, obj "
+    "USING ObjectDetector, act USING ActionRecognizer) "
+    "WHERE act='smoking' AND obj.include('cup')";
+
+struct PhaseResult {
+  double wall_ms = 0.0;
+  svq::stream::DispatcherStats stats;
+};
+
+/// Runs `subscribers` standing copies of the statement over one feed,
+/// driving the feed to exhaustion, and returns the dispatcher counters.
+PhaseResult RunPhase(svq::core::VideoQueryEngine* engine, int subscribers) {
+  using namespace svq::benchutil;
+  svq::stream::StreamOptions options;
+  options.event_queue_capacity = 1u << 16;  // hold everything; no drops
+  svq::stream::StreamDispatcher dispatcher(engine, options);
+  std::vector<svq::stream::SubscriptionPtr> subs;
+  for (int i = 0; i < subscribers; ++i) {
+    subs.push_back(ValueOrDie(dispatcher.Subscribe("live", kStatement),
+                              "Subscribe"));
+  }
+  const double start = NowMs();
+  while (true) {
+    auto progress = dispatcher.FeedClips("live", 256);
+    CheckOk(progress.status(), "FeedClips");
+    if (progress->closed) break;
+  }
+  PhaseResult result;
+  result.wall_ms = NowMs() - start;
+  result.stats = dispatcher.Stats();
+  // Sanity: every subscriber reached its terminal event and nothing was
+  // dropped (the queue was sized to hold the whole run).
+  for (const auto& sub : subs) {
+    if (!sub->finished() || sub->dropped_total() != 0) {
+      std::fprintf(stderr, "subscriber did not finish cleanly\n");
+      std::exit(1);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace svq::benchutil;
+  const double scale = ScaleFromEnv(0.25);
+  constexpr int kFleet = 8;
+
+  PrintTitle("streaming subsystem: standing-query fan-out throughput");
+  PrintNote("scale=" + std::to_string(scale) + ", fleet=" +
+            std::to_string(kFleet) + " subscribers, one shared feed");
+  BenchJson json("stream_throughput");
+
+  svq::core::VideoQueryEngine engine;
+  CheckOk(engine.AddVideo(MakeVideo(scale)).status(), "AddVideo");
+  CheckOk(engine.IngestAll(), "IngestAll");
+
+  const PhaseResult single = RunPhase(&engine, 1);
+  const PhaseResult fleet = RunPhase(&engine, kFleet);
+
+  const auto per_sec = [](int64_t count, double wall_ms) {
+    return wall_ms > 0.0 ? static_cast<double>(count) / (wall_ms / 1000.0)
+                         : 0.0;
+  };
+  const double single_events_s =
+      per_sec(single.stats.events_pushed, single.wall_ms);
+  const double fleet_events_s =
+      per_sec(fleet.stats.events_pushed, fleet.wall_ms);
+  const double single_clips_s =
+      per_sec(single.stats.clips_dispatched, single.wall_ms);
+  const double fleet_clips_s =
+      per_sec(fleet.stats.clips_dispatched, fleet.wall_ms);
+  // The headline: the fleet's actual model invocations vs one query's.
+  const double invocation_ratio =
+      single.stats.model_units_run > 0
+          ? static_cast<double>(fleet.stats.model_units_run) /
+                static_cast<double>(single.stats.model_units_run)
+          : 0.0;
+  // And what dedicated per-query models would have cost instead.
+  const double savings_factor =
+      fleet.stats.model_units_run > 0
+          ? static_cast<double>(fleet.stats.model_units_charged) /
+                static_cast<double>(fleet.stats.model_units_run)
+          : 0.0;
+
+  json.Record("events_per_sec", single_events_s, "events/s", 1);
+  json.Record("events_per_sec", fleet_events_s, "events/s", kFleet);
+  json.Record("clips_per_sec", single_clips_s, "clips/s", 1);
+  json.Record("clips_per_sec", fleet_clips_s, "clips/s", kFleet);
+  json.Record("model_units_run", static_cast<double>(
+                                     single.stats.model_units_run),
+              "units", 1);
+  json.Record("model_units_run",
+              static_cast<double>(fleet.stats.model_units_run), "units",
+              kFleet);
+  json.Record("model_units_charged",
+              static_cast<double>(fleet.stats.model_units_charged), "units",
+              kFleet);
+  json.Record("shared_inference_invocation_ratio", invocation_ratio, "x",
+              kFleet);
+  json.Record("shared_inference_savings_factor", savings_factor, "x",
+              kFleet);
+
+  std::printf("  1 subscriber : %9.1f events/s  %9.1f clips/s  "
+              "%lld model units\n",
+              single_events_s, single_clips_s,
+              static_cast<long long>(single.stats.model_units_run));
+  std::printf("  %d subscribers: %9.1f events/s  %9.1f clips/s  "
+              "%lld model units (charged %lld)\n",
+              kFleet, fleet_events_s, fleet_clips_s,
+              static_cast<long long>(fleet.stats.model_units_run),
+              static_cast<long long>(fleet.stats.model_units_charged));
+  std::printf("  shared inference: %.3fx the single-query invocations "
+              "(acceptance <= 1.1x), %.2fx saving vs dedicated models\n",
+              invocation_ratio, savings_factor);
+  if (invocation_ratio > 1.1) {
+    std::fprintf(stderr,
+                 "FAIL: fleet ran %.3fx the single-query model "
+                 "invocations (expected <= 1.1x)\n",
+                 invocation_ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -329,6 +329,12 @@ std::vector<video::Interval> OnlineEngine::TakeCompleted() {
   return out;
 }
 
+void OnlineEngine::Finish() {
+  if (open_run_begin_ < 0) return;
+  completed_.push_back({open_run_begin_, last_positive_clip_ + 1});
+  open_run_begin_ = -1;
+}
+
 OnlineStats OnlineEngine::Snapshot() const {
   OnlineStats stats = stats_;
   stats.object_kcrits = frame_kcrits_;

@@ -90,6 +90,15 @@ class OnlineEngine {
   /// them) and not yet taken; supports live monitoring use cases.
   std::vector<video::Interval> TakeCompleted();
 
+  /// End-of-stream flush: closes the trailing still-open sequence (if any)
+  /// and stages it for the next TakeCompleted(). Without this, a sequence
+  /// still positive at the final clip is visible in sequences() but never
+  /// surfaces through TakeCompleted — incremental consumers (the streaming
+  /// dispatcher on feed drain/close) would silently lose it. Idempotent;
+  /// the engine may keep processing clips afterwards (a positive clip
+  /// simply starts a new run).
+  void Finish();
+
   /// Statistics snapshot (model time is recomputed from the model stats).
   OnlineStats Snapshot() const;
 

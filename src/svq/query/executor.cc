@@ -15,9 +15,10 @@ std::string ToLower(std::string s) {
   return s;
 }
 
-/// Applies USING model names to a copy of the engine's suite.
-models::ModelSuite ResolveSuite(const models::ModelSuite& base,
-                                const BoundQuery& bound) {
+}  // namespace
+
+models::ModelSuite ResolveSuiteFor(const models::ModelSuite& base,
+                                   const BoundQuery& bound) {
   models::ModelSuite suite = base;
   const std::string detector = ToLower(bound.detector_model);
   if (detector == "maskrcnn" || detector == "mask_rcnn") {
@@ -35,8 +36,6 @@ models::ModelSuite ResolveSuite(const models::ModelSuite& base,
   }
   return suite;
 }
-
-}  // namespace
 
 Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
                                            std::string_view statement,
@@ -63,7 +62,7 @@ Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
   models::ModelSuite suite;
   {
     observability::TraceSpan span(trace, "plan");
-    suite = ResolveSuite(snapshot->suite, result.bound);
+    suite = ResolveSuiteFor(snapshot->suite, result.bound);
     SVQ_ASSIGN_OR_RETURN(
         result.plan,
         plan::PlanQuery(snapshot, result.bound.query, result.bound.video,

@@ -48,6 +48,14 @@ struct StatementOptions {
 /// the snapshot's suite. Ranked statements require the video to be
 /// ingested. `context` carries the statement's deadline / cancellation /
 /// accounting sinks.
+/// Applies a bound statement's USING model names (MaskRCNN, YOLOv3, Ideal,
+/// I3D) to a copy of `base`; unrecognized names keep the base profile.
+/// Exposed for layers that build model instances themselves (the streaming
+/// dispatcher resolves each subscription's suite against its feed's pinned
+/// snapshot).
+models::ModelSuite ResolveSuiteFor(const models::ModelSuite& base,
+                                   const BoundQuery& bound);
+
 Result<StatementResult> ExecuteStatementOn(
     const core::SnapshotPtr& snapshot, std::string_view statement,
     const ExecutionContext& context = {},

@@ -274,10 +274,4 @@ Result<std::string> ExplainStatementOn(const core::SnapshotPtr& snapshot,
   return out.str();
 }
 
-Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
-                                     std::string_view statement) {
-  return ExplainStatementOn(
-      engine != nullptr ? engine->Pin() : core::SnapshotPtr(), statement);
-}
-
 }  // namespace svq::query

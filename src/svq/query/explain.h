@@ -39,14 +39,6 @@ Result<std::string> ExplainStatementOn(const core::SnapshotPtr& snapshot,
                                        const ExplainOptions& options = {},
                                        const ExecutionContext& context = {});
 
-/// DEPRECATED: engine-pointer EXPLAIN, kept as a thin wrapper for the
-/// shells. Pins the engine's current snapshot (or none when `engine` is
-/// null) and delegates to ExplainStatementOn — prefer that directly: a
-/// caller holding a snapshot gets EXPLAIN output guaranteed consistent
-/// with its own execution.
-Result<std::string> ExplainStatement(const core::VideoQueryEngine* engine,
-                                     std::string_view statement);
-
 /// Strips a leading (case-insensitive) EXPLAIN keyword; returns the rest,
 /// or nullopt when the input does not start with EXPLAIN. Lets shells
 /// accept `EXPLAIN SELECT ...`.

@@ -87,6 +87,30 @@ Status Client::RecvPayload(std::string* payload) {
   }
 }
 
+Status Client::RecvExpected(MessageType expected, std::string* payload) {
+  for (;;) {
+    SVQ_RETURN_NOT_OK(RecvPayload(payload));
+    WireCursor cursor(*payload);
+    MessageType type = expected;
+    SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+    if (type == MessageType::kEvent) {
+      // A standing query pushed between our request and its response —
+      // stash it for NextEvent and keep waiting.
+      EventFrame event;
+      SVQ_RETURN_NOT_OK(DecodeEvent(&cursor, &event));
+      event_stash_.push_back(std::move(event));
+      continue;
+    }
+    if (type != expected) {
+      return Status::Corruption(
+          "expected frame type " +
+          std::to_string(static_cast<int>(expected)) + ", got " +
+          std::to_string(static_cast<int>(type)));
+    }
+    return Status::OK();
+  }
+}
+
 Result<QueryResponse> Client::Execute(const std::string& statement,
                                       uint32_t timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
@@ -97,13 +121,10 @@ Result<QueryResponse> Client::Execute(const std::string& statement,
   SVQ_RETURN_NOT_OK(SendAll(EncodeQueryRequest(request)));
 
   std::string payload;
-  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  SVQ_RETURN_NOT_OK(RecvExpected(MessageType::kQueryResponse, &payload));
   WireCursor cursor(payload);
   MessageType type = MessageType::kQueryResponse;
   SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
-  if (type != MessageType::kQueryResponse) {
-    return Status::Corruption("expected a query response frame");
-  }
   QueryResponse response;
   SVQ_RETURN_NOT_OK(DecodeQueryResponse(&cursor, &response));
   if (response.request_id != request.request_id) {
@@ -123,13 +144,10 @@ Result<ExplainResponse> Client::Explain(const std::string& statement,
   SVQ_RETURN_NOT_OK(SendAll(EncodeExplainRequest(request)));
 
   std::string payload;
-  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  SVQ_RETURN_NOT_OK(RecvExpected(MessageType::kExplainResponse, &payload));
   WireCursor cursor(payload);
   MessageType type = MessageType::kExplainResponse;
   SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
-  if (type != MessageType::kExplainResponse) {
-    return Status::Corruption("expected an explain response frame");
-  }
   ExplainResponse response;
   SVQ_RETURN_NOT_OK(DecodeExplainResponse(&cursor, &response));
   if (response.request_id != request.request_id) {
@@ -142,16 +160,104 @@ Result<ServerStatsWire> Client::GetStats() {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   SVQ_RETURN_NOT_OK(SendAll(EncodeStatsRequest()));
   std::string payload;
-  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  SVQ_RETURN_NOT_OK(RecvExpected(MessageType::kStatsResponse, &payload));
   WireCursor cursor(payload);
   MessageType type = MessageType::kStatsResponse;
   SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
-  if (type != MessageType::kStatsResponse) {
-    return Status::Corruption("expected a stats response frame");
-  }
   ServerStatsWire stats;
   SVQ_RETURN_NOT_OK(DecodeStatsResponse(&cursor, &stats));
   return stats;
+}
+
+Result<SubscribeResponse> Client::Subscribe(const std::string& feed,
+                                            const std::string& statement,
+                                            uint8_t mode,
+                                            uint32_t queue_capacity,
+                                            uint32_t timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  SubscribeRequest request;
+  request.request_id = next_request_id_++;
+  request.feed = feed;
+  request.statement = statement;
+  request.mode = mode;
+  request.queue_capacity = queue_capacity;
+  request.timeout_ms = timeout_ms;
+  SVQ_RETURN_NOT_OK(SendAll(EncodeSubscribeRequest(request)));
+
+  std::string payload;
+  SVQ_RETURN_NOT_OK(RecvExpected(MessageType::kSubscribeResponse, &payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kSubscribeResponse;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  SubscribeResponse response;
+  SVQ_RETURN_NOT_OK(DecodeSubscribeResponse(&cursor, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response correlation id mismatch");
+  }
+  return response;
+}
+
+Result<FeedResponse> Client::FeedClips(const std::string& feed,
+                                       int64_t clip_count) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  FeedRequest request;
+  request.request_id = next_request_id_++;
+  request.feed = feed;
+  request.clip_count = clip_count;
+  SVQ_RETURN_NOT_OK(SendAll(EncodeFeedRequest(request)));
+
+  std::string payload;
+  SVQ_RETURN_NOT_OK(RecvExpected(MessageType::kFeedResponse, &payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kFeedResponse;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  FeedResponse response;
+  SVQ_RETURN_NOT_OK(DecodeFeedResponse(&cursor, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response correlation id mismatch");
+  }
+  return response;
+}
+
+Result<UnsubscribeResponse> Client::Unsubscribe(uint64_t subscription_id) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  UnsubscribeRequest request;
+  request.request_id = next_request_id_++;
+  request.subscription_id = subscription_id;
+  SVQ_RETURN_NOT_OK(SendAll(EncodeUnsubscribeRequest(request)));
+
+  std::string payload;
+  SVQ_RETURN_NOT_OK(
+      RecvExpected(MessageType::kUnsubscribeResponse, &payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kUnsubscribeResponse;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  UnsubscribeResponse response;
+  SVQ_RETURN_NOT_OK(DecodeUnsubscribeResponse(&cursor, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Corruption("response correlation id mismatch");
+  }
+  return response;
+}
+
+Result<EventFrame> Client::NextEvent() {
+  if (!event_stash_.empty()) {
+    EventFrame event = std::move(event_stash_.front());
+    event_stash_.pop_front();
+    return event;
+  }
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string payload;
+  SVQ_RETURN_NOT_OK(RecvPayload(&payload));
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kEvent;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  if (type != MessageType::kEvent) {
+    return Status::Corruption("expected an event frame");
+  }
+  EventFrame event;
+  SVQ_RETURN_NOT_OK(DecodeEvent(&cursor, &event));
+  return event;
 }
 
 }  // namespace svq::server

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <utility>
 
@@ -32,7 +33,8 @@ class Client {
   Client(Client&& other) noexcept
       : fd_(other.fd_),
         next_request_id_(other.next_request_id_),
-        assembler_(std::move(other.assembler_)) {
+        assembler_(std::move(other.assembler_)),
+        event_stash_(std::move(other.event_stash_)) {
     other.fd_ = -1;
   }
   Client& operator=(Client&& other) noexcept {
@@ -41,6 +43,7 @@ class Client {
       fd_ = other.fd_;
       next_request_id_ = other.next_request_id_;
       assembler_ = std::move(other.assembler_);
+      event_stash_ = std::move(other.event_stash_);
       other.fd_ = -1;
     }
     return *this;
@@ -76,14 +79,49 @@ class Client {
                                   bool analyze = false,
                                   uint32_t timeout_ms = 0);
 
+  // --- Streaming verbs (wire v4, docs/streaming.md). Once a subscription
+  // is open, the server may push EVENT frames at any time; frames that
+  // arrive while this client awaits some other response are stashed and
+  // surfaced by NextEvent() in arrival order.
+
+  /// Registers a standing streaming statement against `feed` (empty = the
+  /// statement's FROM video). `mode` is 0 for SVAQ, 1 for SVAQD;
+  /// `queue_capacity` 0 takes the server default; `timeout_ms` bounds the
+  /// subscription's lifetime (0 = unlimited). The subscription outcome is
+  /// in SubscribeResponse::status.
+  Result<SubscribeResponse> Subscribe(const std::string& feed,
+                                      const std::string& statement,
+                                      uint8_t mode = 1,
+                                      uint32_t queue_capacity = 0,
+                                      uint32_t timeout_ms = 0);
+
+  /// The FEED verb: dispatches up to `clip_count` clips of the feed's
+  /// source video to every standing subscription on the feed.
+  Result<FeedResponse> FeedClips(const std::string& feed, int64_t clip_count);
+
+  /// Tears down a subscription; every event it produced is delivered (and
+  /// stashed here) before the acknowledgement.
+  Result<UnsubscribeResponse> Unsubscribe(uint64_t subscription_id);
+
+  /// The next server-pushed event: from the stash if one is buffered,
+  /// otherwise blocks on the socket (bounded by the connect recv_timeout).
+  Result<EventFrame> NextEvent();
+
+  /// Events buffered while awaiting other responses.
+  size_t stashed_events() const { return event_stash_.size(); }
+
  private:
   Status SendAll(const std::string& frame);
   /// Receives exactly one complete frame payload.
   Status RecvPayload(std::string* payload);
+  /// Receives payloads until one of `expected` type arrives, stashing any
+  /// EVENT frames pushed in between. `payload` holds the expected frame.
+  Status RecvExpected(MessageType expected, std::string* payload);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   FrameAssembler assembler_;
+  std::deque<EventFrame> event_stash_;
 };
 
 }  // namespace svq::server

@@ -175,6 +175,49 @@ Server::Server(core::VideoQueryEngine* engine, ServerOptions options)
   // The planner counters are process-global; baseline them here so this
   // server only reports planning activity from its own lifetime.
   last_plan_ = plan::GlobalPlannerCounters().Read();
+
+  subscribe_requests_ = registry_.counter("svqd_subscribe_requests_total",
+                                          "SUBSCRIBE verb requests admitted");
+  feed_requests_ = registry_.counter("svqd_feed_requests_total",
+                                     "FEED verb requests admitted");
+  unsubscribe_requests_ = registry_.counter(
+      "svqd_unsubscribe_requests_total", "UNSUBSCRIBE verb requests admitted");
+  stream_feeds_ = registry_.counter("svq_stream_feeds_total",
+                                    "Live feeds created since start");
+  stream_feeds_open_gauge_ =
+      registry_.gauge("svq_stream_feeds_open", "Live feeds currently open");
+  stream_subscriptions_ = registry_.counter(
+      "svq_stream_subscriptions_total", "Standing queries registered");
+  stream_subscriptions_active_gauge_ = registry_.gauge(
+      "svq_stream_subscriptions_active", "Standing queries currently active");
+  stream_clips_dispatched_ = registry_.counter(
+      "svq_stream_clips_dispatched_total", "Clips dispatched into feeds");
+  stream_events_pushed_ = registry_.counter(
+      "svq_stream_events_pushed_total", "Events queued to subscribers");
+  stream_events_dropped_ = registry_.counter(
+      "svq_stream_events_dropped_total",
+      "Events discarded by the lag/drop policy");
+  stream_model_units_run_ = registry_.counter(
+      "svq_stream_model_units_run_total",
+      "Inference units the shared models actually executed");
+  stream_model_units_charged_ = registry_.counter(
+      "svq_stream_model_units_charged_total",
+      "Inference units dedicated per-query models would have executed");
+  stream_model_ms_run_ = registry_.counter(
+      "svq_stream_model_ms_run_total",
+      "Model time actually executed by shared inference (ms)");
+  stream_model_ms_charged_ = registry_.counter(
+      "svq_stream_model_ms_charged_total",
+      "Model time dedicated per-query models would have spent (ms)");
+
+  stream::StreamOptions stream_options;
+  stream_options.event_queue_capacity = options_.stream_event_queue_capacity;
+  stream_options.max_subscriptions_per_feed =
+      options_.max_subscriptions_per_feed;
+  dispatcher_ =
+      std::make_unique<stream::StreamDispatcher>(engine_, stream_options);
+  dispatcher_->set_event_callback(
+      [this](uint64_t subscription_id) { OnStreamEvent(subscription_id); });
 }
 
 Server::~Server() { Shutdown(std::chrono::milliseconds(0)); }
@@ -405,7 +448,10 @@ void Server::HandlePayload(const ConnectionPtr& conn,
         SendLocked(conn, EncodeQueryResponse(response));
         return;
       }
-      AdmitLocked(conn, std::move(request));
+      PendingQuery pending;
+      pending.verb = PendingQuery::Verb::kQuery;
+      pending.request = std::move(request);
+      AdmitLocked(conn, std::move(pending));
       return;
     }
     case MessageType::kExplainRequest: {
@@ -422,18 +468,74 @@ void Server::HandlePayload(const ConnectionPtr& conn,
       // EXPLAIN rides the same admission queue as QUERY: under ANALYZE the
       // statement genuinely executes, so it must compete for workers like
       // any query instead of bypassing admission control.
-      QueryRequest as_query;
-      as_query.request_id = request.request_id;
-      as_query.statement = std::move(request.statement);
-      as_query.timeout_ms = request.timeout_ms;
-      AdmitLocked(conn, std::move(as_query), /*is_explain=*/true,
-                  request.analyze);
+      PendingQuery pending;
+      pending.verb = PendingQuery::Verb::kExplain;
+      pending.explain_analyze = request.analyze;
+      pending.request.request_id = request.request_id;
+      pending.request.statement = std::move(request.statement);
+      pending.request.timeout_ms = request.timeout_ms;
+      AdmitLocked(conn, std::move(pending));
+      return;
+    }
+    case MessageType::kSubscribeRequest: {
+      SubscribeRequest request;
+      const Status decoded = DecodeSubscribeRequest(&cursor, &request);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!decoded.ok()) {
+        SubscribeResponse response;
+        response.request_id = request.request_id;
+        response.status = decoded;
+        SendLocked(conn, EncodeSubscribeResponse(response));
+        return;
+      }
+      PendingQuery pending;
+      pending.verb = PendingQuery::Verb::kSubscribe;
+      pending.subscribe = std::move(request);
+      AdmitLocked(conn, std::move(pending));
+      return;
+    }
+    case MessageType::kFeedRequest: {
+      FeedRequest request;
+      const Status decoded = DecodeFeedRequest(&cursor, &request);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!decoded.ok()) {
+        FeedResponse response;
+        response.request_id = request.request_id;
+        response.status = decoded;
+        SendLocked(conn, EncodeFeedResponse(response));
+        return;
+      }
+      PendingQuery pending;
+      pending.verb = PendingQuery::Verb::kFeed;
+      pending.feed = std::move(request);
+      AdmitLocked(conn, std::move(pending));
+      return;
+    }
+    case MessageType::kUnsubscribeRequest: {
+      UnsubscribeRequest request;
+      const Status decoded = DecodeUnsubscribeRequest(&cursor, &request);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!decoded.ok()) {
+        UnsubscribeResponse response;
+        response.request_id = request.request_id;
+        response.status = decoded;
+        SendLocked(conn, EncodeUnsubscribeResponse(response));
+        return;
+      }
+      PendingQuery pending;
+      pending.verb = PendingQuery::Verb::kUnsubscribe;
+      pending.unsubscribe = request;
+      AdmitLocked(conn, std::move(pending));
       return;
     }
     case MessageType::kQueryResponse:
     case MessageType::kStatsResponse:
-    case MessageType::kExplainResponse: {
-      // A response frame from a client is a protocol violation.
+    case MessageType::kExplainResponse:
+    case MessageType::kSubscribeResponse:
+    case MessageType::kFeedResponse:
+    case MessageType::kEvent:
+    case MessageType::kUnsubscribeResponse: {
+      // A response or event frame from a client is a protocol violation.
       QueryResponse response;
       response.status =
           Status::InvalidArgument("response frames are server-to-client");
@@ -445,22 +547,47 @@ void Server::HandlePayload(const ConnectionPtr& conn,
   }
 }
 
-void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request,
-                         bool is_explain, bool explain_analyze) {
+std::string Server::EncodeFailure(const PendingQuery& pending,
+                                  const Status& status) {
+  switch (pending.verb) {
+    case PendingQuery::Verb::kExplain: {
+      ExplainResponse response;
+      response.request_id = pending.request.request_id;
+      response.status = status;
+      return EncodeExplainResponse(response);
+    }
+    case PendingQuery::Verb::kSubscribe: {
+      SubscribeResponse response;
+      response.request_id = pending.subscribe.request_id;
+      response.status = status;
+      return EncodeSubscribeResponse(response);
+    }
+    case PendingQuery::Verb::kFeed: {
+      FeedResponse response;
+      response.request_id = pending.feed.request_id;
+      response.status = status;
+      return EncodeFeedResponse(response);
+    }
+    case PendingQuery::Verb::kUnsubscribe: {
+      UnsubscribeResponse response;
+      response.request_id = pending.unsubscribe.request_id;
+      response.status = status;
+      return EncodeUnsubscribeResponse(response);
+    }
+    case PendingQuery::Verb::kQuery:
+      break;
+  }
+  QueryResponse response;
+  response.request_id = pending.request.request_id;
+  response.status = status;
+  return EncodeQueryResponse(response);
+}
+
+void Server::AdmitLocked(const ConnectionPtr& conn, PendingQuery pending) {
   auto reject = [&](std::string why) {
     queries_rejected_->Increment();
-    const Status status = Status::ResourceExhausted(std::move(why));
-    if (is_explain) {
-      ExplainResponse response;
-      response.request_id = request.request_id;
-      response.status = status;
-      SendLocked(conn, EncodeExplainResponse(response));
-      return;
-    }
-    QueryResponse response;
-    response.request_id = request.request_id;
-    response.status = status;
-    SendLocked(conn, EncodeQueryResponse(response));
+    SendLocked(conn,
+               EncodeFailure(pending, Status::ResourceExhausted(std::move(why))));
   };
   if (draining_) {
     reject("server draining, not accepting new queries");
@@ -473,25 +600,40 @@ void Server::AdmitLocked(const ConnectionPtr& conn, QueryRequest request,
     return;
   }
   queries_accepted_->Increment();
-  if (is_explain) explain_requests_->Increment();
-  PendingQuery pending;
-  pending.is_explain = is_explain;
-  pending.explain_analyze = explain_analyze;
+  switch (pending.verb) {
+    case PendingQuery::Verb::kExplain:
+      explain_requests_->Increment();
+      break;
+    case PendingQuery::Verb::kSubscribe:
+      subscribe_requests_->Increment();
+      break;
+    case PendingQuery::Verb::kFeed:
+      feed_requests_->Increment();
+      break;
+    case PendingQuery::Verb::kUnsubscribe:
+      unsubscribe_requests_->Increment();
+      break;
+    case PendingQuery::Verb::kQuery:
+      break;
+  }
   pending.internal_id = next_query_id_++;
   pending.connection_id = conn->id;
   pending.admitted_at = Clock::now();
-  if (request.timeout_ms > 0) {
+  if (pending.request.timeout_ms > 0) {
     pending.has_deadline = true;
-    pending.deadline =
-        pending.admitted_at + std::chrono::milliseconds(request.timeout_ms);
+    pending.deadline = pending.admitted_at +
+                       std::chrono::milliseconds(pending.request.timeout_ms);
   }
-  // Pin the catalog at request entry: everything this query observes —
-  // binding, USING resolution, execution — is the catalog as of this
-  // moment, no matter how long it waits in the queue or what writers do
-  // meanwhile.
-  pending.snapshot = engine_->Pin();
+  if (pending.verb == PendingQuery::Verb::kQuery ||
+      pending.verb == PendingQuery::Verb::kExplain) {
+    // Pin the catalog at request entry: everything this query observes —
+    // binding, USING resolution, execution — is the catalog as of this
+    // moment, no matter how long it waits in the queue or what writers do
+    // meanwhile. (Streaming verbs don't pin here: a feed pins its own
+    // snapshot at creation and keeps it for the feed's whole life.)
+    pending.snapshot = engine_->Pin();
+  }
   conn->inflight.emplace(pending.internal_id, pending.cancel);
-  pending.request = std::move(request);
   queue_.push_back(std::move(pending));
   work_cv_.notify_one();
 }
@@ -524,6 +666,15 @@ void Server::FlushConnection(const ConnectionPtr& conn) {
       should_close = true;
       break;
     }
+    // The socket caught up: resume event forwarding for any subscription
+    // that was paused by the outbox cap (the bounded queues buffered — or
+    // gap-marked — meanwhile).
+    if (!should_close && !conn->subscriptions.empty() &&
+        conn->outbox.size() < options_.max_outbox_frames) {
+      for (const uint64_t subscription_id : conn->subscriptions) {
+        DrainSubscriptionLocked(conn, subscription_id);
+      }
+    }
     if (!should_close && conn->outbox.empty() && conn->close_after_flush) {
       should_close = true;
     }
@@ -538,6 +689,14 @@ void Server::CloseConnection(const ConnectionPtr& conn) {
     // in-flight work unwinds instead of computing a result nobody reads.
     for (auto& [id, source] : conn->inflight) source.Cancel();
     conn->inflight.clear();
+    // Likewise its standing queries: Unsubscribe is cheap (cancel + detach
+    // flag; the dispatch loop prunes lazily), so it is safe from the IO
+    // thread — this is cancellation-on-disconnect for feeds.
+    for (const uint64_t subscription_id : conn->subscriptions) {
+      (void)dispatcher_->Unsubscribe(subscription_id);
+      sub_conn_.erase(subscription_id);
+    }
+    conn->subscriptions.clear();
     connections_.erase(conn->id);
   }
   if (conn->fd >= 0) {
@@ -577,37 +736,52 @@ void Server::WorkerLoop() {
 
     Status outcome;
     std::string frame;
-    if (pending.is_explain) {
-      query::ExplainOptions explain_options;
-      explain_options.analyze = pending.explain_analyze;
-      explain_options.statement = statement_options;
-      const Result<std::string> rendered = query::ExplainStatementOn(
-          pending.snapshot, pending.request.statement, explain_options,
-          context);
-      ExplainResponse response;
-      response.request_id = pending.request.request_id;
-      response.status = rendered.status();
-      if (rendered.ok()) response.text = *rendered;
-      outcome = rendered.status();
-      frame = EncodeExplainResponse(response);
-      const double exec_ms = ElapsedMs(exec_begin, Clock::now());
-      query_latency_->Record((queue_ms + exec_ms) * 1000.0);
-    } else {
-      const Result<query::StatementResult> result = query::ExecuteStatementOn(
-          pending.snapshot, pending.request.statement, context,
-          statement_options);
+    switch (pending.verb) {
+      case PendingQuery::Verb::kExplain: {
+        query::ExplainOptions explain_options;
+        explain_options.analyze = pending.explain_analyze;
+        explain_options.statement = statement_options;
+        const Result<std::string> rendered = query::ExplainStatementOn(
+            pending.snapshot, pending.request.statement, explain_options,
+            context);
+        ExplainResponse response;
+        response.request_id = pending.request.request_id;
+        response.status = rendered.status();
+        if (rendered.ok()) response.text = *rendered;
+        outcome = rendered.status();
+        frame = EncodeExplainResponse(response);
+        const double exec_ms = ElapsedMs(exec_begin, Clock::now());
+        query_latency_->Record((queue_ms + exec_ms) * 1000.0);
+        break;
+      }
+      case PendingQuery::Verb::kSubscribe:
+        frame = ExecuteSubscribe(pending, &outcome);
+        break;
+      case PendingQuery::Verb::kFeed:
+        frame = ExecuteFeed(pending, &outcome);
+        break;
+      case PendingQuery::Verb::kUnsubscribe:
+        frame = ExecuteUnsubscribe(pending, &outcome);
+        break;
+      case PendingQuery::Verb::kQuery: {
+        const Result<query::StatementResult> result =
+            query::ExecuteStatementOn(pending.snapshot,
+                                      pending.request.statement, context,
+                                      statement_options);
 
-      QueryResponse response;
-      response.request_id = pending.request.request_id;
-      response.status = result.status();
-      if (result.ok()) FillResponse(*result, &response);
-      const double exec_ms = ElapsedMs(exec_begin, Clock::now());
-      response.metrics.server_queue_ms = queue_ms;
-      response.metrics.server_exec_ms = exec_ms;
-      outcome = response.status;
-      frame = EncodeQueryResponse(response);
-      query_latency_->Record((queue_ms + exec_ms) * 1000.0);
-      RecordQueryMetrics(response.metrics, trace);
+        QueryResponse response;
+        response.request_id = pending.request.request_id;
+        response.status = result.status();
+        if (result.ok()) FillResponse(*result, &response);
+        const double exec_ms = ElapsedMs(exec_begin, Clock::now());
+        response.metrics.server_queue_ms = queue_ms;
+        response.metrics.server_exec_ms = exec_ms;
+        outcome = response.status;
+        frame = EncodeQueryResponse(response);
+        query_latency_->Record((queue_ms + exec_ms) * 1000.0);
+        RecordQueryMetrics(response.metrics, trace);
+        break;
+      }
     }
 
     {
@@ -638,6 +812,173 @@ void Server::WorkerLoop() {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming verbs (docs/streaming.md).
+
+namespace {
+
+std::string EncodeStreamEvent(uint64_t subscription_id,
+                              stream::StreamEvent event) {
+  EventFrame frame;
+  frame.subscription_id = subscription_id;
+  frame.kind = static_cast<uint8_t>(event.kind);
+  frame.begin = event.sequence.begin;
+  frame.end = event.sequence.end;
+  frame.dropped = event.dropped;
+  frame.status = std::move(event.status);
+  return EncodeEvent(frame);
+}
+
+}  // namespace
+
+std::string Server::ExecuteSubscribe(const PendingQuery& pending,
+                                     Status* outcome) {
+  const SubscribeRequest& request = pending.subscribe;
+  SubscribeResponse response;
+  response.request_id = request.request_id;
+  if (request.mode > 1) {
+    response.status = Status::InvalidArgument(
+        "unknown online mode " + std::to_string(request.mode) +
+        " (0 = SVAQ, 1 = SVAQD)");
+    *outcome = response.status;
+    return EncodeSubscribeResponse(response);
+  }
+  stream::SubscribeOptions sub_options;
+  sub_options.mode = request.mode == 0 ? core::OnlineEngine::Mode::kSvaq
+                                       : core::OnlineEngine::Mode::kSvaqd;
+  sub_options.queue_capacity = request.queue_capacity;
+  sub_options.timeout_ms = request.timeout_ms;
+  const Result<stream::SubscriptionPtr> sub =
+      dispatcher_->Subscribe(request.feed, request.statement, sub_options);
+  response.status = sub.status();
+  *outcome = sub.status();
+  if (sub.ok()) {
+    response.subscription_id = (*sub)->id();
+    response.feed = (*sub)->feed();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.find(pending.connection_id);
+    if (it == connections_.end()) {
+      // The client vanished between admission and execution: nobody will
+      // ever poll this subscription, so tear it down right away.
+      (void)dispatcher_->Unsubscribe((*sub)->id());
+      response.status = Status::Cancelled("client disconnected");
+      *outcome = response.status;
+    } else {
+      it->second->subscriptions.insert((*sub)->id());
+      sub_conn_[(*sub)->id()] = pending.connection_id;
+    }
+  }
+  return EncodeSubscribeResponse(response);
+}
+
+std::string Server::ExecuteFeed(const PendingQuery& pending, Status* outcome) {
+  const FeedRequest& request = pending.feed;
+  FeedResponse response;
+  response.request_id = request.request_id;
+  // Runs with no server lock held: the dispatcher's event callback fires
+  // synchronously from inside FeedClips and takes mu_ to forward events.
+  const Result<stream::FeedProgress> progress =
+      dispatcher_->FeedClips(request.feed, request.clip_count);
+  response.status = progress.status();
+  *outcome = progress.status();
+  if (progress.ok()) {
+    response.clips_dispatched = progress->clips_dispatched;
+    response.next_clip = progress->next_clip;
+    response.feed_closed = progress->closed;
+  }
+  return EncodeFeedResponse(response);
+}
+
+std::string Server::ExecuteUnsubscribe(const PendingQuery& pending,
+                                       Status* outcome) {
+  const UnsubscribeRequest& request = pending.unsubscribe;
+  UnsubscribeResponse response;
+  response.request_id = request.request_id;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sub_conn_.find(request.subscription_id);
+    if (it == sub_conn_.end() || it->second != pending.connection_id) {
+      // Covers both unknown ids and another connection's subscription — a
+      // client can only tear down what it registered.
+      status = Status::NotFound("no subscription " +
+                                std::to_string(request.subscription_id) +
+                                " on this connection");
+    }
+  }
+  if (status.ok()) {
+    // Hold the subscription before the dispatcher forgets it so the final
+    // drain below can still reach its queue.
+    const stream::SubscriptionPtr sub =
+        dispatcher_->Find(request.subscription_id);
+    status = dispatcher_->Unsubscribe(request.subscription_id);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto conn_it = connections_.find(pending.connection_id);
+    if (conn_it != connections_.end()) {
+      if (sub != nullptr) {
+        // Everything the subscription produced is delivered ahead of the
+        // acknowledgement (no outbox cap: this flush is final and bounded
+        // by the queue capacity).
+        auto events = sub->Poll();
+        for (stream::StreamEvent& event : events) {
+          SendLocked(conn_it->second,
+                     EncodeStreamEvent(request.subscription_id,
+                                       std::move(event)));
+        }
+      }
+      conn_it->second->subscriptions.erase(request.subscription_id);
+    }
+    sub_conn_.erase(request.subscription_id);
+  }
+  response.status = status;
+  *outcome = status;
+  return EncodeUnsubscribeResponse(response);
+}
+
+void Server::OnStreamEvent(uint64_t subscription_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sub_conn_.find(subscription_id);
+  if (it == sub_conn_.end()) return;
+  auto conn_it = connections_.find(it->second);
+  if (conn_it == connections_.end()) return;
+  DrainSubscriptionLocked(conn_it->second, subscription_id);
+}
+
+void Server::DrainSubscriptionLocked(const ConnectionPtr& conn,
+                                     uint64_t subscription_id) {
+  if (conn->fd < 0) return;
+  if (conn->outbox.size() >= options_.max_outbox_frames) return;
+  const stream::SubscriptionPtr sub = dispatcher_->Find(subscription_id);
+  if (sub == nullptr) return;
+  auto events = sub->Poll();
+  for (stream::StreamEvent& event : events) {
+    SendLocked(conn, EncodeStreamEvent(subscription_id, std::move(event)));
+  }
+}
+
+void Server::BridgeStreamStatsLocked() const {
+  if (dispatcher_ == nullptr) return;
+  const stream::DispatcherStats now = dispatcher_->Stats();
+  const stream::DispatcherStats& last = last_stream_;
+  stream_feeds_->Increment(now.feeds_created - last.feeds_created);
+  stream_subscriptions_->Increment(now.subscriptions_opened -
+                                   last.subscriptions_opened);
+  stream_clips_dispatched_->Increment(now.clips_dispatched -
+                                      last.clips_dispatched);
+  stream_events_pushed_->Increment(now.events_pushed - last.events_pushed);
+  stream_events_dropped_->Increment(now.events_dropped - last.events_dropped);
+  stream_model_units_run_->Increment(now.model_units_run -
+                                     last.model_units_run);
+  stream_model_units_charged_->Increment(now.model_units_charged -
+                                         last.model_units_charged);
+  stream_model_ms_run_->Add(now.model_ms_run - last.model_ms_run);
+  stream_model_ms_charged_->Add(now.model_ms_charged - last.model_ms_charged);
+  stream_feeds_open_gauge_->Set(static_cast<double>(now.feeds_open));
+  stream_subscriptions_active_gauge_->Set(
+      static_cast<double>(now.subscriptions_active));
+  last_stream_ = now;
+}
+
+// ---------------------------------------------------------------------------
 // Lifecycle + stats.
 
 void Server::Shutdown(std::chrono::milliseconds drain_timeout) {
@@ -659,13 +1000,12 @@ void Server::Shutdown(std::chrono::milliseconds drain_timeout) {
       PendingQuery pending = std::move(queue_.front());
       queue_.pop_front();
       queries_cancelled_->Increment();
-      QueryResponse response;
-      response.request_id = pending.request.request_id;
-      response.status = Status::Cancelled("server shutting down");
       auto it = connections_.find(pending.connection_id);
       if (it != connections_.end()) {
         it->second->inflight.erase(pending.internal_id);
-        SendLocked(it->second, EncodeQueryResponse(response));
+        SendLocked(it->second,
+                   EncodeFailure(pending,
+                                 Status::Cancelled("server shutting down")));
       }
     }
     // ... and fire cancellation on everything still executing; the engine
@@ -703,6 +1043,7 @@ void Server::RefreshGaugesLocked() const {
   in_flight_gauge_->Set(static_cast<double>(in_flight_));
   BridgeCacheStatsLocked();
   BridgePlannerStatsLocked();
+  BridgeStreamStatsLocked();
 }
 
 void Server::BridgeCacheStatsLocked() const {

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "svq/observability/trace.h"
 #include "svq/plan/planner.h"
 #include "svq/server/wire.h"
+#include "svq/stream/dispatcher.h"
 
 namespace svq::server {
 
@@ -43,6 +45,18 @@ struct ServerOptions {
   int threads_per_query = 1;
   /// Frames above this are a protocol error and drop the connection.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Standing-query (v4 SUBSCRIBE) event queue capacity per subscription —
+  /// the lag/drop bound: a subscriber this far behind starts receiving gap
+  /// markers instead of stalling the feed (docs/streaming.md).
+  size_t stream_event_queue_capacity = 256;
+  /// Standing queries per feed beyond this are rejected with
+  /// kResourceExhausted.
+  int max_subscriptions_per_feed = 64;
+  /// EVENT frames already encoded on a connection's outbox beyond this
+  /// pause event forwarding for that connection until the socket drains
+  /// (the subscription queue keeps absorbing, eventually dropping — slow
+  /// consumers degrade themselves, never the server).
+  size_t max_outbox_frames = 256;
 };
 
 /// A poll-based TCP server exposing a VideoQueryEngine over the svqd wire
@@ -110,6 +124,9 @@ class Server {
     /// Cancellation handles of this connection's admitted-but-unfinished
     /// queries, keyed by internal query id; fired on disconnect.
     std::map<uint64_t, CancellationSource> inflight;
+    /// Standing-query subscriptions owned by this connection; disconnect
+    /// unsubscribes them all (cancellation-on-disconnect for feeds).
+    std::set<uint64_t> subscriptions;
 
     explicit Connection(size_t max_frame_bytes)
         : assembler(max_frame_bytes) {}
@@ -117,6 +134,19 @@ class Server {
   using ConnectionPtr = std::shared_ptr<Connection>;
 
   struct PendingQuery {
+    /// Which wire verb this admitted request carries. EXPLAIN shares the
+    /// admission queue with QUERY because under ANALYZE the statement
+    /// genuinely executes; the streaming verbs ride the same queue so a
+    /// FEED burst competes for workers like any query instead of starving
+    /// them.
+    enum class Verb : uint8_t {
+      kQuery,
+      kExplain,
+      kSubscribe,
+      kFeed,
+      kUnsubscribe,
+    };
+    Verb verb = Verb::kQuery;
     uint64_t internal_id = 0;
     uint64_t connection_id = 0;
     QueryRequest request;
@@ -125,11 +155,14 @@ class Server {
     ExecutionContext::Clock::time_point deadline{};
     CancellationSource cancel;
     ExecutionContext::Clock::time_point admitted_at{};
-    /// EXPLAIN verb: render the plan instead of returning sequences. Under
-    /// `explain_analyze` the statement also executes, which is why EXPLAIN
-    /// shares the admission queue with QUERY instead of bypassing it.
-    bool is_explain = false;
+    /// EXPLAIN ANALYZE: also execute the statement.
     bool explain_analyze = false;
+    /// Decoded streaming-verb requests (valid per `verb`). The dispatcher
+    /// pins its own snapshot at feed creation, so these carry no
+    /// `snapshot`.
+    SubscribeRequest subscribe;
+    FeedRequest feed;
+    UnsubscribeRequest unsubscribe;
   };
 
   void IoLoop();
@@ -142,10 +175,31 @@ class Server {
   void FlushConnection(const ConnectionPtr& conn);
   void CloseConnection(const ConnectionPtr& conn);
   void HandlePayload(const ConnectionPtr& conn, const std::string& payload);
-  /// Admission control for one decoded QUERY or EXPLAIN request (mu_ held
-  /// by caller). EXPLAIN rejections answer with an ExplainResponse.
-  void AdmitLocked(const ConnectionPtr& conn, QueryRequest request,
-                   bool is_explain = false, bool explain_analyze = false);
+  /// Admission control for one decoded request of any verb (mu_ held by
+  /// caller). `pending.verb` plus the matching body must be filled in;
+  /// rejections answer with the verb's own response type.
+  void AdmitLocked(const ConnectionPtr& conn, PendingQuery pending);
+  /// Encodes a rejection/cancellation response for `pending`'s verb.
+  static std::string EncodeFailure(const PendingQuery& pending,
+                                   const Status& status);
+
+  /// Worker-side execution of the admitted streaming verbs; each returns
+  /// the encoded response frame to send.
+  std::string ExecuteSubscribe(const PendingQuery& pending, Status* outcome);
+  std::string ExecuteFeed(const PendingQuery& pending, Status* outcome);
+  std::string ExecuteUnsubscribe(const PendingQuery& pending,
+                                 Status* outcome);
+
+  /// Dispatcher event callback: forwards a subscription's queued events to
+  /// its connection as EVENT frames. Invoked with no dispatcher/feed locks
+  /// held, from whichever thread dispatched the clip.
+  void OnStreamEvent(uint64_t subscription_id);
+  /// Drains a subscription's queue into its connection's outbox as EVENT
+  /// frames (mu_ held by caller). Skips when the outbox is past
+  /// max_outbox_frames — FlushConnection re-drains once the socket
+  /// catches up, and the bounded queue ages out the backlog meanwhile.
+  void DrainSubscriptionLocked(const ConnectionPtr& conn,
+                               uint64_t subscription_id);
 
   /// Queues an encoded frame on `conn` (mu_ held by caller) — the IO loop
   /// flushes it on the next POLLOUT.
@@ -257,6 +311,36 @@ class Server {
   observability::Counter* plan_overrides_;
   observability::Counter* plan_estimate_samples_;
   observability::Counter* plan_estimate_error_pct_sum_;
+
+  /// Folds the stream dispatcher's cumulative counters into the registry
+  /// as deltas since the previous bridge, same discipline as the cache
+  /// bridge (mu_ held by caller — it guards last_stream_).
+  void BridgeStreamStatsLocked() const;
+  mutable stream::DispatcherStats last_stream_;
+  observability::Counter* subscribe_requests_;
+  observability::Counter* feed_requests_;
+  observability::Counter* unsubscribe_requests_;
+  observability::Counter* stream_feeds_;
+  observability::Gauge* stream_feeds_open_gauge_;
+  observability::Counter* stream_subscriptions_;
+  observability::Gauge* stream_subscriptions_active_gauge_;
+  observability::Counter* stream_clips_dispatched_;
+  observability::Counter* stream_events_pushed_;
+  observability::Counter* stream_events_dropped_;
+  observability::Counter* stream_model_units_run_;
+  observability::Counter* stream_model_units_charged_;
+  observability::Counter* stream_model_ms_run_;
+  observability::Counter* stream_model_ms_charged_;
+
+  /// Subscription id -> owning connection id (guarded by mu_); the event
+  /// callback routes through this, and disconnect tears down every entry
+  /// of its connection.
+  std::map<uint64_t, uint64_t> sub_conn_;
+
+  /// The standing-query multiplexer (docs/streaming.md). Declared last so
+  /// it is destroyed first: its worker thread may still invoke
+  /// OnStreamEvent, which must find the rest of the server alive.
+  std::unique_ptr<stream::StreamDispatcher> dispatcher_;
 };
 
 }  // namespace svq::server

@@ -9,9 +9,19 @@
 //   ./build/svq_client --port 7331 --stats                server counters
 //   ./build/svq_client --port 7331 --explain "..."         plan only
 //   ./build/svq_client --port 7331 --explain-analyze "..."  plan + actuals
+//   ./build/svq_client --port 7331 --subscribe "..."        standing query:
+//                                      subscribe, feed the video through the
+//                                      server, print pushed events
+//
+// Subscribe knobs: --feed NAME (default: the statement's video), --mode
+// svaq|svaqd, --queue N (event queue capacity), --batch N (clips per FEED
+// round trip), --min-events N (exit 2 unless at least N events arrived —
+// for smoke tests).
 //
 // Exit codes: 0 = query OK; 2 = the server answered with a non-OK query
-// status (printed); 1 = usage or transport error.
+// status (printed); 3 = wire version mismatch (the peer speaks a different
+// protocol revision — both versions are printed); 1 = usage or transport
+// error.
 
 #include <chrono>
 #include <cstdio>
@@ -26,9 +36,43 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host A] [--port N] [--timeout-ms N] "
                "[--repeat N] [--explain | --explain-analyze] "
+               "[--subscribe [--feed NAME] [--mode svaq|svaqd] [--queue N] "
+               "[--batch N] [--min-events N]] "
                "(--stats | \"<statement>\")\n",
                argv0);
   return 1;
+}
+
+/// Prints a transport failure and picks the exit code: an Unimplemented
+/// status is the wire's version-mismatch signal (either side refuses the
+/// other's frames), reported with both versions and exit code 3 so scripts
+/// can tell "upgrade one of the peers" from ordinary transport errors.
+int TransportExit(const svq::Status& status) {
+  std::fprintf(stderr, "svq_client: %s\n", status.ToString().c_str());
+  if (status.code() != svq::StatusCode::kUnimplemented) return 1;
+  // The refusing side names the version it saw: "unsupported wire
+  // version <peer> ..." — parse it so both revisions appear even when the
+  // refusal came from the legacy peer's terser message.
+  int peer_version = -1;
+  const std::string& message = status.message();
+  const std::string needle = "wire version ";
+  if (const size_t at = message.find(needle); at != std::string::npos) {
+    peer_version = std::atoi(message.c_str() + at + needle.size());
+  }
+  if (peer_version > 0 &&
+      peer_version != static_cast<int>(svq::server::kWireVersion)) {
+    std::fprintf(stderr,
+                 "svq_client: wire version mismatch: this client speaks "
+                 "v%d, the server speaks v%d — upgrade the older peer\n",
+                 static_cast<int>(svq::server::kWireVersion), peer_version);
+  } else {
+    std::fprintf(stderr,
+                 "svq_client: wire version mismatch: this client speaks "
+                 "v%d, the server refused it with: %s\n",
+                 static_cast<int>(svq::server::kWireVersion),
+                 message.c_str());
+  }
+  return 3;
 }
 
 void PrintHistogram(const char* verb,
@@ -41,11 +85,7 @@ void PrintHistogram(const char* verb,
 
 int RunStats(svq::server::Client& client) {
   auto stats = client.GetStats();
-  if (!stats.ok()) {
-    std::fprintf(stderr, "svq_client: %s\n",
-                 stats.status().ToString().c_str());
-    return 1;
-  }
+  if (!stats.ok()) return TransportExit(stats.status());
   std::printf("server stats:\n");
   std::printf("  accepted=%lld rejected=%lld ok=%lld failed=%lld "
               "cancelled=%lld deadline_exceeded=%lld\n",
@@ -94,11 +134,7 @@ int RunStats(svq::server::Client& client) {
 int RunExplain(svq::server::Client& client, const std::string& statement,
                bool analyze, uint32_t timeout_ms) {
   auto response = client.Explain(statement, analyze, timeout_ms);
-  if (!response.ok()) {
-    std::fprintf(stderr, "svq_client: %s\n",
-                 response.status().ToString().c_str());
-    return 1;
-  }
+  if (!response.ok()) return TransportExit(response.status());
   if (!response->status.ok()) {
     std::printf("explain failed: %s\n", response->status.ToString().c_str());
     return 2;
@@ -119,11 +155,7 @@ int RunQuery(svq::server::Client& client, const std::string& statement,
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
-    if (!response.ok()) {
-      std::fprintf(stderr, "svq_client: %s\n",
-                   response.status().ToString().c_str());
-      return 1;
-    }
+    if (!response.ok()) return TransportExit(response.status());
     if (!response->status.ok()) {
       std::printf("query failed: %s\n", response->status.ToString().c_str());
       return 2;
@@ -140,11 +172,7 @@ int RunQuery(svq::server::Client& client, const std::string& statement,
   const double total_ms = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
-  if (!response.ok()) {
-    std::fprintf(stderr, "svq_client: %s\n",
-                 response.status().ToString().c_str());
-    return 1;
-  }
+  if (!response.ok()) return TransportExit(response.status());
   if (!response->status.ok()) {
     std::printf("query failed: %s\n", response->status.ToString().c_str());
     return 2;
@@ -183,6 +211,86 @@ int RunQuery(svq::server::Client& client, const std::string& statement,
   return 0;
 }
 
+int RunSubscribe(svq::server::Client& client, const std::string& statement,
+                 const std::string& feed, uint8_t mode,
+                 uint32_t queue_capacity, uint32_t timeout_ms, int64_t batch,
+                 long min_events) {
+  auto subscribed = client.Subscribe(feed, statement, mode, queue_capacity,
+                                     timeout_ms);
+  if (!subscribed.ok()) return TransportExit(subscribed.status());
+  if (!subscribed->status.ok()) {
+    std::printf("subscribe failed: %s\n",
+                subscribed->status.ToString().c_str());
+    return 2;
+  }
+  std::printf("subscription #%llu on feed '%s' (wire v%d)\n",
+              static_cast<unsigned long long>(subscribed->subscription_id),
+              subscribed->feed.c_str(),
+              static_cast<int>(svq::server::kWireVersion));
+
+  // Drive the feed through the server until its source video is exhausted;
+  // events the server pushes between FEED round trips land in the client's
+  // stash.
+  bool closed = false;
+  while (!closed) {
+    auto fed = client.FeedClips(subscribed->feed, batch);
+    if (!fed.ok()) return TransportExit(fed.status());
+    if (!fed->status.ok()) {
+      std::printf("feed failed: %s\n", fed->status.ToString().c_str());
+      return 2;
+    }
+    closed = fed->feed_closed;
+  }
+  // Unsubscribe flushes every remaining event ahead of its acknowledgement,
+  // so after this round trip the stash holds the subscription's full story.
+  auto unsubscribed = client.Unsubscribe(subscribed->subscription_id);
+  if (!unsubscribed.ok()) return TransportExit(unsubscribed.status());
+  if (!unsubscribed->status.ok()) {
+    std::printf("unsubscribe failed: %s\n",
+                unsubscribed->status.ToString().c_str());
+    return 2;
+  }
+
+  long events = 0, sequences = 0, gaps = 0;
+  bool end_of_stream = false;
+  while (client.stashed_events() > 0) {
+    auto event = client.NextEvent();
+    if (!event.ok()) return TransportExit(event.status());
+    ++events;
+    switch (event->kind) {
+      case 1:
+        ++sequences;
+        std::printf("  sequence: clips [%lld, %lld]\n",
+                    static_cast<long long>(event->begin),
+                    static_cast<long long>(event->end - 1));
+        break;
+      case 2:
+        ++gaps;
+        std::printf("  gap: %lld event(s) dropped (%s)\n",
+                    static_cast<long long>(event->dropped),
+                    event->status.ToString().c_str());
+        break;
+      case 3:
+        end_of_stream = true;
+        std::printf("  end of stream\n");
+        break;
+      default:
+        std::printf("  error: %s\n", event->status.ToString().c_str());
+        break;
+    }
+  }
+  std::printf("%ld event(s): %ld sequence(s), %ld gap(s), "
+              "end-of-stream=%s\n",
+              events, sequences, gaps, end_of_stream ? "yes" : "no");
+  if (events < min_events) {
+    std::fprintf(stderr,
+                 "svq_client: expected at least %ld event(s), got %ld\n",
+                 min_events, events);
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,6 +301,12 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool explain = false;
   bool analyze = false;
+  bool subscribe = false;
+  std::string feed;
+  uint8_t mode = 1;  // SVAQD
+  uint32_t queue_capacity = 0;
+  int64_t batch = 4;
+  long min_events = 0;
   std::string statement;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -216,6 +330,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--explain-analyze") {
       explain = true;
       analyze = true;
+    } else if (arg == "--subscribe") {
+      subscribe = true;
+    } else if (arg == "--feed" && (value = next())) {
+      feed = value;
+    } else if (arg == "--mode" && (value = next())) {
+      const std::string name = value;
+      if (name == "svaq") {
+        mode = 0;
+      } else if (name == "svaqd") {
+        mode = 1;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--queue" && (value = next())) {
+      queue_capacity = static_cast<uint32_t>(std::atol(value));
+    } else if (arg == "--batch" && (value = next())) {
+      batch = std::atol(value);
+      if (batch < 1) return Usage(argv[0]);
+    } else if (arg == "--min-events" && (value = next())) {
+      min_events = std::atol(value);
     } else if (!arg.empty() && arg[0] != '-' && statement.empty()) {
       statement = arg;
     } else {
@@ -231,5 +365,9 @@ int main(int argc, char** argv) {
   }
   if (stats) return RunStats(client);
   if (explain) return RunExplain(client, statement, analyze, timeout_ms);
+  if (subscribe) {
+    return RunSubscribe(client, statement, feed, mode, queue_capacity,
+                        timeout_ms, batch, min_events);
+  }
   return RunQuery(client, statement, timeout_ms, repeat);
 }

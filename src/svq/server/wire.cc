@@ -146,6 +146,22 @@ Status ExpectEnd(const WireCursor& cursor) {
   return Status::OK();
 }
 
+// Statuses use the svq/common encoding (u8 code + string message); the
+// code byte is validated so a hostile frame cannot smuggle an
+// out-of-range StatusCode into the process.
+Status ReadStatus(WireCursor* cursor, Status* status) {
+  uint8_t raw_code = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_code));
+  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption("unknown status code " +
+                              std::to_string(raw_code));
+  }
+  std::string message;
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&message));
+  *status = Status(static_cast<StatusCode>(raw_code), std::move(message));
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -241,17 +257,83 @@ std::string EncodeExplainResponse(const ExplainResponse& response) {
   return EncodeFrame(MessageType::kExplainResponse, body);
 }
 
+std::string EncodeSubscribeRequest(const SubscribeRequest& request) {
+  std::string body;
+  AppendU64(&body, request.request_id);
+  AppendString(&body, request.feed);
+  AppendString(&body, request.statement);
+  AppendU8(&body, request.mode);
+  AppendU32(&body, request.queue_capacity);
+  AppendU32(&body, request.timeout_ms);
+  return EncodeFrame(MessageType::kSubscribeRequest, body);
+}
+
+std::string EncodeSubscribeResponse(const SubscribeResponse& response) {
+  std::string body;
+  AppendU64(&body, response.request_id);
+  EncodeStatus(response.status, &body);
+  AppendU64(&body, response.subscription_id);
+  AppendString(&body, response.feed);
+  return EncodeFrame(MessageType::kSubscribeResponse, body);
+}
+
+std::string EncodeFeedRequest(const FeedRequest& request) {
+  std::string body;
+  AppendU64(&body, request.request_id);
+  AppendString(&body, request.feed);
+  AppendI64(&body, request.clip_count);
+  return EncodeFrame(MessageType::kFeedRequest, body);
+}
+
+std::string EncodeFeedResponse(const FeedResponse& response) {
+  std::string body;
+  AppendU64(&body, response.request_id);
+  EncodeStatus(response.status, &body);
+  AppendI64(&body, response.clips_dispatched);
+  AppendI64(&body, response.next_clip);
+  AppendU8(&body, response.feed_closed ? 1 : 0);
+  return EncodeFrame(MessageType::kFeedResponse, body);
+}
+
+std::string EncodeEvent(const EventFrame& event) {
+  std::string body;
+  AppendU64(&body, event.subscription_id);
+  AppendU8(&body, event.kind);
+  AppendI64(&body, event.begin);
+  AppendI64(&body, event.end);
+  AppendI64(&body, event.dropped);
+  EncodeStatus(event.status, &body);
+  return EncodeFrame(MessageType::kEvent, body);
+}
+
+std::string EncodeUnsubscribeRequest(const UnsubscribeRequest& request) {
+  std::string body;
+  AppendU64(&body, request.request_id);
+  AppendU64(&body, request.subscription_id);
+  return EncodeFrame(MessageType::kUnsubscribeRequest, body);
+}
+
+std::string EncodeUnsubscribeResponse(const UnsubscribeResponse& response) {
+  std::string body;
+  AppendU64(&body, response.request_id);
+  EncodeStatus(response.status, &body);
+  return EncodeFrame(MessageType::kUnsubscribeResponse, body);
+}
+
 Status DecodePayloadHeader(WireCursor* cursor, MessageType* type) {
   uint8_t version = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&version));
   if (version != kWireVersion) {
-    return Status::Unimplemented("unsupported wire version " +
-                                 std::to_string(version));
+    // Name both versions so the peer can report the mismatch precisely
+    // (svq_client parses this message for its version-mismatch exit code).
+    return Status::Unimplemented(
+        "unsupported wire version " + std::to_string(version) +
+        " (this peer speaks v" + std::to_string(kWireVersion) + ")");
   }
   uint8_t raw_type = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_type));
   if (raw_type < static_cast<uint8_t>(MessageType::kQueryRequest) ||
-      raw_type > static_cast<uint8_t>(MessageType::kExplainResponse)) {
+      raw_type > static_cast<uint8_t>(MessageType::kUnsubscribeResponse)) {
     return Status::Corruption("unknown message type " +
                               std::to_string(raw_type));
   }
@@ -368,6 +450,73 @@ Status DecodeExplainResponse(WireCursor* cursor, ExplainResponse* response) {
   response->status =
       Status(static_cast<StatusCode>(raw_code), std::move(message));
   SVQ_RETURN_NOT_OK(cursor->ReadString(&response->text));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeSubscribeRequest(WireCursor* cursor, SubscribeRequest* request) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&request->request_id));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&request->feed));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&request->statement));
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&request->mode));
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&request->queue_capacity));
+  SVQ_RETURN_NOT_OK(cursor->ReadU32(&request->timeout_ms));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeSubscribeResponse(WireCursor* cursor,
+                               SubscribeResponse* response) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->request_id));
+  SVQ_RETURN_NOT_OK(ReadStatus(cursor, &response->status));
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->subscription_id));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&response->feed));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeFeedRequest(WireCursor* cursor, FeedRequest* request) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&request->request_id));
+  SVQ_RETURN_NOT_OK(cursor->ReadString(&request->feed));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&request->clip_count));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeFeedResponse(WireCursor* cursor, FeedResponse* response) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->request_id));
+  SVQ_RETURN_NOT_OK(ReadStatus(cursor, &response->status));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&response->clips_dispatched));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&response->next_clip));
+  uint8_t closed = 0;
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&closed));
+  response->feed_closed = closed != 0;
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeEvent(WireCursor* cursor, EventFrame* event) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&event->subscription_id));
+  SVQ_RETURN_NOT_OK(cursor->ReadU8(&event->kind));
+  // Kind mirrors stream::StreamEvent::Kind; reject values outside it so a
+  // hostile server cannot hand the client an unclassifiable event.
+  if (event->kind < 1 || event->kind > 4) {
+    return Status::Corruption("unknown event kind " +
+                              std::to_string(event->kind));
+  }
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&event->begin));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&event->end));
+  SVQ_RETURN_NOT_OK(cursor->ReadI64(&event->dropped));
+  SVQ_RETURN_NOT_OK(ReadStatus(cursor, &event->status));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeUnsubscribeRequest(WireCursor* cursor,
+                                UnsubscribeRequest* request) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&request->request_id));
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&request->subscription_id));
+  return ExpectEnd(*cursor);
+}
+
+Status DecodeUnsubscribeResponse(WireCursor* cursor,
+                                 UnsubscribeResponse* response) {
+  SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->request_id));
+  SVQ_RETURN_NOT_OK(ReadStatus(cursor, &response->status));
   return ExpectEnd(*cursor);
 }
 

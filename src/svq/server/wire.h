@@ -27,8 +27,10 @@ namespace svq::server {
 /// Version history: v1 — initial protocol; v2 — STATS responses carry the
 /// flattened metrics-registry entries after the fixed counter block;
 /// v3 — EXPLAIN verb (plan text for a statement, optionally executed
-/// under ANALYZE).
-inline constexpr uint8_t kWireVersion = 3;
+/// under ANALYZE); v4 — streaming verbs (SUBSCRIBE / FEED / UNSUBSCRIBE)
+/// plus server-pushed EVENT frames for standing queries
+/// (docs/streaming.md).
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 4;
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 
@@ -40,6 +42,16 @@ enum class MessageType : uint8_t {
   kStatsResponse = 4,
   kExplainRequest = 5,  ///< EXPLAIN verb: render the statement's plan
   kExplainResponse = 6,
+  // v4 streaming verbs (docs/streaming.md). EVENT frames are the one
+  // server-initiated message of the protocol: they may arrive at any time
+  // between a subscriber's request/response pairs.
+  kSubscribeRequest = 7,    ///< SUBSCRIBE verb: register a standing query
+  kSubscribeResponse = 8,
+  kFeedRequest = 9,         ///< FEED verb: dispatch clips into a feed
+  kFeedResponse = 10,
+  kEvent = 11,              ///< server push: one subscription event
+  kUnsubscribeRequest = 12, ///< UNSUBSCRIBE verb: tear down a subscription
+  kUnsubscribeResponse = 13,
 };
 
 // ---------------------------------------------------------------------------
@@ -160,6 +172,92 @@ struct ExplainResponse {
   std::string text;
 };
 
+/// SUBSCRIBE verb request (v4): register a standing streaming statement
+/// against a named feed. The server answers with a SubscribeResponse and
+/// then pushes Event frames as the feed advances (docs/streaming.md).
+struct SubscribeRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t request_id = 0;
+  /// Feed name; empty means "the statement's FROM video" — the server
+  /// creates the feed over that video on first use.
+  std::string feed;
+  /// Standing statement text; must be a streaming (non-ranked) statement.
+  std::string statement;
+  /// Online engine mode: 0 = SVAQ (static background), 1 = SVAQD
+  /// (drift-adaptive). Other values are rejected.
+  uint8_t mode = 1;
+  /// Per-subscriber event queue capacity; 0 means the server default. A
+  /// slow consumer overflowing this queue receives gap markers instead of
+  /// stalling the feed.
+  uint32_t queue_capacity = 0;
+  /// Subscription lifetime budget in milliseconds; 0 means unlimited.
+  uint32_t timeout_ms = 0;
+};
+
+/// SUBSCRIBE verb response. `subscription_id` and `feed` are meaningful
+/// only when `status` is OK; the id tags every subsequent Event frame and
+/// is what UNSUBSCRIBE takes.
+struct SubscribeResponse {
+  uint64_t request_id = 0;
+  Status status;
+  uint64_t subscription_id = 0;
+  /// The resolved feed name (echoes the request's, or the statement's
+  /// video when the request left it empty).
+  std::string feed;
+};
+
+/// FEED verb request (v4): dispatch up to `clip_count` clips of the feed's
+/// source video into the feed, fanning each clip out to every standing
+/// subscription. Exhausting the source closes the feed and flushes
+/// end-of-stream events to all subscribers.
+struct FeedRequest {
+  uint64_t request_id = 0;
+  std::string feed;
+  /// Number of clips to dispatch; must be >= 1.
+  int64_t clip_count = 0;
+};
+
+/// FEED verb response: how far the feed advanced.
+struct FeedResponse {
+  uint64_t request_id = 0;
+  Status status;
+  /// Clips actually dispatched by this request.
+  int64_t clips_dispatched = 0;
+  /// Cursor after the dispatch (next clip index to be fed).
+  int64_t next_clip = 0;
+  /// The source was exhausted and the feed closed; subscribers have been
+  /// sent their end-of-stream events.
+  bool feed_closed = false;
+};
+
+/// Server-pushed subscription event (v4) — the only server-initiated
+/// frame. `kind` mirrors stream::StreamEvent::Kind: 1 = completed result
+/// sequence [begin, end); 2 = gap marker (`dropped` events were evicted
+/// from a lagging subscriber's queue; `status` is kResourceExhausted);
+/// 3 = end of stream; 4 = stream error (`status` says why). Kinds 3 and 4
+/// are terminal — no further events follow for this subscription.
+struct EventFrame {
+  uint64_t subscription_id = 0;
+  uint8_t kind = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t dropped = 0;
+  Status status;
+};
+
+/// UNSUBSCRIBE verb request (v4): tear down a subscription. Pending events
+/// are flushed to the client before the response frame, so everything the
+/// subscription produced is delivered ahead of the acknowledgement.
+struct UnsubscribeRequest {
+  uint64_t request_id = 0;
+  uint64_t subscription_id = 0;
+};
+
+struct UnsubscribeResponse {
+  uint64_t request_id = 0;
+  Status status;
+};
+
 /// Fixed-layout latency histogram: bucket i counts observations in
 /// [2^i, 2^(i+1)) microseconds; the last bucket absorbs everything larger
 /// (~67 s and up).
@@ -222,6 +320,13 @@ std::string EncodeQueryResponse(const QueryResponse& response);
 std::string EncodeStatsResponse(const ServerStatsWire& stats);
 std::string EncodeExplainRequest(const ExplainRequest& request);
 std::string EncodeExplainResponse(const ExplainResponse& response);
+std::string EncodeSubscribeRequest(const SubscribeRequest& request);
+std::string EncodeSubscribeResponse(const SubscribeResponse& response);
+std::string EncodeFeedRequest(const FeedRequest& request);
+std::string EncodeFeedResponse(const FeedResponse& response);
+std::string EncodeEvent(const EventFrame& event);
+std::string EncodeUnsubscribeRequest(const UnsubscribeRequest& request);
+std::string EncodeUnsubscribeResponse(const UnsubscribeResponse& response);
 
 /// Reads the version and type bytes of a complete frame payload and leaves
 /// `cursor` positioned at the body. Errors: Corruption (truncated);
@@ -235,6 +340,16 @@ Status DecodeQueryResponse(WireCursor* cursor, QueryResponse* response);
 Status DecodeStatsResponse(WireCursor* cursor, ServerStatsWire* stats);
 Status DecodeExplainRequest(WireCursor* cursor, ExplainRequest* request);
 Status DecodeExplainResponse(WireCursor* cursor, ExplainResponse* response);
+Status DecodeSubscribeRequest(WireCursor* cursor, SubscribeRequest* request);
+Status DecodeSubscribeResponse(WireCursor* cursor,
+                               SubscribeResponse* response);
+Status DecodeFeedRequest(WireCursor* cursor, FeedRequest* request);
+Status DecodeFeedResponse(WireCursor* cursor, FeedResponse* response);
+Status DecodeEvent(WireCursor* cursor, EventFrame* event);
+Status DecodeUnsubscribeRequest(WireCursor* cursor,
+                                UnsubscribeRequest* request);
+Status DecodeUnsubscribeResponse(WireCursor* cursor,
+                                 UnsubscribeResponse* response);
 
 // ---------------------------------------------------------------------------
 // Incremental frame assembly (the read path of both peers).

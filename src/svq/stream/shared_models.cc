@@ -1,0 +1,280 @@
+#include "svq/stream/shared_models.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "svq/cache/fingerprint.h"
+
+namespace svq::stream {
+
+namespace {
+
+/// Stable identity of a shared model: everything that changes the model's
+/// output or cost keys a separate underlying instance (two subscribers
+/// with different USING clauses must not share).
+uint64_t ProfileKey(const models::DetectorProfile& profile, uint64_t seed,
+                    bool recognizer) {
+  svq::cache::Fingerprint fp;
+  fp.Mix(recognizer ? "recognizer" : "detector");
+  fp.Mix(profile.name);
+  fp.Mix(seed);
+  fp.Mix(profile.tpr).Mix(profile.fpr);
+  fp.Mix(profile.mean_miss_burst).Mix(profile.mean_fp_burst);
+  fp.Mix(profile.true_score.alpha).Mix(profile.true_score.beta);
+  fp.Mix(profile.false_score.alpha).Mix(profile.false_score.beta);
+  fp.Mix(profile.cost_ms);
+  fp.Mix(profile.ideal);
+  for (const auto& [label, accuracy] : profile.label_accuracy) {
+    fp.Mix(label).Mix(accuracy.tpr).Mix(accuracy.fpr);
+  }
+  return fp.value();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared state: one underlying model + per-clip memo per distinct profile.
+
+struct SharedModelPool::SharedDetectorState {
+  SharedDetectorState(std::shared_ptr<const video::SyntheticVideo> video,
+                      models::DetectorProfile profile, uint64_t seed)
+      : video(std::move(video)), profile(std::move(profile)), seed(seed) {}
+
+  /// Rebuilds the underlying model when `labels` brings new vocabulary.
+  /// Per-label overlays are pure functions of (video, profile, seed,
+  /// label), so a rebuilt model agrees with the old one on every label it
+  /// already knew. Stats of the replaced instance are retired so RunStats
+  /// stays cumulative. Caller holds `mu`.
+  void EnsureLabelsLocked(const std::vector<std::string>& labels) {
+    bool grew = false;
+    for (const auto& label : labels) grew |= vocabulary.insert(label).second;
+    if (!grew && model != nullptr) return;
+    if (model != nullptr) retired += model->stats();
+    model = std::make_unique<models::SyntheticObjectDetector>(
+        video, profile,
+        std::vector<std::string>(vocabulary.begin(), vocabulary.end()), seed);
+    memo.clear();
+  }
+
+  Result<std::vector<models::ObjectDetection>> Detect(
+      video::FrameIndex frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(frame);
+    if (it != memo.end()) return it->second;
+    SVQ_ASSIGN_OR_RETURN(std::vector<models::ObjectDetection> detections,
+                         model->Detect(frame));
+    memo.emplace(frame, detections);
+    return detections;
+  }
+
+  std::shared_ptr<const video::SyntheticVideo> video;
+  const models::DetectorProfile profile;
+  const uint64_t seed;
+
+  std::mutex mu;
+  std::set<std::string> vocabulary;
+  std::unique_ptr<models::SyntheticObjectDetector> model;
+  models::InferenceStats retired;
+  models::InferenceStats charged;
+  std::unordered_map<int64_t, std::vector<models::ObjectDetection>> memo;
+};
+
+struct SharedModelPool::SharedRecognizerState {
+  SharedRecognizerState(std::shared_ptr<const video::SyntheticVideo> video,
+                        models::DetectorProfile profile, uint64_t seed)
+      : video(std::move(video)), profile(std::move(profile)), seed(seed) {}
+
+  void EnsureLabelsLocked(const std::vector<std::string>& labels) {
+    bool grew = false;
+    for (const auto& label : labels) grew |= vocabulary.insert(label).second;
+    if (!grew && model != nullptr) return;
+    if (model != nullptr) retired += model->stats();
+    model = std::make_unique<models::SyntheticActionRecognizer>(
+        video, profile,
+        std::vector<std::string>(vocabulary.begin(), vocabulary.end()), seed);
+    memo.clear();
+  }
+
+  Result<std::vector<models::ActionScore>> Recognize(
+      const video::ShotRef& shot) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(shot.shot);
+    if (it != memo.end()) return it->second;
+    SVQ_ASSIGN_OR_RETURN(std::vector<models::ActionScore> scores,
+                         model->Recognize(shot));
+    memo.emplace(shot.shot, scores);
+    return scores;
+  }
+
+  std::shared_ptr<const video::SyntheticVideo> video;
+  const models::DetectorProfile profile;
+  const uint64_t seed;
+
+  std::mutex mu;
+  std::set<std::string> vocabulary;
+  std::unique_ptr<models::SyntheticActionRecognizer> model;
+  models::InferenceStats retired;
+  models::InferenceStats charged;
+  std::unordered_map<int64_t, std::vector<models::ActionScore>> memo;
+};
+
+namespace {
+
+/// Subscriber-facing detector: forwards to the shared memo, charges its
+/// own stats as if it were a dedicated model (1 unit x cost_ms per
+/// successful Detect — the exact accrual of SyntheticObjectDetector).
+class SubscriberDetector final : public models::ObjectDetector {
+ public:
+  SubscriberDetector(
+      std::shared_ptr<SharedModelPool::SharedDetectorState> shared,
+      std::vector<std::string> vocabulary)
+      : shared_(std::move(shared)), vocabulary_(std::move(vocabulary)) {}
+
+  Result<std::vector<models::ObjectDetection>> Detect(
+      video::FrameIndex frame) override {
+    auto result = shared_->Detect(frame);
+    if (result.ok()) {
+      stats_.Add(1, shared_->profile.cost_ms);
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      shared_->charged.Add(1, shared_->profile.cost_ms);
+    }
+    return result;
+  }
+
+  const std::vector<std::string>& SupportedLabels() const override {
+    return vocabulary_;
+  }
+  const std::string& name() const override { return shared_->profile.name; }
+  const models::InferenceStats& stats() const override { return stats_; }
+
+ private:
+  std::shared_ptr<SharedModelPool::SharedDetectorState> shared_;
+  std::vector<std::string> vocabulary_;
+  models::InferenceStats stats_;
+};
+
+class SubscriberRecognizer final : public models::ActionRecognizer {
+ public:
+  SubscriberRecognizer(
+      std::shared_ptr<SharedModelPool::SharedRecognizerState> shared,
+      std::vector<std::string> vocabulary)
+      : shared_(std::move(shared)), vocabulary_(std::move(vocabulary)) {}
+
+  Result<std::vector<models::ActionScore>> Recognize(
+      const video::ShotRef& shot) override {
+    auto result = shared_->Recognize(shot);
+    if (result.ok()) {
+      stats_.Add(1, shared_->profile.cost_ms);
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      shared_->charged.Add(1, shared_->profile.cost_ms);
+    }
+    return result;
+  }
+
+  const std::vector<std::string>& SupportedLabels() const override {
+    return vocabulary_;
+  }
+  const std::string& name() const override { return shared_->profile.name; }
+  const models::InferenceStats& stats() const override { return stats_; }
+
+ private:
+  std::shared_ptr<SharedModelPool::SharedRecognizerState> shared_;
+  std::vector<std::string> vocabulary_;
+  models::InferenceStats stats_;
+};
+
+}  // namespace
+
+SharedModelPool::SharedModelPool(
+    std::shared_ptr<const video::SyntheticVideo> video)
+    : video_(std::move(video)) {}
+
+SharedModelPool::~SharedModelPool() = default;
+
+std::unique_ptr<models::ObjectDetector> SharedModelPool::DetectorView(
+    const models::DetectorProfile& profile, uint64_t seed,
+    const std::vector<std::string>& labels) {
+  std::shared_ptr<SharedDetectorState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = detectors_[ProfileKey(profile, seed, /*recognizer=*/false)];
+    if (slot == nullptr) {
+      slot = std::make_shared<SharedDetectorState>(video_, profile, seed);
+    }
+    state = slot;
+  }
+  std::vector<std::string> vocabulary;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->EnsureLabelsLocked(labels);
+    vocabulary = state->model->SupportedLabels();
+  }
+  return std::make_unique<SubscriberDetector>(std::move(state),
+                                              std::move(vocabulary));
+}
+
+std::unique_ptr<models::ActionRecognizer> SharedModelPool::RecognizerView(
+    const models::DetectorProfile& profile, uint64_t seed,
+    const std::vector<std::string>& labels) {
+  std::shared_ptr<SharedRecognizerState> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = recognizers_[ProfileKey(profile, seed, /*recognizer=*/true)];
+    if (slot == nullptr) {
+      slot = std::make_shared<SharedRecognizerState>(video_, profile, seed);
+    }
+    state = slot;
+  }
+  std::vector<std::string> vocabulary;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->EnsureLabelsLocked(labels);
+    vocabulary = state->model->SupportedLabels();
+  }
+  return std::make_unique<SubscriberRecognizer>(std::move(state),
+                                                std::move(vocabulary));
+}
+
+void SharedModelPool::BeginClip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, state] : detectors_) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    state->memo.clear();
+  }
+  for (auto& [key, state] : recognizers_) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    state->memo.clear();
+  }
+}
+
+models::InferenceStats SharedModelPool::RunStats() const {
+  models::InferenceStats total;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, state] : detectors_) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    total += state->retired;
+    if (state->model != nullptr) total += state->model->stats();
+  }
+  for (const auto& [key, state] : recognizers_) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    total += state->retired;
+    if (state->model != nullptr) total += state->model->stats();
+  }
+  return total;
+}
+
+models::InferenceStats SharedModelPool::ChargedStats() const {
+  models::InferenceStats total;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, state] : detectors_) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    total += state->charged;
+  }
+  for (const auto& [key, state] : recognizers_) {
+    std::lock_guard<std::mutex> state_lock(state->mu);
+    total += state->charged;
+  }
+  return total;
+}
+
+}  // namespace svq::stream

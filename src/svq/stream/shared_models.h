@@ -1,0 +1,101 @@
+#ifndef SVQ_STREAM_SHARED_MODELS_H_
+#define SVQ_STREAM_SHARED_MODELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svq/common/result.h"
+#include "svq/models/action_recognizer.h"
+#include "svq/models/model_profile.h"
+#include "svq/models/object_detector.h"
+#include "svq/models/synthetic_models.h"
+#include "svq/video/synthetic_video.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::stream {
+
+/// Shared-inference model pool for one feed (docs/streaming.md).
+///
+/// Many standing queries over the same feed would each instantiate their
+/// own detector/recognizer and re-run inference on every clip — N queries,
+/// N model passes. The pool instead keeps ONE underlying synthetic model
+/// per distinct profile, built with the union vocabulary of every
+/// subscriber, and memoizes its output per occurrence unit within the
+/// current clip. Subscribers get lightweight *views* implementing the
+/// model interfaces: a view forwards to the shared memo (so each frame /
+/// shot runs the real model at most once per clip, no matter how many
+/// subscribers ask) while charging its own InferenceStats exactly what a
+/// dedicated model would have charged — the engines' virtual-time
+/// accounting, adaptive predicate ordering, and OnlineStats::model_ms are
+/// bit-identical to dedicated execution.
+///
+/// Correctness of the fan-out rests on a property of the synthetic models
+/// (models/synthetic_models.cc): per-label output is a pure function of
+/// (video, profile, seed, label, unit) — the vocabulary only selects which
+/// labels are iterated. A union-vocabulary model therefore emits, for each
+/// subscriber's labels, exactly the detections a dedicated model would,
+/// and extra labels are ignored by predicate evaluation. Growing the
+/// vocabulary when a new subscriber arrives is equally safe: overlays are
+/// regenerated per label from the same seeds.
+///
+/// RunStats() is what was actually executed; ChargedStats() is what
+/// dedicated per-query models would have executed. Their difference is the
+/// shared-inference saving surfaced as svq_stream_* metrics.
+///
+/// Thread safety: all members are safe for concurrent use; the per-clip
+/// memo is guarded by a per-model mutex. BeginClip() must not race Detect /
+/// Recognize calls of the *same* feed — the dispatcher guarantees that by
+/// serializing dispatch per feed.
+class SharedModelPool {
+ public:
+  // Opaque shared-model states (defined in shared_models.cc; public so the
+  // file-local subscriber views there can hold them).
+  struct SharedDetectorState;
+  struct SharedRecognizerState;
+
+  explicit SharedModelPool(std::shared_ptr<const video::SyntheticVideo> video);
+  ~SharedModelPool();
+
+  SharedModelPool(const SharedModelPool&) = delete;
+  SharedModelPool& operator=(const SharedModelPool&) = delete;
+
+  /// A subscriber view over the shared detector for `profile`/`seed`,
+  /// with `labels` added to the union vocabulary (rebuilding the shared
+  /// model if they are new). The view is valid for the pool's lifetime.
+  std::unique_ptr<models::ObjectDetector> DetectorView(
+      const models::DetectorProfile& profile, uint64_t seed,
+      const std::vector<std::string>& labels);
+
+  /// Likewise for the shared recognizer.
+  std::unique_ptr<models::ActionRecognizer> RecognizerView(
+      const models::DetectorProfile& profile, uint64_t seed,
+      const std::vector<std::string>& labels);
+
+  /// Invalidates every per-clip memo; call once per dispatched clip,
+  /// before any subscriber engine runs.
+  void BeginClip();
+
+  /// Inference actually executed by the shared models (units de-duplicated
+  /// across subscribers).
+  models::InferenceStats RunStats() const;
+  /// Inference charged to subscriber views — what N dedicated engines
+  /// would have executed.
+  models::InferenceStats ChargedStats() const;
+
+ private:
+  std::shared_ptr<const video::SyntheticVideo> video_;
+  mutable std::mutex mu_;  // guards the state maps only
+  std::unordered_map<uint64_t, std::shared_ptr<SharedDetectorState>>
+      detectors_;
+  std::unordered_map<uint64_t, std::shared_ptr<SharedRecognizerState>>
+      recognizers_;
+};
+
+}  // namespace svq::stream
+
+#endif  // SVQ_STREAM_SHARED_MODELS_H_

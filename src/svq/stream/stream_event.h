@@ -1,0 +1,124 @@
+#ifndef SVQ_STREAM_STREAM_EVENT_H_
+#define SVQ_STREAM_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "svq/common/status.h"
+#include "svq/video/types.h"
+
+namespace svq::stream {
+
+/// One push notification to a subscriber (docs/streaming.md).
+struct StreamEvent {
+  enum class Kind : uint8_t {
+    /// A completed result sequence of the standing query (clip domain,
+    /// half-open interval — the paper's Eq. 4 output, surfaced as soon as
+    /// it is conclusively closed).
+    kSequence = 1,
+    /// Lag marker: the subscriber fell behind its bounded event queue and
+    /// `dropped` earlier events were discarded (never result corruption —
+    /// later sequences are intact, the gap only says some were lost).
+    /// `status` carries kResourceExhausted with a diagnostic message.
+    kGap = 2,
+    /// The feed drained or closed; the engine's trailing open sequence has
+    /// been flushed (OnlineEngine::Finish) and no further events follow.
+    kEndOfStream = 3,
+    /// The standing query terminated with `status` (deadline exceeded,
+    /// cancellation, model failure). No further events follow.
+    kError = 4,
+  };
+
+  Kind kind = Kind::kSequence;
+  /// Sequence interval for kSequence; zeros otherwise.
+  video::Interval sequence{0, 0};
+  /// Events discarded, for kGap; zero otherwise.
+  int64_t dropped = 0;
+  /// Non-OK for kGap (kResourceExhausted) and kError; OK otherwise.
+  Status status;
+};
+
+/// Bounded per-subscriber event buffer implementing the lag/drop policy:
+/// a slow consumer never blocks the feed. When the queue is full, the
+/// oldest buffered events are coalesced into one kGap marker at the front
+/// (so the consumer learns exactly how many it lost, in order), and the new
+/// event is appended. Terminal events (kEndOfStream / kError) are always
+/// delivered: they evict as needed but are never themselves dropped, and
+/// the queue refuses pushes after one. Not thread safe — Subscription
+/// guards it.
+class EventQueue {
+ public:
+  /// `capacity` >= 2 (one slot must remain for a gap marker).
+  explicit EventQueue(size_t capacity)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  /// Appends an event, applying the drop policy. Returns the number of
+  /// events newly discarded (0 when the queue had room).
+  int64_t Push(StreamEvent event) {
+    if (terminal_queued_) return 0;  // stream already over; nothing follows
+    const bool terminal = event.kind == StreamEvent::Kind::kEndOfStream ||
+                          event.kind == StreamEvent::Kind::kError;
+    if (terminal) terminal_queued_ = true;
+    int64_t dropped = 0;
+    if (events_.size() >= capacity_) {
+      // Coalesce the front of the queue into one gap marker: evict until
+      // two slots are free (gap + the new event), absorbing any existing
+      // gap's count so consecutive overflows keep one marker. The marker
+      // carries the cumulative count; the return value counts only events
+      // discarded by THIS push (an absorbed gap's total was already
+      // returned when that gap was created — counting it again would
+      // double-book the drop metrics).
+      int64_t absorbed = 0;
+      while (events_.size() > capacity_ - 2) {
+        const StreamEvent& front = events_.front();
+        if (front.kind == StreamEvent::Kind::kGap) {
+          absorbed += front.dropped;
+        } else {
+          ++dropped;
+        }
+        events_.pop_front();
+      }
+      StreamEvent gap;
+      gap.kind = StreamEvent::Kind::kGap;
+      gap.dropped = absorbed + dropped;
+      gap.status = Status(
+          StatusCode::kResourceExhausted,
+          "subscriber lagging: " + std::to_string(absorbed + dropped) +
+              " event(s) dropped");
+      events_.push_front(std::move(gap));
+    }
+    events_.push_back(std::move(event));
+    return dropped;
+  }
+
+  /// Pops up to `max` buffered events (0 = all) in order.
+  std::deque<StreamEvent> Pop(size_t max = 0) {
+    if (max == 0 || max >= events_.size()) {
+      std::deque<StreamEvent> out;
+      out.swap(events_);
+      return out;
+    }
+    std::deque<StreamEvent> out;
+    while (out.size() < max) {
+      out.push_back(std::move(events_.front()));
+      events_.pop_front();
+    }
+    return out;
+  }
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  size_t capacity() const { return capacity_; }
+  /// True once a terminal event has been queued (or popped).
+  bool terminal_queued() const { return terminal_queued_; }
+
+ private:
+  size_t capacity_;
+  std::deque<StreamEvent> events_;
+  bool terminal_queued_ = false;
+};
+
+}  // namespace svq::stream
+
+#endif  // SVQ_STREAM_STREAM_EVENT_H_

@@ -27,7 +27,7 @@ TEST(StripExplainTest, RecognizesKeyword) {
 }
 
 TEST(ExplainTest, RankedPlan) {
-  auto plan = ExplainStatement(nullptr, kRankedSql);
+  auto plan = ExplainStatementOn(nullptr, kRankedSql);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_NE(plan->find("ranked top-3 query (offline)"), std::string::npos);
   EXPECT_NE(plan->find("RVAQ"), std::string::npos);
@@ -37,7 +37,7 @@ TEST(ExplainTest, RankedPlan) {
 }
 
 TEST(ExplainTest, StreamingPlanWithRelationship) {
-  auto plan = ExplainStatement(nullptr, kStreamingSql);
+  auto plan = ExplainStatementOn(nullptr, kStreamingSql);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_NE(plan->find("streaming query (online)"), std::string::npos);
   EXPECT_NE(plan->find("SVAQD"), std::string::npos);
@@ -46,7 +46,7 @@ TEST(ExplainTest, StreamingPlanWithRelationship) {
 
 TEST(ExplainTest, AcceptsExplainPrefix) {
   auto plan =
-      ExplainStatement(nullptr, std::string("EXPLAIN ") + kStreamingSql);
+      ExplainStatementOn(nullptr, std::string("EXPLAIN ") + kStreamingSql);
   ASSERT_TRUE(plan.ok()) << plan.status();
 }
 
@@ -60,17 +60,17 @@ TEST(ExplainTest, ReportsRepositoryState) {
   ASSERT_TRUE(video.ok());
   ASSERT_TRUE(engine.AddVideo(*video).ok());
 
-  auto not_ingested = ExplainStatement(&engine, kRankedSql);
+  auto not_ingested = ExplainStatementOn(engine.Pin(), kRankedSql);
   ASSERT_TRUE(not_ingested.ok());
   EXPECT_NE(not_ingested->find("not ingested"), std::string::npos);
 
   ASSERT_TRUE(engine.Ingest("demo").ok());
-  auto ingested = ExplainStatement(&engine, kRankedSql);
+  auto ingested = ExplainStatementOn(engine.Pin(), kRankedSql);
   ASSERT_TRUE(ingested.ok());
   EXPECT_NE(ingested->find("registered, ingested"), std::string::npos);
 
-  auto unknown = ExplainStatement(
-      &engine,
+  auto unknown = ExplainStatementOn(
+      engine.Pin(),
       "SELECT MERGE(clipID) FROM (PROCESS ghost PRODUCE clipID, act) "
       "WHERE act='jumping'");
   ASSERT_TRUE(unknown.ok());
@@ -78,7 +78,7 @@ TEST(ExplainTest, ReportsRepositoryState) {
 }
 
 TEST(ExplainTest, ParseErrorsPropagate) {
-  EXPECT_FALSE(ExplainStatement(nullptr, "EXPLAIN garbage").ok());
+  EXPECT_FALSE(ExplainStatementOn(nullptr, "EXPLAIN garbage").ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -244,6 +244,72 @@ TEST(OnlineEngineTest, StreamingInterfaceMatchesRun) {
   }
 }
 
+TEST(OnlineEngineTest, FinishFlushesTrailingOpenSequence) {
+  // A video whose action stretches to the very last frame: the final
+  // sequence is still "open" when the stream ends, so TakeCompleted never
+  // surfaces it — unless Finish() flushes it. The completed-event stream
+  // (incremental + Finish) must equal Run()'s sequences exactly.
+  SyntheticVideoSpec spec;
+  spec.name = "finish_flush";
+  spec.num_frames = 40000;
+  spec.seed = 99;
+  // Long action periods relative to the video length make it very likely
+  // the last clip is positive.
+  spec.actions.push_back({"jumping", 300.0, 900.0});
+  video::SyntheticObjectSpec car;
+  car.label = "car";
+  car.correlate_with_action = "jumping";
+  car.correlation = 1.0;
+  car.coverage = 1.0;
+  car.jitter_frames = 0.0;
+  car.mean_on_frames = 0.0;
+  spec.objects.push_back(car);
+  auto video_result = SyntheticVideo::Generate(spec);
+  ASSERT_TRUE(video_result.ok());
+  auto video = *video_result;
+
+  ModelSet m1 = MakeModelSet(video, models::IdealSuite(), {"car"},
+                             {"jumping"});
+  auto batch = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), m1.detector.get(), m1.recognizer.get());
+  ASSERT_TRUE(batch.ok());
+  video::SyntheticVideoStream stream(video, 0);
+  auto batch_result = (*batch)->Run(stream);
+  ASSERT_TRUE(batch_result.ok());
+  ASSERT_FALSE(batch_result->sequences.empty());
+
+  ModelSet m2 = MakeModelSet(video, models::IdealSuite(), {"car"},
+                             {"jumping"});
+  auto incremental = OnlineEngine::Create(
+      OnlineEngine::Mode::kSvaqd, JumpingCarQuery(), OnlineConfig(),
+      video->layout(), m2.detector.get(), m2.recognizer.get());
+  ASSERT_TRUE(incremental.ok());
+  video::SyntheticVideoStream stream2(video, 0);
+  std::vector<video::Interval> completed;
+  while (auto clip = stream2.NextClip()) {
+    ASSERT_TRUE((*incremental)->ProcessClip(*clip).ok());
+    for (const auto& seq : (*incremental)->TakeCompleted()) {
+      completed.push_back(seq);
+    }
+  }
+  (*incremental)->Finish();
+  for (const auto& seq : (*incremental)->TakeCompleted()) {
+    completed.push_back(seq);
+  }
+  // With the flush, the event stream equals the batch result exactly —
+  // including the trailing sequence that was open at end of stream.
+  const auto batch_intervals = batch_result->sequences.intervals();
+  ASSERT_EQ(completed.size(), batch_intervals.size());
+  for (size_t i = 0; i < completed.size(); ++i) {
+    EXPECT_EQ(completed[i].begin, batch_intervals[i].begin) << i;
+    EXPECT_EQ(completed[i].end, batch_intervals[i].end) << i;
+  }
+  // Idempotent: a second Finish produces nothing new.
+  (*incremental)->Finish();
+  EXPECT_TRUE((*incremental)->TakeCompleted().empty());
+}
+
 TEST(OnlineEngineTest, DeterministicAcrossRuns) {
   auto video = MakeVideo();
   video::IntervalSet first;

@@ -449,5 +449,148 @@ TEST_F(ServerTest, DrainingServerRejectsQueuedBacklog) {
   EXPECT_EQ(ok.load() + cancelled.load(), 2);
 }
 
+TEST_F(ServerTest, SubscribeFeedEventRoundTripMatchesOracle) {
+  StartServer();
+  // The serial reference: the same statement through the batch QUERY path.
+  auto reference =
+      query::ExecuteStatementOn(engine_.Pin(), kStreamingStatement);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const auto oracle = reference->online->sequences.intervals();
+  ASSERT_FALSE(oracle.empty());
+
+  Client client = Connected();
+  auto subscribed = client.Subscribe(/*feed=*/"", kStreamingStatement);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status();
+  ASSERT_TRUE(subscribed->status.ok()) << subscribed->status;
+  EXPECT_GT(subscribed->subscription_id, 0u);
+  // An empty feed name resolves to the statement's FROM video.
+  EXPECT_EQ(subscribed->feed, "serving_0");
+
+  // Drive the feed to exhaustion; pushed EVENT frames interleave with the
+  // FEED responses and land in the client's stash.
+  int64_t total_dispatched = 0;
+  bool closed = false;
+  while (!closed) {
+    auto fed = client.FeedClips(subscribed->feed, 64);
+    ASSERT_TRUE(fed.ok()) << fed.status();
+    ASSERT_TRUE(fed->status.ok()) << fed->status;
+    total_dispatched += fed->clips_dispatched;
+    closed = fed->feed_closed;
+  }
+  EXPECT_EQ(total_dispatched, ServingVideo(0)->NumClips());
+
+  // Unsubscribe flushes every remaining event ahead of its ack, so the
+  // stash now holds the subscription's complete story.
+  auto unsubscribed = client.Unsubscribe(subscribed->subscription_id);
+  ASSERT_TRUE(unsubscribed.ok()) << unsubscribed.status();
+  ASSERT_TRUE(unsubscribed->status.ok()) << unsubscribed->status;
+
+  std::vector<EventFrame> events;
+  while (client.stashed_events() > 0) {
+    auto event = client.NextEvent();
+    ASSERT_TRUE(event.ok()) << event.status();
+    EXPECT_EQ(event->subscription_id, subscribed->subscription_id);
+    events.push_back(*event);
+  }
+  ASSERT_EQ(events.size(), oracle.size() + 1);
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(events[i].kind, 1) << i;
+    EXPECT_EQ(events[i].begin, oracle[i].begin) << i;
+    EXPECT_EQ(events[i].end, oracle[i].end) << i;
+  }
+  EXPECT_EQ(events.back().kind, 3);  // end of stream
+
+  // The streaming counters crossed the metrics bridge.
+  const auto registry = server_->Metrics().Flatten();
+  const auto find = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : registry) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "registry entry missing: " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(find("svq_stream_subscriptions_total"), 1.0);
+  EXPECT_DOUBLE_EQ(find("svq_stream_subscriptions_active"), 0.0);
+  EXPECT_DOUBLE_EQ(find("svq_stream_clips_dispatched_total"),
+                   static_cast<double>(total_dispatched));
+  EXPECT_GT(find("svq_stream_events_pushed_total"),
+            static_cast<double>(oracle.size()) - 0.5);
+  EXPECT_GT(find("svq_stream_model_units_run_total"), 0.0);
+  EXPECT_DOUBLE_EQ(find("svqd_subscribe_requests_total"), 1.0);
+  EXPECT_DOUBLE_EQ(find("svqd_unsubscribe_requests_total"), 1.0);
+}
+
+TEST_F(ServerTest, SubscribeRejectsBadRequestsButKeepsConnection) {
+  StartServer();
+  Client client = Connected();
+  // Ranked statements belong on the QUERY verb.
+  auto ranked = client.Subscribe("", kRankedStatement);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  EXPECT_TRUE(ranked->status.IsInvalidArgument()) << ranked->status;
+  // Mode bytes beyond SVAQD are refused.
+  auto bad_mode = client.Subscribe("", kStreamingStatement, /*mode=*/7);
+  ASSERT_TRUE(bad_mode.ok()) << bad_mode.status();
+  EXPECT_TRUE(bad_mode->status.IsInvalidArgument()) << bad_mode->status;
+  // Feeding an unknown feed and unsubscribing an unknown id are clean
+  // NotFounds, and the connection survives all of it.
+  auto fed = client.FeedClips("no_such_feed", 1);
+  ASSERT_TRUE(fed.ok()) << fed.status();
+  EXPECT_TRUE(fed->status.IsNotFound()) << fed->status;
+  auto unsub = client.Unsubscribe(424242);
+  ASSERT_TRUE(unsub.ok()) << unsub.status();
+  EXPECT_TRUE(unsub->status.IsNotFound()) << unsub->status;
+  auto response = client.Execute(kStreamingStatement);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.ok()) << response->status;
+}
+
+TEST_F(ServerTest, UnsubscribeIsScopedToTheOwningConnection) {
+  StartServer();
+  Client owner = Connected();
+  auto subscribed = owner.Subscribe("", kStreamingStatement);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status();
+  ASSERT_TRUE(subscribed->status.ok()) << subscribed->status;
+
+  // Another connection cannot tear down (or even probe) the subscription.
+  Client intruder = Connected();
+  auto stolen = intruder.Unsubscribe(subscribed->subscription_id);
+  ASSERT_TRUE(stolen.ok()) << stolen.status();
+  EXPECT_TRUE(stolen->status.IsNotFound()) << stolen->status;
+
+  auto mine = owner.Unsubscribe(subscribed->subscription_id);
+  ASSERT_TRUE(mine.ok()) << mine.status();
+  EXPECT_TRUE(mine->status.ok()) << mine->status;
+}
+
+TEST_F(ServerTest, DisconnectCancelsStandingSubscriptions) {
+  StartServer();
+  {
+    Client client = Connected();
+    auto subscribed = client.Subscribe("", kStreamingStatement);
+    ASSERT_TRUE(subscribed.ok()) << subscribed.status();
+    ASSERT_TRUE(subscribed->status.ok()) << subscribed->status;
+    const auto registry = server_->Metrics().Flatten();
+    for (const auto& [key, value] : registry) {
+      if (key == "svq_stream_subscriptions_active") {
+        EXPECT_DOUBLE_EQ(value, 1.0);
+      }
+    }
+  }  // client destructor closes the socket
+  // The IO thread reaps the connection and cancels its subscriptions; the
+  // active gauge must return to zero.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  double active = 1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    active = -1.0;
+    for (const auto& [key, value] : server_->Metrics().Flatten()) {
+      if (key == "svq_stream_subscriptions_active") active = value;
+    }
+    if (active == 0.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_DOUBLE_EQ(active, 0.0);
+}
+
 }  // namespace
 }  // namespace svq::server

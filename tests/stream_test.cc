@@ -1,0 +1,434 @@
+// Tests for the streaming subsystem (src/svq/stream, docs/streaming.md):
+// standing SVAQ/SVAQD queries over live feeds, shared inference across
+// co-located subscribers, and the bounded event queue's lag/drop policy.
+//
+// The central check is an oracle equivalence: N subscribers fed clip by
+// clip through the dispatcher must each produce exactly the sequence
+// events a serial OnlineEngine::Run of the same statement produces —
+// including the trailing sequence flushed by OnlineEngine::Finish at feed
+// close. Runs under `ctest -L tsan` (with -DSVQ_SANITIZE=thread) to prove
+// the dispatcher's feed/subscription locking discipline is race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svq/core/engine.h"
+#include "svq/query/executor.h"
+#include "svq/stream/dispatcher.h"
+#include "svq/stream/stream_event.h"
+#include "svq/video/synthetic_video.h"
+#include "svq/video/video_stream.h"
+
+namespace svq::stream {
+namespace {
+
+using core::OnlineEngine;
+using video::Interval;
+
+std::string StreamingStatement(const std::string& video) {
+  return "SELECT MERGE(clipID) FROM (PROCESS " + video +
+         " PRODUCE clipID, obj USING ObjectDetector, act USING "
+         "ActionRecognizer) WHERE act='smoking' AND obj.include('cup')";
+}
+
+std::shared_ptr<const video::SyntheticVideo> StreamVideo(
+    const std::string& name, uint64_t seed) {
+  video::SyntheticVideoSpec spec;
+  spec.name = name;
+  spec.num_frames = 36000;
+  spec.seed = seed;
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  auto video = video::SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    video_ = StreamVideo("stream_0", 4200);
+    ASSERT_TRUE(engine_.AddVideo(video_).ok());
+    ASSERT_TRUE(engine_.IngestAll().ok());
+  }
+
+  /// The serial reference answer: the exact sequences OnlineEngine::Run
+  /// produces for this statement through the ordinary executor path.
+  std::vector<Interval> Oracle(const std::string& statement) {
+    auto reference = query::ExecuteStatementOn(engine_.Pin(), statement);
+    EXPECT_TRUE(reference.ok()) << reference.status();
+    EXPECT_TRUE(reference->online.has_value());
+    return reference->online->sequences.intervals();
+  }
+
+  /// Drains everything queued on `sub` right now, appending sequence
+  /// intervals to `sequences` and returning the terminal kind seen (or
+  /// kSequence if none yet).
+  static StreamEvent::Kind Drain(const SubscriptionPtr& sub,
+                                 std::vector<Interval>* sequences,
+                                 int64_t* gap_dropped = nullptr) {
+    StreamEvent::Kind terminal = StreamEvent::Kind::kSequence;
+    for (const StreamEvent& event : sub->Poll()) {
+      switch (event.kind) {
+        case StreamEvent::Kind::kSequence:
+          sequences->push_back(event.sequence);
+          break;
+        case StreamEvent::Kind::kGap:
+          EXPECT_TRUE(event.status.IsResourceExhausted());
+          EXPECT_GT(event.dropped, 0);
+          if (gap_dropped != nullptr) *gap_dropped += event.dropped;
+          break;
+        default:
+          terminal = event.kind;
+          break;
+      }
+    }
+    return terminal;
+  }
+
+  std::shared_ptr<const video::SyntheticVideo> video_;
+  core::VideoQueryEngine engine_;
+};
+
+TEST_F(StreamTest, SubscribersMatchSerialRunOracle) {
+  const std::string statement = StreamingStatement("stream_0");
+  const std::vector<Interval> oracle = Oracle(statement);
+  ASSERT_FALSE(oracle.empty());
+
+  StreamOptions options;
+  options.event_queue_capacity = 4096;  // hold everything; no drops here
+  StreamDispatcher dispatcher(&engine_, options);
+  constexpr int kSubscribers = 4;
+  std::vector<SubscriptionPtr> subs;
+  for (int i = 0; i < kSubscribers; ++i) {
+    auto sub = dispatcher.Subscribe("lobby", statement);
+    ASSERT_TRUE(sub.ok()) << sub.status();
+    subs.push_back(*sub);
+  }
+  EXPECT_TRUE(dispatcher.HasFeed("lobby"));
+
+  // Feed in uneven batches, interleaving polls, until the video runs dry.
+  std::vector<std::vector<Interval>> collected(kSubscribers);
+  std::vector<StreamEvent::Kind> terminal(kSubscribers,
+                                          StreamEvent::Kind::kSequence);
+  const auto drain = [&](int i) {
+    const StreamEvent::Kind kind = Drain(subs[i], &collected[i]);
+    if (kind != StreamEvent::Kind::kSequence) terminal[i] = kind;
+  };
+  bool closed = false;
+  int64_t batch = 1;
+  while (!closed) {
+    auto progress = dispatcher.FeedClips("lobby", batch);
+    ASSERT_TRUE(progress.ok()) << progress.status();
+    closed = progress->closed;
+    batch = batch % 7 + 1;
+    for (int i = 0; i < kSubscribers; i += 2) {  // poll only half mid-feed
+      drain(i);
+    }
+  }
+  // The feed closed: every subscriber is finished and drains to exactly
+  // the serial result, trailing flushed sequence included.
+  for (int i = 0; i < kSubscribers; ++i) {
+    EXPECT_TRUE(subs[i]->finished()) << i;
+    drain(i);
+    EXPECT_EQ(terminal[i], StreamEvent::Kind::kEndOfStream) << i;
+    EXPECT_EQ(subs[i]->dropped_total(), 0) << i;
+    ASSERT_EQ(collected[i].size(), oracle.size()) << i;
+    for (size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_EQ(collected[i][j].begin, oracle[j].begin) << i << "," << j;
+      EXPECT_EQ(collected[i][j].end, oracle[j].end) << i << "," << j;
+    }
+  }
+  // Closing erased the feed; feeding again is a clean NotFound.
+  EXPECT_FALSE(dispatcher.HasFeed("lobby"));
+  EXPECT_TRUE(dispatcher.FeedClips("lobby", 1).status().IsNotFound());
+
+  const DispatcherStats stats = dispatcher.Stats();
+  EXPECT_EQ(stats.feeds_created, 1);
+  EXPECT_EQ(stats.feeds_open, 0);
+  EXPECT_EQ(stats.subscriptions_opened, kSubscribers);
+  EXPECT_EQ(stats.subscriptions_active, 0);
+  EXPECT_EQ(stats.clips_dispatched, video_->NumClips());
+  EXPECT_EQ(stats.events_dropped, 0);
+}
+
+TEST_F(StreamTest, SharedInferenceChargesManyRunsOnce) {
+  // Eight identical standing queries on one feed: the shared model pool
+  // memoizes per (clip, unit), so the models RUN one subscriber's worth of
+  // inference while the subscribers are CHARGED eight worths — the
+  // headline multiplexing win (ISSUE acceptance: run <= 1.1x single).
+  const std::string statement = StreamingStatement("stream_0");
+  StreamOptions options;
+  options.event_queue_capacity = 4096;
+  StreamDispatcher dispatcher(&engine_, options);
+  constexpr int kSubscribers = 8;
+  std::vector<SubscriptionPtr> subs;
+  for (int i = 0; i < kSubscribers; ++i) {
+    auto sub = dispatcher.Subscribe("lobby", statement);
+    ASSERT_TRUE(sub.ok()) << sub.status();
+    subs.push_back(*sub);
+  }
+  while (true) {
+    auto progress = dispatcher.FeedClips("lobby", 64);
+    ASSERT_TRUE(progress.ok()) << progress.status();
+    if (progress->closed) break;
+  }
+  const DispatcherStats stats = dispatcher.Stats();
+  ASSERT_GT(stats.model_units_run, 0);
+  ASSERT_GT(stats.model_units_charged, 0);
+  // charged / kSubscribers is one dedicated engine's inference bill.
+  EXPECT_LE(static_cast<double>(stats.model_units_run),
+            1.1 * static_cast<double>(stats.model_units_charged) /
+                kSubscribers)
+      << "run=" << stats.model_units_run
+      << " charged=" << stats.model_units_charged;
+  EXPECT_LE(stats.model_ms_run,
+            1.1 * stats.model_ms_charged / kSubscribers + 1e-9);
+  // And sharing must not perturb results: all eight agree with the serial
+  // run (per-query purity of the synthetic models).
+  const std::vector<Interval> oracle = Oracle(statement);
+  for (int i = 0; i < kSubscribers; ++i) {
+    std::vector<Interval> got;
+    EXPECT_EQ(Drain(subs[i], &got), StreamEvent::Kind::kEndOfStream);
+    ASSERT_EQ(got.size(), oracle.size()) << i;
+    for (size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_EQ(got[j].begin, oracle[j].begin) << i << "," << j;
+      EXPECT_EQ(got[j].end, oracle[j].end) << i << "," << j;
+    }
+  }
+}
+
+TEST_F(StreamTest, SlowConsumerGetsGapMarkersNotStalls) {
+  const std::string statement = StreamingStatement("stream_0");
+  StreamDispatcher dispatcher(&engine_);
+  SubscribeOptions tiny;
+  tiny.queue_capacity = 2;  // the minimum: one slot + the gap marker
+  auto sub = dispatcher.Subscribe("lobby", statement, tiny);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+
+  // Never poll while feeding: the queue overflows and coalesces.
+  while (true) {
+    auto progress = dispatcher.FeedClips("lobby", 256);
+    ASSERT_TRUE(progress.ok()) << progress.status();
+    if (progress->closed) break;
+  }
+  ASSERT_TRUE((*sub)->finished());
+  const std::vector<Interval> oracle = Oracle(statement);
+  ASSERT_GT(oracle.size(), 1u);
+
+  std::vector<Interval> got;
+  int64_t gap_dropped = 0;
+  EXPECT_EQ(Drain(*sub, &got, &gap_dropped),
+            StreamEvent::Kind::kEndOfStream);
+  // Capacity 2 with no polling keeps at most one sequence... in fact every
+  // buffered sequence was evicted into the gap by later pushes; what
+  // survives is the coalesced gap + the terminal event.
+  EXPECT_LT(got.size(), oracle.size());
+  EXPECT_GT(gap_dropped, 0);
+  EXPECT_EQ((*sub)->dropped_total(), gap_dropped);
+  // Lost events are *reported*, not silently swallowed: gaps + survivors
+  // account for every sequence the engine completed.
+  EXPECT_EQ(gap_dropped + static_cast<int64_t>(got.size()),
+            static_cast<int64_t>(oracle.size()));
+  EXPECT_EQ(dispatcher.Stats().events_dropped, gap_dropped);
+}
+
+TEST_F(StreamTest, UnsubscribeCancelsAndDetaches) {
+  const std::string statement = StreamingStatement("stream_0");
+  StreamDispatcher dispatcher(&engine_);
+  auto sub = dispatcher.Subscribe("lobby", statement);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  const uint64_t id = (*sub)->id();
+  EXPECT_EQ(dispatcher.Find(id), *sub);
+
+  ASSERT_TRUE(dispatcher.FeedClips("lobby", 32).ok());
+  ASSERT_TRUE(dispatcher.Unsubscribe(id).ok());
+  EXPECT_EQ(dispatcher.Find(id), nullptr);
+  EXPECT_TRUE(dispatcher.Unsubscribe(id).IsNotFound());
+  EXPECT_EQ(dispatcher.Stats().subscriptions_active, 0);
+
+  // Events queued before the unsubscribe stay pollable; no terminal event
+  // is appended (the consumer asked to stop), and further feeding pushes
+  // nothing to the detached subscription.
+  const size_t pending_before = (*sub)->pending();
+  ASSERT_TRUE(dispatcher.FeedClips("lobby", 32).ok());
+  EXPECT_EQ((*sub)->pending(), pending_before);
+  EXPECT_FALSE((*sub)->finished());
+}
+
+TEST_F(StreamTest, CancelledSubscriptionGetsTerminalError) {
+  const std::string statement = StreamingStatement("stream_0");
+  StreamDispatcher dispatcher(&engine_);
+  auto sub = dispatcher.Subscribe("lobby", statement);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  (*sub)->Cancel();
+  // The next dispatched clip observes the fired CancellationSource: the
+  // standing query fails and a terminal kError lands in the queue.
+  ASSERT_TRUE(dispatcher.FeedClips("lobby", 1).ok());
+  ASSERT_TRUE((*sub)->finished());
+  const std::deque<StreamEvent> events = (*sub)->Poll();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, StreamEvent::Kind::kError);
+  EXPECT_TRUE(events.back().status.IsCancelled()) << events.back().status;
+}
+
+TEST_F(StreamTest, SubscriptionDeadlineSurfacesAsError) {
+  const std::string statement = StreamingStatement("stream_0");
+  StreamDispatcher dispatcher(&engine_);
+  SubscribeOptions options;
+  options.timeout_ms = 1;
+  auto sub = dispatcher.Subscribe("lobby", statement, options);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(dispatcher.FeedClips("lobby", 1).ok());
+  ASSERT_TRUE((*sub)->finished());
+  const std::deque<StreamEvent> events = (*sub)->Poll();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, StreamEvent::Kind::kError);
+  EXPECT_TRUE(events.back().status.IsDeadlineExceeded())
+      << events.back().status;
+}
+
+TEST_F(StreamTest, SubscribeRejectsBadStatements) {
+  StreamDispatcher dispatcher(&engine_);
+  // Ranked statements have a definite end; they belong on the QUERY verb.
+  const std::string ranked =
+      "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS stream_0 PRODUCE "
+      "clipID, obj USING ObjectDetector, act USING ActionRecognizer) "
+      "WHERE act='smoking' AND obj.include('cup') "
+      "ORDER BY RANK(act, obj) LIMIT 3";
+  EXPECT_TRUE(
+      dispatcher.Subscribe("lobby", ranked).status().IsInvalidArgument());
+  EXPECT_TRUE(dispatcher.Subscribe("lobby", "garbage((")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(dispatcher.Subscribe("lobby", StreamingStatement("no_such"))
+                  .status()
+                  .IsNotFound());
+  // A feed is bound to its first statement's video for life.
+  auto other = StreamVideo("stream_1", 4300);
+  ASSERT_TRUE(engine_.AddVideo(other).ok());
+  ASSERT_TRUE(engine_.IngestAll().ok());
+  ASSERT_TRUE(
+      dispatcher.Subscribe("lobby", StreamingStatement("stream_0")).ok());
+  EXPECT_TRUE(dispatcher.Subscribe("lobby", StreamingStatement("stream_1"))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(StreamTest, PerFeedSubscriptionCapEnforced) {
+  StreamOptions options;
+  options.max_subscriptions_per_feed = 2;
+  StreamDispatcher dispatcher(&engine_, options);
+  const std::string statement = StreamingStatement("stream_0");
+  ASSERT_TRUE(dispatcher.Subscribe("lobby", statement).ok());
+  ASSERT_TRUE(dispatcher.Subscribe("lobby", statement).ok());
+  EXPECT_TRUE(dispatcher.Subscribe("lobby", statement)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST_F(StreamTest, AttachedSourceWithConcurrentPollersMatchesOracle) {
+  // The TSan-sensitive path: the dispatcher worker pumps an attached
+  // VideoStream while one thread per subscriber polls concurrently and
+  // the main thread reads Stats(). Every subscriber must still see
+  // exactly the serial-run sequences, in order.
+  const std::string statement = StreamingStatement("stream_0");
+  const std::vector<Interval> oracle = Oracle(statement);
+  ASSERT_FALSE(oracle.empty());
+
+  StreamOptions options;
+  options.event_queue_capacity = 4096;
+  StreamDispatcher dispatcher(&engine_, options);
+  constexpr int kSubscribers = 3;
+  std::vector<SubscriptionPtr> subs;
+  for (int i = 0; i < kSubscribers; ++i) {
+    auto sub = dispatcher.Subscribe("live", statement);
+    ASSERT_TRUE(sub.ok()) << sub.status();
+    subs.push_back(*sub);
+  }
+  std::vector<std::vector<Interval>> collected(kSubscribers);
+  std::atomic<int> eos{0};
+  std::vector<std::thread> pollers;
+  for (int i = 0; i < kSubscribers; ++i) {
+    pollers.emplace_back([&, i]() {
+      while (true) {
+        for (const StreamEvent& event : subs[i]->Poll()) {
+          if (event.kind == StreamEvent::Kind::kSequence) {
+            collected[i].push_back(event.sequence);
+          } else if (event.kind == StreamEvent::Kind::kEndOfStream) {
+            eos.fetch_add(1);
+            return;
+          } else if (event.kind == StreamEvent::Kind::kError) {
+            return;
+          }
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  ASSERT_TRUE(dispatcher
+                  .AttachSource("live", "stream_0",
+                                std::make_unique<video::SyntheticVideoStream>(
+                                    video_, engine_.Pin()->Find("stream_0")
+                                                ->id))
+                  .ok());
+  // A second attach on the same feed is refused while the first pumps.
+  const Status again = dispatcher.AttachSource(
+      "live", "stream_0",
+      std::make_unique<video::SyntheticVideoStream>(
+          video_, engine_.Pin()->Find("stream_0")->id));
+  EXPECT_TRUE(again.IsFailedPrecondition()) << again;
+  while (dispatcher.HasFeed("live")) {
+    (void)dispatcher.Stats();  // racing reads must be clean under TSan
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& poller : pollers) poller.join();
+  EXPECT_EQ(eos.load(), kSubscribers);
+  for (int i = 0; i < kSubscribers; ++i) {
+    ASSERT_EQ(collected[i].size(), oracle.size()) << i;
+    for (size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_EQ(collected[i][j].begin, oracle[j].begin) << i << "," << j;
+      EXPECT_EQ(collected[i][j].end, oracle[j].end) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(dispatcher.Stats().clips_dispatched, video_->NumClips());
+}
+
+TEST_F(StreamTest, CloseFeedFlushesAndTerminates) {
+  const std::string statement = StreamingStatement("stream_0");
+  StreamDispatcher dispatcher(&engine_);
+  auto sub = dispatcher.Subscribe("lobby", statement);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  ASSERT_TRUE(dispatcher.FeedClips("lobby", 128).ok());
+  ASSERT_TRUE(dispatcher.CloseFeed("lobby").ok());
+  EXPECT_FALSE(dispatcher.HasFeed("lobby"));
+  EXPECT_TRUE(dispatcher.CloseFeed("lobby").IsNotFound());
+  ASSERT_TRUE((*sub)->finished());
+  const std::deque<StreamEvent> events = (*sub)->Poll();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, StreamEvent::Kind::kEndOfStream);
+  // Mid-stream close still flushed the trailing open run (if one existed):
+  // every non-terminal event is a well-formed half-open interval.
+  for (const StreamEvent& event : events) {
+    if (event.kind == StreamEvent::Kind::kSequence) {
+      EXPECT_LT(event.sequence.begin, event.sequence.end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svq::stream

@@ -335,6 +335,220 @@ TEST(WireTest, HostileRegistryCountRejected) {
   EXPECT_TRUE(DecodeStatsResponse(&cursor, &decoded).IsCorruption());
 }
 
+// --- Streaming verbs (wire v4): round trips, every-prefix truncation, and
+// hostile-field rejection for each frame type.
+
+/// Decodes the payload header and asserts the type matches.
+template <typename T>
+Status DecodeAs(const std::string& payload, MessageType want,
+                Status (*decode)(WireCursor*, T*), T* out) {
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  SVQ_RETURN_NOT_OK(DecodePayloadHeader(&cursor, &type));
+  EXPECT_EQ(type, want);
+  return decode(&cursor, out);
+}
+
+/// Every proper prefix of `payload` must decode to an error — never crash,
+/// never succeed on partial data.
+template <typename T>
+void ExpectAllPrefixesFail(const std::string& payload,
+                           Status (*decode)(WireCursor*, T*)) {
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::string prefix = payload.substr(0, cut);
+    WireCursor cursor(prefix);
+    MessageType type = MessageType::kStatsRequest;
+    if (!DecodePayloadHeader(&cursor, &type).ok()) continue;
+    T decoded;
+    EXPECT_FALSE(decode(&cursor, &decoded).ok()) << cut;
+  }
+}
+
+TEST(WireTest, SubscribeRequestRoundTrip) {
+  SubscribeRequest request;
+  request.request_id = 31;
+  request.feed = "lobby_camera";
+  request.statement = "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, "
+                      "obj, act) WHERE act='jumping' AND obj.include('car')";
+  request.mode = 0;
+  request.queue_capacity = 16;
+  request.timeout_ms = 5000;
+  const std::string payload = PayloadOf(EncodeSubscribeRequest(request));
+  SubscribeRequest decoded;
+  ASSERT_TRUE(DecodeAs(payload, MessageType::kSubscribeRequest,
+                       DecodeSubscribeRequest, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.feed, request.feed);
+  EXPECT_EQ(decoded.statement, request.statement);
+  EXPECT_EQ(decoded.mode, request.mode);
+  EXPECT_EQ(decoded.queue_capacity, request.queue_capacity);
+  EXPECT_EQ(decoded.timeout_ms, request.timeout_ms);
+  ExpectAllPrefixesFail(payload, DecodeSubscribeRequest);
+}
+
+TEST(WireTest, SubscribeResponseRoundTrip) {
+  SubscribeResponse response;
+  response.request_id = 32;
+  response.status = Status::OK();
+  response.subscription_id = 901;
+  response.feed = "lobby_camera";
+  const std::string payload = PayloadOf(EncodeSubscribeResponse(response));
+  SubscribeResponse decoded;
+  ASSERT_TRUE(DecodeAs(payload, MessageType::kSubscribeResponse,
+                       DecodeSubscribeResponse, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_TRUE(decoded.status.ok());
+  EXPECT_EQ(decoded.subscription_id, response.subscription_id);
+  EXPECT_EQ(decoded.feed, response.feed);
+  ExpectAllPrefixesFail(payload, DecodeSubscribeResponse);
+}
+
+TEST(WireTest, SubscribeErrorResponseCarriesStatus) {
+  SubscribeResponse response;
+  response.request_id = 33;
+  response.status = Status::ResourceExhausted("feed subscriber limit");
+  const std::string payload = PayloadOf(EncodeSubscribeResponse(response));
+  SubscribeResponse decoded;
+  ASSERT_TRUE(DecodeAs(payload, MessageType::kSubscribeResponse,
+                       DecodeSubscribeResponse, &decoded)
+                  .ok());
+  EXPECT_TRUE(decoded.status.IsResourceExhausted());
+  EXPECT_EQ(decoded.status.message(), "feed subscriber limit");
+  EXPECT_EQ(decoded.subscription_id, 0u);
+}
+
+TEST(WireTest, FeedRequestRoundTrip) {
+  FeedRequest request;
+  request.request_id = 41;
+  request.feed = "lobby_camera";
+  request.clip_count = 128;
+  const std::string payload = PayloadOf(EncodeFeedRequest(request));
+  FeedRequest decoded;
+  ASSERT_TRUE(DecodeAs(payload, MessageType::kFeedRequest, DecodeFeedRequest,
+                       &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.feed, request.feed);
+  EXPECT_EQ(decoded.clip_count, request.clip_count);
+  ExpectAllPrefixesFail(payload, DecodeFeedRequest);
+}
+
+TEST(WireTest, FeedResponseRoundTrip) {
+  FeedResponse response;
+  response.request_id = 42;
+  response.status = Status::OK();
+  response.clips_dispatched = 128;
+  response.next_clip = 640;
+  response.feed_closed = true;
+  const std::string payload = PayloadOf(EncodeFeedResponse(response));
+  FeedResponse decoded;
+  ASSERT_TRUE(DecodeAs(payload, MessageType::kFeedResponse,
+                       DecodeFeedResponse, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_TRUE(decoded.status.ok());
+  EXPECT_EQ(decoded.clips_dispatched, response.clips_dispatched);
+  EXPECT_EQ(decoded.next_clip, response.next_clip);
+  EXPECT_EQ(decoded.feed_closed, response.feed_closed);
+  ExpectAllPrefixesFail(payload, DecodeFeedResponse);
+}
+
+TEST(WireTest, EventFrameRoundTrip) {
+  EventFrame event;
+  event.subscription_id = 901;
+  event.kind = 2;  // gap
+  event.begin = 0;
+  event.end = 0;
+  event.dropped = 17;
+  event.status = Status::ResourceExhausted("subscriber lagging");
+  const std::string payload = PayloadOf(EncodeEvent(event));
+  EventFrame decoded;
+  ASSERT_TRUE(
+      DecodeAs(payload, MessageType::kEvent, DecodeEvent, &decoded).ok());
+  EXPECT_EQ(decoded.subscription_id, event.subscription_id);
+  EXPECT_EQ(decoded.kind, event.kind);
+  EXPECT_EQ(decoded.dropped, event.dropped);
+  EXPECT_TRUE(decoded.status.IsResourceExhausted());
+  ExpectAllPrefixesFail(payload, DecodeEvent);
+}
+
+TEST(WireTest, EventFrameRejectsHostileKind) {
+  // kind bytes outside [1, 4] are meaningless; a decoder that let them
+  // through would hand the client an event it cannot classify.
+  EventFrame event;
+  event.subscription_id = 1;
+  event.kind = 1;
+  event.begin = 3;
+  event.end = 9;
+  std::string payload = PayloadOf(EncodeEvent(event));
+  // kind is the byte right after the 2-byte payload header + 8-byte id.
+  const size_t kind_offset = 2 + 8;
+  for (const uint8_t hostile : {0, 5, 200}) {
+    payload[kind_offset] = static_cast<char>(hostile);
+    EventFrame decoded;
+    EXPECT_TRUE(DecodeAs(payload, MessageType::kEvent, DecodeEvent, &decoded)
+                    .IsCorruption())
+        << static_cast<int>(hostile);
+  }
+}
+
+TEST(WireTest, UnsubscribeRoundTrip) {
+  UnsubscribeRequest request;
+  request.request_id = 51;
+  request.subscription_id = 901;
+  const std::string request_payload =
+      PayloadOf(EncodeUnsubscribeRequest(request));
+  UnsubscribeRequest decoded_request;
+  ASSERT_TRUE(DecodeAs(request_payload, MessageType::kUnsubscribeRequest,
+                       DecodeUnsubscribeRequest, &decoded_request)
+                  .ok());
+  EXPECT_EQ(decoded_request.request_id, request.request_id);
+  EXPECT_EQ(decoded_request.subscription_id, request.subscription_id);
+  ExpectAllPrefixesFail(request_payload, DecodeUnsubscribeRequest);
+
+  UnsubscribeResponse response;
+  response.request_id = 51;
+  response.status = Status::NotFound("no subscription 901");
+  const std::string response_payload =
+      PayloadOf(EncodeUnsubscribeResponse(response));
+  UnsubscribeResponse decoded_response;
+  ASSERT_TRUE(DecodeAs(response_payload, MessageType::kUnsubscribeResponse,
+                       DecodeUnsubscribeResponse, &decoded_response)
+                  .ok());
+  EXPECT_EQ(decoded_response.request_id, response.request_id);
+  EXPECT_TRUE(decoded_response.status.IsNotFound());
+  ExpectAllPrefixesFail(response_payload, DecodeUnsubscribeResponse);
+}
+
+TEST(WireTest, StreamFramesRejectTrailingGarbage) {
+  FeedRequest feed;
+  feed.feed = "f";
+  feed.clip_count = 1;
+  std::string payload = PayloadOf(EncodeFeedRequest(feed));
+  payload += "x";
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kStatsRequest;
+  ASSERT_TRUE(DecodePayloadHeader(&cursor, &type).ok());
+  FeedRequest decoded;
+  EXPECT_TRUE(DecodeFeedRequest(&cursor, &decoded).IsCorruption());
+}
+
+TEST(WireTest, HostileStatusCodeRejected) {
+  // A status byte beyond the last defined StatusCode must be treated as
+  // corruption, not cast blindly into the enum.
+  SubscribeResponse response;
+  response.request_id = 1;
+  std::string payload = PayloadOf(EncodeSubscribeResponse(response));
+  // Status code byte follows the 2-byte header + 8-byte request id.
+  payload[2 + 8] = static_cast<char>(250);
+  SubscribeResponse decoded;
+  EXPECT_TRUE(DecodeAs(payload, MessageType::kSubscribeResponse,
+                       DecodeSubscribeResponse, &decoded)
+                  .IsCorruption());
+}
+
 TEST(WireHistogramTest, PercentilesFromBuckets) {
   WireHistogram histogram;
   histogram.count = 4;
