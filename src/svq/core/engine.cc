@@ -146,6 +146,14 @@ Result<OnlineResult> ExecuteOnlineOn(const SnapshotPtr& snapshot,
   if (entry == nullptr) {
     return Status::NotFound("video '" + video_name + "' is not registered");
   }
+  if (entry->video == nullptr) {
+    // Registered via AddIngested: artifacts only, no raw frames to run
+    // models over.
+    return Status::FailedPrecondition(
+        "video '" + video_name +
+        "' was opened from ingested artifacts; online execution needs the "
+        "raw video");
+  }
   const models::ModelSuite& suite =
       suite_override != nullptr ? *suite_override : snapshot->suite;
   observability::TraceSpan execute_span(context.trace(), "execute");
@@ -339,6 +347,33 @@ Result<video::VideoId> VideoQueryEngine::AddVideo(
   CatalogSnapshot::Entry entry;
   entry.video = std::move(video);
   entry.id = next->next_id++;
+  const video::VideoId id = entry.id;
+  next->videos.emplace(name, std::move(entry));
+  Publish(std::move(next));
+  return id;
+}
+
+Result<video::VideoId> VideoQueryEngine::AddIngested(
+    std::shared_ptr<const IngestedVideo> ingested) {
+  if (ingested == nullptr) {
+    return Status::InvalidArgument("ingested must be set");
+  }
+  if (ingested->name.empty()) {
+    return Status::InvalidArgument("ingested video must carry a name");
+  }
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const SnapshotPtr current = Pin();
+  if (current->videos.contains(ingested->name)) {
+    return Status::AlreadyExists("video '" + ingested->name +
+                                 "' already registered");
+  }
+  auto next = std::make_shared<CatalogSnapshot>(*current);
+  const std::string name = ingested->name;
+  CatalogSnapshot::Entry entry;
+  entry.id = ingested->id;
+  // Keep future AddVideo ids disjoint from the reopened artifact's id.
+  next->next_id = std::max(next->next_id, ingested->id + 1);
+  entry.ingested = std::move(ingested);
   const video::VideoId id = entry.id;
   next->videos.emplace(name, std::move(entry));
   Publish(std::move(next));

@@ -131,6 +131,15 @@ class VideoQueryEngine {
   Result<video::VideoId> AddVideo(
       std::shared_ptr<const video::SyntheticVideo> video);
 
+  /// Registers artifacts reopened from a kDisk ingest directory
+  /// (OpenIngestedVideo) under `ingested->name`. The entry carries no raw
+  /// video, so offline top-K queries work immediately while online /
+  /// streaming execution over it reports FailedPrecondition (re-running
+  /// inference needs the frames, which only the original ingest had).
+  /// Errors: InvalidArgument (null/empty name), AlreadyExists.
+  Result<video::VideoId> AddIngested(
+      std::shared_ptr<const IngestedVideo> ingested);
+
   /// Runs the one-time ingestion phase for `video_name` (paper §4.2) and
   /// publishes the artifacts in a new snapshot. Queries already running
   /// keep their pinned pre-ingest view. Errors: NotFound; AlreadyExists

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
-#include <fstream>
+#include <filesystem>
 #include <optional>
+#include <string_view>
 
 #include "svq/core/kcrit_cache.h"
+#include "svq/io/bytes.h"
+#include "svq/io/checksum_format.h"
+#include "svq/io/env.h"
 #include "svq/runtime/thread_pool.h"
 #include "svq/stats/kernel_estimator.h"
 #include "svq/storage/sequence_store.h"
@@ -16,7 +20,13 @@ namespace svq::core {
 
 namespace {
 
-constexpr uint32_t kManifestMagic = 0x5356514D;  // "SVQM"
+// v1: magic + fields, written in place — still readable, no longer
+// written. v2: new magic, same fields, plus the CRC-32C checksum footer of
+// svq/io/checksum_format.h, written atomically (docs/storage.md).
+constexpr uint32_t kManifestMagicV1 = 0x5356514D;  // "SVQM"
+constexpr uint32_t kManifestMagicV2 = 0x324D5653;  // "SVM2"
+constexpr uint64_t kMaxManifestLabels = 1u << 20;
+constexpr uint64_t kMaxLabelLength = 1u << 20;
 
 std::string SanitizeLabel(const std::string& label) {
   std::string out = label;
@@ -26,52 +36,33 @@ std::string SanitizeLabel(const std::string& label) {
   return out;
 }
 
-template <typename T>
-void Put(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-template <typename T>
-bool GetField(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return static_cast<bool>(in);
-}
-
-void PutString(std::ofstream& out, const std::string& s) {
-  Put(out, static_cast<uint64_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool GetString(std::ifstream& in, std::string* s) {
-  uint64_t size = 0;
-  if (!GetField(in, &size) || size > (1u << 20)) return false;
-  s->assign(size, '\0');
-  in.read(s->data(), static_cast<std::streamsize>(size));
-  return static_cast<bool>(in);
-}
-
 /// Persists everything OpenIngestedVideo needs to rebuild the IngestedVideo
-/// without the source video or the models.
+/// without the source video or the models. Written last, atomically: the
+/// manifest is the ingest's commit point — a directory without a complete
+/// manifest is not a catalog entry (docs/storage.md).
 Status WriteManifest(const std::string& directory, const IngestedVideo& v,
                      const std::vector<std::string>& object_labels,
-                     const std::vector<std::string>& action_labels) {
-  std::ofstream out(directory + "/manifest.svqm",
-                    std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("open manifest for write failed");
-  Put(out, kManifestMagic);
-  PutString(out, v.name);
-  Put(out, v.id);
-  Put(out, static_cast<int32_t>(v.layout.frames_per_shot));
-  Put(out, static_cast<int32_t>(v.layout.shots_per_clip));
-  Put(out, v.layout.fps);
-  Put(out, v.num_frames);
-  Put(out, v.num_clips);
-  Put(out, static_cast<uint64_t>(object_labels.size()));
-  for (const std::string& label : object_labels) PutString(out, label);
-  Put(out, static_cast<uint64_t>(action_labels.size()));
-  for (const std::string& label : action_labels) PutString(out, label);
-  if (!out) return Status::IOError("manifest write failed");
-  return Status::OK();
+                     const std::vector<std::string>& action_labels,
+                     io::Env* env) {
+  std::string buffer;
+  io::AppendValue(&buffer, kManifestMagicV2);
+  io::AppendLengthPrefixedString(&buffer, v.name);
+  io::AppendValue(&buffer, v.id);
+  io::AppendValue(&buffer, static_cast<int32_t>(v.layout.frames_per_shot));
+  io::AppendValue(&buffer, static_cast<int32_t>(v.layout.shots_per_clip));
+  io::AppendValue(&buffer, v.layout.fps);
+  io::AppendValue(&buffer, v.num_frames);
+  io::AppendValue(&buffer, v.num_clips);
+  io::AppendValue(&buffer, static_cast<uint64_t>(object_labels.size()));
+  for (const std::string& label : object_labels) {
+    io::AppendLengthPrefixedString(&buffer, label);
+  }
+  io::AppendValue(&buffer, static_cast<uint64_t>(action_labels.size()));
+  for (const std::string& label : action_labels) {
+    io::AppendLengthPrefixedString(&buffer, label);
+  }
+  io::AppendChecksumFooter(&buffer);
+  return io::WriteFileAtomic(env, directory + "/manifest.svqm", buffer);
 }
 
 Result<std::unique_ptr<storage::ScoreTable>> BuildTable(
@@ -92,7 +83,8 @@ Result<std::unique_ptr<storage::ScoreTable>> BuildTable(
   }
   if (options.backend == IngestOptions::TableBackend::kDisk) {
     const std::string path = options.directory + "/" + file_stem + ".svqt";
-    SVQ_RETURN_NOT_OK(storage::DiskScoreTable::Write(path, std::move(rows)));
+    SVQ_RETURN_NOT_OK(
+        storage::DiskScoreTable::Write(path, std::move(rows), options.env));
     SVQ_ASSIGN_OR_RETURN(std::unique_ptr<storage::DiskScoreTable> table,
                          storage::DiskScoreTable::Open(path));
     return std::unique_ptr<storage::ScoreTable>(std::move(table));
@@ -493,9 +485,11 @@ Result<IngestedVideo> IngestVideo(
   // tables so the directory can be reopened without re-ingesting.
   if (options.backend == IngestOptions::TableBackend::kDisk) {
     SVQ_RETURN_NOT_OK(storage::SequenceStore::Save(
-        options.directory + "/object_sequences.svqs", out.object_sequences));
+        options.directory + "/object_sequences.svqs", out.object_sequences,
+        options.env));
     SVQ_RETURN_NOT_OK(storage::SequenceStore::Save(
-        options.directory + "/action_sequences.svqs", out.action_sequences));
+        options.directory + "/action_sequences.svqs", out.action_sequences,
+        options.env));
     std::vector<std::string> object_labels;
     for (const auto& [label, _] : out.object_tables) {
       object_labels.push_back(label);
@@ -504,8 +498,10 @@ Result<IngestedVideo> IngestVideo(
     for (const auto& [label, _] : out.action_tables) {
       action_labels.push_back(label);
     }
-    SVQ_RETURN_NOT_OK(
-        WriteManifest(options.directory, out, object_labels, action_labels));
+    // The manifest commits the ingest: every artifact it references is
+    // already complete and durable on disk when this rename lands.
+    SVQ_RETURN_NOT_OK(WriteManifest(options.directory, out, object_labels,
+                                    action_labels, options.env));
   }
 
   // Selectivity statistics ride with the artifacts: posting-list interval
@@ -522,64 +518,125 @@ Result<IngestedVideo> IngestVideo(
   return out;
 }
 
-Result<IngestedVideo> OpenIngestedVideo(const std::string& directory) {
-  std::ifstream in(directory + "/manifest.svqm", std::ios::binary);
-  if (!in) return Status::IOError("open manifest failed: " + directory);
-  uint32_t magic = 0;
-  if (!GetField(in, &magic) || magic != kManifestMagic) {
-    return Status::Corruption("bad manifest magic in " + directory);
-  }
-  IngestedVideo out;
-  int32_t frames_per_shot = 0;
-  int32_t shots_per_clip = 0;
-  std::string name;
-  if (!GetString(in, &name) || !GetField(in, &out.id) ||
-      !GetField(in, &frames_per_shot) || !GetField(in, &shots_per_clip) ||
-      !GetField(in, &out.layout.fps) || !GetField(in, &out.num_frames) ||
-      !GetField(in, &out.num_clips)) {
-    return Status::Corruption("truncated manifest in " + directory);
-  }
-  out.name = std::move(name);
-  out.layout.frames_per_shot = frames_per_shot;
-  out.layout.shots_per_clip = shots_per_clip;
-  SVQ_RETURN_NOT_OK(out.layout.Validate());
+namespace {
 
-  auto read_labels = [&](std::vector<std::string>* labels) {
-    uint64_t count = 0;
-    if (!GetField(in, &count) || count > (1u << 20)) return false;
-    for (uint64_t i = 0; i < count; ++i) {
-      std::string label;
-      if (!GetString(in, &label)) return false;
-      labels->push_back(std::move(label));
-    }
-    return true;
-  };
+/// Quarantines a corrupt artifact: the file is renamed aside to
+/// `<file>.quarantined` (best effort) so a restart does not keep serving —
+/// or re-tripping over — damaged bytes, and an operator can inspect them.
+/// Only Corruption quarantines; a missing file stays a plain IOError.
+Status QuarantineIfCorrupt(Status status, const std::string& file_path) {
+  if (!status.IsCorruption()) return status;
+  std::error_code ec;
+  std::filesystem::rename(file_path, file_path + ".quarantined", ec);
+  if (ec) return status;
+  return Status::Corruption(status.message() + " (quarantined to " +
+                            file_path + ".quarantined)");
+}
+
+}  // namespace
+
+Result<IngestedVideo> OpenIngestedVideo(const std::string& directory) {
+  const std::string manifest_path = directory + "/manifest.svqm";
   std::vector<std::string> object_labels;
   std::vector<std::string> action_labels;
-  if (!read_labels(&object_labels) || !read_labels(&action_labels)) {
-    return Status::Corruption("truncated label lists in " + directory);
+  auto parse_manifest = [&]() -> Result<IngestedVideo> {
+    SVQ_ASSIGN_OR_RETURN(const std::string file,
+                         io::ReadFileToString(manifest_path));
+    std::string_view payload(file);
+    {
+      io::ByteReader magic_reader(payload);
+      uint32_t magic = 0;
+      if (!magic_reader.Read(&magic)) {
+        return Status::Corruption("truncated manifest in " + directory);
+      }
+      if (magic == kManifestMagicV2) {
+        SVQ_ASSIGN_OR_RETURN(payload,
+                             io::StripChecksumFooter(file, manifest_path));
+      } else if (magic != kManifestMagicV1) {
+        return Status::Corruption("bad manifest magic in " + directory);
+      }
+    }
+    io::ByteReader in(payload);
+    uint32_t magic = 0;
+    in.Read(&magic);  // already validated
+    IngestedVideo out;
+    int32_t frames_per_shot = 0;
+    int32_t shots_per_clip = 0;
+    std::string name;
+    if (!in.ReadLengthPrefixedString(&name, kMaxLabelLength) ||
+        !in.Read(&out.id) || !in.Read(&frames_per_shot) ||
+        !in.Read(&shots_per_clip) || !in.Read(&out.layout.fps) ||
+        !in.Read(&out.num_frames) || !in.Read(&out.num_clips)) {
+      return Status::Corruption("truncated manifest in " + directory);
+    }
+    out.name = std::move(name);
+    out.layout.frames_per_shot = frames_per_shot;
+    out.layout.shots_per_clip = shots_per_clip;
+    if (const Status layout = out.layout.Validate(); !layout.ok()) {
+      // A manifest carrying an impossible layout is damage, not a caller
+      // mistake: surface it on the corruption path so it quarantines.
+      return Status::Corruption("invalid layout in manifest in " +
+                                directory + ": " + layout.message());
+    }
+    auto read_labels = [&](std::vector<std::string>* labels) {
+      uint64_t count = 0;
+      // Bound the untrusted count: each label costs at least its 8-byte
+      // length prefix, so more labels than remaining/8 cannot exist.
+      if (!in.Read(&count) || count > kMaxManifestLabels ||
+          count > in.remaining() / sizeof(uint64_t)) {
+        return false;
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string label;
+        if (!in.ReadLengthPrefixedString(&label, kMaxLabelLength)) {
+          return false;
+        }
+        labels->push_back(std::move(label));
+      }
+      return true;
+    };
+    if (!read_labels(&object_labels) || !read_labels(&action_labels)) {
+      return Status::Corruption("truncated label lists in " + directory);
+    }
+    return out;
+  };
+
+  Result<IngestedVideo> parsed = parse_manifest();
+  if (!parsed.ok()) {
+    return QuarantineIfCorrupt(parsed.status(), manifest_path);
   }
+  IngestedVideo out = std::move(parsed).value();
 
   for (const std::string& label : object_labels) {
-    SVQ_ASSIGN_OR_RETURN(
-        std::unique_ptr<storage::DiskScoreTable> table,
-        storage::DiskScoreTable::Open(directory + "/obj_" +
-                                      SanitizeLabel(label) + ".svqt"));
-    out.object_tables.emplace(label, std::move(table));
+    const std::string path =
+        directory + "/obj_" + SanitizeLabel(label) + ".svqt";
+    auto table = storage::DiskScoreTable::Open(path);
+    if (!table.ok()) return QuarantineIfCorrupt(table.status(), path);
+    out.object_tables.emplace(label, std::move(table).value());
   }
   for (const std::string& label : action_labels) {
-    SVQ_ASSIGN_OR_RETURN(
-        std::unique_ptr<storage::DiskScoreTable> table,
-        storage::DiskScoreTable::Open(directory + "/act_" +
-                                      SanitizeLabel(label) + ".svqt"));
-    out.action_tables.emplace(label, std::move(table));
+    const std::string path =
+        directory + "/act_" + SanitizeLabel(label) + ".svqt";
+    auto table = storage::DiskScoreTable::Open(path);
+    if (!table.ok()) return QuarantineIfCorrupt(table.status(), path);
+    out.action_tables.emplace(label, std::move(table).value());
   }
-  SVQ_ASSIGN_OR_RETURN(
-      out.object_sequences,
-      storage::SequenceStore::Load(directory + "/object_sequences.svqs"));
-  SVQ_ASSIGN_OR_RETURN(
-      out.action_sequences,
-      storage::SequenceStore::Load(directory + "/action_sequences.svqs"));
+  {
+    const std::string path = directory + "/object_sequences.svqs";
+    auto sequences = storage::SequenceStore::Load(path);
+    if (!sequences.ok()) {
+      return QuarantineIfCorrupt(sequences.status(), path);
+    }
+    out.object_sequences = std::move(sequences).value();
+  }
+  {
+    const std::string path = directory + "/action_sequences.svqs";
+    auto sequences = storage::SequenceStore::Load(path);
+    if (!sequences.ok()) {
+      return QuarantineIfCorrupt(sequences.status(), path);
+    }
+    out.action_sequences = std::move(sequences).value();
+  }
   // Statistics are pure derivations of the artifacts, so a reopened
   // directory reconstructs them instead of persisting a separate file.
   out.ComputeStatistics();

@@ -18,6 +18,10 @@
 #include "svq/video/interval_set.h"
 #include "svq/video/synthetic_video.h"
 
+namespace svq::io {
+class Env;
+}  // namespace svq::io
+
 namespace svq::core {
 
 /// Computes the positive clips of one label from its full per-occurrence-
@@ -53,6 +57,10 @@ struct IngestOptions {
   TableBackend backend = TableBackend::kMemory;
   /// Directory for table/sequence files; required for kDisk.
   std::string directory;
+  /// I/O environment for every kDisk artifact write (tables, sequences,
+  /// manifest). nullptr means io::Env::Default(); tests pass a
+  /// FaultInjectionEnv to simulate crashes mid-ingest.
+  io::Env* env = nullptr;
 
   /// Parallel-execution knobs for the post-inference ingest phases
   /// (per-clip score aggregation, per-type sequence determination, per-type

@@ -1,0 +1,62 @@
+#include "svq/io/checksum_format.h"
+
+#include "svq/io/bytes.h"
+#include "svq/io/crc32c.h"
+
+namespace svq::io {
+
+void AppendChecksumFooter(std::string* buffer) {
+  const uint64_t payload_size = buffer->size();
+  const uint32_t crc = Crc32c(*buffer);
+  AppendValue(buffer, kChecksumFooterMagic);
+  AppendValue(buffer, kChecksumFooterVersion);
+  AppendValue(buffer, payload_size);
+  AppendValue(buffer, crc);
+  AppendValue(buffer, uint32_t{0});  // reserved
+}
+
+Result<std::string_view> StripChecksumFooter(std::string_view file,
+                                             const std::string& path) {
+  if (file.size() < kChecksumFooterSize) {
+    return Status::Corruption("file too short for checksum footer: " + path);
+  }
+  ByteReader footer(file.substr(file.size() - kChecksumFooterSize));
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  uint32_t reserved = 0;
+  footer.Read(&magic);
+  footer.Read(&version);
+  footer.Read(&payload_size);
+  footer.Read(&crc);
+  footer.Read(&reserved);
+  if (magic != kChecksumFooterMagic) {
+    return Status::Corruption("bad checksum footer magic in " + path);
+  }
+  if (version != kChecksumFooterVersion) {
+    return Status::Corruption("unsupported checksum footer version in " +
+                              path);
+  }
+  if (reserved != 0) {
+    // Writers emit zero; anything else is damage (and keeps the bit-flip
+    // guarantee: no footer byte may flip without detection).
+    return Status::Corruption("nonzero reserved footer bytes in " + path);
+  }
+  if (payload_size != file.size() - kChecksumFooterSize) {
+    return Status::Corruption("footer payload size disagrees with file size (" +
+                              std::to_string(payload_size) + " vs " +
+                              std::to_string(file.size() -
+                                             kChecksumFooterSize) +
+                              ") in " + path);
+  }
+  const std::string_view payload =
+      file.substr(0, static_cast<size_t>(payload_size));
+  const uint32_t actual = Crc32c(payload);
+  if (actual != crc) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  return payload;
+}
+
+}  // namespace svq::io

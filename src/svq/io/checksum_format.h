@@ -1,0 +1,44 @@
+#ifndef SVQ_IO_CHECKSUM_FORMAT_H_
+#define SVQ_IO_CHECKSUM_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svq/common/result.h"
+
+namespace svq::io {
+
+/// The v2 storage footer (docs/storage.md), appended to every artifact the
+/// ingest phase writes. Fixed 24 bytes at the end of the file:
+///
+///   offset  0  uint32  footer magic      "SVQF"
+///   offset  4  uint32  footer version    (1)
+///   offset  8  uint64  payload size      bytes preceding the footer
+///   offset 16  uint32  CRC-32C           over payload bytes [0, size)
+///   offset 20  uint32  reserved          (0; covered by nothing, must
+///                                         still round-trip)
+///
+/// The CRC covers the entire payload — header included — so any single
+/// bit flip in header, body, or footer fails validation, and a truncation
+/// at any byte boundary loses or garbles the footer. Format version is
+/// carried by each format's own header; the footer version only gates the
+/// footer layout itself.
+inline constexpr size_t kChecksumFooterSize = 24;
+inline constexpr uint32_t kChecksumFooterMagic = 0x46515653;  // "SVQF"
+inline constexpr uint32_t kChecksumFooterVersion = 1;
+
+/// Appends the footer covering everything currently in `buffer`.
+void AppendChecksumFooter(std::string* buffer);
+
+/// Validates the footer at the end of `file` and returns the payload view
+/// (the file minus its footer). Errors: Corruption — missing/short footer,
+/// bad footer magic or version, payload size disagreeing with the file
+/// size, or CRC mismatch.
+Result<std::string_view> StripChecksumFooter(std::string_view file,
+                                             const std::string& path);
+
+}  // namespace svq::io
+
+#endif  // SVQ_IO_CHECKSUM_FORMAT_H_

@@ -1,0 +1,68 @@
+#include "svq/io/crc32c.h"
+
+#include <array>
+
+namespace svq::io {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78;  // CRC-32C, reflected
+
+struct Tables {
+  // table[k][b]: the CRC contribution of byte value b when it sits k bytes
+  // ahead of the end of the processed prefix (slice-by-8).
+  std::array<std::array<uint32_t, 256>, 8> table;
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+      }
+      table[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        const uint32_t prev = table[k - 1][b];
+        table[k][b] = (prev >> 8) ^ table[0][prev & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto& t = GetTables().table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (n >= 8) {
+    // Explicit little-endian assembly: alignment-agnostic, endian-agnostic
+    // (compilers fold this to one load on little-endian targets).
+    uint32_t lo = static_cast<uint32_t>(p[0]) |
+                  (static_cast<uint32_t>(p[1]) << 8) |
+                  (static_cast<uint32_t>(p[2]) << 16) |
+                  (static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        (static_cast<uint32_t>(p[5]) << 8) |
+                        (static_cast<uint32_t>(p[6]) << 16) |
+                        (static_cast<uint32_t>(p[7]) << 24);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace svq::io

@@ -1,0 +1,26 @@
+#ifndef SVQ_IO_CRC32C_H_
+#define SVQ_IO_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace svq::io {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78), the checksum used
+/// by the storage footers (docs/storage.md). Software slice-by-8
+/// implementation; no hardware dependency, identical output on every
+/// platform.
+///
+/// `seed` is a previous Crc32c result, letting large payloads be checksummed
+/// incrementally: `crc = Crc32c(b, n, crc)` chunk by chunk equals one call
+/// over the concatenation.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace svq::io
+
+#endif  // SVQ_IO_CRC32C_H_

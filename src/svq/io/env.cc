@@ -1,0 +1,165 @@
+#include "svq/io/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace svq::io {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed: " + path + ": " +
+                         std::strerror(errno));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("append on closed file: " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;  // interrupted before any transfer
+        return ErrnoStatus("write", path_);
+      }
+      // A short count is not an error at the syscall level (signal after a
+      // partial transfer, quota boundary, ...): advance and keep writing.
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync on closed file: " + path_);
+    // POSIX leaves fd state unspecified after an fsync error; treat any
+    // failure (even EINTR) as fatal rather than retrying into fsyncgate.
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus("open for write", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename to " + to, from);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open directory", dir);
+    Status status;
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync directory", dir);
+    ::close(fd);
+    return status;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path);
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+/// Directory part of `path` for the post-rename fsync; "." when the path
+/// has no separator.
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::string_view data) {
+  if (env == nullptr) env = Env::Default();
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  auto file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(data);
+  if (status.ok()) status = (*file)->Sync();
+  if (status.ok()) status = (*file)->Close();
+  if (status.ok()) status = env->RenameFile(tmp, path);
+  if (!status.ok()) {
+    // The final path was never touched; drop the partial temp (best
+    // effort — after a simulated power cut even this fails, and the
+    // loaders ignore .tmp.* files by construction).
+    file->reset();  // close before unlink, for portability
+    env->RemoveFile(tmp);
+    return status;
+  }
+  return env->SyncDir(DirnameOf(path));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string out;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = ErrnoStatus("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace svq::io

@@ -1,0 +1,81 @@
+#ifndef SVQ_IO_ENV_H_
+#define SVQ_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "svq/common/result.h"
+
+namespace svq::io {
+
+/// A file being written. Append either transfers every byte or returns an
+/// error: implementations own the EINTR/partial-write retry loop, so a
+/// short ::write is never surfaced as success.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` in full. Errors: IOError.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes file contents and metadata to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor. Idempotent; the destructor closes too, but
+  /// only an explicit Close reports the error.
+  virtual Status Close() = 0;
+};
+
+/// The storage layer's view of the filesystem. Production code uses
+/// Env::Default() (plain POSIX); tests substitute a FaultInjectionEnv to
+/// exercise every failure path of the write protocol without real crashes.
+/// Read paths access files directly — faults are injected where state is
+/// mutated.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (or truncates) `path` for writing. Errors: IOError.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2)). Errors: IOError.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path`; missing files are not an error (cleanup semantics).
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Fsyncs the directory so a completed rename survives a power cut.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Size of `path` in bytes. Errors: IOError.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Crash-safe whole-file replacement — the storage layer's only write
+/// primitive (docs/storage.md):
+///
+///   1. write `data` to `path.tmp.<pid>` (full-write loop, EINTR retried)
+///   2. fsync the temp file
+///   3. rename it onto `path` (atomic: readers see old bytes or new bytes,
+///      never a mixture)
+///   4. fsync the containing directory so the rename itself is durable
+///
+/// On any failure the temp file is removed (best effort) and `path` is
+/// untouched: a previous complete file survives, and a fresh path simply
+/// does not appear. Errors: IOError.
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       std::string_view data);
+
+/// Reads all of `path` into a string. A missing/unopenable file is IOError;
+/// a file that shrinks mid-read is also IOError (retried once).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace svq::io
+
+#endif  // SVQ_IO_ENV_H_

@@ -1,0 +1,217 @@
+#include "svq/io/fault_injection_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace svq::io {
+
+namespace {
+
+Status SimulatedFailure(const std::string& what) {
+  return Status::IOError("injected fault: " + what);
+}
+
+}  // namespace
+
+/// Wraps the base env's file: each Append is charged as one op and may be
+/// failed, shortened, or truncated by the armed fault. Sync is charged;
+/// Close is free (it mutates nothing the protocol relies on).
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env,
+                             std::unique_ptr<WritableFile> base,
+                             std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    int64_t short_bytes = -1;
+    const Status verdict = env_->ChargeOp(data.size(), &short_bytes);
+    if (short_bytes >= 0) {
+      // Torn write: the allowed prefix genuinely reaches the base file —
+      // that is the whole point — and then the operation fails.
+      const size_t n = std::min(data.size(),
+                                static_cast<size_t>(short_bytes));
+      if (n > 0) {
+        const Status prefix = base_->Append(data.substr(0, n));
+        if (!prefix.ok()) return prefix;
+        env_->ChargeBytes(n);
+      }
+      return verdict.ok() ? SimulatedFailure("torn write: " + path_)
+                          : verdict;
+    }
+    if (!verdict.ok()) return verdict;
+    const Status status = base_->Append(data);
+    if (status.ok()) env_->ChargeBytes(data.size());
+    return status;
+  }
+
+  Status Sync() override {
+    int64_t unused = -1;
+    const Status verdict = env_->ChargeOp(0, &unused);
+    if (!verdict.ok()) return verdict;
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectionEnv::FailOp(int64_t op_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = FaultKind::kFailOp;
+  fault_op_ = op_index;
+  dead_ = false;
+  fault_fired_ = false;
+}
+
+void FaultInjectionEnv::ShortWrite(int64_t op_index, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = FaultKind::kShortWrite;
+  fault_op_ = op_index;
+  fault_bytes_ = bytes;
+  dead_ = false;
+  fault_fired_ = false;
+}
+
+void FaultInjectionEnv::CutAtOp(int64_t op_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = FaultKind::kCutAtOp;
+  fault_op_ = op_index;
+  dead_ = false;
+  fault_fired_ = false;
+}
+
+void FaultInjectionEnv::CutAtByte(uint64_t byte_offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = FaultKind::kCutAtByte;
+  fault_bytes_ = byte_offset;
+  dead_ = false;
+  fault_fired_ = false;
+}
+
+void FaultInjectionEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = FaultKind::kNone;
+  fault_op_ = -1;
+  fault_bytes_ = 0;
+  dead_ = false;
+  fault_fired_ = false;
+  ops_ = 0;
+  bytes_ = 0;
+}
+
+int64_t FaultInjectionEnv::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultInjectionEnv::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+bool FaultInjectionEnv::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_fired_;
+}
+
+Status FaultInjectionEnv::ChargeOp(uint64_t append_bytes,
+                                   int64_t* short_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *short_bytes = -1;
+  const int64_t op = ops_++;
+  if (dead_) return SimulatedFailure("power cut");
+  switch (kind_) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kFailOp:
+      if (op == fault_op_) {
+        fault_fired_ = true;
+        return SimulatedFailure("operation " + std::to_string(op));
+      }
+      return Status::OK();
+    case FaultKind::kShortWrite:
+      if (op == fault_op_) {
+        fault_fired_ = true;
+        if (append_bytes > 0) {
+          *short_bytes = static_cast<int64_t>(
+              std::min(fault_bytes_, append_bytes));
+          return Status::OK();  // the file wrapper fails after the prefix
+        }
+        return SimulatedFailure("operation " + std::to_string(op));
+      }
+      return Status::OK();
+    case FaultKind::kCutAtOp:
+      if (op >= fault_op_) {
+        fault_fired_ = true;
+        dead_ = true;
+        return SimulatedFailure("power cut");
+      }
+      return Status::OK();
+    case FaultKind::kCutAtByte:
+      if (append_bytes > 0 && bytes_ + append_bytes > fault_bytes_) {
+        fault_fired_ = true;
+        dead_ = true;
+        // The in-flight append reaches disk only up to the cut boundary.
+        *short_bytes = static_cast<int64_t>(fault_bytes_ - bytes_);
+        return SimulatedFailure("power cut");
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::ChargeBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_ += n;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  int64_t unused = -1;
+  const Status verdict = ChargeOp(0, &unused);
+  if (!verdict.ok()) return verdict;
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(
+          this, std::move(*base), path));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  int64_t unused = -1;
+  const Status verdict = ChargeOp(0, &unused);
+  if (!verdict.ok()) return verdict;
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  // Cleanup is not charged, but a dead (power-cut) env cannot unlink:
+  // the partial temp file survives the crash, as it would in reality.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return SimulatedFailure("power cut");
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  int64_t unused = -1;
+  const Status verdict = ChargeOp(0, &unused);
+  if (!verdict.ok()) return verdict;
+  return base_->SyncDir(dir);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+}  // namespace svq::io

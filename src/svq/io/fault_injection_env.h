@@ -1,0 +1,86 @@
+#ifndef SVQ_IO_FAULT_INJECTION_ENV_H_
+#define SVQ_IO_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "svq/io/env.h"
+
+namespace svq::io {
+
+/// An Env that forwards to a base Env but can fail on command — the test
+/// harness behind the crash-consistency and fault-injection suites
+/// (docs/storage.md). Three fault families:
+///
+///  - FailOp(i): the i-th mutating operation fails cleanly with IOError
+///    and has no effect; every other operation succeeds. Sweeping i over
+///    [0, ops) exercises failure at every syscall of a write protocol.
+///  - ShortWrite(i, k): the i-th operation, if an Append, transfers only
+///    its first k bytes to the underlying file and then fails — the
+///    ENOSPC/quota torn-write case.
+///  - CutAtOp(i) / CutAtByte(b): a simulated power cut. Everything before
+///    the cut reaches the "disk" (the base env); the append in flight at a
+///    byte cut is truncated at exactly that boundary; every operation at
+///    or after the cut fails. The filesystem is left precisely as a
+///    crashed machine would find it.
+///
+/// Mutating operations are counted in call order: NewWritableFile, Append,
+/// Sync, RenameFile, SyncDir (Close and RemoveFile are free). A dry run
+/// with no fault armed measures ops_seen()/bytes_appended() so sweeps know
+/// their bounds. Thread-safe; sweeps that need a deterministic op order
+/// should drive single-threaded writers.
+class FaultInjectionEnv final : public Env {
+ public:
+  /// `base` must outlive this env; nullptr means Env::Default().
+  explicit FaultInjectionEnv(Env* base = nullptr);
+
+  // --- fault plan (clears any previously armed fault) ---
+  void FailOp(int64_t op_index);
+  void ShortWrite(int64_t op_index, uint64_t bytes);
+  void CutAtOp(int64_t op_index);
+  void CutAtByte(uint64_t byte_offset);
+  /// Disarms every fault and zeroes the counters.
+  void Reset();
+
+  // --- observation ---
+  int64_t ops_seen() const;
+  uint64_t bytes_appended() const;
+  /// True once an armed fault has fired (at most once per plan).
+  bool fault_fired() const;
+
+  // --- Env ---
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  enum class FaultKind { kNone, kFailOp, kShortWrite, kCutAtOp, kCutAtByte };
+
+  /// Charges one mutating op and decides its fate under `mu_`.
+  /// Returns OK to proceed; IOError to fail. Sets *short_bytes (only
+  /// meaningful for appends) to the byte allowance when the op must write
+  /// a prefix and then fail; -1 means the full append proceeds.
+  Status ChargeOp(uint64_t append_bytes, int64_t* short_bytes);
+  void ChargeBytes(uint64_t n);
+
+  Env* base_;
+
+  mutable std::mutex mu_;
+  FaultKind kind_ = FaultKind::kNone;
+  int64_t fault_op_ = -1;
+  uint64_t fault_bytes_ = 0;
+  bool dead_ = false;         // power cut reached: everything fails
+  bool fault_fired_ = false;
+  int64_t ops_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace svq::io
+
+#endif  // SVQ_IO_FAULT_INJECTION_ENV_H_

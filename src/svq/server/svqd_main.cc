@@ -17,13 +17,16 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "svq/core/engine.h"
 #include "svq/server/server.h"
@@ -65,7 +68,13 @@ int Usage(const char* argv0) {
       "          [--cache-mb N]          query cache budget, 0 disables\n"
       "                                  (default 64)\n"
       "          [--metrics-dump PATH]   Prometheus text dump on exit\n"
-      "                                  ('-' writes to stdout)\n",
+      "                                  ('-' writes to stdout)\n"
+      "          [--ingest-dir DIR]      persist demo ingest artifacts under\n"
+      "                                  DIR (one subdirectory per video)\n"
+      "          [--catalog DIR]         serve a previously written ingest\n"
+      "                                  directory instead of regenerating\n"
+      "                                  the demo; corrupt artifact sets are\n"
+      "                                  quarantined and skipped\n",
       argv0);
   return 1;
 }
@@ -80,6 +89,8 @@ int main(int argc, char** argv) {
   int cache_mb = 64;
   std::string port_file;
   std::string metrics_dump;
+  std::string ingest_dir;
+  std::string catalog_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -110,6 +121,10 @@ int main(int argc, char** argv) {
       cache_mb = std::atoi(value);
     } else if (arg == "--metrics-dump" && (value = next())) {
       metrics_dump = value;
+    } else if (arg == "--ingest-dir" && (value = next())) {
+      ingest_dir = value;
+    } else if (arg == "--catalog" && (value = next())) {
+      catalog_dir = value;
     } else {
       return Usage(argv[0]);
     }
@@ -122,30 +137,81 @@ int main(int argc, char** argv) {
     cache_options =
         svq::cache::CacheOptions::Enabled(static_cast<size_t>(cache_mb));
   }
+  svq::core::IngestOptions ingest_options;
+  if (!ingest_dir.empty()) {
+    ingest_options.backend = svq::core::IngestOptions::TableBackend::kDisk;
+    ingest_options.directory = ingest_dir;
+  }
   svq::core::VideoQueryEngine engine(svq::models::ModelSuite(),
                                      svq::core::OnlineConfig(),
-                                     svq::core::IngestOptions(),
-                                     cache_options);
-  std::printf("svqd: ingesting %d demo video(s) at scale %.2f ...\n", videos,
-              scale);
-  std::fflush(stdout);
-  for (int i = 0; i < videos; ++i) {
-    auto video = MakeVideo(i, scale);
-    if (!video.ok()) {
-      std::fprintf(stderr, "svqd: video generation failed: %s\n",
-                   video.status().ToString().c_str());
+                                     ingest_options, cache_options);
+  if (!catalog_dir.empty()) {
+    // Restart path: open every artifact set under the catalog directory
+    // instead of regenerating the demo. A corrupt set is quarantined
+    // (renamed aside by OpenIngestedVideo) and skipped — one damaged video
+    // must never keep the rest of the catalog from serving.
+    std::error_code ec;
+    std::vector<std::string> entries;
+    for (const auto& dirent :
+         std::filesystem::directory_iterator(catalog_dir, ec)) {
+      if (dirent.is_directory()) entries.push_back(dirent.path().string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "svqd: cannot read catalog '%s': %s\n",
+                   catalog_dir.c_str(), ec.message().c_str());
       return 1;
     }
-    if (auto id = engine.AddVideo(*video); !id.ok()) {
-      std::fprintf(stderr, "svqd: AddVideo failed: %s\n",
-                   id.status().ToString().c_str());
+    std::sort(entries.begin(), entries.end());
+    int opened = 0;
+    for (const std::string& directory : entries) {
+      auto ingested = svq::core::OpenIngestedVideo(directory);
+      if (!ingested.ok()) {
+        std::fprintf(stderr, "svqd: skipping '%s': %s\n", directory.c_str(),
+                     ingested.status().ToString().c_str());
+        continue;
+      }
+      const std::string name = ingested->name;
+      auto id = engine.AddIngested(std::make_shared<const svq::core::IngestedVideo>(
+          std::move(ingested).value()));
+      if (!id.ok()) {
+        std::fprintf(stderr, "svqd: AddIngested '%s' failed: %s\n",
+                     name.c_str(), id.status().ToString().c_str());
+        continue;
+      }
+      std::printf("svqd: opened ingested video '%s' from %s\n", name.c_str(),
+                  directory.c_str());
+      ++opened;
+    }
+    if (opened == 0) {
+      std::fprintf(stderr, "svqd: no servable videos in catalog '%s'\n",
+                   catalog_dir.c_str());
       return 1;
     }
-  }
-  if (auto status = engine.IngestAll(); !status.ok()) {
-    std::fprintf(stderr, "svqd: ingest failed: %s\n",
-                 status.ToString().c_str());
-    return 1;
+    std::printf("svqd: serving %d video(s) from catalog %s\n", opened,
+                catalog_dir.c_str());
+    std::fflush(stdout);
+  } else {
+    std::printf("svqd: ingesting %d demo video(s) at scale %.2f ...\n",
+                videos, scale);
+    std::fflush(stdout);
+    for (int i = 0; i < videos; ++i) {
+      auto video = MakeVideo(i, scale);
+      if (!video.ok()) {
+        std::fprintf(stderr, "svqd: video generation failed: %s\n",
+                     video.status().ToString().c_str());
+        return 1;
+      }
+      if (auto id = engine.AddVideo(*video); !id.ok()) {
+        std::fprintf(stderr, "svqd: AddVideo failed: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto status = engine.IngestAll(); !status.ok()) {
+      std::fprintf(stderr, "svqd: ingest failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
   }
 
   svq::server::Server server(&engine, options);

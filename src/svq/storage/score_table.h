@@ -11,6 +11,10 @@
 #include "svq/storage/access_stats.h"
 #include "svq/video/types.h"
 
+namespace svq::io {
+class Env;
+}  // namespace svq::io
+
 namespace svq::storage {
 
 /// One row of a clip score table (paper §4.2): the clip identifier and the
@@ -74,11 +78,19 @@ class MemoryScoreTable final : public ScoreTable {
 /// (ingestion-side cost, not charged to queries).
 class DiskScoreTable final : public ScoreTable {
  public:
-  /// Writes `rows` (any order) to `path` in table format.
-  static Status Write(const std::string& path, std::vector<ClipScoreRow> rows);
+  /// Writes `rows` (any order) to `path` in v2 table format (CRC-32C
+  /// footer) via the crash-safe io::WriteFileAtomic protocol: on failure
+  /// `path` is untouched — no partial table can ever appear at the final
+  /// name. `env` is the I/O environment (nullptr = io::Env::Default();
+  /// tests inject faults).
+  static Status Write(const std::string& path, std::vector<ClipScoreRow> rows,
+                      io::Env* env = nullptr);
 
-  /// Opens a table previously written with Write. Errors: IOError,
-  /// Corruption.
+  /// Opens a table previously written with Write. v2 files are verified
+  /// against their checksum footer; v1 files (pre-footer) are still
+  /// accepted. Every on-disk length is validated against the real file
+  /// size before any allocation. Errors: IOError (missing/unreadable),
+  /// Corruption (torn, damaged, or hostile file).
   static Result<std::unique_ptr<DiskScoreTable>> Open(const std::string& path);
 
   ~DiskScoreTable() override;

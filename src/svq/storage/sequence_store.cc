@@ -1,74 +1,85 @@
 #include "svq/storage/sequence_store.h"
 
 #include <cstdint>
-#include <fstream>
+#include <string_view>
 #include <vector>
+
+#include "svq/io/bytes.h"
+#include "svq/io/checksum_format.h"
+#include "svq/io/env.h"
 
 namespace svq::storage {
 
 namespace {
-constexpr uint32_t kMagic = 0x53565153;  // "SVQS"
-
-template <typename T>
-void Put(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
-
-template <typename T>
-bool Get(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(*value));
-  return static_cast<bool>(in);
-}
+// v1: magic + body, written in place — still readable, no longer written.
+// v2: new magic, same body, plus the CRC-32C checksum footer of
+//     svq/io/checksum_format.h, written atomically (docs/storage.md).
+constexpr uint32_t kMagicV1 = 0x53565153;  // "SVQS"
+constexpr uint32_t kMagicV2 = 0x32515653;  // "SVQ2"
+constexpr uint64_t kMaxLabelLength = 1u << 20;
 }  // namespace
 
 Status SequenceStore::Save(
     const std::string& path,
-    const std::map<std::string, video::IntervalSet>& sequences) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("open for write failed: " + path);
-  Put(out, kMagic);
-  Put(out, static_cast<uint64_t>(sequences.size()));
+    const std::map<std::string, video::IntervalSet>& sequences,
+    io::Env* env) {
+  std::string buffer;
+  io::AppendValue(&buffer, kMagicV2);
+  io::AppendValue(&buffer, static_cast<uint64_t>(sequences.size()));
   for (const auto& [label, set] : sequences) {
-    Put(out, static_cast<uint64_t>(label.size()));
-    out.write(label.data(), static_cast<std::streamsize>(label.size()));
-    Put(out, static_cast<uint64_t>(set.size()));
+    io::AppendLengthPrefixedString(&buffer, label);
+    io::AppendValue(&buffer, static_cast<uint64_t>(set.size()));
     for (const video::Interval& interval : set.intervals()) {
-      Put(out, interval.begin);
-      Put(out, interval.end);
+      io::AppendValue(&buffer, interval.begin);
+      io::AppendValue(&buffer, interval.end);
     }
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  io::AppendChecksumFooter(&buffer);
+  return io::WriteFileAtomic(env, path, buffer);
 }
 
 Result<std::map<std::string, video::IntervalSet>> SequenceStore::Load(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("open failed: " + path);
+  SVQ_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(path));
+  std::string_view payload(file);
+  io::ByteReader magic_reader(payload);
   uint32_t magic = 0;
-  if (!Get(in, &magic) || magic != kMagic) {
+  if (!magic_reader.Read(&magic)) {
+    return Status::Corruption("truncated " + path);
+  }
+  if (magic == kMagicV2) {
+    // Checksum first: after this point every byte of the payload is known
+    // good, and parse failures can only come from writer bugs, not damage.
+    SVQ_ASSIGN_OR_RETURN(payload, io::StripChecksumFooter(file, path));
+  } else if (magic != kMagicV1) {
     return Status::Corruption("bad magic in " + path);
   }
+  io::ByteReader in(payload);
+  in.Read(&magic);  // skip the already-validated magic
   uint64_t label_count = 0;
-  if (!Get(in, &label_count)) return Status::Corruption("truncated " + path);
+  if (!in.Read(&label_count)) return Status::Corruption("truncated " + path);
   std::map<std::string, video::IntervalSet> sequences;
   for (uint64_t i = 0; i < label_count; ++i) {
-    uint64_t name_len = 0;
-    if (!Get(in, &name_len) || name_len > (1u << 20)) {
-      return Status::Corruption("bad label length in " + path);
+    std::string label;
+    if (!in.ReadLengthPrefixedString(&label, kMaxLabelLength)) {
+      return Status::Corruption("bad label in " + path);
     }
-    std::string label(name_len, '\0');
-    in.read(label.data(), static_cast<std::streamsize>(name_len));
-    if (!in) return Status::Corruption("truncated label in " + path);
     uint64_t interval_count = 0;
-    if (!Get(in, &interval_count)) {
+    if (!in.Read(&interval_count)) {
       return Status::Corruption("truncated " + path);
     }
+    // An interval is two int64s: bound the untrusted count against the
+    // bytes that actually remain before reserving a single element — a
+    // corrupt 2^60 must fail cleanly, not OOM (hostile-file hardening).
+    if (interval_count > in.remaining() / (2 * sizeof(int64_t))) {
+      return Status::Corruption("interval count exceeds file size in " +
+                                path);
+    }
     std::vector<video::Interval> intervals;
-    intervals.reserve(interval_count);
+    intervals.reserve(static_cast<size_t>(interval_count));
     for (uint64_t j = 0; j < interval_count; ++j) {
       video::Interval interval;
-      if (!Get(in, &interval.begin) || !Get(in, &interval.end)) {
+      if (!in.Read(&interval.begin) || !in.Read(&interval.end)) {
         return Status::Corruption("truncated interval in " + path);
       }
       if (interval.end < interval.begin) {

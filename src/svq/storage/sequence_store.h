@@ -7,6 +7,10 @@
 #include "svq/common/result.h"
 #include "svq/video/interval_set.h"
 
+namespace svq::io {
+class Env;
+}  // namespace svq::io
+
 namespace svq::storage {
 
 /// Persistence of the per-type individual sequences of paper §4.2: for each
@@ -15,11 +19,20 @@ namespace svq::storage {
 /// Sequences are stored in the clip domain as half-open intervals.
 class SequenceStore {
  public:
-  /// Writes `sequences` (label -> clip-interval set) to `path`.
+  /// Writes `sequences` (label -> clip-interval set) to `path` in v2
+  /// format (CRC-32C footer) via the crash-safe io::WriteFileAtomic
+  /// protocol: on failure `path` keeps its previous complete contents (or
+  /// stays absent). `env` is the I/O environment (nullptr =
+  /// io::Env::Default(); tests inject faults).
   static Status Save(const std::string& path,
-                     const std::map<std::string, video::IntervalSet>& sequences);
+                     const std::map<std::string, video::IntervalSet>& sequences,
+                     io::Env* env = nullptr);
 
-  /// Reads a file written by Save. Errors: IOError, Corruption.
+  /// Reads a file written by Save. v2 files are verified against their
+  /// checksum footer; v1 files (pre-footer) are still accepted. Every
+  /// on-disk count is bounded by the real file size before allocation.
+  /// Errors: IOError (missing/unreadable), Corruption (torn, damaged, or
+  /// hostile file).
   static Result<std::map<std::string, video::IntervalSet>> Load(
       const std::string& path);
 };

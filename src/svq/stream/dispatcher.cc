@@ -49,6 +49,14 @@ Result<StreamDispatcher::FeedPtr> StreamDispatcher::EnsureFeed(
   if (entry == nullptr) {
     return Status::NotFound("video '" + video_name + "' is not registered");
   }
+  if (entry->video == nullptr) {
+    // Registered via AddIngested: there are no raw frames to feed the
+    // standing-query engines with.
+    return Status::FailedPrecondition(
+        "video '" + video_name +
+        "' was opened from ingested artifacts; streaming needs the raw "
+        "video");
+  }
   auto feed = std::make_shared<Feed>();
   feed->name = feed_name;
   feed->snapshot = std::move(snapshot);

@@ -1,0 +1,356 @@
+// Crash-consistency sweeps over the storage write protocol (docs/storage.md):
+// a simulated crash — clean syscall failure, torn write, or power cut — at
+// every write boundary of an artifact write (and of a whole ingest) must
+// leave the directory in a state that reopens as either the complete old
+// contents or the complete new contents. A half-written file that *opens*
+// is the bug class this suite exists to catch.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svq/core/ingest.h"
+#include "svq/io/fault_injection_env.h"
+#include "svq/models/synthetic_models.h"
+#include "svq/storage/score_table.h"
+#include "svq/storage/sequence_store.h"
+#include "svq/video/interval_set.h"
+
+namespace svq {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("svq_crash_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Single-artifact sweeps: overwriting an existing file must yield exactly
+// the old or exactly the new contents, never a mixture.
+
+using SequenceMap = std::map<std::string, video::IntervalSet>;
+
+SequenceMap OldSequences() {
+  SequenceMap map;
+  map.emplace("cup", video::IntervalSet({{2, 5}, {9, 12}}));
+  map.emplace("phone", video::IntervalSet({{0, 3}}));
+  return map;
+}
+
+SequenceMap NewSequences() {
+  SequenceMap map;
+  map.emplace("cup", video::IntervalSet({{1, 4}}));
+  map.emplace("laptop", video::IntervalSet({{7, 8}, {20, 31}, {40, 44}}));
+  return map;
+}
+
+bool SameSequences(const SequenceMap& a, const SequenceMap& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [label, set] : a) {
+    auto it = b.find(label);
+    if (it == b.end()) return false;
+    const auto& lhs = set.intervals();
+    const auto& rhs = it->second.intervals();
+    if (lhs.size() != rhs.size()) return false;
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      if (lhs[i].begin != rhs[i].begin || lhs[i].end != rhs[i].end) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(SequenceStoreCrashTest, FailAtEveryOpLeavesOldOrNew) {
+  const std::string dir = TempDir("seq_ops");
+  const std::string path = dir + "/sequences.svqs";
+
+  // Dry run to learn the op count of one Save.
+  io::FaultInjectionEnv env;
+  ASSERT_TRUE(storage::SequenceStore::Save(path, NewSequences(), &env).ok());
+  const int64_t total_ops = env.ops_seen();
+  ASSERT_GE(total_ops, 5);
+
+  for (int64_t op = 0; op < total_ops; ++op) {
+    ASSERT_TRUE(storage::SequenceStore::Save(path, OldSequences()).ok());
+    env.Reset();
+    env.FailOp(op);
+    const Status status =
+        storage::SequenceStore::Save(path, NewSequences(), &env);
+    auto loaded = storage::SequenceStore::Load(path);
+    ASSERT_TRUE(loaded.ok()) << "op " << op << ": " << loaded.status();
+    if (status.ok()) {
+      EXPECT_TRUE(SameSequences(*loaded, NewSequences())) << "op " << op;
+    } else {
+      EXPECT_TRUE(SameSequences(*loaded, OldSequences()) ||
+                  SameSequences(*loaded, NewSequences()))
+          << "op " << op;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SequenceStoreCrashTest, PowerCutAtEveryByteLeavesOldOrNew) {
+  const std::string dir = TempDir("seq_bytes");
+  const std::string path = dir + "/sequences.svqs";
+
+  io::FaultInjectionEnv env;
+  ASSERT_TRUE(storage::SequenceStore::Save(path, NewSequences(), &env).ok());
+  const uint64_t total_bytes = env.bytes_appended();
+  ASSERT_GT(total_bytes, 0u);
+
+  for (uint64_t cut = 0; cut < total_bytes; ++cut) {
+    ASSERT_TRUE(storage::SequenceStore::Save(path, OldSequences()).ok());
+    env.Reset();
+    env.CutAtByte(cut);
+    EXPECT_FALSE(storage::SequenceStore::Save(path, NewSequences(), &env).ok())
+        << "cut " << cut;
+    // The machine died mid-write: the final path must still load as the
+    // previous complete state (the torn bytes stayed in the temp file).
+    auto loaded = storage::SequenceStore::Load(path);
+    ASSERT_TRUE(loaded.ok()) << "cut " << cut << ": " << loaded.status();
+    EXPECT_TRUE(SameSequences(*loaded, OldSequences())) << "cut " << cut;
+  }
+  fs::remove_all(dir);
+}
+
+std::vector<storage::ClipScoreRow> OldRows() {
+  return {{1, 0.9}, {2, 0.5}, {3, 0.2}};
+}
+
+std::vector<storage::ClipScoreRow> NewRows() {
+  return {{4, 0.8}, {5, 0.7}, {6, 0.6}, {7, 0.1}};
+}
+
+TEST(ScoreTableCrashTest, FailAtEveryOpLeavesOldOrNew) {
+  const std::string dir = TempDir("table_ops");
+  const std::string path = dir + "/table.svqt";
+
+  io::FaultInjectionEnv env;
+  ASSERT_TRUE(storage::DiskScoreTable::Write(path, NewRows(), &env).ok());
+  const int64_t total_ops = env.ops_seen();
+  ASSERT_GE(total_ops, 5);
+
+  for (int64_t op = 0; op < total_ops; ++op) {
+    ASSERT_TRUE(storage::DiskScoreTable::Write(path, OldRows()).ok());
+    env.Reset();
+    env.FailOp(op);
+    const Status status =
+        storage::DiskScoreTable::Write(path, NewRows(), &env);
+    auto table = storage::DiskScoreTable::Open(path);
+    ASSERT_TRUE(table.ok()) << "op " << op << ": " << table.status();
+    const int64_t rows = (*table)->NumRows();
+    if (status.ok()) {
+      EXPECT_EQ(rows, 4) << "op " << op;
+    } else {
+      EXPECT_TRUE(rows == 3 || rows == 4) << "op " << op;
+      // Old and new tables share no clip ids, so one probe tells which
+      // complete state we see; a mixture would have failed Open already.
+      EXPECT_EQ((*table)->HasClip(1), rows == 3) << "op " << op;
+      EXPECT_EQ((*table)->HasClip(4), rows == 4) << "op " << op;
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ScoreTableCrashTest, PowerCutAtEveryByteLeavesOld) {
+  const std::string dir = TempDir("table_bytes");
+  const std::string path = dir + "/table.svqt";
+
+  io::FaultInjectionEnv env;
+  ASSERT_TRUE(storage::DiskScoreTable::Write(path, NewRows(), &env).ok());
+  const uint64_t total_bytes = env.bytes_appended();
+
+  for (uint64_t cut = 0; cut < total_bytes; ++cut) {
+    ASSERT_TRUE(storage::DiskScoreTable::Write(path, OldRows()).ok());
+    env.Reset();
+    env.CutAtByte(cut);
+    EXPECT_FALSE(storage::DiskScoreTable::Write(path, NewRows(), &env).ok())
+        << "cut " << cut;
+    auto table = storage::DiskScoreTable::Open(path);
+    ASSERT_TRUE(table.ok()) << "cut " << cut << ": " << table.status();
+    EXPECT_EQ((*table)->NumRows(), 3) << "cut " << cut;
+    EXPECT_TRUE((*table)->HasClip(1)) << "cut " << cut;
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-ingest sweeps: a crash anywhere inside IngestVideo's disk phase must
+// leave a fresh directory that either reopens as the complete artifact set
+// or fails to open cleanly. The manifest is written last, so it is the
+// commit point: no manifest, no (partial) catalog entry.
+
+std::shared_ptr<const video::SyntheticVideo> MakeVideo() {
+  video::SyntheticVideoSpec spec;
+  spec.name = "crash_test";
+  spec.num_frames = 4000;
+  spec.seed = 19;
+  spec.actions.push_back({"smoking", 300.0, 2500.0});
+  video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.85;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 200.0;
+  cup.mean_off_frames = 1500.0;
+  spec.objects.push_back(cup);
+  auto video = video::SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+/// Ingests MakeVideo() into `dir` through `env` (single-threaded, so the
+/// op order is deterministic across runs).
+Status IngestTo(const std::string& dir, io::Env* env,
+                const std::shared_ptr<const video::SyntheticVideo>& video) {
+  core::IngestOptions options;
+  options.backend = core::IngestOptions::TableBackend::kDisk;
+  options.directory = dir;
+  options.env = env;
+  models::ModelSet models =
+      models::MakeModelSet(video, models::MaskRcnnI3dSuite(), {}, {});
+  return core::IngestVideo(video, 1, models.tracker.get(),
+                           models.recognizer.get(), options)
+      .status();
+}
+
+/// Comparable summary of an opened directory.
+struct DirSummary {
+  std::string name;
+  int64_t num_clips = 0;
+  std::map<std::string, int64_t> object_rows;
+  std::map<std::string, int64_t> action_rows;
+  SequenceMap object_sequences;
+  SequenceMap action_sequences;
+};
+
+DirSummary Summarize(const core::IngestedVideo& opened) {
+  DirSummary summary;
+  summary.name = opened.name;
+  summary.num_clips = opened.num_clips;
+  for (const auto& [label, table] : opened.object_tables) {
+    summary.object_rows[label] = table->NumRows();
+  }
+  for (const auto& [label, table] : opened.action_tables) {
+    summary.action_rows[label] = table->NumRows();
+  }
+  summary.object_sequences = opened.object_sequences;
+  summary.action_sequences = opened.action_sequences;
+  return summary;
+}
+
+bool SameSummary(const DirSummary& a, const DirSummary& b) {
+  return a.name == b.name && a.num_clips == b.num_clips &&
+         a.object_rows == b.object_rows && a.action_rows == b.action_rows &&
+         SameSequences(a.object_sequences, b.object_sequences) &&
+         SameSequences(a.action_sequences, b.action_sequences);
+}
+
+class IngestCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    video_ = MakeVideo();
+    ASSERT_NE(video_, nullptr);
+    // Reference: a clean ingest, and the op/byte budget of its disk phase.
+    const std::string ref_dir = TempDir("ingest_ref");
+    io::FaultInjectionEnv env;
+    ASSERT_TRUE(IngestTo(ref_dir, &env, video_).ok());
+    total_ops_ = env.ops_seen();
+    total_bytes_ = env.bytes_appended();
+    ASSERT_GE(total_ops_, 5 * 5) << "expected five artifact files";
+    auto reference = core::OpenIngestedVideo(ref_dir);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    reference_ = Summarize(*reference);
+    fs::remove_all(ref_dir);
+  }
+
+  /// The sweep body: after a faulted ingest into a fresh directory, the
+  /// directory either opens as the complete reference state or fails with
+  /// a clean IOError/Corruption — never a crash, never a partial open.
+  void CheckDir(const std::string& dir, const std::string& what) {
+    auto opened = core::OpenIngestedVideo(dir);
+    if (opened.ok()) {
+      EXPECT_TRUE(SameSummary(Summarize(*opened), reference_)) << what;
+    } else {
+      EXPECT_TRUE(opened.status().IsIOError() ||
+                  opened.status().IsCorruption())
+          << what << ": " << opened.status();
+    }
+  }
+
+  std::shared_ptr<const video::SyntheticVideo> video_;
+  int64_t total_ops_ = 0;
+  uint64_t total_bytes_ = 0;
+  DirSummary reference_;
+};
+
+TEST_F(IngestCrashTest, CleanFailureAtEverySyscall) {
+  for (int64_t op = 0; op < total_ops_; ++op) {
+    const std::string dir = TempDir("ingest_fail");
+    io::FaultInjectionEnv env;
+    env.FailOp(op);
+    const Status status = IngestTo(dir, &env, video_);
+    EXPECT_TRUE(env.fault_fired()) << "op " << op;
+    if (status.ok()) {
+      // The failed write was retried-free and one-shot: an ingest that
+      // reports success must have produced the full artifact set.
+      auto opened = core::OpenIngestedVideo(dir);
+      ASSERT_TRUE(opened.ok()) << "op " << op << ": " << opened.status();
+      EXPECT_TRUE(SameSummary(Summarize(*opened), reference_)) << "op " << op;
+    } else {
+      CheckDir(dir, "op " + std::to_string(op));
+    }
+    fs::remove_all(dir);
+  }
+}
+
+TEST_F(IngestCrashTest, PowerCutAtEverySyscall) {
+  for (int64_t op = 0; op < total_ops_; ++op) {
+    const std::string dir = TempDir("ingest_cut");
+    io::FaultInjectionEnv env;
+    env.CutAtOp(op);
+    EXPECT_FALSE(IngestTo(dir, &env, video_).ok()) << "op " << op;
+    // Dead env: temp files survive exactly as a crashed machine would
+    // leave them. The directory must still open old-or-new-or-clean-error.
+    CheckDir(dir, "cut at op " + std::to_string(op));
+    fs::remove_all(dir);
+  }
+}
+
+TEST_F(IngestCrashTest, PowerCutAcrossByteBoundaries) {
+  // Every single byte would mean total_bytes_ full ingests; stride the
+  // sweep to ~64 cut points while always including the first and last
+  // byte of the stream. Op-level sweeps above cover every syscall
+  // boundary exactly.
+  const uint64_t stride = std::max<uint64_t>(1, total_bytes_ / 64);
+  for (uint64_t cut = 0; cut < total_bytes_; cut += stride) {
+    const std::string dir = TempDir("ingest_cutbyte");
+    io::FaultInjectionEnv env;
+    env.CutAtByte(cut);
+    EXPECT_FALSE(IngestTo(dir, &env, video_).ok()) << "cut " << cut;
+    CheckDir(dir, "cut at byte " + std::to_string(cut));
+    fs::remove_all(dir);
+  }
+  {
+    const std::string dir = TempDir("ingest_cutbyte_last");
+    io::FaultInjectionEnv env;
+    env.CutAtByte(total_bytes_ - 1);
+    EXPECT_FALSE(IngestTo(dir, &env, video_).ok());
+    CheckDir(dir, "cut at last byte");
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace svq

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "svq/query/executor.h"
 
 namespace svq::core {
@@ -71,6 +73,48 @@ TEST(EngineTest, OnlineThenOffline) {
     EXPECT_GE(topk->sequences[i - 1].upper_bound,
               topk->sequences[i].upper_bound - 1e-9);
   }
+}
+
+TEST(EngineTest, ServesReopenedArtifactsWithoutRawVideo) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "svq_engine_reopen").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // First life: ingest to disk.
+  IngestOptions disk_options;
+  disk_options.backend = IngestOptions::TableBackend::kDisk;
+  disk_options.directory = dir;
+  VideoQueryEngine writer(models::ModelSuite(), OnlineConfig(), disk_options);
+  ASSERT_TRUE(writer.AddVideo(DemoVideo()).ok());
+  ASSERT_TRUE(writer.Ingest("demo").ok());
+  auto reference = writer.ExecuteTopK(JumpingCar(), "demo", 3);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Second life: a fresh engine serves the reopened artifacts with no raw
+  // video and no re-ingestion.
+  auto reopened = OpenIngestedVideo(dir + "/demo");
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  VideoQueryEngine server;
+  auto id = server.AddIngested(
+      std::make_shared<const IngestedVideo>(std::move(reopened).value()));
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_TRUE(server.HasVideo("demo"));
+  EXPECT_TRUE(server.AddIngested(nullptr).status().IsInvalidArgument());
+
+  auto topk = server.ExecuteTopK(JumpingCar(), "demo", 3);
+  ASSERT_TRUE(topk.ok()) << topk.status();
+  ASSERT_EQ(topk->sequences.size(), reference->sequences.size());
+  for (size_t i = 0; i < topk->sequences.size(); ++i) {
+    EXPECT_EQ(topk->sequences[i].clips, reference->sequences[i].clips);
+  }
+
+  // Online/streaming execution needs the raw frames, which only the
+  // original ingest had: clean FailedPrecondition, not a crash.
+  auto online = server.ExecuteOnline(JumpingCar(), "demo");
+  EXPECT_EQ(online.status().code(), StatusCode::kFailedPrecondition);
+  fs::remove_all(dir);
 }
 
 TEST(EngineTest, AllOfflineAlgorithmsAgreeOnSequences) {

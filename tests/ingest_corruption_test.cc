@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,20 @@ class CorruptionTest : public ::testing::Test {
     ASSERT_TRUE(out.good());
     const std::string junk(128, '\x5a');
     out << junk;
+  }
+
+  std::string ReadRaw(const std::string& filename) {
+    std::ifstream in(fs::path(dir_) / filename, std::ios::binary);
+    EXPECT_TRUE(in.good()) << filename;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteRaw(const std::string& filename, const std::string& bytes) {
+    std::ofstream out(fs::path(dir_) / filename,
+                      std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << filename;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
 
   std::string dir_;
@@ -164,6 +179,96 @@ TEST_F(CorruptionTest, GarbageSequenceStoreIsCorruption) {
   FillWithGarbage("action_sequences.svqs");
   auto result = OpenIngestedVideo(dir_);
   EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+TEST_F(CorruptionTest, QuarantinesCorruptTable) {
+  FillWithGarbage("obj_cup.svqt");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  // The damaged file was renamed aside: a restart stops tripping over it
+  // (it is now simply missing) while the bytes survive for inspection.
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "obj_cup.svqt"));
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "obj_cup.svqt.quarantined"));
+  EXPECT_TRUE(OpenIngestedVideo(dir_).status().IsIOError());
+}
+
+TEST_F(CorruptionTest, QuarantinesCorruptManifest) {
+  FillWithGarbage("manifest.svqm");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "manifest.svqm"));
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "manifest.svqm.quarantined"));
+}
+
+TEST_F(CorruptionTest, QuarantinesCorruptSequenceStore) {
+  FillWithGarbage("action_sequences.svqs");
+  auto result = OpenIngestedVideo(dir_);
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "action_sequences.svqs"));
+  EXPECT_TRUE(
+      fs::exists(fs::path(dir_) / "action_sequences.svqs.quarantined"));
+}
+
+TEST_F(CorruptionTest, MissingFilesAreNotQuarantined) {
+  fs::remove(fs::path(dir_) / "act_smoking.svqt");
+  EXPECT_TRUE(OpenIngestedVideo(dir_).status().IsIOError());
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "act_smoking.svqt.quarantined"));
+}
+
+TEST_F(CorruptionTest, ManifestBitFlipCorpus) {
+  // Every single-bit flip (plus a full-byte flip) in the manifest's first
+  // 16 bytes and its 24-byte checksum footer must yield Corruption — never
+  // a successful open, never a crash. The CRC covers the whole payload and
+  // every footer field is validated, so nothing in these ranges is slack.
+  const std::string pristine = ReadRaw("manifest.svqm");
+  ASSERT_GT(pristine.size(), 40u);
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 16; ++i) positions.push_back(i);
+  for (size_t i = pristine.size() - 24; i < pristine.size(); ++i) {
+    positions.push_back(i);
+  }
+  for (const size_t i : positions) {
+    for (int bit = 0; bit <= 8; ++bit) {
+      const char mask =
+          bit == 8 ? static_cast<char>(0xFF) : static_cast<char>(1 << bit);
+      std::string mutated = pristine;
+      mutated[i] ^= mask;
+      WriteRaw("manifest.svqm", mutated);
+      auto result = OpenIngestedVideo(dir_);
+      ASSERT_FALSE(result.ok()) << "byte " << i << " bit " << bit;
+      EXPECT_TRUE(result.status().IsCorruption())
+          << "byte " << i << " bit " << bit << ": " << result.status();
+    }
+  }
+}
+
+TEST_F(CorruptionTest, ManifestTruncationSweep) {
+  // A manifest cut at *any* byte boundary must be Corruption: the footer
+  // (or the magic itself) is gone, so no truncation can masquerade as a
+  // complete file.
+  const std::string pristine = ReadRaw("manifest.svqm");
+  for (size_t n = 0; n < pristine.size(); ++n) {
+    WriteRaw("manifest.svqm", pristine.substr(0, n));
+    auto result = OpenIngestedVideo(dir_);
+    ASSERT_FALSE(result.ok()) << "length " << n;
+    EXPECT_TRUE(result.status().IsCorruption())
+        << "length " << n << ": " << result.status();
+  }
+}
+
+TEST_F(CorruptionTest, ReadsLegacyV1Manifest) {
+  // Pre-footer v1 manifest: same body, old magic, no footer. Rewritten
+  // from the v2 bytes the fixture produced, then reopened.
+  const std::string pristine = ReadRaw("manifest.svqm");
+  ASSERT_GT(pristine.size(), 28u);
+  std::string v1 = pristine.substr(0, pristine.size() - 24);
+  const char v1_magic[4] = {0x4D, 0x51, 0x56, 0x53};  // "SVQM" LE
+  v1.replace(0, 4, v1_magic, 4);
+  WriteRaw("manifest.svqm", v1);
+  auto result = OpenIngestedVideo(dir_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->name, "corruption_test");
+  EXPECT_NE(result->ObjectTable("cup"), nullptr);
 }
 
 TEST_F(CorruptionTest, IntactDirectoryStillReopensAfterTests) {

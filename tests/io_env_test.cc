@@ -1,0 +1,253 @@
+#include "svq/io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "svq/io/bytes.h"
+#include "svq/io/checksum_format.h"
+#include "svq/io/crc32c.h"
+#include "svq/io/fault_injection_env.h"
+
+namespace svq::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status().ToString();
+  return contents.ok() ? *contents : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // RFC 3720 / published CRC-32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("a", 1), 0xC1D04330u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32c(data.data(), split);
+    const uint32_t both = Crc32c(data.data() + split, data.size() - split,
+                                 head);
+    EXPECT_EQ(both, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "some payload worth protecting";
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data.data(), data.size()), clean)
+          << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ByteReader
+
+TEST(ByteReaderTest, BoundsCheckedReads) {
+  std::string buffer;
+  AppendValue(&buffer, static_cast<uint32_t>(7));
+  AppendLengthPrefixedString(&buffer, "abc");
+  ByteReader in(buffer);
+  uint32_t v = 0;
+  ASSERT_TRUE(in.Read(&v));
+  EXPECT_EQ(v, 7u);
+  std::string s;
+  ASSERT_TRUE(in.ReadLengthPrefixedString(&s, 100));
+  EXPECT_EQ(s, "abc");
+  EXPECT_EQ(in.remaining(), 0u);
+  // Reading past the end fails without moving the cursor.
+  uint64_t w = 0;
+  EXPECT_FALSE(in.Read(&w));
+}
+
+TEST(ByteReaderTest, RejectsOversizedLengthPrefix) {
+  std::string buffer;
+  AppendValue(&buffer, static_cast<uint64_t>(1) << 60);  // hostile length
+  ByteReader in(buffer);
+  std::string s;
+  EXPECT_FALSE(in.ReadLengthPrefixedString(&s, 1 << 20));
+}
+
+// ---------------------------------------------------------------------------
+// Checksum footer
+
+TEST(ChecksumFooterTest, RoundTrip) {
+  std::string buffer = "payload bytes";
+  const std::string payload = buffer;
+  AppendChecksumFooter(&buffer);
+  ASSERT_EQ(buffer.size(), payload.size() + kChecksumFooterSize);
+  auto stripped = StripChecksumFooter(buffer, "test");
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_EQ(*stripped, payload);
+}
+
+TEST(ChecksumFooterTest, EveryByteFlipIsCorruption) {
+  std::string buffer = "svq checksum footer corpus";
+  AppendChecksumFooter(&buffer);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    for (const char mask : {char(0x01), char(0xFF)}) {
+      std::string mutated = buffer;
+      mutated[i] ^= mask;
+      auto stripped = StripChecksumFooter(mutated, "test");
+      ASSERT_FALSE(stripped.ok()) << "byte " << i;
+      EXPECT_TRUE(stripped.status().IsCorruption()) << "byte " << i;
+    }
+  }
+}
+
+TEST(ChecksumFooterTest, TruncationIsCorruption) {
+  std::string buffer = "1234567890";
+  AppendChecksumFooter(&buffer);
+  for (size_t n = 0; n < buffer.size(); ++n) {
+    auto stripped =
+        StripChecksumFooter(std::string_view(buffer).substr(0, n), "test");
+    ASSERT_FALSE(stripped.ok()) << "length " << n;
+    EXPECT_TRUE(stripped.status().IsCorruption()) << "length " << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WriteFileAtomic
+
+TEST(WriteFileAtomicTest, WritesAndReplaces) {
+  const std::string path = TempPath("svq_io_atomic.bin");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(WriteFileAtomic(nullptr, path, "first contents").ok());
+  EXPECT_EQ(ReadAll(path), "first contents");
+  ASSERT_TRUE(WriteFileAtomic(nullptr, path, "second contents").ok());
+  EXPECT_EQ(ReadAll(path), "second contents");
+  std::filesystem::remove(path);
+}
+
+TEST(WriteFileAtomicTest, LeavesNoTempFileBehind) {
+  const std::string dir = TempPath("svq_io_atomic_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteFileAtomic(nullptr, dir + "/file.bin", "data").ok());
+  size_t entries = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // just file.bin — no .tmp.<pid> residue
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReadFileToStringTest, MissingFileIsIOError) {
+  auto result = ReadFileToString("/nonexistent/svq/nope.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+
+TEST(FaultInjectionEnvTest, DryRunCountsOps) {
+  FaultInjectionEnv env;
+  const std::string path = TempPath("svq_io_fault_dry.bin");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(WriteFileAtomic(&env, path, "0123456789").ok());
+  // NewWritableFile, Append, Sync, RenameFile, SyncDir.
+  EXPECT_EQ(env.ops_seen(), 5);
+  EXPECT_EQ(env.bytes_appended(), 10u);
+  EXPECT_FALSE(env.fault_fired());
+  std::filesystem::remove(path);
+}
+
+TEST(FaultInjectionEnvTest, FailAtEveryOpLeavesOldFileIntact) {
+  const std::string path = TempPath("svq_io_fault_sweep.bin");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(WriteFileAtomic(nullptr, path, "OLD").ok());
+
+  FaultInjectionEnv env;
+  // Ops 0..3 (create, append, sync, rename) failing must keep OLD bytes.
+  // Op 4 (SyncDir) fails after the rename: new bytes are already in place,
+  // which is an acceptable (and real) outcome — the caller just cannot
+  // claim durability.
+  for (int64_t op = 0; op < 4; ++op) {
+    env.Reset();
+    env.FailOp(op);
+    const Status status = WriteFileAtomic(&env, path, "NEWBYTES");
+    EXPECT_FALSE(status.ok()) << "op " << op;
+    EXPECT_TRUE(env.fault_fired()) << "op " << op;
+    EXPECT_EQ(ReadAll(path), "OLD") << "op " << op;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FaultInjectionEnvTest, ShortWriteNeverSurfacesAtFinalPath) {
+  const std::string path = TempPath("svq_io_fault_short.bin");
+  std::filesystem::remove(path);
+  ASSERT_TRUE(WriteFileAtomic(nullptr, path, "OLD").ok());
+  FaultInjectionEnv env;
+  env.ShortWrite(/*op_index=*/1, /*bytes=*/4);  // op 1 is the Append
+  EXPECT_FALSE(WriteFileAtomic(&env, path, "NEW CONTENTS").ok());
+  EXPECT_TRUE(env.fault_fired());
+  // The torn prefix went to the temp file only; the final path still holds
+  // the previous complete contents.
+  EXPECT_EQ(ReadAll(path), "OLD");
+  std::filesystem::remove(path);
+}
+
+TEST(FaultInjectionEnvTest, PowerCutAtEveryByteLeavesOldOrNew) {
+  const std::string dir = TempPath("svq_io_fault_cut_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/file.bin";
+  const std::string old_contents = "OLD";
+  const std::string new_contents = "NEW CONTENTS, LONGER";
+  ASSERT_TRUE(WriteFileAtomic(nullptr, path, old_contents).ok());
+  for (uint64_t cut = 0; cut <= new_contents.size(); ++cut) {
+    ASSERT_TRUE(WriteFileAtomic(nullptr, path, old_contents).ok());
+    FaultInjectionEnv env;
+    env.CutAtByte(cut);
+    const Status status = WriteFileAtomic(&env, path, new_contents);
+    if (cut < new_contents.size()) {
+      EXPECT_FALSE(status.ok()) << "cut " << cut;
+    }
+    // Whatever the temp residue, the final path reads as exactly one of
+    // the two complete states.
+    const std::string now = ReadAll(path);
+    EXPECT_TRUE(now == old_contents || now == new_contents)
+        << "cut " << cut << " left " << now.size() << " bytes";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectionEnvTest, CutAtOpKillsEverythingAfter) {
+  const std::string path = TempPath("svq_io_fault_cutop.bin");
+  std::filesystem::remove(path);
+  FaultInjectionEnv env;
+  env.CutAtOp(0);
+  EXPECT_FALSE(WriteFileAtomic(&env, path, "data").ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // The env stays dead: later writes fail too, like a machine that is off.
+  EXPECT_FALSE(WriteFileAtomic(&env, path, "data").ok());
+  env.Reset();
+  EXPECT_TRUE(WriteFileAtomic(&env, path, "data").ok());
+  EXPECT_EQ(ReadAll(path), "data");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace svq::io

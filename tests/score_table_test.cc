@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "svq/common/rng.h"
+#include "svq/io/bytes.h"
+#include "svq/io/env.h"
+#include "svq/io/fault_injection_env.h"
 
 namespace svq::storage {
 namespace {
@@ -101,6 +105,102 @@ TEST(DiskScoreTableTest, DetectsTruncation) {
   ASSERT_TRUE(DiskScoreTable::Write(path, SampleRows()).ok());
   std::filesystem::resize_file(path, 40);  // header + ~1.5 rows
   EXPECT_FALSE(DiskScoreTable::Open(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, HostileRowCountIsCorruptionNotOOM) {
+  // A header claiming 2^60 rows over an empty body must be rejected by
+  // size validation, not drive a 2^60-element reserve.
+  const std::string path = TempPath("svq_table_hostile.svqt");
+  std::string bytes;
+  io::AppendValue(&bytes, static_cast<uint32_t>(0x53565154));  // magic
+  io::AppendValue(&bytes, static_cast<uint32_t>(1));           // v1: no footer
+  io::AppendValue(&bytes, static_cast<uint64_t>(1) << 60);     // row count
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto result = DiskScoreTable::Open(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, ReadsLegacyV1Files) {
+  // Writers emit v2 (checksum footer); a pre-footer v1 file — version 1 in
+  // the header, no footer — must still open.
+  const std::string path = TempPath("svq_table_v1.svqt");
+  ASSERT_TRUE(DiskScoreTable::Write(path, SampleRows()).ok());
+  auto contents = io::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string v1 = contents->substr(0, contents->size() - 24);
+  v1[4] = 0x01;  // version field: 2 -> 1 (little-endian low byte)
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+  }
+  auto disk = DiskScoreTable::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  EXPECT_EQ((*disk)->NumRows(), 5);
+  EXPECT_DOUBLE_EQ(*(*disk)->ScoreOf(5), 0.9);
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, EveryHeaderAndFooterBitFlipIsCorruption) {
+  const std::string path = TempPath("svq_table_flip.svqt");
+  ASSERT_TRUE(DiskScoreTable::Write(path, SampleRows()).ok());
+  auto pristine = io::ReadFileToString(path);
+  ASSERT_TRUE(pristine.ok());
+  ASSERT_GT(pristine->size(), 40u);  // 16-byte header + rows + 24-byte footer
+  // Every single-bit flip (plus a full-byte flip) in the header and footer
+  // must surface as Corruption: never a successful open, never a crash.
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 16; ++i) positions.push_back(i);
+  for (size_t i = pristine->size() - 24; i < pristine->size(); ++i) {
+    positions.push_back(i);
+  }
+  for (const size_t i : positions) {
+    for (int bit = 0; bit <= 8; ++bit) {
+      const char mask =
+          bit == 8 ? static_cast<char>(0xFF) : static_cast<char>(1 << bit);
+      std::string mutated = *pristine;
+      mutated[i] ^= mask;
+      {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(mutated.data(),
+                  static_cast<std::streamsize>(mutated.size()));
+      }
+      auto result = DiskScoreTable::Open(path);
+      ASSERT_FALSE(result.ok()) << "byte " << i << " bit " << bit;
+      EXPECT_TRUE(result.status().IsCorruption())
+          << "byte " << i << " bit " << bit << ": " << result.status();
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DiskScoreTableTest, FailedWriteLeavesNoPartialFile) {
+  // Regression: a failed Write must never leave a partial file at the
+  // final path — neither on a clean syscall failure nor on a short write.
+  const std::string path = TempPath("svq_table_failwrite.svqt");
+  std::filesystem::remove(path);
+  io::FaultInjectionEnv env;
+  env.ShortWrite(/*op_index=*/1, /*bytes=*/10);
+  EXPECT_FALSE(DiskScoreTable::Write(path, SampleRows(), &env).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  env.Reset();
+  env.FailOp(3);  // the rename
+  EXPECT_FALSE(DiskScoreTable::Write(path, SampleRows(), &env).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // And a failed overwrite keeps the previous complete table readable.
+  env.Reset();
+  ASSERT_TRUE(DiskScoreTable::Write(path, SampleRows(), &env).ok());
+  env.Reset();
+  env.ShortWrite(/*op_index=*/1, /*bytes=*/4);
+  EXPECT_FALSE(DiskScoreTable::Write(path, {{1, 0.5}}, &env).ok());
+  auto disk = DiskScoreTable::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status();
+  EXPECT_EQ((*disk)->NumRows(), 5);
   std::filesystem::remove(path);
 }
 

@@ -2,14 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+
+#include "svq/io/bytes.h"
+#include "svq/io/env.h"
 
 namespace svq::storage {
 namespace {
 
 std::string TempPath(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 TEST(SequenceStoreTest, RoundTrip) {
@@ -57,6 +67,71 @@ TEST(SequenceStoreTest, Truncated) {
   ASSERT_TRUE(SequenceStore::Save(path, sequences).ok());
   std::filesystem::resize_file(path, 20);
   EXPECT_TRUE(SequenceStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, HostileIntervalCountIsCorruptionNotOOM) {
+  // A v1 file claiming 2^60 intervals for a label: Load must reject the
+  // count against the bytes that actually remain, not reserve() for it.
+  std::string bytes;
+  io::AppendValue(&bytes, static_cast<uint32_t>(0x53565153));  // v1 magic
+  io::AppendValue(&bytes, static_cast<uint64_t>(1));           // one label
+  io::AppendLengthPrefixedString(&bytes, "cup");
+  io::AppendValue(&bytes, static_cast<uint64_t>(1) << 60);     // intervals
+  const std::string path = TempPath("svq_sequences_hostile.svqs");
+  WriteRaw(path, bytes);
+  EXPECT_TRUE(SequenceStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, HostileLabelLengthIsCorruptionNotOOM) {
+  std::string bytes;
+  io::AppendValue(&bytes, static_cast<uint32_t>(0x53565153));  // v1 magic
+  io::AppendValue(&bytes, static_cast<uint64_t>(1));           // one label
+  io::AppendValue(&bytes, static_cast<uint64_t>(1) << 59);     // label length
+  const std::string path = TempPath("svq_sequences_hostile_label.svqs");
+  WriteRaw(path, bytes);
+  EXPECT_TRUE(SequenceStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, ReadsLegacyV1Files) {
+  // Writers emit v2 (checksum footer); a pre-footer v1 file — same body,
+  // old magic, no footer — must still load.
+  std::map<std::string, video::IntervalSet> sequences;
+  sequences["car"] = video::IntervalSet({{0, 3}, {10, 14}});
+  sequences["jumping"] = video::IntervalSet({{2, 5}});
+  const std::string path = TempPath("svq_sequences_v1.svqs");
+  ASSERT_TRUE(SequenceStore::Save(path, sequences).ok());
+  auto contents = io::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  // Strip the 24-byte footer and swap in the v1 magic: exactly the bytes a
+  // pre-footer writer produced.
+  std::string v1 = contents->substr(0, contents->size() - 24);
+  const char v1_magic[4] = {0x53, 0x51, 0x56, 0x53};  // "SVQS" LE
+  v1.replace(0, 4, v1_magic, 4);
+  WriteRaw(path, v1);
+  auto loaded = SequenceStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, sequences);
+  std::filesystem::remove(path);
+}
+
+TEST(SequenceStoreTest, ChecksumCatchesBitFlips) {
+  std::map<std::string, video::IntervalSet> sequences;
+  sequences["car"] = video::IntervalSet({{0, 3}, {10, 14}});
+  const std::string path = TempPath("svq_sequences_flip.svqs");
+  ASSERT_TRUE(SequenceStore::Save(path, sequences).ok());
+  auto pristine = io::ReadFileToString(path);
+  ASSERT_TRUE(pristine.ok());
+  for (size_t i = 0; i < pristine->size(); ++i) {
+    std::string mutated = *pristine;
+    mutated[i] ^= 0x01;
+    WriteRaw(path, mutated);
+    auto loaded = SequenceStore::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "byte " << i;
+    EXPECT_TRUE(loaded.status().IsCorruption()) << "byte " << i;
+  }
   std::filesystem::remove(path);
 }
 
