@@ -1,0 +1,232 @@
+// Cluster scatter-gather overhead: a ranked `PROCESS *` broadcast over the
+// whole catalog, answered by a single svqd versus an svq_router fronting 2
+// and 4 svqd shards (each holding a contiguous slice of the same catalog).
+// Results land in BENCH_cluster_scatter_gather.json with the 4-shard
+// router's svq_router_* registry attached.
+//
+// Expected shape: the routed configurations pay one extra loopback hop and
+// the gather barrier (the slowest shard gates the response), but each
+// shard's repository fan-out covers 1/N of the catalog, so broadcast
+// latency drops as shards are added once per-shard engine work dominates
+// the wire overhead. Every routed answer is checked sequence-for-sequence
+// against the single-node answer before it is timed — a cluster that is
+// fast but wrong does not get a number.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "svq/cluster/router.h"
+#include "svq/cluster/shard_map.h"
+#include "svq/core/engine.h"
+#include "svq/server/client.h"
+#include "svq/server/server.h"
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::shared_ptr<const svq::video::SyntheticVideo> MakeVideo(int index,
+                                                            double scale) {
+  svq::video::SyntheticVideoSpec spec;
+  spec.name = "serving_" + std::to_string(index);
+  spec.num_frames = static_cast<int64_t>(60000 * scale);
+  spec.seed = 9400 + static_cast<uint64_t>(index);
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  svq::video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  return svq::benchutil::ValueOrDie(
+      svq::video::SyntheticVideo::Generate(spec), "video generation");
+}
+
+constexpr const char* kBroadcast =
+    "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS * PRODUCE clipID, "
+    "obj USING ObjectDetector, act USING ActionRecognizer) WHERE "
+    "act='smoking' AND obj.include('cup') ORDER BY RANK(act, obj) LIMIT 8";
+
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[rank];
+}
+
+void ExpectSameAnswer(const svq::server::QueryResponse& got,
+                      const svq::server::QueryResponse& want,
+                      int shards) {
+  bool same = got.sequences.size() == want.sequences.size();
+  for (size_t i = 0; same && i < want.sequences.size(); ++i) {
+    same = got.sequences[i].begin == want.sequences[i].begin &&
+           got.sequences[i].end == want.sequences[i].end &&
+           got.sequences[i].lower_bound == want.sequences[i].lower_bound &&
+           got.sequences[i].upper_bound == want.sequences[i].upper_bound;
+  }
+  if (!same) {
+    std::fprintf(stderr,
+                 "FATAL: %d-shard broadcast diverged from the single-node "
+                 "answer\n",
+                 shards);
+    std::exit(1);
+  }
+}
+
+/// Runs `iterations` broadcasts through `client`, returning sorted
+/// latencies (ms).
+std::vector<double> TimeBroadcasts(svq::server::Client& client,
+                                   int iterations) {
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    const double begin = NowMs();
+    auto response = client.Execute(kBroadcast);
+    latencies.push_back(NowMs() - begin);
+    svq::benchutil::CheckOk(response.status(), "Execute transport");
+    svq::benchutil::CheckOk(response->status, "broadcast query");
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return latencies;
+}
+
+}  // namespace
+
+int main() {
+  using namespace svq::benchutil;
+  const double scale = ScaleFromEnv(0.25);
+  constexpr int kNumVideos = 8;
+  constexpr int kIterations = 16;
+  const std::vector<int> kShardCounts = {2, 4};
+
+  PrintTitle(
+      "cluster scatter-gather: PROCESS * via svq_router vs single svqd");
+  PrintNote("scale=" + std::to_string(scale) + ", videos=" +
+            std::to_string(kNumVideos) + ", iterations=" +
+            std::to_string(kIterations) +
+            ", shards=1 is a single svqd without a router");
+  BenchJson json("cluster_scatter_gather");
+
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumVideos; ++i) {
+    names.push_back("serving_" + std::to_string(i));
+  }
+
+  // Single-node baseline: one svqd over the full catalog.
+  svq::core::VideoQueryEngine single;
+  for (int i = 0; i < kNumVideos; ++i) {
+    CheckOk(single.AddVideo(MakeVideo(i, scale)).status(), "AddVideo");
+  }
+  CheckOk(single.IngestAll(), "IngestAll");
+  svq::server::Server single_server(&single, {});
+  CheckOk(single_server.Start(), "single svqd Start");
+  svq::server::Client baseline_client;
+  CheckOk(baseline_client.Connect("127.0.0.1", single_server.port()),
+          "baseline Connect");
+  auto oracle = baseline_client.Execute(kBroadcast);
+  CheckOk(oracle.status(), "oracle transport");
+  CheckOk(oracle->status, "oracle query");
+
+  {
+    const std::vector<double> latencies =
+        TimeBroadcasts(baseline_client, kIterations);
+    double total_ms = 0.0;
+    for (const double ms : latencies) total_ms += ms;
+    const double qps =
+        total_ms > 0.0 ? 1000.0 * latencies.size() / total_ms : 0.0;
+    json.Record("qps", qps, "queries/s", 1);
+    json.Record("latency_p50", Percentile(latencies, 0.50), "ms", 1);
+    json.Record("latency_p99", Percentile(latencies, 0.99), "ms", 1);
+    std::printf("  1 shard (no router): %7.2f QPS   p50 %7.2f ms   "
+                "p99 %7.2f ms\n",
+                qps, Percentile(latencies, 0.50),
+                Percentile(latencies, 0.99));
+  }
+
+  // Routed configurations: contiguous catalog slices per shard.
+  std::unique_ptr<svq::cluster::Router> last_router;
+  std::vector<std::unique_ptr<svq::core::VideoQueryEngine>> engines;
+  std::vector<std::unique_ptr<svq::server::Server>> servers;
+  for (const int shards : kShardCounts) {
+    engines.clear();
+    servers.clear();
+    std::vector<svq::cluster::ShardEndpoint> endpoints(
+        static_cast<size_t>(shards), {"127.0.0.1", 1});
+    auto map = ValueOrDie(
+        svq::cluster::AssignContiguous(names, endpoints), "AssignContiguous");
+    for (int s = 0; s < shards; ++s) {
+      engines.push_back(std::make_unique<svq::core::VideoQueryEngine>());
+    }
+    for (int i = 0; i < kNumVideos; ++i) {
+      const int shard = map.ShardOf(names[static_cast<size_t>(i)]);
+      CheckOk(engines[static_cast<size_t>(shard)]
+                  ->AddVideo(MakeVideo(i, scale))
+                  .status(),
+              "shard AddVideo");
+    }
+    for (int s = 0; s < shards; ++s) {
+      CheckOk(engines[static_cast<size_t>(s)]->IngestAll(),
+              "shard IngestAll");
+      servers.push_back(std::make_unique<svq::server::Server>(
+          engines[static_cast<size_t>(s)].get(),
+          svq::server::ServerOptions{}));
+      CheckOk(servers.back()->Start(), "shard svqd Start");
+      map.shards[static_cast<size_t>(s)].port = servers.back()->port();
+    }
+    auto router = std::make_unique<svq::cluster::Router>(
+        map, svq::cluster::RouterOptions{});
+    CheckOk(router->Start(), "router Start");
+
+    svq::server::Client client;
+    CheckOk(client.Connect("127.0.0.1", router->port()), "router Connect");
+    auto routed = client.Execute(kBroadcast);
+    CheckOk(routed.status(), "routed transport");
+    CheckOk(routed->status, "routed query");
+    ExpectSameAnswer(*routed, *oracle, shards);
+
+    const std::vector<double> latencies =
+        TimeBroadcasts(client, kIterations);
+    double total_ms = 0.0;
+    for (const double ms : latencies) total_ms += ms;
+    const double qps =
+        total_ms > 0.0 ? 1000.0 * latencies.size() / total_ms : 0.0;
+    json.Record("qps", qps, "queries/s", shards);
+    json.Record("latency_p50", Percentile(latencies, 0.50), "ms", shards);
+    json.Record("latency_p99", Percentile(latencies, 0.99), "ms", shards);
+    std::printf("  %d shards via router:  %7.2f QPS   p50 %7.2f ms   "
+                "p99 %7.2f ms\n",
+                shards, qps, Percentile(latencies, 0.50),
+                Percentile(latencies, 0.99));
+
+    if (shards == kShardCounts.back()) {
+      last_router = std::move(router);
+    } else {
+      router->Shutdown();
+    }
+    if (shards != kShardCounts.back()) {
+      for (auto& server : servers) server->Shutdown();
+    }
+  }
+
+  // The widest router's registry rides along in the JSON: every latency
+  // figure above carries the fan-out histograms and failure counters
+  // (all zero in a healthy run) that produced it.
+  if (last_router) json.AttachRegistry(last_router->registry().Snapshot());
+  if (last_router) last_router->Shutdown();
+  for (auto& server : servers) server->Shutdown();
+  single_server.Shutdown();
+  return 0;
+}

@@ -1,0 +1,826 @@
+#include "svq/cluster/router.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "svq/core/topk_merge.h"
+#include "svq/query/binder.h"
+#include "svq/query/parser.h"
+
+namespace svq::cluster {
+
+namespace {
+
+using server::MessageType;
+using server::QueryResponse;
+using server::ServerStatsWire;
+using server::WireCursor;
+
+double ElapsedMicros(Router::Clock::time_point begin,
+                     Router::Clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - begin).count();
+}
+
+/// Strips one leading keyword (case-insensitive, whole word) — the
+/// router's local equivalent of the EXPLAIN/ANALYZE prefix handling in
+/// svq/query/explain.cc, needed only to find the statement's FROM video.
+std::string_view StripLeadingKeyword(std::string_view statement,
+                                     std::string_view keyword) {
+  size_t i = 0;
+  while (i < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[i]))) {
+    ++i;
+  }
+  if (statement.size() - i < keyword.size()) return statement;
+  for (size_t j = 0; j < keyword.size(); ++j) {
+    if (std::toupper(static_cast<unsigned char>(statement[i + j])) !=
+        keyword[j]) {
+      return statement;
+    }
+  }
+  const size_t rest = i + keyword.size();
+  if (rest < statement.size() &&
+      !std::isspace(static_cast<unsigned char>(statement[rest]))) {
+    return statement;
+  }
+  return statement.substr(rest);
+}
+
+/// The statement's PROCESS target ("*" for a broadcast), or empty when the
+/// statement does not parse — the router then forwards it verbatim so the
+/// backend produces the same diagnostic a single svqd would.
+std::string RouteTargetOf(std::string_view statement) {
+  statement = StripLeadingKeyword(statement, "EXPLAIN");
+  statement = StripLeadingKeyword(statement, "ANALYZE");
+  auto parsed = query::Parse(statement);
+  if (!parsed.ok()) return std::string();
+  return parsed->process.video;
+}
+
+/// A gathered sequence tagged with its origin for the cross-shard merge:
+/// shard index then per-shard rank reproduce the single-node oracle's
+/// (video id, clip begin) tie order when the shard map assigns videos
+/// contiguously in sorted-name order (see AssignContiguous).
+struct GatherEntry {
+  size_t shard = 0;
+  size_t rank = 0;
+  server::WireSequence sequence;
+};
+
+void MergeQueryMetrics(const server::WireQueryMetrics& in,
+                       server::WireQueryMetrics* out) {
+  out->sorted_accesses += in.sorted_accesses;
+  out->random_accesses += in.random_accesses;
+  out->sequential_reads += in.sequential_reads;
+  out->virtual_ms += in.virtual_ms;
+  out->algorithm_ms += in.algorithm_ms;
+  out->model_ms += in.model_ms;
+  out->clips_processed += in.clips_processed;
+  out->threads_used = std::max(out->threads_used, in.threads_used);
+  out->tasks_executed += in.tasks_executed;
+  out->fanout_ms = std::max(out->fanout_ms, in.fanout_ms);
+  out->server_queue_ms = std::max(out->server_queue_ms, in.server_queue_ms);
+  out->server_exec_ms = std::max(out->server_exec_ms, in.server_exec_ms);
+}
+
+void MergeHistogram(const server::WireHistogram& in,
+                    server::WireHistogram* out) {
+  out->count += in.count;
+  for (size_t i = 0; i < out->buckets.size() && i < in.buckets.size(); ++i) {
+    out->buckets[i] += in.buckets[i];
+  }
+}
+
+}  // namespace
+
+Router::Router(ShardMap map, RouterOptions options)
+    : map_(std::move(map)), options_(std::move(options)) {
+  queries_total_ = registry_.counter("svq_router_queries_total",
+                                     "QUERY frames routed");
+  queries_partial_ = registry_.counter(
+      "svq_router_queries_partial_total",
+      "Scatter-gather queries answered from surviving shards only");
+  queries_deadline_ = registry_.counter(
+      "svq_router_deadline_exceeded_total",
+      "Queries whose budget expired inside the router");
+  backend_failures_ = registry_.counter(
+      "svq_router_backend_failures_total",
+      "Transport-level backend request failures (per attempt)");
+  retries_ = registry_.counter("svq_router_retries_total",
+                               "Backend attempts beyond the first");
+  hedges_ = registry_.counter("svq_router_hedges_total",
+                              "Hedge requests issued to slow shards");
+  stats_requests_ = registry_.counter("svq_router_stats_requests_total",
+                                      "STATS frames aggregated");
+  explain_requests_ = registry_.counter("svq_router_explain_requests_total",
+                                        "EXPLAIN frames routed");
+  connections_opened_ = registry_.counter(
+      "svq_router_connections_opened_total", "Client connections accepted");
+  backends_total_ =
+      registry_.gauge("svq_router_backends_total", "Configured backends");
+  backends_available_ = registry_.gauge(
+      "svq_router_backends_available",
+      "Backends whose circuit breaker is not open");
+  connections_open_ = registry_.gauge("svq_router_connections_open",
+                                      "Client connections currently open");
+  query_latency_ = registry_.histogram(
+      "svq_router_query_latency_micros",
+      "QUERY latency through the router (receipt to response encode)");
+  fanout_latency_ = registry_.histogram(
+      "svq_router_fanout_micros",
+      "Scatter-gather fan-out latency (scatter start to last gather)");
+}
+
+Router::~Router() { Shutdown(); }
+
+void Router::DumpPrometheus(std::ostream& out) const {
+  registry_.DumpPrometheus(out);
+}
+
+CircuitBreaker::State Router::BreakerState(size_t shard) const {
+  return backends_.at(shard)->breaker.state();
+}
+
+Status Router::Start() {
+  SVQ_RETURN_NOT_OK(map_.Validate());
+  if (options_.connect_timeout.count() <= 0) {
+    return Status::InvalidArgument(
+        "router connect_timeout must be positive");
+  }
+  if (running_.load()) {
+    return Status::FailedPrecondition("router already started");
+  }
+  backends_.clear();
+  for (const ShardEndpoint& endpoint : map_.shards) {
+    backends_.push_back(std::make_unique<Backend>(
+        endpoint, options_.connect_timeout, options_.recv_timeout,
+        options_.breaker));
+  }
+  backends_total_->Set(static_cast<double>(backends_.size()));
+  backends_available_->Set(static_cast<double>(backends_.size()));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status(StatusCode::kIOError,
+                        std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status status(StatusCode::kIOError,
+                        std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.health_interval.count() > 0) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+  return Status::OK();
+}
+
+void Router::Shutdown() {
+  if (!running_.exchange(false)) return;
+  // Wake the accept loop and every connection worker.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  health_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    workers.swap(conn_threads_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    backend->pool.Clear();
+  }
+}
+
+void Router::AcceptLoop() {
+  while (running_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &len, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load()) return;
+      if (errno == ECONNABORTED) continue;
+      return;  // listen socket is gone
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_opened_->Increment();
+    connections_open_->Add(1.0);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Router::HandleConnection(int fd) {
+  server::FrameAssembler assembler(options_.max_frame_bytes);
+  char buffer[65536];
+  bool open = true;
+  while (open && running_.load()) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    assembler.Feed(buffer, static_cast<size_t>(n));
+    for (;;) {
+      std::string payload;
+      bool has_frame = false;
+      if (!assembler.Next(&payload, &has_frame).ok()) {
+        open = false;  // oversized frame: the stream cannot resynchronize
+        break;
+      }
+      if (!has_frame) break;
+      const std::string response = HandlePayload(payload);
+      if (response.empty()) {
+        open = false;
+        break;
+      }
+      size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w = ::send(fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          open = false;
+          break;
+        }
+        sent += static_cast<size_t>(w);
+      }
+      if (!open) break;
+    }
+  }
+  ::close(fd);
+  connections_open_->Add(-1.0);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+std::string Router::HandlePayload(const std::string& payload) {
+  WireCursor cursor(payload);
+  MessageType type = MessageType::kQueryRequest;
+  const Status header = server::DecodePayloadHeader(&cursor, &type);
+  if (!header.ok()) {
+    // Same contract as svqd: answer the protocol mismatch once, then the
+    // caller drops the connection (empty follow-up is handled by the
+    // send already carrying close semantics — we return the one frame and
+    // the peer's decode fails identically either way).
+    QueryResponse response;
+    response.status = header;
+    return server::EncodeQueryResponse(response);
+  }
+  switch (type) {
+    case MessageType::kQueryRequest:
+      return HandleQuery(&cursor);
+    case MessageType::kStatsRequest:
+      return HandleStats();
+    case MessageType::kExplainRequest:
+      return HandleExplain(&cursor);
+    case MessageType::kSubscribeRequest: {
+      server::SubscribeRequest request;
+      server::SubscribeResponse response;
+      if (server::DecodeSubscribeRequest(&cursor, &request).ok()) {
+        response.request_id = request.request_id;
+      }
+      response.status = Status::Unimplemented(
+          "svq_router does not route streaming verbs; subscribe to a "
+          "backend directly");
+      return server::EncodeSubscribeResponse(response);
+    }
+    case MessageType::kFeedRequest: {
+      server::FeedRequest request;
+      server::FeedResponse response;
+      if (server::DecodeFeedRequest(&cursor, &request).ok()) {
+        response.request_id = request.request_id;
+      }
+      response.status = Status::Unimplemented(
+          "svq_router does not route streaming verbs; feed a backend "
+          "directly");
+      return server::EncodeFeedResponse(response);
+    }
+    case MessageType::kUnsubscribeRequest: {
+      server::UnsubscribeRequest request;
+      server::UnsubscribeResponse response;
+      if (server::DecodeUnsubscribeRequest(&cursor, &request).ok()) {
+        response.request_id = request.request_id;
+      }
+      response.status =
+          Status::Unimplemented("svq_router does not route streaming verbs");
+      return server::EncodeUnsubscribeResponse(response);
+    }
+    default: {
+      QueryResponse response;
+      response.status = Status::InvalidArgument(
+          "unexpected frame type " +
+          std::to_string(static_cast<int>(type)));
+      return server::EncodeQueryResponse(response);
+    }
+  }
+}
+
+bool Router::RemainingBudget(Clock::time_point admitted, uint32_t timeout_ms,
+                             Clock::time_point now, uint32_t* remaining) {
+  if (timeout_ms == 0) {
+    *remaining = 0;  // unlimited propagates as unlimited
+    return true;
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - admitted)
+          .count();
+  if (elapsed >= static_cast<int64_t>(timeout_ms)) return false;
+  *remaining = std::max<uint32_t>(
+      1, timeout_ms - static_cast<uint32_t>(elapsed));
+  return true;
+}
+
+int Router::FirstAvailableShard() const {
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->breaker.state() != CircuitBreaker::State::kOpen) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<QueryResponse> Router::QueryBackend(size_t shard,
+                                           const std::string& statement,
+                                           Clock::time_point admitted,
+                                           uint32_t timeout_ms) {
+  Backend& backend = *backends_[shard];
+  const std::string endpoint = backend.pool.endpoint().host + ":" +
+                               std::to_string(backend.pool.endpoint().port);
+  Status last = Status::Unavailable("shard " + std::to_string(shard) + " (" +
+                                    endpoint + ") unavailable");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    const Clock::time_point now = Clock::now();
+    uint32_t remaining = 0;
+    if (!RemainingBudget(admitted, timeout_ms, now, &remaining)) {
+      // Budget exhausted inside the router: this is the query's outcome,
+      // not a transport failure — report it on the query status exactly as
+      // a backend would.
+      queries_deadline_->Increment();
+      QueryResponse expired;
+      expired.status = Status::DeadlineExceeded(
+          "query budget exhausted before shard " + std::to_string(shard) +
+          " responded");
+      return expired;
+    }
+    if (!backend.breaker.AllowRequest(now)) {
+      return Status::Unavailable("shard " + std::to_string(shard) + " (" +
+                                 endpoint + "): circuit breaker open");
+    }
+    if (attempt > 0) retries_->Increment();
+    auto client = backend.pool.Acquire();
+    if (client.ok()) {
+      Result<QueryResponse> response =
+          client->Execute(statement, remaining);
+      if (response.ok()) {
+        backend.breaker.RecordSuccess();
+        backend.pool.Release(std::move(client).value());
+        return response;
+      }
+      last = response.status();
+    } else {
+      last = client.status();
+    }
+    // Transport failure: never reuse the connection, feed the breaker,
+    // back off (capped exponential) before the next idempotent retry.
+    backend.breaker.RecordFailure(Clock::now());
+    backend_failures_->Increment();
+    if (attempt < options_.max_retries) {
+      auto backoff = options_.retry_backoff * (1 << attempt);
+      if (backoff > options_.retry_backoff_max) {
+        backoff = options_.retry_backoff_max;
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+  }
+  return Status::Unavailable("shard " + std::to_string(shard) + " (" +
+                             endpoint + "): " + last.ToString());
+}
+
+Result<QueryResponse> Router::QueryBackendHedged(
+    size_t shard, const std::string& statement, Clock::time_point admitted,
+    uint32_t timeout_ms) {
+  if (options_.hedge_after.count() <= 0) {
+    return QueryBackend(shard, statement, admitted, timeout_ms);
+  }
+  // First response wins. Both attempts run detached so the winner's caller
+  // never waits for the loser; Shutdown joins the stragglers via the
+  // connection-thread registry this function's threads are NOT in — they
+  // hold only `state` plus `this`, and Shutdown runs after every
+  // connection worker (their transitive caller) has been joined, so the
+  // detach is bounded by recv_timeout. To keep that bound airtight the
+  // loser is tracked in `state` and the last one out cleans up.
+  struct HedgeState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<QueryResponse> result = Status::Unavailable("hedge pending");
+  };
+  auto state = std::make_shared<HedgeState>();
+  auto run = [this, state, shard, statement, admitted, timeout_ms] {
+    Result<QueryResponse> response =
+        QueryBackend(shard, statement, admitted, timeout_ms);
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->done) {
+      state->result = std::move(response);
+      state->done = true;
+      state->cv.notify_all();
+    }
+  };
+  std::thread primary(run);
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (state->cv.wait_for(lock, options_.hedge_after,
+                         [&] { return state->done; })) {
+    lock.unlock();
+    primary.join();
+    return std::move(state->result);
+  }
+  lock.unlock();
+  hedges_->Increment();
+  std::thread hedge(run);
+  lock.lock();
+  state->cv.wait(lock, [&] { return state->done; });
+  Result<QueryResponse> result = std::move(state->result);
+  lock.unlock();
+  // Both attempts are bounded by recv_timeout / the retry budget; joining
+  // keeps every backend interaction inside the router's lifetime.
+  primary.join();
+  hedge.join();
+  return result;
+}
+
+std::string Router::HandleQuery(WireCursor* cursor) {
+  const Clock::time_point admitted = Clock::now();
+  server::QueryRequest request;
+  const Status decoded = server::DecodeQueryRequest(cursor, &request);
+  QueryResponse response;
+  response.request_id = request.request_id;
+  if (!decoded.ok()) {
+    response.status = decoded;
+    return server::EncodeQueryResponse(response);
+  }
+  queries_total_->Increment();
+  const std::string target = RouteTargetOf(request.statement);
+
+  if (target != "*") {
+    // Single-video (or unparseable) statement: forward to the owning
+    // shard; a video the map does not know goes to the first available
+    // shard, whose NotFound diagnostic matches a single svqd's.
+    int shard = target.empty() ? -1 : map_.ShardOf(target);
+    if (shard < 0) shard = FirstAvailableShard();
+    if (shard < 0) {
+      response.status =
+          Status::Unavailable("no shard available for this statement");
+    } else {
+      Result<QueryResponse> routed = QueryBackendHedged(
+          static_cast<size_t>(shard), request.statement, admitted,
+          request.timeout_ms);
+      if (routed.ok()) {
+        response = std::move(routed).value();
+        response.request_id = request.request_id;
+      } else {
+        response.status = routed.status();
+      }
+    }
+    query_latency_->Record(ElapsedMicros(admitted, Clock::now()));
+    return server::EncodeQueryResponse(response);
+  }
+
+  // Broadcast: bind locally for K, scatter to every shard, gather with the
+  // shared score-ordered merge.
+  auto bound = query::ParseAndBind(request.statement);
+  if (!bound.ok()) {
+    // The statement parses (RouteTargetOf saw PROCESS *) but does not
+    // bind; answer with the binder's diagnostic like a single svqd would.
+    response.status = bound.status();
+    query_latency_->Record(ElapsedMicros(admitted, Clock::now()));
+    return server::EncodeQueryResponse(response);
+  }
+  const int k = static_cast<int>(bound->k);
+
+  const Clock::time_point scatter_begin = Clock::now();
+  std::vector<Result<QueryResponse>> gathered(
+      backends_.size(), Result<QueryResponse>(Status::Unavailable("")));
+  {
+    std::vector<std::thread> scatter;
+    scatter.reserve(backends_.size());
+    for (size_t shard = 0; shard < backends_.size(); ++shard) {
+      scatter.emplace_back([this, shard, &request, admitted, &gathered] {
+        gathered[shard] = QueryBackendHedged(
+            shard, request.statement, admitted, request.timeout_ms);
+      });
+    }
+    for (std::thread& thread : scatter) thread.join();
+  }
+  fanout_latency_->Record(ElapsedMicros(scatter_begin, Clock::now()));
+
+  std::vector<GatherEntry> entries;
+  std::vector<std::string> failed;
+  for (size_t shard = 0; shard < gathered.size(); ++shard) {
+    Result<QueryResponse>& result = gathered[shard];
+    if (!result.ok()) {
+      failed.push_back(result.status().message());
+      continue;
+    }
+    if (!result->status.ok()) {
+      // A backend answered but the query itself failed there (deadline,
+      // bad statement against its catalog, ...). That outcome is the
+      // query's, not the transport's: surface the first one verbatim.
+      response.status = result->status;
+      response.sequences.clear();
+      query_latency_->Record(ElapsedMicros(admitted, Clock::now()));
+      return server::EncodeQueryResponse(response);
+    }
+    for (size_t rank = 0; rank < result->sequences.size(); ++rank) {
+      entries.push_back({shard, rank, result->sequences[rank]});
+    }
+    MergeQueryMetrics(result->metrics, &response.metrics);
+  }
+
+  core::SortedTopKMerge(
+      &entries, k,
+      [](const GatherEntry& e) { return e.sequence.lower_bound; },
+      [](const GatherEntry& a, const GatherEntry& b) {
+        if (a.shard != b.shard) return a.shard < b.shard;
+        return a.rank < b.rank;
+      });
+  response.ranked = true;
+  response.sequences.reserve(entries.size());
+  for (const GatherEntry& entry : entries) {
+    response.sequences.push_back(entry.sequence);
+  }
+
+  if (!failed.empty()) {
+    std::ostringstream message;
+    if (failed.size() == gathered.size()) {
+      message << "all shards unavailable: ";
+    } else {
+      queries_partial_->Increment();
+      message << "partial results (" << gathered.size() - failed.size()
+              << "/" << gathered.size() << " shards): ";
+    }
+    for (size_t i = 0; i < failed.size(); ++i) {
+      if (i > 0) message << "; ";
+      message << failed[i];
+    }
+    response.status = Status::Unavailable(message.str());
+  }
+  query_latency_->Record(ElapsedMicros(admitted, Clock::now()));
+  return server::EncodeQueryResponse(response);
+}
+
+Result<server::ExplainResponse> Router::ExplainBackend(
+    size_t shard, const server::ExplainRequest& request,
+    Clock::time_point admitted) {
+  Backend& backend = *backends_[shard];
+  const std::string endpoint = backend.pool.endpoint().host + ":" +
+                               std::to_string(backend.pool.endpoint().port);
+  Status last = Status::Unavailable("unreachable");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    const Clock::time_point now = Clock::now();
+    uint32_t remaining = 0;
+    if (!RemainingBudget(admitted, request.timeout_ms, now, &remaining)) {
+      queries_deadline_->Increment();
+      server::ExplainResponse expired;
+      expired.status =
+          Status::DeadlineExceeded("explain budget exhausted in the router");
+      return expired;
+    }
+    if (!backend.breaker.AllowRequest(now)) {
+      return Status::Unavailable("shard " + std::to_string(shard) + " (" +
+                                 endpoint + "): circuit breaker open");
+    }
+    if (attempt > 0) retries_->Increment();
+    auto client = backend.pool.Acquire();
+    if (client.ok()) {
+      Result<server::ExplainResponse> response =
+          client->Explain(request.statement, request.analyze, remaining);
+      if (response.ok()) {
+        backend.breaker.RecordSuccess();
+        backend.pool.Release(std::move(client).value());
+        return response;
+      }
+      last = response.status();
+    } else {
+      last = client.status();
+    }
+    backend.breaker.RecordFailure(Clock::now());
+    backend_failures_->Increment();
+    if (attempt < options_.max_retries) {
+      auto backoff = options_.retry_backoff * (1 << attempt);
+      if (backoff > options_.retry_backoff_max) {
+        backoff = options_.retry_backoff_max;
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+  }
+  return Status::Unavailable("shard " + std::to_string(shard) + " (" +
+                             endpoint + "): " + last.ToString());
+}
+
+std::string Router::HandleExplain(WireCursor* cursor) {
+  const Clock::time_point admitted = Clock::now();
+  server::ExplainRequest request;
+  const Status decoded = server::DecodeExplainRequest(cursor, &request);
+  server::ExplainResponse response;
+  response.request_id = request.request_id;
+  if (!decoded.ok()) {
+    response.status = decoded;
+    return server::EncodeExplainResponse(response);
+  }
+  explain_requests_->Increment();
+  const std::string target = RouteTargetOf(request.statement);
+  if (target == "*") {
+    // Matches single-node behavior: EXPLAIN over PROCESS * is
+    // Unimplemented there too (the planner is per-video).
+    response.status = Status::Unimplemented(
+        "EXPLAIN over PROCESS * is not supported; explain a single video");
+    return server::EncodeExplainResponse(response);
+  }
+  int shard = target.empty() ? -1 : map_.ShardOf(target);
+  if (shard < 0) shard = FirstAvailableShard();
+  if (shard < 0) {
+    response.status =
+        Status::Unavailable("no shard available for this statement");
+    return server::EncodeExplainResponse(response);
+  }
+  Result<server::ExplainResponse> routed =
+      ExplainBackend(static_cast<size_t>(shard), request, admitted);
+  if (routed.ok()) {
+    response = std::move(routed).value();
+    response.request_id = request.request_id;
+  } else {
+    response.status = routed.status();
+  }
+  return server::EncodeExplainResponse(response);
+}
+
+Result<ServerStatsWire> Router::StatsBackend(size_t shard) {
+  Backend& backend = *backends_[shard];
+  Status last = Status::Unavailable("unreachable");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (!backend.breaker.AllowRequest(Clock::now())) {
+      return Status::Unavailable("circuit breaker open");
+    }
+    if (attempt > 0) retries_->Increment();
+    auto client = backend.pool.Acquire();
+    if (client.ok()) {
+      Result<ServerStatsWire> stats = client->GetStats();
+      if (stats.ok()) {
+        backend.breaker.RecordSuccess();
+        backend.pool.Release(std::move(client).value());
+        return stats;
+      }
+      last = stats.status();
+    } else {
+      last = client.status();
+    }
+    backend.breaker.RecordFailure(Clock::now());
+    backend_failures_->Increment();
+    if (attempt < options_.max_retries) {
+      auto backoff = options_.retry_backoff * (1 << attempt);
+      if (backoff > options_.retry_backoff_max) {
+        backoff = options_.retry_backoff_max;
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+  }
+  return last;
+}
+
+std::string Router::HandleStats() {
+  stats_requests_->Increment();
+  ServerStatsWire aggregate;
+  std::map<std::string, double> registry_sum;
+  size_t available = 0;
+  for (size_t shard = 0; shard < backends_.size(); ++shard) {
+    Result<ServerStatsWire> stats = StatsBackend(shard);
+    if (!stats.ok()) continue;
+    ++available;
+    aggregate.queries_accepted += stats->queries_accepted;
+    aggregate.queries_rejected += stats->queries_rejected;
+    aggregate.queries_ok += stats->queries_ok;
+    aggregate.queries_failed += stats->queries_failed;
+    aggregate.queries_cancelled += stats->queries_cancelled;
+    aggregate.queries_deadline_exceeded += stats->queries_deadline_exceeded;
+    aggregate.stats_requests += stats->stats_requests;
+    aggregate.connections_opened += stats->connections_opened;
+    aggregate.connections_open += stats->connections_open;
+    aggregate.queue_depth += stats->queue_depth;
+    aggregate.in_flight += stats->in_flight;
+    MergeHistogram(stats->query_latency, &aggregate.query_latency);
+    MergeHistogram(stats->stats_latency, &aggregate.stats_latency);
+    for (const auto& [name, value] : stats->registry) {
+      registry_sum[name] += value;
+    }
+  }
+  backends_available_->Set(static_cast<double>(available));
+  // The router's own metrics ride along under their svq_router_* names —
+  // one STATS round trip observes the whole cluster.
+  for (const auto& [name, value] : registry_.Snapshot().Flatten()) {
+    registry_sum[name] += value;
+  }
+  aggregate.registry.assign(registry_sum.begin(), registry_sum.end());
+  return server::EncodeStatsResponse(aggregate);
+}
+
+void Router::HealthLoop() {
+  while (running_.load()) {
+    {
+      std::unique_lock<std::mutex> lock(health_mu_);
+      health_cv_.wait_for(lock, options_.health_interval,
+                          [this] { return !running_.load(); });
+    }
+    if (!running_.load()) return;
+    size_t available = 0;
+    for (size_t shard = 0; shard < backends_.size(); ++shard) {
+      Backend& backend = *backends_[shard];
+      if (backend.breaker.state() == CircuitBreaker::State::kClosed) {
+        ++available;
+        continue;
+      }
+      // Open (or half-open) breaker: try to become the probe. A healthy
+      // answer closes the breaker without waiting for client traffic.
+      if (!backend.breaker.AllowRequest(Clock::now())) continue;
+      auto client = backend.pool.Acquire();
+      bool healthy = false;
+      if (client.ok()) {
+        auto stats = client->GetStats();
+        if (stats.ok()) {
+          healthy = true;
+          backend.pool.Release(std::move(client).value());
+        }
+      }
+      if (healthy) {
+        backend.breaker.RecordSuccess();
+        ++available;
+      } else {
+        backend.breaker.RecordFailure(Clock::now());
+        backend_failures_->Increment();
+      }
+    }
+    backends_available_->Set(static_cast<double>(available));
+  }
+}
+
+}  // namespace svq::cluster

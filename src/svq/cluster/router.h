@@ -1,0 +1,214 @@
+#ifndef SVQ_CLUSTER_ROUTER_H_
+#define SVQ_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svq/cluster/breaker.h"
+#include "svq/cluster/client_pool.h"
+#include "svq/cluster/shard_map.h"
+#include "svq/common/result.h"
+#include "svq/observability/metrics.h"
+#include "svq/server/wire.h"
+
+namespace svq::cluster {
+
+/// Router tuning knobs. The defaults favor fast failure detection in
+/// tests; production deployments raise the timeouts (docs/cluster.md).
+struct RouterOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via port()).
+  uint16_t port = 0;
+
+  /// Extra attempts after the first for idempotent verbs
+  /// (QUERY / EXPLAIN / STATS) that failed at the transport layer.
+  int max_retries = 2;
+  /// First retry delay; doubles per retry, capped at `retry_backoff_max`.
+  std::chrono::milliseconds retry_backoff{10};
+  std::chrono::milliseconds retry_backoff_max{200};
+
+  /// Hedging for scatter-gather QUERYs: when > 0, a shard that has not
+  /// answered within this budget gets a duplicate request on a fresh
+  /// connection; the first response wins. 0 disables hedging.
+  std::chrono::milliseconds hedge_after{0};
+
+  /// Circuit breaker per backend (svq/cluster/breaker.h).
+  CircuitBreaker::Options breaker;
+
+  /// Dial budget for every backend connection (Client::Connect's
+  /// non-blocking connect path); must be > 0 so a black-holed backend
+  /// cannot hang a router worker.
+  std::chrono::milliseconds connect_timeout{1000};
+  /// Receive budget per backend round trip; must comfortably exceed the
+  /// largest query timeout the deployment issues.
+  std::chrono::milliseconds recv_timeout{120000};
+
+  /// Period of the background health checker, which probes open-breaker
+  /// backends with STATS so recovery is noticed without client traffic.
+  /// 0 disables the checker.
+  std::chrono::milliseconds health_interval{500};
+
+  size_t max_frame_bytes = server::kDefaultMaxFrameBytes;
+};
+
+/// The scatter-gather routing layer (docs/cluster.md): speaks the svqd
+/// wire protocol on both sides. Downstream it is indistinguishable from a
+/// single svqd to existing clients; upstream it manages one svqd backend
+/// per shard of the catalog, as described by a versioned ShardMap.
+///
+/// Routing semantics:
+///  - QUERY over `PROCESS <video>` forwards to the shard owning the video
+///    (unassigned videos go to the first healthy shard, which answers
+///    NotFound exactly as a single svqd would).
+///  - QUERY over `PROCESS *` scatters to every shard — each backend runs
+///    its partition's repository top-K — and gathers with the same
+///    score-ordered merge as the repository fan-out
+///    (svq/core/topk_merge.h), ties broken by (shard, per-shard rank).
+///  - Deadlines propagate by decrementing the remaining budget per hop:
+///    every forwarded timeout is the client's budget minus time already
+///    spent in the router (queueing, earlier attempts, backoff).
+///  - Transport failures retry with capped exponential backoff (the verbs
+///    the router forwards are idempotent), feed the backend's circuit
+///    breaker, and — for scatter-gather — degrade to partial results: the
+///    response carries the surviving shards' sequences with query status
+///    kUnavailable naming the shards that failed, never a silent subset.
+///  - STATS aggregates every backend's counters and registry (same-name
+///    entries sum; histograms sum bucket-wise) and appends the router's
+///    own svq_router_* metrics.
+///  - Streaming verbs (SUBSCRIBE / FEED / UNSUBSCRIBE) answer
+///    Unimplemented: standing queries pin per-feed state that a
+///    stateless router does not replicate.
+///
+/// Threading: one accept thread, one blocking worker thread per client
+/// connection (each request may fan out one extra thread per shard), one
+/// health-check thread.
+class Router {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Router(ShardMap map, RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds, listens, and starts the accept + health threads.
+  /// Errors: InvalidArgument (bad map/options), IOError.
+  Status Start();
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  const ShardMap& shard_map() const { return map_; }
+
+  /// Router-side metrics (svq_router_*). Exposed for benches and tests;
+  /// STATS responses embed a flattened snapshot automatically.
+  const observability::MetricsRegistry& registry() const {
+    return registry_;
+  }
+
+  /// Prometheus text dump of the router registry.
+  void DumpPrometheus(std::ostream& out) const;
+
+  /// Breaker state of one backend (tests).
+  CircuitBreaker::State BreakerState(size_t shard) const;
+
+ private:
+  struct Backend {
+    Backend(ShardEndpoint endpoint, std::chrono::milliseconds connect,
+            std::chrono::milliseconds recv, CircuitBreaker::Options breaker)
+        : pool(std::move(endpoint), connect, recv),
+          breaker(breaker) {}
+
+    ClientPool pool;
+    CircuitBreaker breaker;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void HealthLoop();
+
+  /// Dispatches one complete frame payload; returns the encoded response
+  /// frame, or an empty string when the connection must be dropped.
+  std::string HandlePayload(const std::string& payload);
+
+  std::string HandleQuery(server::WireCursor* cursor);
+  std::string HandleExplain(server::WireCursor* cursor);
+  std::string HandleStats();
+
+  /// One QUERY to one backend with breaker + retry + per-hop deadline
+  /// decrement. `admitted` / `timeout_ms` describe the client's budget.
+  Result<server::QueryResponse> QueryBackend(size_t shard,
+                                             const std::string& statement,
+                                             Clock::time_point admitted,
+                                             uint32_t timeout_ms);
+  /// QueryBackend plus optional hedging (options_.hedge_after).
+  Result<server::QueryResponse> QueryBackendHedged(
+      size_t shard, const std::string& statement, Clock::time_point admitted,
+      uint32_t timeout_ms);
+
+  Result<server::ExplainResponse> ExplainBackend(
+      size_t shard, const server::ExplainRequest& request,
+      Clock::time_point admitted);
+  Result<server::ServerStatsWire> StatsBackend(size_t shard);
+
+  /// Remaining per-hop budget: client budget minus elapsed. Returns false
+  /// when the budget is exhausted (0 client budget = unlimited, always
+  /// true with *remaining = 0).
+  static bool RemainingBudget(Clock::time_point admitted,
+                              uint32_t timeout_ms, Clock::time_point now,
+                              uint32_t* remaining);
+
+  /// First shard whose breaker currently admits requests; -1 when none.
+  int FirstAvailableShard() const;
+
+  const ShardMap map_;
+  const RouterOptions options_;
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+
+  observability::MetricsRegistry registry_;
+  observability::Counter* queries_total_ = nullptr;
+  observability::Counter* queries_partial_ = nullptr;
+  observability::Counter* queries_deadline_ = nullptr;
+  observability::Counter* backend_failures_ = nullptr;
+  observability::Counter* retries_ = nullptr;
+  observability::Counter* hedges_ = nullptr;
+  observability::Counter* stats_requests_ = nullptr;
+  observability::Counter* explain_requests_ = nullptr;
+  observability::Counter* connections_opened_ = nullptr;
+  observability::Gauge* backends_total_ = nullptr;
+  observability::Gauge* backends_available_ = nullptr;
+  observability::Gauge* connections_open_ = nullptr;
+  observability::Histogram* query_latency_ = nullptr;
+  observability::Histogram* fanout_latency_ = nullptr;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread accept_thread_;
+  std::thread health_thread_;
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace svq::cluster
+
+#endif  // SVQ_CLUSTER_ROUTER_H_

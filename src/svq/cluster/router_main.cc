@@ -1,0 +1,236 @@
+// svq_router — the SVQ-ACT cluster router (docs/cluster.md): speaks the
+// svqd wire protocol to clients while scatter-gathering over a pool of
+// svqd backends, each serving one shard of the catalog as described by a
+// versioned, checksummed shard-map file.
+//
+// Serve:  ./build/svq_router --port 0 --shard-map cluster.map
+//             --port-file router.port
+// Write a map (tooling mode; used by CI to partition a catalog):
+//         ./build/svq_router --write-shard-map cluster.map
+//             --shard 127.0.0.1:7001 --shard 127.0.0.1:7002
+//             --assign serving_0=0 --assign serving_1=1 [--map-version 1]
+//
+// Clients need no changes: svq_client pointed at the router sees a single
+// svqd — except that a ranked `PROCESS *` statement now fans out across
+// every shard, and a down shard surfaces as an explicit partial-result
+// query status (Unavailable) instead of a silent subset.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "svq/cluster/router.h"
+#include "svq/cluster/shard_map.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --shard-map PATH [--host A] [--port N] [--port-file PATH]\n"
+      "          [--max-retries N] [--retry-backoff-ms N]\n"
+      "          [--retry-backoff-max-ms N] [--hedge-after-ms N]\n"
+      "          [--breaker-failures N] [--breaker-cooldown-ms N]\n"
+      "          [--connect-timeout-ms N] [--recv-timeout-ms N]\n"
+      "          [--health-interval-ms N]\n"
+      "          [--metrics-dump PATH]    Prometheus dump on exit\n"
+      "                                   ('-' writes to stdout)\n"
+      "   or: %s --write-shard-map PATH --shard HOST:PORT...\n"
+      "          --assign VIDEO=SHARD... [--map-version N]\n",
+      argv0, argv0);
+  return 1;
+}
+
+bool ParseEndpoint(const std::string& value,
+                   svq::cluster::ShardEndpoint* endpoint) {
+  const size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= value.size()) {
+    return false;
+  }
+  endpoint->host = value.substr(0, colon);
+  const int port = std::atoi(value.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  endpoint->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+int WriteShardMap(const std::string& path,
+                  const std::vector<std::string>& shard_args,
+                  const std::vector<std::string>& assign_args,
+                  uint64_t version) {
+  svq::cluster::ShardMap map;
+  map.version = version;
+  for (const std::string& arg : shard_args) {
+    svq::cluster::ShardEndpoint endpoint;
+    if (!ParseEndpoint(arg, &endpoint)) {
+      std::fprintf(stderr, "svq_router: bad --shard '%s' (want HOST:PORT)\n",
+                   arg.c_str());
+      return 1;
+    }
+    map.shards.push_back(std::move(endpoint));
+  }
+  for (const std::string& arg : assign_args) {
+    const size_t equals = arg.rfind('=');
+    if (equals == std::string::npos || equals == 0 ||
+        equals + 1 >= arg.size()) {
+      std::fprintf(stderr,
+                   "svq_router: bad --assign '%s' (want VIDEO=SHARD)\n",
+                   arg.c_str());
+      return 1;
+    }
+    map.assignments[arg.substr(0, equals)] =
+        static_cast<uint32_t>(std::atoi(arg.c_str() + equals + 1));
+  }
+  const svq::Status status =
+      svq::cluster::SaveShardMap(svq::io::Env::Default(), path, map);
+  if (!status.ok()) {
+    std::fprintf(stderr, "svq_router: cannot write shard map: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("svq_router: wrote shard map v%llu (%zu shard(s), %zu "
+              "assignment(s)) to %s\n",
+              static_cast<unsigned long long>(map.version),
+              map.shards.size(), map.assignments.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svq::cluster::RouterOptions options;
+  std::string shard_map_path;
+  std::string write_map_path;
+  std::string port_file;
+  std::string metrics_dump;
+  std::vector<std::string> shard_args;
+  std::vector<std::string> assign_args;
+  uint64_t map_version = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      options.bind_address = value;
+    } else if (arg == "--port" && (value = next())) {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--shard-map" && (value = next())) {
+      shard_map_path = value;
+    } else if (arg == "--port-file" && (value = next())) {
+      port_file = value;
+    } else if (arg == "--max-retries" && (value = next())) {
+      options.max_retries = std::atoi(value);
+    } else if (arg == "--retry-backoff-ms" && (value = next())) {
+      options.retry_backoff = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--retry-backoff-max-ms" && (value = next())) {
+      options.retry_backoff_max =
+          std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--hedge-after-ms" && (value = next())) {
+      options.hedge_after = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--breaker-failures" && (value = next())) {
+      options.breaker.failure_threshold = std::atoi(value);
+    } else if (arg == "--breaker-cooldown-ms" && (value = next())) {
+      options.breaker.cooldown = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--connect-timeout-ms" && (value = next())) {
+      options.connect_timeout = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--recv-timeout-ms" && (value = next())) {
+      options.recv_timeout = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--health-interval-ms" && (value = next())) {
+      options.health_interval = std::chrono::milliseconds(std::atoi(value));
+    } else if (arg == "--metrics-dump" && (value = next())) {
+      metrics_dump = value;
+    } else if (arg == "--write-shard-map" && (value = next())) {
+      write_map_path = value;
+    } else if (arg == "--shard" && (value = next())) {
+      shard_args.push_back(value);
+    } else if (arg == "--assign" && (value = next())) {
+      assign_args.push_back(value);
+    } else if (arg == "--map-version" && (value = next())) {
+      map_version = static_cast<uint64_t>(std::atoll(value));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!write_map_path.empty()) {
+    return WriteShardMap(write_map_path, shard_args, assign_args,
+                         map_version);
+  }
+  if (shard_map_path.empty()) return Usage(argv[0]);
+
+  auto map = svq::cluster::LoadShardMap(shard_map_path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "svq_router: cannot load shard map '%s': %s\n",
+                 shard_map_path.c_str(), map.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("svq_router: shard map v%llu: %zu shard(s), %zu video "
+              "assignment(s)\n",
+              static_cast<unsigned long long>(map->version),
+              map->shards.size(), map->assignments.size());
+
+  svq::cluster::Router router(std::move(map).value(), options);
+  if (auto status = router.Start(); !status.ok()) {
+    std::fprintf(stderr, "svq_router: start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("svq_router: listening on %s:%u\n",
+              options.bind_address.c_str(), router.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << router.port() << "\n";
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "svq_router: pipe failed: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("svq_router: signal received, shutting down ...\n");
+  std::fflush(stdout);
+  router.Shutdown();
+  if (!metrics_dump.empty()) {
+    if (metrics_dump == "-") {
+      std::fflush(stdout);
+      router.DumpPrometheus(std::cout);
+      std::cout.flush();
+    } else {
+      std::ofstream out(metrics_dump, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr,
+                     "svq_router: cannot open metrics dump file '%s'\n",
+                     metrics_dump.c_str());
+        return 1;
+      }
+      router.DumpPrometheus(out);
+    }
+  }
+  return 0;
+}

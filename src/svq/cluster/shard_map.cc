@@ -1,0 +1,158 @@
+#include "svq/cluster/shard_map.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "svq/io/bytes.h"
+#include "svq/io/checksum_format.h"
+
+namespace svq::cluster {
+
+namespace {
+
+/// "SVSM" little-endian — shard-map payload magic, distinct from the
+/// storage artifacts' per-format magics.
+constexpr uint32_t kShardMapMagic = 0x4d535653;
+constexpr uint32_t kShardMapFormatVersion = 1;
+/// Upper bounds on untrusted counts/lengths: validated before any
+/// allocation is sized from them.
+constexpr uint32_t kMaxShards = 4096;
+constexpr uint64_t kMaxNameBytes = 4096;
+
+}  // namespace
+
+int ShardMap::ShardOf(const std::string& video) const {
+  const auto it = assignments.find(video);
+  if (it == assignments.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+Status ShardMap::Validate() const {
+  if (shards.empty()) {
+    return Status::InvalidArgument("shard map has no shards");
+  }
+  if (shards.size() > kMaxShards) {
+    return Status::InvalidArgument("shard map has too many shards");
+  }
+  for (const ShardEndpoint& shard : shards) {
+    if (shard.host.empty()) {
+      return Status::InvalidArgument("shard endpoint host is empty");
+    }
+  }
+  for (const auto& [video, shard] : assignments) {
+    if (video.empty()) {
+      return Status::InvalidArgument("assignment with empty video name");
+    }
+    if (shard >= shards.size()) {
+      return Status::InvalidArgument(
+          "video '" + video + "' assigned to shard " +
+          std::to_string(shard) + " but the map has only " +
+          std::to_string(shards.size()) + " shard(s)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ShardMap> AssignContiguous(std::vector<std::string> names,
+                                  std::vector<ShardEndpoint> shards,
+                                  uint64_t version) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  ShardMap map;
+  map.version = version;
+  map.shards = std::move(shards);
+  const size_t n = names.size();
+  const size_t s = map.shards.size();
+  const size_t base = n / s;
+  const size_t remainder = n % s;
+  size_t next = 0;
+  for (size_t shard = 0; shard < s; ++shard) {
+    const size_t take = base + (shard < remainder ? 1 : 0);
+    for (size_t i = 0; i < take; ++i) {
+      map.assignments[names[next++]] = static_cast<uint32_t>(shard);
+    }
+  }
+  SVQ_RETURN_NOT_OK(map.Validate());
+  return map;
+}
+
+Status SaveShardMap(io::Env* env, const std::string& path,
+                    const ShardMap& map) {
+  if (env == nullptr) return Status::InvalidArgument("env must be set");
+  SVQ_RETURN_NOT_OK(map.Validate());
+  std::string payload;
+  io::AppendValue(&payload, kShardMapMagic);
+  io::AppendValue(&payload, kShardMapFormatVersion);
+  io::AppendValue(&payload, map.version);
+  io::AppendValue(&payload, static_cast<uint32_t>(map.shards.size()));
+  for (const ShardEndpoint& shard : map.shards) {
+    io::AppendLengthPrefixedString(&payload, shard.host);
+    io::AppendValue(&payload, static_cast<uint32_t>(shard.port));
+  }
+  io::AppendValue(&payload, static_cast<uint32_t>(map.assignments.size()));
+  for (const auto& [video, shard] : map.assignments) {
+    io::AppendLengthPrefixedString(&payload, video);
+    io::AppendValue(&payload, shard);
+  }
+  io::AppendChecksumFooter(&payload);
+  return io::WriteFileAtomic(env, path, payload);
+}
+
+Result<ShardMap> LoadShardMap(const std::string& path) {
+  SVQ_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(path));
+  SVQ_ASSIGN_OR_RETURN(const std::string_view payload,
+                       io::StripChecksumFooter(file, path));
+  io::ByteReader reader(payload);
+  uint32_t magic = 0;
+  uint32_t format = 0;
+  ShardMap map;
+  if (!reader.Read(&magic) || magic != kShardMapMagic) {
+    return Status::Corruption("'" + path + "': bad shard-map magic");
+  }
+  if (!reader.Read(&format) || format != kShardMapFormatVersion) {
+    return Status::Corruption("'" + path +
+                              "': unsupported shard-map format version");
+  }
+  if (!reader.Read(&map.version)) {
+    return Status::Corruption("'" + path + "': truncated shard-map header");
+  }
+  uint32_t shard_count = 0;
+  if (!reader.Read(&shard_count) || shard_count > kMaxShards) {
+    return Status::Corruption("'" + path + "': bad shard count");
+  }
+  map.shards.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    ShardEndpoint shard;
+    uint32_t port = 0;
+    if (!reader.ReadLengthPrefixedString(&shard.host, kMaxNameBytes) ||
+        !reader.Read(&port) || port > 65535) {
+      return Status::Corruption("'" + path + "': malformed shard endpoint");
+    }
+    shard.port = static_cast<uint16_t>(port);
+    map.shards.push_back(std::move(shard));
+  }
+  uint32_t assignment_count = 0;
+  if (!reader.Read(&assignment_count)) {
+    return Status::Corruption("'" + path + "': truncated assignment count");
+  }
+  for (uint32_t i = 0; i < assignment_count; ++i) {
+    std::string video;
+    uint32_t shard = 0;
+    if (!reader.ReadLengthPrefixedString(&video, kMaxNameBytes) ||
+        !reader.Read(&shard)) {
+      return Status::Corruption("'" + path + "': malformed assignment");
+    }
+    map.assignments[std::move(video)] = shard;
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("'" + path +
+                              "': trailing bytes after shard map");
+  }
+  SVQ_RETURN_NOT_OK(map.Validate());
+  return map;
+}
+
+}  // namespace svq::cluster

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -60,7 +62,7 @@ Status DecodeStatus(std::string_view bytes, size_t* offset, Status* decoded) {
     return Status::Corruption("status encoding truncated");
   }
   const uint8_t raw_code = static_cast<uint8_t>(bytes[*offset]);
-  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+  if (raw_code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("unknown status code " +
                               std::to_string(raw_code));
   }

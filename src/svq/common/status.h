@@ -26,6 +26,10 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  /// A dependency is temporarily unreachable. Used by the cluster router
+  /// to mark partial results: the response carries the surviving shards'
+  /// sequences, and this code on the query status makes the gap explicit.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -81,6 +85,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -106,6 +113,7 @@ class Status {
   bool IsUnimplemented() const {
     return code_ == StatusCode::kUnimplemented;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "svq/core/topk_merge.h"
 #include "svq/runtime/thread_pool.h"
 
 namespace svq::core {
@@ -71,19 +72,9 @@ Result<RepositoryResult> RunRepositoryTopK(
     }
     result.stats.Merge(slot->stats);
   }
-  // Merge: certified per-video results rank globally by their (exact or
-  // lower-bound) scores; ties break by video then position for stability.
-  std::sort(result.sequences.begin(), result.sequences.end(),
-            [](const RepositoryEntry& a, const RepositoryEntry& b) {
-              if (a.sequence.lower_bound != b.sequence.lower_bound) {
-                return a.sequence.lower_bound > b.sequence.lower_bound;
-              }
-              if (a.video_id != b.video_id) return a.video_id < b.video_id;
-              return a.sequence.clips.begin < b.sequence.clips.begin;
-            });
-  if (result.sequences.size() > static_cast<size_t>(k)) {
-    result.sequences.resize(static_cast<size_t>(k));
-  }
+  // Merge via the shared score-ordered top-K merge (svq/core/topk_merge.h)
+  // so the cluster router's cross-shard gather provably ranks the same way.
+  MergeRepositoryTopK(&result.sequences, k);
   return result;
 }
 

@@ -155,6 +155,14 @@ Result<BoundQuery> Bind(const SelectStatement& statement) {
   if (bound.ranked && bound.k == 0) {
     return Status::InvalidArgument("ranked queries require LIMIT K");
   }
+  // PROCESS * fans out over the whole repository, which only the ranked
+  // top-K path supports (per-video results merge by score; an unranked
+  // broadcast would have no defined result order).
+  if (bound.video == "*" && !bound.ranked) {
+    return Status::InvalidArgument(
+        "PROCESS * statements must be ranked: add ORDER BY RANK(...) "
+        "LIMIT K");
+  }
   return bound;
 }
 

@@ -56,6 +56,21 @@ Result<StatementResult> ExecuteStatementOn(const core::SnapshotPtr& snapshot,
     SVQ_ASSIGN_OR_RETURN(result.bound, Bind(parsed));
   }
 
+  if (result.bound.video == "*") {
+    // Whole-repository broadcast (the binder guarantees ranked + LIMIT):
+    // per-video RVAQ fan-out with the score-ordered merge of
+    // svq/core/topk_merge.h. Bypasses the per-video cost-based planner —
+    // every video gets the default sweep, same as ExecuteTopKAll.
+    observability::TraceSpan span(trace, "execute_repository");
+    SVQ_ASSIGN_OR_RETURN(
+        core::RepositoryResult repo,
+        core::ExecuteTopKAllOn(snapshot, result.bound.query,
+                               static_cast<int>(result.bound.k),
+                               options.offline, context));
+    result.repo = std::move(repo);
+    return result;
+  }
+
   // The whole statement — suite resolution, planning and execution — sees
   // the one pinned catalog view, and USING overrides stay local to this
   // statement instead of mutating (and racing on) any shared suite.

@@ -13,14 +13,17 @@
 namespace svq::query {
 
 /// Outcome of executing one statement: streaming statements fill `online`,
-/// ranked statements fill `topk`. `plan` is the physical plan execution
-/// ran under (always set on success — EXPLAIN and callers inspect the
-/// chosen algorithm and estimates from here).
+/// ranked statements fill `topk`, and whole-repository broadcasts
+/// (`PROCESS *`) fill `repo`. `plan` is the physical plan execution ran
+/// under (set on success for per-video statements — EXPLAIN and callers
+/// inspect the chosen algorithm and estimates from here; broadcasts bypass
+/// the per-video planner and leave it null).
 struct StatementResult {
   BoundQuery bound;
   std::shared_ptr<const plan::PhysicalPlan> plan;
   std::optional<core::OnlineResult> online;
   std::optional<core::TopKResult> topk;
+  std::optional<core::RepositoryResult> repo;
 };
 
 /// Execution knobs a statement caller may set beyond the statement text.

@@ -141,6 +141,12 @@ Result<std::string> ExplainStatementOn(const core::SnapshotPtr& snapshot,
     analyze = true;
   }
   SVQ_ASSIGN_OR_RETURN(const BoundQuery bound, ParseAndBind(statement));
+  if (bound.video == "*") {
+    // The cost-based planner is per-video; a broadcast would need one plan
+    // per ingested video. Routers forward EXPLAIN per shard instead.
+    return Status::Unimplemented(
+        "EXPLAIN over PROCESS * is not supported; explain a single video");
+  }
   SVQ_ASSIGN_OR_RETURN(
       const std::shared_ptr<const plan::PhysicalPlan> plan,
       plan::PlanQuery(snapshot, bound.query, bound.video, bound.ranked,

@@ -50,6 +50,8 @@ const char* TokenTypeName(TokenType type) {
       return "'='";
     case TokenType::kDot:
       return "'.'";
+    case TokenType::kStar:
+      return "'*'";
     case TokenType::kEnd:
       return "end of input";
   }
@@ -87,6 +89,9 @@ Result<std::vector<Token>> Lex(std::string_view statement) {
       ++i;
     } else if (c == '.') {
       tokens.push_back({TokenType::kDot, ".", start});
+      ++i;
+    } else if (c == '*') {
+      tokens.push_back({TokenType::kStar, "*", start});
       ++i;
     } else if (c == '\'' || c == '"') {
       const char quote = c;

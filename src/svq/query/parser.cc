@@ -139,7 +139,14 @@ class Parser {
 
   Status ParseProcess(ProcessClause* process) {
     SVQ_RETURN_NOT_OK(ExpectKeyword("PROCESS"));
-    SVQ_ASSIGN_OR_RETURN(process->video, ExpectIdentifier());
+    if (Peek().type == TokenType::kStar) {
+      // PROCESS * — the whole-repository target: the statement fans out
+      // over every ingested video (paper §4.2 multi-video setting).
+      process->video = "*";
+      Advance();
+    } else {
+      SVQ_ASSIGN_OR_RETURN(process->video, ExpectIdentifier());
+    }
     SVQ_RETURN_NOT_OK(ExpectKeyword("PRODUCE"));
     for (;;) {
       ProduceItem item;

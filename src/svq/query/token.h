@@ -16,6 +16,7 @@ enum class TokenType {
   kComma,
   kEquals,
   kDot,
+  kStar,         ///< '*': the whole-repository target in PROCESS *
   kEnd,          ///< end of input sentinel
 };
 

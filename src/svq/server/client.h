@@ -51,10 +51,16 @@ class Client {
 
   /// Connects to `host:port`. `recv_timeout` bounds every later receive so
   /// a dead server surfaces as IOError instead of a hang; it must comfortably
-  /// exceed the longest query timeout you plan to issue.
+  /// exceed the longest query timeout you plan to issue. `connect_timeout`
+  /// bounds the TCP handshake itself (non-blocking connect + poll) so a
+  /// black-holed address surfaces as IOError instead of hanging for the
+  /// kernel's SYN-retry budget; zero keeps the historical unbounded
+  /// blocking connect.
   Status Connect(const std::string& host, uint16_t port,
                  std::chrono::milliseconds recv_timeout =
-                     std::chrono::milliseconds(120000));
+                     std::chrono::milliseconds(120000),
+                 std::chrono::milliseconds connect_timeout =
+                     std::chrono::milliseconds(0));
 
   void Close();
   bool connected() const { return fd_ >= 0; }

@@ -49,6 +49,29 @@ void FillResponse(const query::StatementResult& statement,
     response->metrics.fanout_ms = stats.runtime.fanout_ms;
     return;
   }
+  if (statement.repo.has_value()) {
+    // Whole-repository broadcast (PROCESS *): per-video entries, already
+    // globally merged by score. The wire sequence carries the certified
+    // bounds; video attribution stays server-side (the cluster layer
+    // re-merges by score + stable position, not by video id).
+    response->ranked = true;
+    for (const core::RepositoryEntry& entry : statement.repo->sequences) {
+      response->sequences.push_back({entry.sequence.clips.begin,
+                                     entry.sequence.clips.end,
+                                     entry.sequence.lower_bound,
+                                     entry.sequence.upper_bound});
+    }
+    const core::OfflineRunStats& stats = statement.repo->stats;
+    response->metrics.sorted_accesses = stats.storage.sorted_accesses;
+    response->metrics.random_accesses = stats.storage.random_accesses;
+    response->metrics.sequential_reads = stats.storage.sequential_reads;
+    response->metrics.virtual_ms = stats.virtual_ms;
+    response->metrics.algorithm_ms = stats.algorithm_ms;
+    response->metrics.threads_used = stats.runtime.threads_used;
+    response->metrics.tasks_executed = stats.runtime.tasks_executed;
+    response->metrics.fanout_ms = stats.runtime.fanout_ms;
+    return;
+  }
   if (statement.online.has_value()) {
     for (const video::Interval& interval :
          statement.online->sequences.intervals()) {

@@ -19,7 +19,9 @@
 // for smoke tests).
 //
 // Exit codes: 0 = query OK; 2 = the server answered with a non-OK query
-// status (printed); 3 = wire version mismatch (the peer speaks a different
+// status (printed; an Unavailable status with sequences attached is a
+// cluster router's partial result — the surviving shards' sequences are
+// printed before exiting); 3 = wire version mismatch (the peer speaks a different
 // protocol revision — both versions are printed); 1 = usage or transport
 // error.
 
@@ -173,9 +175,18 @@ int RunQuery(svq::server::Client& client, const std::string& statement,
                               std::chrono::steady_clock::now() - t0)
                               .count();
   if (!response.ok()) return TransportExit(response.status());
-  if (!response->status.ok()) {
+  // A cluster router degrades to Unavailable when a shard is down but the
+  // rest answered: the response still carries the surviving shards'
+  // sequences. Print them (marked partial) so operators see what survived,
+  // but keep the non-OK exit code — a partial answer is not a full one.
+  const bool partial = response->status.IsUnavailable() &&
+                       !response->sequences.empty();
+  if (!response->status.ok() && !partial) {
     std::printf("query failed: %s\n", response->status.ToString().c_str());
     return 2;
+  }
+  if (partial) {
+    std::printf("partial: %s\n", response->status.ToString().c_str());
   }
   if (repeat > 1) {
     std::printf("run %d/%d: %.2f ms total\n", repeat, repeat, total_ms);
@@ -208,7 +219,7 @@ int RunQuery(svq::server::Client& client, const std::string& statement,
     std::printf("  engine: %lld clips, %.0f ms simulated inference\n",
                 static_cast<long long>(m.clips_processed), m.model_ms);
   }
-  return 0;
+  return partial ? 2 : 0;
 }
 
 int RunSubscribe(svq::server::Client& client, const std::string& statement,

@@ -152,7 +152,7 @@ Status ExpectEnd(const WireCursor& cursor) {
 Status ReadStatus(WireCursor* cursor, Status* status) {
   uint8_t raw_code = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_code));
-  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+  if (raw_code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("unknown status code " +
                               std::to_string(raw_code));
   }
@@ -354,7 +354,7 @@ Status DecodeQueryResponse(WireCursor* cursor, QueryResponse* response) {
   // re-reading code + message with the same layout.
   uint8_t raw_code = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_code));
-  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+  if (raw_code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("unknown status code " +
                               std::to_string(raw_code));
   }
@@ -441,7 +441,7 @@ Status DecodeExplainResponse(WireCursor* cursor, ExplainResponse* response) {
   SVQ_RETURN_NOT_OK(cursor->ReadU64(&response->request_id));
   uint8_t raw_code = 0;
   SVQ_RETURN_NOT_OK(cursor->ReadU8(&raw_code));
-  if (raw_code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+  if (raw_code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Corruption("unknown status code " +
                               std::to_string(raw_code));
   }

@@ -1,0 +1,637 @@
+// Integration tests for the cluster layer (docs/cluster.md): an svq_router
+// in front of per-shard svqd backends must be indistinguishable from a
+// single svqd over the full catalog — broadcast `PROCESS *` answers are
+// compared sequence-by-sequence against the single-node oracle — and must
+// degrade explicitly, not silently: a killed backend surfaces as a
+// partial-result Unavailable status, deadlines shrink per hop and expire
+// as kDeadlineExceeded, circuit breakers open after consecutive failures
+// and recover through the health prober, and slow shards trigger hedging.
+//
+// Runs under `ctest -L tsan` (with -DSVQ_SANITIZE=thread): the router's
+// scatter threads, hedge threads, health checker, and connection workers
+// all share breakers and the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svq/cluster/breaker.h"
+#include "svq/cluster/router.h"
+#include "svq/cluster/shard_map.h"
+#include "svq/core/engine.h"
+#include "svq/io/env.h"
+#include "svq/query/executor.h"
+#include "svq/server/client.h"
+#include "svq/server/server.h"
+#include "svq/video/synthetic_video.h"
+
+namespace svq::cluster {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string RankedStatement(const std::string& video, int k) {
+  return "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS " + video +
+         " PRODUCE clipID, obj USING ObjectDetector, act USING "
+         "ActionRecognizer) WHERE act='smoking' AND obj.include('cup') "
+         "ORDER BY RANK(act, obj) LIMIT " +
+         std::to_string(k);
+}
+
+std::shared_ptr<const video::SyntheticVideo> ClusterVideo(int index) {
+  video::SyntheticVideoSpec spec;
+  spec.name = "serving_" + std::to_string(index);
+  spec.num_frames = 12000;
+  spec.seed = 9300 + static_cast<uint64_t>(index);
+  spec.actions.push_back({"smoking", 350.0, 4500.0});
+  video::SyntheticObjectSpec cup;
+  cup.label = "cup";
+  cup.correlate_with_action = "smoking";
+  cup.correlation = 0.9;
+  cup.coverage = 0.9;
+  cup.mean_on_frames = 250.0;
+  cup.mean_off_frames = 2600.0;
+  spec.objects.push_back(cup);
+  auto video = video::SyntheticVideo::Generate(spec);
+  EXPECT_TRUE(video.ok());
+  return *video;
+}
+
+/// Fast-failure router options for tests; individual tests override knobs.
+RouterOptions TestOptions() {
+  RouterOptions options;
+  options.max_retries = 1;
+  options.retry_backoff = std::chrono::milliseconds(5);
+  options.retry_backoff_max = std::chrono::milliseconds(20);
+  options.connect_timeout = std::chrono::milliseconds(1000);
+  options.health_interval = std::chrono::milliseconds(0);  // deterministic
+  options.breaker.failure_threshold = 100;  // tests opt in explicitly
+  return options;
+}
+
+double RegistryValue(const Router& router, const std::string& name) {
+  for (const auto& [key, value] : router.registry().Snapshot().Flatten()) {
+    if (key == name) return value;
+  }
+  return 0.0;
+}
+
+/// A 2-shard cluster over four videos plus a single-node oracle engine
+/// holding the full catalog: the contract under test is that clients
+/// cannot tell the two apart (until a shard dies).
+class ClusterTest : public ::testing::Test {
+ protected:
+  static constexpr int kVideos = 4;
+
+  void StartCluster(RouterOptions options = TestOptions(),
+                    size_t num_shards = 2) {
+    std::vector<std::string> names;
+    for (int i = 0; i < kVideos; ++i) {
+      auto video = ClusterVideo(i);
+      names.push_back(video->name());
+      ASSERT_TRUE(oracle_.AddVideo(video).ok());
+    }
+    ASSERT_TRUE(oracle_.IngestAll().ok());
+
+    for (size_t s = 0; s < num_shards; ++s) {
+      engines_.push_back(std::make_unique<core::VideoQueryEngine>());
+    }
+    std::vector<ShardEndpoint> endpoints(num_shards);  // ports patched below
+    for (auto& endpoint : endpoints) endpoint = {"127.0.0.1", 1};
+    auto map = AssignContiguous(names, endpoints, /*version=*/7);
+    ASSERT_TRUE(map.ok()) << map.status();
+    // Each shard engine ingests its partition in sorted-name order, the
+    // same insertion order the oracle used — this is what aligns the
+    // cross-shard (shard, rank) tie order with the oracle's video ids.
+    for (const std::string& name : names) {
+      const int shard = map->ShardOf(name);
+      ASSERT_GE(shard, 0) << name;
+      ASSERT_TRUE(
+          engines_[static_cast<size_t>(shard)]
+              ->AddVideo(ClusterVideo(std::stoi(name.substr(8))))
+              .ok());
+    }
+    for (auto& engine : engines_) {
+      ASSERT_TRUE(engine->IngestAll().ok());
+      servers_.push_back(
+          std::make_unique<server::Server>(engine.get(), server::ServerOptions{}));
+      ASSERT_TRUE(servers_.back()->Start().ok());
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      map->shards[s].port = servers_[s]->port();
+    }
+    router_ = std::make_unique<Router>(std::move(map).value(), options);
+    ASSERT_TRUE(router_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (router_) router_->Shutdown();
+    for (auto& server : servers_) server->Shutdown();
+  }
+
+  server::Client RouterClient() {
+    server::Client client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", router_->port()).ok());
+    return client;
+  }
+
+  core::VideoQueryEngine oracle_;
+  std::vector<std::unique_ptr<core::VideoQueryEngine>> engines_;
+  std::vector<std::unique_ptr<server::Server>> servers_;
+  std::unique_ptr<Router> router_;
+};
+
+void ExpectMatchesRepository(
+    const server::QueryResponse& response,
+    const std::vector<core::RepositoryEntry>& expected) {
+  ASSERT_EQ(response.sequences.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(response.sequences[i].begin, expected[i].sequence.clips.begin)
+        << i;
+    EXPECT_EQ(response.sequences[i].end, expected[i].sequence.clips.end)
+        << i;
+    EXPECT_DOUBLE_EQ(response.sequences[i].lower_bound,
+                     expected[i].sequence.lower_bound)
+        << i;
+    EXPECT_DOUBLE_EQ(response.sequences[i].upper_bound,
+                     expected[i].sequence.upper_bound)
+        << i;
+  }
+}
+
+TEST_F(ClusterTest, BroadcastMatchesSingleNodeOracle) {
+  StartCluster();
+  const std::string statement = RankedStatement("*", 6);
+  auto reference = query::ExecuteStatementOn(oracle_.Pin(), statement);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference->repo.has_value());
+  ASSERT_FALSE(reference->repo->sequences.empty());
+
+  server::Client client = RouterClient();
+  auto response = client.Execute(statement);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->status.ok()) << response->status;
+  EXPECT_TRUE(response->ranked);
+  ExpectMatchesRepository(*response, reference->repo->sequences);
+  EXPECT_DOUBLE_EQ(RegistryValue(*router_, "svq_router_queries_total"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      RegistryValue(*router_, "svq_router_queries_partial_total"), 0.0);
+}
+
+TEST_F(ClusterTest, SingleVideoStatementRoutesToOwningShard) {
+  StartCluster();
+  // serving_3 lives on shard 1; through the router the answer must equal
+  // the single-node in-process execution.
+  const std::string statement = RankedStatement("serving_3", 3);
+  auto reference = query::ExecuteStatementOn(oracle_.Pin(), statement);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference->topk.has_value());
+
+  server::Client client = RouterClient();
+  auto response = client.Execute(statement);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->status.ok()) << response->status;
+  const auto& expected = reference->topk->sequences;
+  ASSERT_EQ(response->sequences.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(response->sequences[i].begin, expected[i].clips.begin) << i;
+    EXPECT_EQ(response->sequences[i].end, expected[i].clips.end) << i;
+    EXPECT_DOUBLE_EQ(response->sequences[i].lower_bound,
+                     expected[i].lower_bound)
+        << i;
+  }
+  // Only the owning shard saw the query.
+  EXPECT_EQ(servers_[1]->Stats().queries_accepted, 1);
+  EXPECT_EQ(servers_[0]->Stats().queries_accepted, 0);
+}
+
+TEST_F(ClusterTest, UnknownVideoGetsTheBackendsDiagnostic) {
+  StartCluster();
+  server::Client client = RouterClient();
+  auto response = client.Execute(RankedStatement("no_such_video", 3));
+  ASSERT_TRUE(response.ok()) << response.status();
+  // Forwarded to a healthy shard whose NotFound matches a single svqd's.
+  EXPECT_TRUE(response->status.IsNotFound()) << response->status;
+  // Unparseable statements come back with the backend's parser diagnostic,
+  // and the connection survives.
+  auto garbage = client.Execute("SELECT FROM WHERE nonsense((");
+  ASSERT_TRUE(garbage.ok()) << garbage.status();
+  EXPECT_TRUE(garbage->status.IsInvalidArgument()) << garbage->status;
+}
+
+TEST_F(ClusterTest, ExplainRoutesAndBroadcastExplainIsUnimplemented) {
+  StartCluster();
+  const std::string statement = RankedStatement("serving_0", 3);
+  server::Client client = RouterClient();
+  auto through_router = client.Explain(statement);
+  ASSERT_TRUE(through_router.ok()) << through_router.status();
+  ASSERT_TRUE(through_router->status.ok()) << through_router->status;
+
+  server::Client direct;
+  ASSERT_TRUE(direct.Connect("127.0.0.1", servers_[0]->port()).ok());
+  auto from_backend = direct.Explain(statement);
+  ASSERT_TRUE(from_backend.ok()) << from_backend.status();
+  EXPECT_EQ(through_router->text, from_backend->text);
+
+  auto broadcast = client.Explain(RankedStatement("*", 3));
+  ASSERT_TRUE(broadcast.ok()) << broadcast.status();
+  EXPECT_TRUE(broadcast->status.IsUnimplemented()) << broadcast->status;
+}
+
+TEST_F(ClusterTest, StreamingVerbsAreUnimplemented) {
+  StartCluster();
+  server::Client client = RouterClient();
+  auto subscribed = client.Subscribe(
+      "serving_0",
+      "SELECT MERGE(clipID) FROM (PROCESS serving_0 PRODUCE clipID, obj "
+      "USING ObjectDetector, act USING ActionRecognizer) WHERE "
+      "act='smoking' AND obj.include('cup')");
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status();
+  EXPECT_TRUE(subscribed->status.IsUnimplemented()) << subscribed->status;
+  // The connection survives and still serves queries.
+  auto response = client.Execute(RankedStatement("serving_0", 3));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.ok()) << response->status;
+}
+
+TEST_F(ClusterTest, StatsAggregateBackendsAndRouterRegistry) {
+  StartCluster();
+  server::Client client = RouterClient();
+  auto response = client.Execute(RankedStatement("*", 6));
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->status.ok()) << response->status;
+
+  auto stats = client.GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // The broadcast hit both backends; the aggregate sums their counters.
+  EXPECT_EQ(stats->queries_accepted, 2);
+  EXPECT_EQ(stats->queries_ok, 2);
+  EXPECT_EQ(stats->query_latency.count, 2);
+
+  const auto find = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : stats->registry) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "registry entry missing: " << name;
+    return -1.0;
+  };
+  // Backend registries sum by name; the router's own metrics ride along.
+  EXPECT_DOUBLE_EQ(find("svqd_queries_accepted_total"), 2.0);
+  EXPECT_DOUBLE_EQ(find("svq_router_queries_total"), 1.0);
+  EXPECT_DOUBLE_EQ(find("svq_router_backends_total"), 2.0);
+  EXPECT_DOUBLE_EQ(find("svq_router_backend_failures_total"), 0.0);
+}
+
+TEST_F(ClusterTest, KilledBackendDegradesToExplicitPartialResults) {
+  StartCluster();
+  const std::string statement = RankedStatement("*", 6);
+  // Kill shard 1 mid-flight (between queries): the router must answer from
+  // shard 0 and say so — an Unavailable status naming the damage, with the
+  // surviving shard's sequences attached, never a silent subset.
+  servers_[1]->Shutdown();
+  auto reference =
+      query::ExecuteStatementOn(engines_[0]->Pin(), statement);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference->repo.has_value());
+  ASSERT_FALSE(reference->repo->sequences.empty());
+
+  server::Client client = RouterClient();
+  auto response = client.Execute(statement);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.IsUnavailable()) << response->status;
+  EXPECT_NE(response->status.message().find("partial results (1/2 shards)"),
+            std::string::npos)
+      << response->status;
+  ExpectMatchesRepository(*response, reference->repo->sequences);
+  EXPECT_DOUBLE_EQ(
+      RegistryValue(*router_, "svq_router_queries_partial_total"), 1.0);
+  EXPECT_GE(RegistryValue(*router_, "svq_router_backend_failures_total"),
+            1.0);
+
+  // With every shard down the answer is still explicit, now with nothing
+  // attached.
+  servers_[0]->Shutdown();
+  auto dark = client.Execute(statement);
+  ASSERT_TRUE(dark.ok()) << dark.status();
+  EXPECT_TRUE(dark->status.IsUnavailable()) << dark->status;
+  EXPECT_NE(dark->status.message().find("all shards unavailable"),
+            std::string::npos)
+      << dark->status;
+  EXPECT_TRUE(dark->sequences.empty());
+}
+
+TEST_F(ClusterTest, DeadlineBudgetShrinksPerHopAndExpiresCleanly) {
+  // Retry backoff larger than the client budget: the first attempt against
+  // the killed shard fails, the backoff sleeps past the deadline, and the
+  // second attempt must be answered by the router itself with
+  // kDeadlineExceeded — not forwarded with a stale budget.
+  RouterOptions options = TestOptions();
+  options.max_retries = 2;
+  options.retry_backoff = std::chrono::milliseconds(80);
+  options.retry_backoff_max = std::chrono::milliseconds(80);
+  StartCluster(options);
+  servers_[0]->Shutdown();
+
+  server::Client client = RouterClient();
+  auto response =
+      client.Execute(RankedStatement("serving_0", 3), /*timeout_ms=*/40);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.IsDeadlineExceeded()) << response->status;
+  EXPECT_DOUBLE_EQ(
+      RegistryValue(*router_, "svq_router_deadline_exceeded_total"), 1.0);
+}
+
+TEST_F(ClusterTest, BreakerOpensAfterConsecutiveFailuresThenRecovers) {
+  RouterOptions options = TestOptions();
+  options.max_retries = 0;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown = std::chrono::milliseconds(50);
+  options.health_interval = std::chrono::milliseconds(25);
+  StartCluster(options);
+  const uint16_t port = servers_[0]->port();
+  servers_[0]->Shutdown();
+  ASSERT_EQ(router_->BreakerState(0), CircuitBreaker::State::kClosed);
+
+  // Two failed queries = two consecutive transport failures: the breaker
+  // trips (the health prober can only add failures here, never successes).
+  server::Client client = RouterClient();
+  for (int i = 0; i < 2; ++i) {
+    auto response = client.Execute(RankedStatement("serving_0", 3));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->status.IsUnavailable()) << response->status;
+  }
+  const auto tripped = Clock::now() + std::chrono::seconds(5);
+  while (router_->BreakerState(0) == CircuitBreaker::State::kClosed &&
+         Clock::now() < tripped) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_NE(router_->BreakerState(0), CircuitBreaker::State::kClosed);
+
+  // Resurrect the backend on the same port: the health prober's half-open
+  // probe must close the breaker without any client traffic.
+  server::ServerOptions revive;
+  revive.port = port;
+  auto reborn =
+      std::make_unique<server::Server>(engines_[0].get(), revive);
+  ASSERT_TRUE(reborn->Start().ok());
+  servers_.push_back(std::move(reborn));
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (router_->BreakerState(0) != CircuitBreaker::State::kClosed &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(router_->BreakerState(0), CircuitBreaker::State::kClosed);
+
+  // And traffic flows again.
+  auto response = client.Execute(RankedStatement("serving_0", 3));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.ok()) << response->status;
+}
+
+TEST(CircuitBreakerTest, ThresholdCooldownAndHalfOpenProbe) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown = std::chrono::milliseconds(100);
+  CircuitBreaker breaker(options);
+  using State = CircuitBreaker::State;
+  const auto t0 = CircuitBreaker::Clock::time_point{} +
+                  std::chrono::seconds(1000);
+
+  // Two failures stay closed; a success resets the consecutive count.
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  breaker.RecordSuccess();
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  // The third consecutive failure trips it.
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(t0 + std::chrono::milliseconds(99)));
+  // Past the cooldown exactly one probe is admitted.
+  const auto probe_time = t0 + std::chrono::milliseconds(100);
+  EXPECT_TRUE(breaker.AllowRequest(probe_time));
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest(probe_time));
+  // A failed probe re-opens for another full cooldown.
+  breaker.RecordFailure(probe_time);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_FALSE(
+      breaker.AllowRequest(probe_time + std::chrono::milliseconds(99)));
+  EXPECT_TRUE(
+      breaker.AllowRequest(probe_time + std::chrono::milliseconds(100)));
+  // A successful probe closes it.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(probe_time));
+}
+
+TEST(RouterHedgingTest, SlowShardTriggersAHedgeRequest) {
+  // A listener that accepts nothing: connects succeed (the SYN queue
+  // absorbs them) but no byte ever comes back, so the primary request
+  // stalls past hedge_after and the router must issue a hedge.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 16), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(
+      ::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+
+  ShardMap map;
+  map.version = 1;
+  map.shards.push_back({"127.0.0.1", ntohs(bound.sin_port)});
+  map.assignments["serving_0"] = 0;
+  RouterOptions options = TestOptions();
+  options.max_retries = 0;
+  options.hedge_after = std::chrono::milliseconds(20);
+  options.recv_timeout = std::chrono::milliseconds(150);
+  Router router(map, options);
+  ASSERT_TRUE(router.Start().ok());
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", router.port()).ok());
+  auto response = client.Execute(RankedStatement("serving_0", 3));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.IsUnavailable()) << response->status;
+  EXPECT_GE(RegistryValue(router, "svq_router_hedges_total"), 1.0);
+  router.Shutdown();
+  ::close(listener);
+}
+
+TEST(ShardMapTest, AssignContiguousSaveLoadRoundTrip) {
+  auto map = AssignContiguous(
+      {"video_c", "video_a", "video_e", "video_b", "video_d"},
+      {{"10.0.0.1", 7001}, {"10.0.0.2", 7002}}, /*version=*/42);
+  ASSERT_TRUE(map.ok()) << map.status();
+  // Contiguous in sorted-name order, remainder on the leading shard.
+  EXPECT_EQ(map->ShardOf("video_a"), 0);
+  EXPECT_EQ(map->ShardOf("video_b"), 0);
+  EXPECT_EQ(map->ShardOf("video_c"), 0);
+  EXPECT_EQ(map->ShardOf("video_d"), 1);
+  EXPECT_EQ(map->ShardOf("video_e"), 1);
+  EXPECT_LT(map->ShardOf("unassigned"), 0);
+
+  const std::string path =
+      ::testing::TempDir() + "/cluster_test_shard_map.bin";
+  ASSERT_TRUE(SaveShardMap(io::Env::Default(), path, *map).ok());
+  auto loaded = LoadShardMap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, *map);
+  EXPECT_EQ(loaded->version, 42u);
+  ::unlink(path.c_str());
+}
+
+TEST(ShardMapTest, RejectsCorruptionAndStructuralErrors) {
+  auto map = AssignContiguous({"a", "b"}, {{"127.0.0.1", 7001}});
+  ASSERT_TRUE(map.ok()) << map.status();
+  const std::string path =
+      ::testing::TempDir() + "/cluster_test_shard_map_corrupt.bin";
+  ASSERT_TRUE(SaveShardMap(io::Env::Default(), path, *map).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Every single-byte flip must be caught (checksum or parse), and every
+  // truncation must fail cleanly — a torn map must never half-load.
+  for (size_t at : {size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    std::string flipped = bytes;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x40);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << flipped;
+    EXPECT_FALSE(LoadShardMap(path).ok()) << "flip at " << at;
+  }
+  for (size_t cut : {size_t{0}, size_t{3}, bytes.size() - 1}) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, cut);
+    EXPECT_FALSE(LoadShardMap(path).ok()) << "cut at " << cut;
+  }
+  ::unlink(path.c_str());
+
+  // Structural validation: no shards, out-of-range assignment.
+  ShardMap empty;
+  EXPECT_TRUE(empty.Validate().IsInvalidArgument());
+  ShardMap out_of_range;
+  out_of_range.shards.push_back({"127.0.0.1", 7001});
+  out_of_range.assignments["v"] = 5;
+  EXPECT_TRUE(out_of_range.Validate().IsInvalidArgument());
+  EXPECT_FALSE(AssignContiguous({"a"}, {}).ok());
+}
+
+TEST(ClientConnectTimeoutTest, RefusedConnectFailsFastWithTimeoutSet) {
+  // Grab a port that nothing listens on by binding and closing it.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+  const uint16_t dead_port = ntohs(bound.sin_port);
+  ::close(probe);
+
+  server::Client client;
+  const auto t0 = Clock::now();
+  const Status status =
+      client.Connect("127.0.0.1", dead_port, std::chrono::milliseconds(1000),
+                     /*connect_timeout=*/std::chrono::milliseconds(500));
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(client.connected());
+  // Refusal is immediate — the timeout is an upper bound, not a sleep.
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(5));
+}
+
+TEST(ClientConnectTimeoutTest, NonBlockingConnectServesQueriesNormally) {
+  core::VideoQueryEngine engine;
+  ASSERT_TRUE(engine.AddVideo(ClusterVideo(0)).ok());
+  ASSERT_TRUE(engine.IngestAll().ok());
+  server::Server server(&engine, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // The non-blocking connect path must leave the socket in the same state
+  // as the default blocking path: blocking IO, working round trips.
+  server::Client client;
+  ASSERT_TRUE(client
+                  .Connect("127.0.0.1", server.port(),
+                           std::chrono::milliseconds(120000),
+                           std::chrono::milliseconds(1000))
+                  .ok());
+  auto response = client.Execute(RankedStatement("serving_0", 3));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->status.ok()) << response->status;
+  server.Shutdown();
+}
+
+TEST(ClientConnectTimeoutTest, BackloggedListenerTimesOutWithinBudget) {
+  // listen(fd, 0) plus unaccepted saturator connections makes the kernel
+  // drop further SYNs, so a fresh connect hangs in SYN_SENT — exactly the
+  // black-holed-backend case the connect timeout exists for.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 0), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(
+      ::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len), 0);
+  std::vector<int> saturators;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&bound), sizeof(bound));
+    saturators.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server::Client client;
+  const auto t0 = Clock::now();
+  const Status status = client.Connect(
+      "127.0.0.1", ntohs(bound.sin_port), std::chrono::milliseconds(1000),
+      /*connect_timeout=*/std::chrono::milliseconds(100));
+  const auto elapsed = Clock::now() - t0;
+  for (int fd : saturators) ::close(fd);
+  ::close(listener);
+  if (status.ok()) {
+    GTEST_SKIP() << "kernel admitted the connection past the backlog";
+  }
+  EXPECT_FALSE(client.connected());
+  // Must give up near the 100 ms budget, far before a blocking connect
+  // would (SYN retransmits run for minutes).
+  EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+}  // namespace
+}  // namespace svq::cluster

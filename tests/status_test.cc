@@ -26,8 +26,8 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int code = 0;
-       code <= static_cast<int>(StatusCode::kResourceExhausted); ++code) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kUnavailable);
+       ++code) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
                  "Unknown");
   }
@@ -40,9 +40,19 @@ TEST(StatusTest, ResourceExhausted) {
   EXPECT_EQ(s.ToString(), "Resource exhausted: queue full");
 }
 
+TEST(StatusTest, Unavailable) {
+  // The cluster router's partial-result / down-backend code
+  // (docs/cluster.md).
+  Status s = Status::Unavailable("partial results (1/2 shards)");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsResourceExhausted());
+  EXPECT_EQ(s.ToString(), "Unavailable: partial results (1/2 shards)");
+}
+
 TEST(StatusSerializationTest, RoundTripsEveryCode) {
-  for (int code = 0;
-       code <= static_cast<int>(StatusCode::kResourceExhausted); ++code) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kUnavailable);
+       ++code) {
     const Status original(static_cast<StatusCode>(code),
                           code == 0 ? "" : "message for code " +
                                                std::to_string(code));
